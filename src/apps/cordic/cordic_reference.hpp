@@ -1,0 +1,55 @@
+// Golden models for the adaptive CORDIC division application (paper
+// Section IV-A). The recurrence (paper Eq. 1/2, rewritten with the
+// variable scale C_i so data can be recirculated through the pipeline):
+//
+//   d_i = +1 if Y_i < 0 else -1
+//   Y_{i+1} = Y_i + d_i * (X_i >> s_i)
+//   Z_{i+1} = Z_i - d_i * (C >> s_i)          C = 1.0
+//   s_{i+1} = s_i + 1
+//
+// After n iterations Z_n ~= Y_0 / X_0 (for X_0 > 0, |Y_0/X_0| < 2).
+// The bit-exact fixed-point model below is the single source of truth
+// that the software programs, the sysgen hardware pipeline and the RTL
+// baseline are all validated against.
+#pragma once
+
+#include "common/fixed_point.hpp"
+#include "common/types.hpp"
+
+namespace mbcosim::apps::cordic {
+
+/// Data format used throughout the application: signed 32-bit with a
+/// 24-bit fraction (range ±128, resolution 2^-24).
+inline constexpr FixFormat kDataFormat =
+    FixFormat{Signedness::kSigned, 32, 24};
+
+/// Raw fixed-point representation of 1.0 in kDataFormat.
+inline constexpr i32 kOneRaw = 1 << 24;
+
+/// State of one CORDIC item between (partial) iteration batches.
+struct CordicState {
+  i32 x = 0;
+  i32 y = 0;
+  i32 z = 0;
+};
+
+/// Run `count` iterations starting at shift amount `s0` — bit-exact model
+/// of one pass through a pipeline of `count` PEs configured with initial
+/// shift `s0`. Arithmetic wraps modulo 2^32, like the hardware adders.
+[[nodiscard]] CordicState cordic_iterate(CordicState state, unsigned s0,
+                                         unsigned count);
+
+/// Full n-iteration division: returns Z_n raw (quotient y0/x0 in
+/// kDataFormat).
+[[nodiscard]] i32 cordic_divide_raw(i32 x0_raw, i32 y0_raw,
+                                    unsigned iterations);
+
+/// Floating-point convenience wrapper: computes b / a through the
+/// fixed-point machinery.
+[[nodiscard]] double cordic_divide(double a, double b, unsigned iterations);
+
+/// Worst-case quotient error bound after n iterations: 2^-(n-1) residual
+/// plus accumulated rounding of the truncating shifts.
+[[nodiscard]] double cordic_error_bound(unsigned iterations);
+
+}  // namespace mbcosim::apps::cordic

@@ -1,0 +1,223 @@
+#include "apps/cordic/cordic_sw.hpp"
+
+#include <sstream>
+
+#include "apps/cordic/cordic_reference.hpp"
+#include "common/status.hpp"
+
+namespace mbcosim::apps::cordic {
+
+namespace {
+
+void emit_word_array(std::ostream& os, const char* label,
+                     std::span<const i32> values) {
+  os << label << ":\n";
+  for (const i32 value : values) {
+    os << "  .word 0x" << std::hex << static_cast<u32>(value) << std::dec
+       << "\n";
+  }
+}
+
+void check_items(std::span<const i32> x, std::span<const i32> y) {
+  if (x.size() != y.size() || x.empty()) {
+    throw SimError("cordic: x/y arrays must be nonempty and equal-sized");
+  }
+}
+
+}  // namespace
+
+std::string pure_software_program(std::span<const i32> x,
+                                  std::span<const i32> y, unsigned iterations,
+                                  ShiftStrategy strategy) {
+  check_items(x, y);
+  if (iterations == 0 || iterations > 32) {
+    throw SimError("cordic: iterations must be in [1, 32]");
+  }
+  std::ostringstream os;
+  os << "# Pure-software CORDIC division, " << iterations
+     << " iterations per item.\n";
+  os << "start:\n";
+  os << "  la r21, data_x\n";
+  os << "  la r22, data_y\n";
+  os << "  la r28, results\n";
+  os << "  li r30, 0x01000000      # C = 1.0 in Fix32_24\n";
+  os << "  li r31, " << iterations << "\n";
+  os << "  li r29, " << x.size() * 4 << "       # total bytes\n";
+  os << "  addk r10, r0, r0        # item byte offset\n";
+  os << "item_loop:\n";
+  os << "  lw r3, r21, r10         # X = a\n";
+  os << "  lw r4, r22, r10         # Y = b\n";
+  os << "  addk r5, r0, r0         # Z = 0\n";
+  os << "  addk r6, r0, r0         # s = 0\n";
+  if (strategy == ShiftStrategy::kIncremental) {
+    os << "  addk r8, r3, r0         # xs = X\n";
+    os << "  addk r9, r30, r0        # cs = C\n";
+  }
+  os << "  addk r7, r31, r0        # i = iterations\n";
+  os << "iter_loop:\n";
+  switch (strategy) {
+    case ShiftStrategy::kBarrelShifter:
+      os << "  bsra r8, r3, r6         # xs = X >> s\n";
+      os << "  bsra r9, r30, r6        # cs = C >> s\n";
+      break;
+    case ShiftStrategy::kShiftLoop:
+      os << "  addk r8, r3, r0         # xs = X\n";
+      os << "  addk r9, r30, r0        # cs = C\n";
+      os << "  addk r14, r6, r0        # k = s\n";
+      os << "  beqi r14, shift_done\n";
+      os << "shift_loop:\n";
+      os << "  sra r8, r8\n";
+      os << "  sra r9, r9\n";
+      os << "  addik r14, r14, -1\n";
+      os << "  bnei r14, shift_loop\n";
+      os << "shift_done:\n";
+      break;
+    case ShiftStrategy::kIncremental:
+      break;  // xs/cs already hold X >> s and C >> s
+  }
+  os << "  blti r4, y_negative\n";
+  os << "  rsubk r4, r8, r4        # Y -= xs\n";
+  os << "  addk r5, r5, r9         # Z += cs\n";
+  os << "  bri iter_tail\n";
+  os << "y_negative:\n";
+  os << "  addk r4, r4, r8         # Y += xs\n";
+  os << "  rsubk r5, r9, r5        # Z -= cs\n";
+  os << "iter_tail:\n";
+  if (strategy == ShiftStrategy::kIncremental) {
+    os << "  sra r8, r8              # xs >>= 1\n";
+    os << "  sra r9, r9              # cs >>= 1\n";
+  }
+  os << "  addik r6, r6, 1         # s += 1\n";
+  os << "  addik r7, r7, -1\n";
+  os << "  bnei r7, iter_loop\n";
+  os << "  sw r5, r28, r10         # results[item] = Z\n";
+  os << "  addik r10, r10, 4\n";
+  os << "  rsub r3, r10, r29\n";
+  os << "  bnei r3, item_loop\n";
+  os << "  halt\n\n";
+  emit_word_array(os, "data_x", x);
+  emit_word_array(os, "data_y", y);
+  os << "results: .space " << x.size() * 4 << "\n";
+  return os.str();
+}
+
+std::string hw_driver_program(std::span<const i32> x, std::span<const i32> y,
+                              unsigned iterations, unsigned num_pes,
+                              unsigned set_size) {
+  check_items(x, y);
+  if (num_pes == 0) {
+    throw SimError("cordic: hw driver needs at least one PE");
+  }
+  if (set_size == 0 || set_size > 5) {
+    // Three result words per item; the 16-deep FSL FIFO holds at most
+    // five complete triples (paper Section IV-A: sets are sized so the
+    // results "would not overflow the FIFOs of the data output FSLs").
+    throw SimError("cordic: set_size must be in [1, 5]");
+  }
+  if (x.size() % set_size != 0) {
+    throw SimError("cordic: items must be a multiple of set_size");
+  }
+  const unsigned passes = cordic_passes(iterations, num_pes);
+
+  std::ostringstream os;
+  os << "# CORDIC division driver: P=" << num_pes << ", " << iterations
+     << " iterations (" << passes << " passes), sets of " << set_size
+     << " items.\n";
+  os << "start:\n";
+  os << "  la r21, data_x\n";
+  os << "  la r22, data_y\n";
+  os << "  la r24, work_x\n";
+  os << "  la r25, work_y\n";
+  os << "  la r26, work_z\n";
+  os << "  la r28, results\n";
+  os << "  li r19, " << set_size << "        # items per set\n";
+  os << "  li r27, " << passes << "        # passes per set\n";
+  os << "  li r18, " << num_pes << "        # s0 increment per pass\n";
+  os << "  li r29, " << x.size() * 4 << "      # total bytes\n";
+  os << "  addk r10, r0, r0        # set base byte offset\n";
+  os << "set_loop:\n";
+  os << "  # load the set into the work buffers, Z cleared\n";
+  os << "  addk r5, r19, r0\n";
+  os << "  addk r6, r21, r10\n";
+  os << "  addk r7, r22, r10\n";
+  os << "  addk r8, r24, r0\n";
+  os << "  addk r9, r25, r0\n";
+  os << "  addk r13, r26, r0\n";
+  os << "init_loop:\n";
+  os << "  lwi r3, r6, 0\n";
+  os << "  swi r3, r8, 0\n";
+  os << "  lwi r3, r7, 0\n";
+  os << "  swi r3, r9, 0\n";
+  os << "  swi r0, r13, 0\n";
+  os << "  addik r6, r6, 4\n";
+  os << "  addik r7, r7, 4\n";
+  os << "  addik r8, r8, 4\n";
+  os << "  addik r9, r9, 4\n";
+  os << "  addik r13, r13, 4\n";
+  os << "  addik r5, r5, -1\n";
+  os << "  bnei r5, init_loop\n";
+  os << "  # recirculate the set through the pipeline\n";
+  os << "  addk r11, r27, r0       # pass counter\n";
+  os << "  addk r12, r0, r0        # s0 = 0\n";
+  os << "pass_loop:\n";
+  os << "  cput r12, rfsl0         # control word: initial shift amount\n";
+  os << "  addk r5, r19, r0\n";
+  os << "  addk r8, r24, r0\n";
+  os << "  addk r9, r25, r0\n";
+  os << "  addk r13, r26, r0\n";
+  os << "send_loop:\n";
+  os << "  lwi r3, r8, 0\n";
+  os << "  put r3, rfsl0           # X\n";
+  os << "  lwi r3, r9, 0\n";
+  os << "  put r3, rfsl0           # Y\n";
+  os << "  lwi r3, r13, 0\n";
+  os << "  put r3, rfsl0           # Z\n";
+  os << "  addik r8, r8, 4\n";
+  os << "  addik r9, r9, 4\n";
+  os << "  addik r13, r13, 4\n";
+  os << "  addik r5, r5, -1\n";
+  os << "  bnei r5, send_loop\n";
+  os << "  addk r5, r19, r0\n";
+  os << "  addk r8, r24, r0\n";
+  os << "  addk r9, r25, r0\n";
+  os << "  addk r13, r26, r0\n";
+  os << "recv_loop:\n";
+  os << "  get r3, rfsl0           # X out\n";
+  os << "  swi r3, r8, 0\n";
+  os << "  get r3, rfsl0           # Y out\n";
+  os << "  swi r3, r9, 0\n";
+  os << "  get r3, rfsl0           # Z out\n";
+  os << "  swi r3, r13, 0\n";
+  os << "  addik r8, r8, 4\n";
+  os << "  addik r9, r9, 4\n";
+  os << "  addik r13, r13, 4\n";
+  os << "  addik r5, r5, -1\n";
+  os << "  bnei r5, recv_loop\n";
+  os << "  addk r12, r12, r18      # s0 += P\n";
+  os << "  addik r11, r11, -1\n";
+  os << "  bnei r11, pass_loop\n";
+  os << "  # store quotients of this set\n";
+  os << "  addk r5, r19, r0\n";
+  os << "  addk r13, r26, r0\n";
+  os << "  addk r6, r28, r10\n";
+  os << "store_loop:\n";
+  os << "  lwi r3, r13, 0\n";
+  os << "  swi r3, r6, 0\n";
+  os << "  addik r13, r13, 4\n";
+  os << "  addik r6, r6, 4\n";
+  os << "  addik r5, r5, -1\n";
+  os << "  bnei r5, store_loop\n";
+  os << "  addik r10, r10, " << set_size * 4 << "\n";
+  os << "  rsub r3, r10, r29\n";
+  os << "  bnei r3, set_loop\n";
+  os << "  halt\n\n";
+  emit_word_array(os, "data_x", x);
+  emit_word_array(os, "data_y", y);
+  os << "work_x: .space " << set_size * 4 << "\n";
+  os << "work_y: .space " << set_size * 4 << "\n";
+  os << "work_z: .space " << set_size * 4 << "\n";
+  os << "results: .space " << x.size() * 4 << "\n";
+  return os.str();
+}
+
+}  // namespace mbcosim::apps::cordic

@@ -1,0 +1,96 @@
+#include "apps/matmul/matmul_app.hpp"
+
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/stopwatch.hpp"
+#include "common/status.hpp"
+#include "core/cosim_engine.hpp"
+#include "estimate/estimator.hpp"
+#include "iss/memory.hpp"
+#include "iss/processor.hpp"
+
+namespace mbcosim::apps::matmul {
+
+MatmulRunResult run_matmul(const MatmulRunConfig& config, const Matrix& a,
+                           const Matrix& b) {
+  if (a.n != config.matrix_size || b.n != config.matrix_size) {
+    throw SimError("run_matmul: matrix size mismatch with config");
+  }
+  const bool pure_software = config.block_size == 0;
+
+  const std::string source =
+      pure_software ? pure_software_program(a, b)
+                    : hw_driver_program(a, b, config.block_size);
+  const assembler::Program program = assembler::assemble_or_throw(source);
+
+  isa::CpuConfig cpu_config;
+  cpu_config.has_multiplier = true;
+  cpu_config.has_barrel_shifter = false;
+
+  iss::LmbMemory memory(256 * 1024);
+  memory.load_program(program);
+  fsl::FslHub hub;
+  iss::Processor cpu(cpu_config, memory, &hub);
+
+  MatmulRunResult result;
+  result.c = Matrix(config.matrix_size);
+
+  estimate::SystemDescription system;
+  system.cpu = cpu_config;
+  system.program = &program;
+
+  if (pure_software) {
+    cpu.reset(program.entry());
+    Stopwatch sim_watch;
+    if (cpu.run(Cycle{1} << 36) != iss::Event::kHalted) {
+      throw SimError("run_matmul: pure-software program did not halt");
+    }
+    result.sim_wall_seconds = sim_watch.elapsed_seconds();
+    result.cycles = cpu.stats().cycles;
+    result.instructions = cpu.stats().instructions;
+    const auto report = estimate::estimate_system(system);
+    result.estimated_resources = report.estimated;
+    result.implemented_resources = report.implemented;
+    result.energy = energy::estimate_energy(cpu.stats(), nullptr, 0,
+                                            report.implemented);
+  } else {
+    MatmulPeripheral peripheral = build_matmul_peripheral(config.block_size);
+    core::CoSimEngine engine(cpu, *peripheral.model, hub);
+    peripheral.bind(engine.bridge(), /*channel=*/0);
+    // Drain bound: one block row in the MAC array + the serializer.
+    engine.set_quiescence_window(2 * config.block_size + 16);
+    engine.reset(program.entry());
+    Stopwatch sim_watch;
+    const core::StopReason reason = engine.run(Cycle{1} << 36);
+    result.sim_wall_seconds = sim_watch.elapsed_seconds();
+    if (reason != core::StopReason::kHalted) {
+      throw SimError("run_matmul: co-simulation stopped abnormally (reason " +
+                     std::to_string(static_cast<int>(reason)) + ")");
+    }
+    const core::CoSimStats stats = engine.stats();
+    result.cycles = stats.cycles;
+    result.instructions = stats.instructions;
+    result.fsl_stall_cycles = stats.fsl_stall_cycles;
+    result.fsl_words = stats.bridge.words_to_hw + stats.bridge.words_from_hw;
+
+    system.fsl_links_used = 2;
+    system.peripheral = peripheral.model.get();
+    const auto report = estimate::estimate_system(system);
+    result.estimated_resources = report.estimated;
+    result.implemented_resources = report.implemented;
+    result.energy = energy::estimate_energy(cpu.stats(),
+                                            peripheral.model.get(),
+                                            stats.hw_cycles_stepped,
+                                            report.implemented);
+  }
+
+  const Addr c_addr = program.symbol("mat_c");
+  for (unsigned i = 0; i < config.matrix_size * config.matrix_size; ++i) {
+    result.c.data[i] =
+        static_cast<i32>(memory.read_word(c_addr + i * 4));
+  }
+  return result;
+}
+
+}  // namespace mbcosim::apps::matmul

@@ -1,0 +1,41 @@
+// Top-level driver for the block matrix multiplication application
+// (paper Section IV-B): assembles software, builds the peripheral when
+// block_size > 0, runs the co-simulation and returns C plus statistics.
+#pragma once
+
+#include <vector>
+
+#include "apps/matmul/matmul_hw.hpp"
+#include "apps/matmul/matmul_reference.hpp"
+#include "apps/matmul/matmul_sw.hpp"
+#include "common/resources.hpp"
+#include "common/types.hpp"
+#include "energy/energy_model.hpp"
+
+namespace mbcosim::apps::matmul {
+
+struct MatmulRunConfig {
+  unsigned matrix_size = 16;  ///< N (paper evaluates N = 16)
+  unsigned block_size = 0;    ///< n: 0 = pure software, else 2..4
+};
+
+struct MatmulRunResult {
+  Matrix c{0};
+  Cycle cycles = 0;
+  u64 instructions = 0;
+  Cycle fsl_stall_cycles = 0;
+  u64 fsl_words = 0;
+  ResourceVec estimated_resources;
+  ResourceVec implemented_resources;
+  /// Host wall-clock spent in the simulation loop itself.
+  double sim_wall_seconds = 0.0;
+  /// Rapid energy estimate (the paper's Section V extension).
+  energy::EnergyReport energy;
+
+  [[nodiscard]] double usec() const { return cycles_to_usec(cycles); }
+};
+
+[[nodiscard]] MatmulRunResult run_matmul(const MatmulRunConfig& config,
+                                         const Matrix& a, const Matrix& b);
+
+}  // namespace mbcosim::apps::matmul

@@ -1,0 +1,48 @@
+// Hardware side of the block matrix multiplication application (paper
+// Figure 6): a customized peripheral that multiplies an n x n block of
+// matrix B (pre-loaded through FSL control words) by rows of matrix-A
+// blocks streamed in as data words, producing one row of the block
+// product per n input words.
+//
+// Dataflow per the paper: "when data is available in the FSL FIFO and
+// Out#_control is high, the hardware peripheral puts the input data into
+// the corresponding registers. Thus, when the data elements of matrix
+// blocks from A come in as normal data words, the multiplication and
+// accumulation are performed accordingly."
+//
+// The streamed element a_k (k-th element of a row of the A block)
+// multiplies row k of the stored B block on n parallel MULT18x18
+// multipliers; n accumulators build the row of C = A_row x B. After the
+// n-th element the accumulated row is handed to the output serializer.
+#pragma once
+
+#include <memory>
+
+#include "core/fsl_bridge.hpp"
+#include "sysgen/blocks_basic.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::apps::matmul {
+
+struct MatmulPeripheralIo {
+  sysgen::GatewayIn* s_data = nullptr;
+  sysgen::GatewayIn* s_exists = nullptr;
+  sysgen::GatewayIn* s_control = nullptr;
+  sysgen::GatewayOut* s_read = nullptr;
+  sysgen::GatewayOut* m_data = nullptr;
+  sysgen::GatewayOut* m_write = nullptr;
+  sysgen::GatewayIn* m_full = nullptr;
+};
+
+struct MatmulPeripheral {
+  std::unique_ptr<sysgen::Model> model;
+  MatmulPeripheralIo io;
+  unsigned block_size = 0;  ///< n (paper evaluates n = 2 and n = 4)
+
+  void bind(core::FslBridge& bridge, unsigned channel = 0) const;
+};
+
+/// Build the n x n block multiplier (n in [2, 4]).
+[[nodiscard]] MatmulPeripheral build_matmul_peripheral(unsigned block_size);
+
+}  // namespace mbcosim::apps::matmul

@@ -1,0 +1,32 @@
+#include "apps/matmul/matmul_reference.hpp"
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace mbcosim::apps::matmul {
+
+Matrix multiply_reference(const Matrix& a, const Matrix& b) {
+  if (a.n != b.n) throw SimError("multiply_reference: size mismatch");
+  Matrix c(a.n);
+  for (unsigned i = 0; i < a.n; ++i) {
+    for (unsigned j = 0; j < a.n; ++j) {
+      u32 acc = 0;  // unsigned wrap arithmetic, like the 32-bit datapath
+      for (unsigned k = 0; k < a.n; ++k) {
+        acc += static_cast<u32>(a.at(i, k)) * static_cast<u32>(b.at(k, j));
+      }
+      c.at(i, j) = static_cast<i32>(acc);
+    }
+  }
+  return c;
+}
+
+Matrix make_matrix(unsigned n, u64 seed) {
+  Rng rng(seed);
+  Matrix m(n);
+  for (auto& element : m.data) {
+    element = static_cast<i32>(rng.next_in(-50, 50));
+  }
+  return m;
+}
+
+}  // namespace mbcosim::apps::matmul

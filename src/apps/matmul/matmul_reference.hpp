@@ -1,0 +1,33 @@
+// Golden model and dataset helpers for the block matrix multiplication
+// application (paper Section IV-B).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mbcosim::apps::matmul {
+
+/// Row-major square matrix of 32-bit integers (elements are constrained
+/// to 16-bit range so the hardware's MULT18x18 path is exact).
+struct Matrix {
+  unsigned n = 0;
+  std::vector<i32> data;
+
+  explicit Matrix(unsigned size) : n(size), data(size * size, 0) {}
+  [[nodiscard]] i32& at(unsigned row, unsigned col) {
+    return data[row * n + col];
+  }
+  [[nodiscard]] i32 at(unsigned row, unsigned col) const {
+    return data[row * n + col];
+  }
+};
+
+/// Reference GEMM: C = A * B (plain triple loop, 32-bit wrap arithmetic).
+[[nodiscard]] Matrix multiply_reference(const Matrix& a, const Matrix& b);
+
+/// Deterministic random matrix with elements in [-50, 50].
+[[nodiscard]] Matrix make_matrix(unsigned n, u64 seed);
+
+}  // namespace mbcosim::apps::matmul

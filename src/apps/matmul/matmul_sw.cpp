@@ -1,0 +1,170 @@
+#include "apps/matmul/matmul_sw.hpp"
+
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace mbcosim::apps::matmul {
+
+namespace {
+
+void emit_matrix(std::ostream& os, const char* label, const Matrix& m) {
+  os << label << ":\n";
+  for (const i32 value : m.data) {
+    os << "  .word 0x" << std::hex << static_cast<u32>(value) << std::dec
+       << "\n";
+  }
+}
+
+void check_operands(const Matrix& a, const Matrix& b) {
+  if (a.n != b.n || a.n == 0) {
+    throw SimError("matmul: operand matrices must be same nonzero size");
+  }
+}
+
+}  // namespace
+
+std::string pure_software_program(const Matrix& a, const Matrix& b) {
+  check_operands(a, b);
+  const unsigned n = a.n;
+  std::ostringstream os;
+  os << "# Pure-software " << n << "x" << n << " matrix multiplication.\n";
+  os << "start:\n";
+  os << "  la r21, mat_a\n";
+  os << "  la r22, mat_b\n";
+  os << "  la r23, mat_c\n";
+  os << "  addk r6, r21, r0        # A row pointer\n";
+  os << "  addk r7, r23, r0        # C pointer (row-major walk)\n";
+  os << "  li r11, " << n << "          # i counter\n";
+  os << "i_loop:\n";
+  os << "  li r12, " << n << "          # j counter\n";
+  os << "  addk r8, r22, r0        # B column pointer base\n";
+  os << "j_loop:\n";
+  os << "  addk r9, r6, r0         # a element pointer\n";
+  os << "  addk r10, r8, r0        # b element pointer\n";
+  os << "  addk r3, r0, r0         # acc = 0\n";
+  os << "  li r13, " << n << "          # k counter\n";
+  os << "k_loop:\n";
+  os << "  lwi r4, r9, 0\n";
+  os << "  lwi r5, r10, 0\n";
+  os << "  mul r4, r4, r5          # 3-cycle multiply\n";
+  os << "  addk r3, r3, r4\n";
+  os << "  addik r9, r9, 4\n";
+  os << "  addik r10, r10, " << n * 4 << "\n";
+  os << "  addik r13, r13, -1\n";
+  os << "  bnei r13, k_loop\n";
+  os << "  swi r3, r7, 0\n";
+  os << "  addik r7, r7, 4\n";
+  os << "  addik r8, r8, 4\n";
+  os << "  addik r12, r12, -1\n";
+  os << "  bnei r12, j_loop\n";
+  os << "  addik r6, r6, " << n * 4 << "\n";
+  os << "  addik r11, r11, -1\n";
+  os << "  bnei r11, i_loop\n";
+  os << "  halt\n\n";
+  emit_matrix(os, "mat_a", a);
+  emit_matrix(os, "mat_b", b);
+  os << "mat_c: .space " << n * n * 4 << "\n";
+  return os.str();
+}
+
+std::string hw_driver_program(const Matrix& a, const Matrix& b,
+                              unsigned block_size) {
+  check_operands(a, b);
+  const unsigned n = block_size;
+  const unsigned size = a.n;
+  if (n < 2 || n > 4 || size % n != 0) {
+    throw SimError("matmul: matrix size must be a multiple of the block "
+                   "size (2..4)");
+  }
+  const unsigned nb = size / n;          // blocks per dimension
+  const unsigned row_bytes = size * 4;   // one matrix row
+  const unsigned block_row_bytes = n * row_bytes;
+  const unsigned block_col_bytes = n * 4;
+
+  // The transfer loops are rolled (not unrolled) and the per-row base
+  // addresses are recomputed with an index multiply, matching what
+  // mb-gcc -O2 emits for 2-D array subscripts around the FSL macros in
+  // the paper's C driver. This per-word cost is what makes the 2x2
+  // configuration lose to pure software (the paper's crossover result,
+  // Section IV-B): the communication overhead per word exceeds the MAC
+  // work it offloads.
+  std::ostringstream os;
+  os << "# Block matmul driver: " << size << "x" << size << " matrices, "
+     << n << "x" << n << " blocks.\n";
+  os << "start:\n";
+  os << "  la r21, mat_a\n";
+  os << "  la r22, mat_b\n";
+  os << "  la r23, mat_c\n";
+  os << "  li r11, " << nb << "          # kb down-counter\n";
+  os << "  addk r14, r0, r0        # kb * block_row_bytes\n";
+  os << "  addk r17, r0, r0        # kb * block_col_bytes\n";
+  os << "kb_loop:\n";
+  os << "  li r12, " << nb << "          # jb down-counter\n";
+  os << "  addk r15, r0, r0        # jb * block_col_bytes\n";
+  os << "jb_loop:\n";
+  os << "  # load B block (kb, jb) as control words, row-major\n";
+  os << "  addk r8, r22, r14\n";
+  os << "  addk r8, r8, r15        # row k = 0 base\n";
+  os << "  li r6, " << n << "           # k counter\n";
+  os << "bload_k:\n";
+  os << "  addk r9, r8, r0\n";
+  os << "  li r5, " << n << "           # j counter\n";
+  os << "bload_j:\n";
+  os << "  lwi r3, r9, 0\n";
+  os << "  cput r3, rfsl0\n";
+  os << "  addik r9, r9, 4\n";
+  os << "  addik r5, r5, -1\n";
+  os << "  bnei r5, bload_j\n";
+  os << "  addik r8, r8, " << row_bytes << "\n";
+  os << "  addik r6, r6, -1\n";
+  os << "  bnei r6, bload_k\n";
+  os << "  # stream the A blocks of block-column kb through the MAC array\n";
+  os << "  li r13, 0               # ib up-counter\n";
+  os << "ib_loop:\n";
+  os << "  muli r7, r13, " << block_row_bytes << "   # ib block row offset\n";
+  os << "  li r20, 0               # r: row within the block\n";
+  os << "row_loop:\n";
+  os << "  muli r3, r20, " << row_bytes << "    # row offset (2-D indexing)\n";
+  os << "  addk r3, r3, r7\n";
+  os << "  addk r9, r21, r3\n";
+  os << "  addk r9, r9, r17        # &A[ib*n + r][kb*n]\n";
+  os << "  addk r10, r23, r3\n";
+  os << "  addk r10, r10, r15      # &C[ib*n + r][jb*n]\n";
+  os << "  li r5, " << n << "\n";
+  os << "send_loop:\n";
+  os << "  lwi r3, r9, 0\n";
+  os << "  put r3, rfsl0\n";
+  os << "  addik r9, r9, 4\n";
+  os << "  addik r5, r5, -1\n";
+  os << "  bnei r5, send_loop\n";
+  os << "  li r5, " << n << "\n";
+  os << "recv_loop:\n";
+  os << "  get r3, rfsl0\n";
+  os << "  lwi r4, r10, 0\n";
+  os << "  addk r4, r4, r3\n";
+  os << "  swi r4, r10, 0\n";
+  os << "  addik r10, r10, 4\n";
+  os << "  addik r5, r5, -1\n";
+  os << "  bnei r5, recv_loop\n";
+  os << "  addik r20, r20, 1\n";
+  os << "  rsubik r3, r20, " << n << "\n";
+  os << "  bnei r3, row_loop\n";
+  os << "  addik r13, r13, 1\n";
+  os << "  rsubik r3, r13, " << nb << "\n";
+  os << "  bnei r3, ib_loop\n";
+  os << "  addik r15, r15, " << block_col_bytes << "\n";
+  os << "  addik r12, r12, -1\n";
+  os << "  bnei r12, jb_loop\n";
+  os << "  addik r14, r14, " << block_row_bytes << "\n";
+  os << "  addik r17, r17, " << block_col_bytes << "\n";
+  os << "  addik r11, r11, -1\n";
+  os << "  bnei r11, kb_loop\n";
+  os << "  halt\n\n";
+  emit_matrix(os, "mat_a", a);
+  emit_matrix(os, "mat_b", b);
+  os << "mat_c: .space " << size * size * 4 << "\n";
+  return os.str();
+}
+
+}  // namespace mbcosim::apps::matmul

@@ -1,0 +1,30 @@
+// Software side of the block matrix multiplication application: assembly
+// program generators for the pure-software GEMM (paper Figure 7's
+// '"Pure" software' curve) and for the block-streaming hardware driver.
+//
+// The driver follows the paper's data schedule: "the matrix blocks of
+// matrix A are loaded into the hardware peripheral column by column so
+// that each block of matrix B only needs to be loaded into the hardware
+// peripheral once" (Section IV-B) — i.e. for every B block (kb, jb) the
+// driver loads B once via control words, then streams the rows of every
+// A block in block-column kb, accumulating the returned partial rows
+// into C in software.
+#pragma once
+
+#include <string>
+
+#include "apps/matmul/matmul_reference.hpp"
+
+namespace mbcosim::apps::matmul {
+
+/// Pure-software triple-loop GEMM over the embedded matrices. Results go
+/// to the `mat_c` symbol; the program halts when done.
+[[nodiscard]] std::string pure_software_program(const Matrix& a,
+                                                const Matrix& b);
+
+/// Hardware driver for the n x n block multiplier peripheral.
+/// Requires a.n == b.n, divisible by block_size.
+[[nodiscard]] std::string hw_driver_program(const Matrix& a, const Matrix& b,
+                                            unsigned block_size);
+
+}  // namespace mbcosim::apps::matmul

@@ -1,0 +1,715 @@
+#include "asm/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "isa/isa.hpp"
+
+namespace mbcosim::assembler {
+
+namespace isa = mbcosim::isa;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mnemonic templates
+// ---------------------------------------------------------------------------
+
+/// Operand shapes accepted by the parser.
+enum class Shape {
+  kRdRaRb,    // add r3, r4, r5
+  kRdRaImm,   // addik r3, r4, 100   (imm may be a symbol)
+  kRdRa,      // sra r3, r4
+  kImm,       // imm 0x1234
+  kBrTarget,  // bri <label|imm>   [brld: rd, target]
+  kBccTarget, // beqi ra, <label|imm>
+  kRaImm,     // rtsd r15, 8
+  kGetFsl,    // get rd, rfslN
+  kPutFsl,    // put ra, rfslN
+  kMfs,       // mfs rd, rmsr
+  kMts,       // mts rmsr, ra
+  kNone,      // nop / halt
+  kLi,        // li rd, imm32 | la rd, symbol
+};
+
+struct Template {
+  isa::Instruction proto;  ///< op + flags pre-filled
+  Shape shape = Shape::kNone;
+};
+
+/// Build the mnemonic table once. Covers every variant the disassembler
+/// can emit, so disassemble() output re-assembles (round-trip tested).
+const std::unordered_map<std::string, Template>& mnemonic_table() {
+  static const auto* table = [] {
+    auto* t = new std::unordered_map<std::string, Template>;
+    auto add = [t](const std::string& name, isa::Op op, Shape shape,
+                   auto... mods) {
+      isa::Instruction proto;
+      proto.op = op;
+      (mods(proto), ...);
+      (*t)[name] = Template{proto, shape};
+    };
+    auto imm_form = [](isa::Instruction& i) { i.imm_form = true; };
+
+    struct RegImmPair {
+      const char* reg;
+      const char* imm;
+      isa::Op op;
+    };
+    static constexpr RegImmPair kPairs[] = {
+        {"add", "addi", isa::Op::kAdd},     {"rsub", "rsubi", isa::Op::kRsub},
+        {"addc", "addic", isa::Op::kAddc},  {"rsubc", "rsubic", isa::Op::kRsubc},
+        {"addk", "addik", isa::Op::kAddk},  {"rsubk", "rsubik", isa::Op::kRsubk},
+        {"mul", "muli", isa::Op::kMul},     {"bsll", "bslli", isa::Op::kBsll},
+        {"bsra", "bsrai", isa::Op::kBsra},  {"bsrl", "bsrli", isa::Op::kBsrl},
+        {"or", "ori", isa::Op::kOr},        {"and", "andi", isa::Op::kAnd},
+        {"xor", "xori", isa::Op::kXor},     {"andn", "andni", isa::Op::kAndn},
+        {"lbu", "lbui", isa::Op::kLbu},     {"lhu", "lhui", isa::Op::kLhu},
+        {"lw", "lwi", isa::Op::kLw},        {"sb", "sbi", isa::Op::kSb},
+        {"sh", "shi", isa::Op::kSh},        {"sw", "swi", isa::Op::kSw},
+    };
+    for (const auto& pair : kPairs) {
+      add(pair.reg, pair.op, Shape::kRdRaRb);
+      add(pair.imm, pair.op, Shape::kRdRaImm, imm_form);
+    }
+    add("cmp", isa::Op::kCmp, Shape::kRdRaRb);
+    add("cmpu", isa::Op::kCmpu, Shape::kRdRaRb);
+    add("idiv", isa::Op::kIdiv, Shape::kRdRaRb);
+    add("idivu", isa::Op::kIdivu, Shape::kRdRaRb);
+    add("sra", isa::Op::kSra, Shape::kRdRa);
+    add("src", isa::Op::kSrc, Shape::kRdRa);
+    add("srl", isa::Op::kSrl, Shape::kRdRa);
+    add("sext8", isa::Op::kSext8, Shape::kRdRa);
+    add("sext16", isa::Op::kSext16, Shape::kRdRa);
+    add("imm", isa::Op::kImm, Shape::kImm, imm_form);
+    add("mfs", isa::Op::kMfs, Shape::kMfs);
+    add("mts", isa::Op::kMts, Shape::kMts);
+    add("rtsd", isa::Op::kRtsd, Shape::kRaImm,
+        [](isa::Instruction& i) { i.delay_slot = true; i.imm_form = true; });
+
+    // Unconditional branch family: [a]bsolute, [l]ink, [d]elay, [i]mm.
+    for (int absolute = 0; absolute <= 1; ++absolute) {
+      for (int link = 0; link <= 1; ++link) {
+        for (int delay = 0; delay <= 1; ++delay) {
+          for (int immf = 0; immf <= 1; ++immf) {
+            std::string name = "br";
+            if (absolute) name += "a";
+            if (link) name += "l";
+            if (immf && delay) {
+              name += "id";
+            } else {
+              if (immf) name += "i";
+              if (delay) name += "d";
+            }
+            add(name, isa::Op::kBr, Shape::kBrTarget,
+                [=](isa::Instruction& i) {
+                  i.absolute = absolute != 0;
+                  i.link = link != 0;
+                  i.delay_slot = delay != 0;
+                  i.imm_form = immf != 0;
+                });
+          }
+        }
+      }
+    }
+    // Conditional branch family.
+    static constexpr const char* kCondNames[] = {"eq", "ne", "lt",
+                                                 "le", "gt", "ge"};
+    for (unsigned c = 0; c < 6; ++c) {
+      for (int immf = 0; immf <= 1; ++immf) {
+        for (int delay = 0; delay <= 1; ++delay) {
+          std::string name = std::string("b") + kCondNames[c];
+          if (immf) name += "i";
+          if (delay) name += "d";
+          add(name, isa::Op::kBcc, Shape::kBccTarget,
+              [=](isa::Instruction& i) {
+                i.cond = static_cast<isa::Cond>(c);
+                i.imm_form = immf != 0;
+                i.delay_slot = delay != 0;
+              });
+        }
+      }
+    }
+    // FSL family: [n]on-blocking, [c]ontrol.
+    for (int nb = 0; nb <= 1; ++nb) {
+      for (int ctrl = 0; ctrl <= 1; ++ctrl) {
+        std::string prefix = std::string(nb ? "n" : "") + (ctrl ? "c" : "");
+        add(prefix + "get", isa::Op::kGet, Shape::kGetFsl,
+            [=](isa::Instruction& i) {
+              i.fsl_nonblocking = nb != 0;
+              i.fsl_control = ctrl != 0;
+              i.imm_form = true;
+            });
+        add(prefix + "put", isa::Op::kPut, Shape::kPutFsl,
+            [=](isa::Instruction& i) {
+              i.fsl_nonblocking = nb != 0;
+              i.fsl_control = ctrl != 0;
+              i.imm_form = true;
+            });
+      }
+    }
+    // Custom-instruction slots (Nios-style ISA customization).
+    for (unsigned slot = 0; slot < isa::kNumCustomSlots; ++slot) {
+      add("cust" + std::to_string(slot), isa::Op::kCustom, Shape::kRdRaRb,
+          [slot](isa::Instruction& i) {
+            i.custom_slot = static_cast<u8>(slot);
+          });
+    }
+    // Pseudo-instructions.
+    add("nop", isa::Op::kOr, Shape::kNone);
+    add("halt", isa::Op::kBr, Shape::kNone,
+        [](isa::Instruction& i) { i.imm_form = true; });
+    add("li", isa::Op::kAddk, Shape::kLi, imm_form);
+    add("la", isa::Op::kAddk, Shape::kLi, imm_form);
+    return t;
+  }();
+  return *table;
+}
+
+// ---------------------------------------------------------------------------
+// Lexing helpers
+// ---------------------------------------------------------------------------
+
+std::string_view trim(std::string_view text) {
+  const auto* begin = text.begin();
+  const auto* end = text.end();
+  while (begin != end && std::isspace(static_cast<unsigned char>(*begin))) {
+    ++begin;
+  }
+  while (end != begin && std::isspace(static_cast<unsigned char>(end[-1]))) {
+    --end;
+  }
+  return {begin, static_cast<size_t>(end - begin)};
+}
+
+std::string_view strip_comment(std::string_view line) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '#' || c == ';') return line.substr(0, i);
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+std::vector<std::string> split_operands(std::string_view text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      auto piece = trim(text.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::optional<u8> parse_register(std::string_view text) {
+  const std::string name = lower(trim(text));
+  if (name.size() < 2 || name[0] != 'r') return std::nullopt;
+  unsigned value = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return std::nullopt;
+    value = value * 10 + unsigned(name[i] - '0');
+    if (value >= isa::kNumRegisters) return std::nullopt;
+  }
+  return static_cast<u8>(value);
+}
+
+std::optional<u8> parse_fsl(std::string_view text) {
+  const std::string name = lower(trim(text));
+  if (name.rfind("rfsl", 0) != 0 || name.size() != 5) return std::nullopt;
+  if (!std::isdigit(static_cast<unsigned char>(name[4]))) return std::nullopt;
+  const unsigned id = unsigned(name[4] - '0');
+  if (id >= isa::kNumFslChannels) return std::nullopt;
+  return static_cast<u8>(id);
+}
+
+std::optional<i64> parse_integer(std::string_view text) {
+  std::string s(trim(text));
+  if (s.empty()) return std::nullopt;
+  bool negative = false;
+  size_t pos = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    pos = 1;
+  }
+  if (pos >= s.size()) return std::nullopt;
+  int base = 10;
+  if (s.size() - pos > 2 && s[pos] == '0' &&
+      (s[pos + 1] == 'x' || s[pos + 1] == 'X')) {
+    base = 16;
+    pos += 2;
+  }
+  i64 value = 0;
+  for (; pos < s.size(); ++pos) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(s[pos])));
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = 10 + (c - 'a');
+    } else {
+      return std::nullopt;
+    }
+    value = value * base + digit;
+    if (value > (i64{1} << 40)) return std::nullopt;  // implausible for MB32
+  }
+  return negative ? -value : value;
+}
+
+bool is_symbol(std::string_view text) {
+  if (text.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(text[0])) && text[0] != '_') {
+    return false;
+  }
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_';
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Two-pass assembly
+// ---------------------------------------------------------------------------
+
+/// One parsed source statement awaiting pass-2 resolution.
+struct Statement {
+  int line = 0;
+  Addr address = 0;
+  Template tmpl;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  bool is_word_directive = false;  ///< .word literal(s), one Statement each
+  std::string word_expr;           ///< expression for .word
+  int emitted_words = 1;
+};
+
+struct AsmContext {
+  std::unordered_map<std::string, Addr> symbols;
+  std::ostringstream error;
+  bool failed = false;
+
+  void fail(int line, const std::string& message) {
+    if (failed) error << "\n";
+    error << "line " << line << ": " << message;
+    failed = true;
+  }
+};
+
+std::optional<i64> resolve_value(const AsmContext& ctx,
+                                 const std::string& text) {
+  if (auto literal = parse_integer(text)) return literal;
+  if (is_symbol(text)) {
+    if (auto it = ctx.symbols.find(text); it != ctx.symbols.end()) {
+      return static_cast<i64>(it->second);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Encode one statement in pass 2, appending words to `out`.
+void emit_statement(AsmContext& ctx, const Statement& st,
+                    std::vector<Word>& out) {
+  using isa::Op;
+  const auto& ops = st.operands;
+  isa::Instruction in = st.tmpl.proto;
+  auto need = [&](size_t count) {
+    if (ops.size() != count) {
+      ctx.fail(st.line, st.mnemonic + ": expected " + std::to_string(count) +
+                            " operand(s), got " + std::to_string(ops.size()));
+      return false;
+    }
+    return true;
+  };
+  auto reg_or_fail = [&](const std::string& text, u8& slot) {
+    if (auto reg = parse_register(text)) {
+      slot = *reg;
+      return true;
+    }
+    ctx.fail(st.line, st.mnemonic + ": bad register '" + text + "'");
+    return false;
+  };
+  auto value_or_fail = [&](const std::string& text, i64& slot) {
+    if (auto value = resolve_value(ctx, text)) {
+      slot = *value;
+      return true;
+    }
+    ctx.fail(st.line, st.mnemonic + ": cannot resolve '" + text + "'");
+    return false;
+  };
+  auto imm16_or_fail = [&](i64 value, i32& slot) {
+    if (value < -32768 || value > 32767) {
+      ctx.fail(st.line, st.mnemonic + ": value " + std::to_string(value) +
+                            " does not fit in 16 bits (use li)");
+      return false;
+    }
+    slot = static_cast<i32>(value);
+    return true;
+  };
+  auto push = [&](const isa::Instruction& instruction) {
+    try {
+      out.push_back(isa::encode(instruction));
+    } catch (const SimError& e) {
+      ctx.fail(st.line, e.what());
+      out.push_back(0);
+    }
+  };
+
+  if (st.is_word_directive) {
+    i64 value = 0;
+    if (!value_or_fail(st.word_expr, value)) {
+      out.push_back(0);
+      return;
+    }
+    out.push_back(static_cast<Word>(static_cast<u64>(value) & 0xFFFFFFFFu));
+    return;
+  }
+
+  switch (st.tmpl.shape) {
+    case Shape::kRdRaRb: {
+      if (!need(3)) return;
+      if (!reg_or_fail(ops[0], in.rd) || !reg_or_fail(ops[1], in.ra) ||
+          !reg_or_fail(ops[2], in.rb)) {
+        return;
+      }
+      push(in);
+      return;
+    }
+    case Shape::kRdRaImm: {
+      if (!need(3)) return;
+      i64 value = 0;
+      if (!reg_or_fail(ops[0], in.rd) || !reg_or_fail(ops[1], in.ra) ||
+          !value_or_fail(ops[2], value)) {
+        return;
+      }
+      if ((in.op == Op::kBsll || in.op == Op::kBsra || in.op == Op::kBsrl)) {
+        if (value < 0 || value > 31) {
+          ctx.fail(st.line, st.mnemonic + ": shift amount out of [0, 31]");
+          return;
+        }
+      }
+      if (!imm16_or_fail(value, in.imm)) return;
+      push(in);
+      return;
+    }
+    case Shape::kRdRa: {
+      if (!need(2)) return;
+      if (!reg_or_fail(ops[0], in.rd) || !reg_or_fail(ops[1], in.ra)) return;
+      push(in);
+      return;
+    }
+    case Shape::kImm: {
+      if (!need(1)) return;
+      i64 value = 0;
+      if (!value_or_fail(ops[0], value)) return;
+      if (value < -32768 || value > 0xFFFF) {
+        ctx.fail(st.line, "imm: prefix value out of 16-bit range");
+        return;
+      }
+      in.imm = static_cast<i32>(sign_extend(static_cast<u32>(value), 16));
+      push(in);
+      return;
+    }
+    case Shape::kBrTarget: {
+      const size_t expected = in.link ? 2 : 1;
+      if (!need(expected)) return;
+      size_t target_index = 0;
+      if (in.link) {
+        if (!reg_or_fail(ops[0], in.rd)) return;
+        target_index = 1;
+      }
+      if (in.imm_form) {
+        i64 value = 0;
+        if (!value_or_fail(ops[target_index], value)) return;
+        // Labels are absolute addresses; relative branches take the delta.
+        if (!in.absolute && is_symbol(ops[target_index])) {
+          value -= static_cast<i64>(st.address);
+        }
+        if (!imm16_or_fail(value, in.imm)) return;
+      } else {
+        if (!reg_or_fail(ops[target_index], in.rb)) return;
+      }
+      push(in);
+      return;
+    }
+    case Shape::kBccTarget: {
+      if (!need(2)) return;
+      if (!reg_or_fail(ops[0], in.ra)) return;
+      if (in.imm_form) {
+        i64 value = 0;
+        if (!value_or_fail(ops[1], value)) return;
+        if (is_symbol(ops[1])) value -= static_cast<i64>(st.address);
+        if (!imm16_or_fail(value, in.imm)) return;
+      } else {
+        if (!reg_or_fail(ops[1], in.rb)) return;
+      }
+      push(in);
+      return;
+    }
+    case Shape::kRaImm: {
+      if (!need(2)) return;
+      i64 value = 0;
+      if (!reg_or_fail(ops[0], in.ra) || !value_or_fail(ops[1], value)) return;
+      if (!imm16_or_fail(value, in.imm)) return;
+      push(in);
+      return;
+    }
+    case Shape::kGetFsl:
+    case Shape::kPutFsl: {
+      if (!need(2)) return;
+      u8* reg_slot = st.tmpl.shape == Shape::kGetFsl ? &in.rd : &in.ra;
+      if (!reg_or_fail(ops[0], *reg_slot)) return;
+      if (auto fsl = parse_fsl(ops[1])) {
+        in.fsl_id = *fsl;
+      } else {
+        ctx.fail(st.line, st.mnemonic + ": bad FSL operand '" + ops[1] + "'");
+        return;
+      }
+      push(in);
+      return;
+    }
+    case Shape::kMfs: {
+      if (!need(2)) return;
+      if (!reg_or_fail(ops[0], in.rd)) return;
+      const std::string sreg = lower(ops[1]);
+      if (sreg == "rpc") {
+        in.imm = 0;
+      } else if (sreg == "rmsr") {
+        in.imm = 1;
+      } else {
+        ctx.fail(st.line, "mfs: unknown special register '" + ops[1] + "'");
+        return;
+      }
+      push(in);
+      return;
+    }
+    case Shape::kMts: {
+      if (!need(2)) return;
+      const std::string sreg = lower(ops[0]);
+      if (sreg != "rmsr") {
+        ctx.fail(st.line, "mts: only rmsr is writable");
+        return;
+      }
+      in.imm = 1;
+      if (!reg_or_fail(ops[1], in.ra)) return;
+      push(in);
+      return;
+    }
+    case Shape::kNone: {
+      if (!need(0)) return;
+      if (st.mnemonic == "halt") {
+        // bri 0: branch-to-self, which every simulator in the project
+        // recognises as end-of-program.
+        isa::Instruction br;
+        br.op = Op::kBr;
+        br.imm_form = true;
+        br.imm = 0;
+        push(br);
+        return;
+      }
+      isa::Instruction nop;  // or r0, r0, r0
+      nop.op = Op::kOr;
+      push(nop);
+      return;
+    }
+    case Shape::kLi: {
+      if (!need(2)) return;
+      i64 value = 0;
+      u8 rd = 0;
+      if (!reg_or_fail(ops[0], rd) || !value_or_fail(ops[1], value)) return;
+      const u32 bits32 = static_cast<u32>(static_cast<u64>(value));
+      isa::Instruction prefix;
+      prefix.op = Op::kImm;
+      prefix.imm_form = true;
+      prefix.imm = static_cast<i32>(sign_extend(bits32 >> 16, 16));
+      push(prefix);
+      isa::Instruction low;
+      low.op = Op::kAddk;
+      low.imm_form = true;
+      low.rd = rd;
+      low.ra = 0;
+      low.imm = static_cast<i32>(sign_extend(bits32 & 0xFFFFu, 16));
+      push(low);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Addr Program::symbol(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    throw SimError("Program: undefined symbol '" + name + "'");
+  }
+  return it->second;
+}
+
+Expected<Program> assemble(std::string_view source) {
+  AsmContext ctx;
+  std::vector<Statement> statements;
+  Program program;
+  Addr location = 0;
+  bool origin_set = false;
+
+  // ---- Pass 1: parse lines, lay out addresses, collect labels. ----
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    const size_t eol = std::min(source.find('\n', pos), source.size());
+    std::string_view raw = source.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_number;
+    std::string_view line = trim(strip_comment(raw));
+    if (line.empty()) {
+      if (eol == source.size()) break;
+      continue;
+    }
+
+    // Leading labels (possibly several on one line).
+    while (true) {
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string label(trim(line.substr(0, colon)));
+      if (!is_symbol(label)) {
+        ctx.fail(line_number, "bad label '" + label + "'");
+        break;
+      }
+      if (ctx.symbols.count(label) != 0) {
+        ctx.fail(line_number, "duplicate symbol '" + label + "'");
+      }
+      ctx.symbols[label] = location;
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) {
+      if (eol == source.size()) break;
+      continue;
+    }
+
+    // Split mnemonic / operand text.
+    const size_t space = line.find_first_of(" \t");
+    const std::string head = lower(line.substr(0, space));
+    const std::string_view rest =
+        space == std::string_view::npos ? std::string_view{} : line.substr(space);
+    auto operands = split_operands(rest);
+
+    if (head[0] == '.') {
+      if (head == ".org") {
+        if (operands.size() != 1) {
+          ctx.fail(line_number, ".org: expected one operand");
+        } else if (auto value = parse_integer(operands[0]);
+                   value && *value >= 0 && (*value % 4) == 0) {
+          if (!statements.empty() || origin_set) {
+            ctx.fail(line_number, ".org: only supported before any code");
+          } else {
+            location = static_cast<Addr>(*value);
+            program.origin = location;
+            origin_set = true;
+          }
+        } else {
+          ctx.fail(line_number, ".org: operand must be a word-aligned address");
+        }
+      } else if (head == ".equ") {
+        if (operands.size() != 2 || !is_symbol(operands[0])) {
+          ctx.fail(line_number, ".equ: expected NAME, value");
+        } else if (auto value = parse_integer(operands[1])) {
+          if (ctx.symbols.count(operands[0]) != 0) {
+            ctx.fail(line_number, "duplicate symbol '" + operands[0] + "'");
+          }
+          ctx.symbols[operands[0]] = static_cast<Addr>(*value);
+        } else {
+          ctx.fail(line_number, ".equ: bad value '" + operands[1] + "'");
+        }
+      } else if (head == ".word") {
+        if (operands.empty()) {
+          ctx.fail(line_number, ".word: expected at least one value");
+        }
+        for (const auto& expr : operands) {
+          Statement st;
+          st.line = line_number;
+          st.address = location;
+          st.is_word_directive = true;
+          st.word_expr = expr;
+          statements.push_back(st);
+          location += 4;
+        }
+      } else if (head == ".space") {
+        if (operands.size() != 1) {
+          ctx.fail(line_number, ".space: expected byte count");
+        } else if (auto value = parse_integer(operands[0]);
+                   value && *value >= 0 && (*value % 4) == 0) {
+          for (i64 i = 0; i < *value / 4; ++i) {
+            Statement st;
+            st.line = line_number;
+            st.address = location;
+            st.is_word_directive = true;
+            st.word_expr = "0";
+            statements.push_back(st);
+            location += 4;
+          }
+        } else {
+          ctx.fail(line_number, ".space: size must be a multiple of 4");
+        }
+      } else {
+        ctx.fail(line_number, "unknown directive '" + head + "'");
+      }
+      if (eol == source.size()) break;
+      continue;
+    }
+
+    const auto& table = mnemonic_table();
+    auto it = table.find(head);
+    if (it == table.end()) {
+      ctx.fail(line_number, "unknown mnemonic '" + head + "'");
+      if (eol == source.size()) break;
+      continue;
+    }
+    Statement st;
+    st.line = line_number;
+    st.address = location;
+    st.tmpl = it->second;
+    st.mnemonic = head;
+    st.operands = std::move(operands);
+    st.emitted_words = it->second.shape == Shape::kLi ? 2 : 1;
+    location += static_cast<Addr>(st.emitted_words) * 4;
+    statements.push_back(std::move(st));
+    if (eol == source.size()) break;
+  }
+
+  // ---- Pass 2: encode with all symbols known. ----
+  program.words.reserve(statements.size());
+  for (const auto& st : statements) {
+    emit_statement(ctx, st, program.words);
+  }
+  program.symbols = ctx.symbols;
+
+  if (ctx.failed) return Expected<Program>::failure(ctx.error.str());
+  return program;
+}
+
+Program assemble_or_throw(std::string_view source) {
+  auto result = assemble(source);
+  if (!result.ok()) {
+    throw SimError("assembly failed:\n" + result.error());
+  }
+  return std::move(result).value();
+}
+
+}  // namespace mbcosim::assembler

@@ -1,0 +1,38 @@
+// Two-pass assembler for the MB32 ISA (the mb-gcc/mb-as analog in our
+// co-simulation flow; software inputs to the environment are written in
+// this assembly instead of C, see DESIGN.md substitution table).
+//
+// Syntax overview:
+//   label:                     ; labels end with ':'
+//   add   r3, r4, r5           # type-A
+//   addik r3, r4, -100         # type-B (16-bit signed immediate)
+//   beqid r3, loop             # branches take labels or numeric offsets
+//   get   r5, rfsl0            # FSL access; n/c prefixes select variants
+//   .org   0x0                 # set location counter (bytes, word-aligned)
+//   .word  1, 2, 0xdeadbeef    # literal data words
+//   .space 16                  # reserve zeroed bytes (word multiple)
+//   .equ   SIZE, 64            # symbolic constant
+// Pseudo-instructions:
+//   nop                        # or r0, r0, r0
+//   halt                       # bri 0 -- branch-to-self, ends simulation
+//   li  rd, imm32              # imm + addik pair (always two words)
+//   la  rd, symbol             # same, with a symbol value
+// Comments start with '#', ';' or "//" and run to end of line.
+#pragma once
+
+#include <string_view>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+
+namespace mbcosim::assembler {
+
+/// Assemble MB32 source text. Parse/semantic problems are reported through
+/// the Expected error channel with "line N: ..." messages.
+[[nodiscard]] Expected<Program> assemble(std::string_view source);
+
+/// Convenience wrapper that throws SimError on failure; used by the
+/// application libraries whose sources are compile-time constants.
+[[nodiscard]] Program assemble_or_throw(std::string_view source);
+
+}  // namespace mbcosim::assembler

@@ -1,0 +1,47 @@
+#include "asm/objdump.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "isa/isa.hpp"
+
+namespace mbcosim::assembler {
+
+ObjdumpSummary summarize(const Program& program) {
+  ObjdumpSummary summary;
+  summary.size_words = static_cast<u32>(program.words.size());
+  summary.size_bytes = summary.size_words * 4u;
+  for (const Word word : program.words) {
+    if (isa::decode(word).op != isa::Op::kIllegal) {
+      ++summary.instruction_words;
+    } else {
+      ++summary.data_words;
+    }
+  }
+  return summary;
+}
+
+std::string listing(const Program& program) {
+  std::ostringstream os;
+  Addr address = program.origin;
+  // Invert the symbol table for label annotations.
+  for (const Word word : program.words) {
+    for (const auto& [name, value] : program.symbols) {
+      if (value == address) os << name << ":\n";
+    }
+    os << "  0x" << std::hex << std::setw(8) << std::setfill('0') << address
+       << ": 0x" << std::setw(8) << word << std::dec << std::setfill(' ')
+       << "  " << isa::disassemble(word) << "\n";
+    address += 4;
+  }
+  return os.str();
+}
+
+u32 brams_for_program(const Program& program, u32 bram_bytes) {
+  if (bram_bytes == 0) return 0;
+  const u32 bytes = program.size_bytes();
+  return bytes == 0 ? 0u : ceil_div(bytes, bram_bytes);
+}
+
+}  // namespace mbcosim::assembler

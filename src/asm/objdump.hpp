@@ -1,0 +1,32 @@
+// Program-image inspection: the mb-objdump analog the paper uses for
+// rapid resource estimation ("we obtain the size of the software program
+// using the mb-objdump tool and then calculate the number of BRAMs
+// required to store the software program based on its size", §III-C).
+#pragma once
+
+#include <string>
+
+#include "asm/program.hpp"
+
+namespace mbcosim::assembler {
+
+/// Size summary of an assembled image.
+struct ObjdumpSummary {
+  u32 size_bytes = 0;
+  u32 size_words = 0;
+  u32 instruction_words = 0;  ///< words that decode to a valid instruction
+  u32 data_words = 0;         ///< words that do not decode (treated as data)
+};
+
+[[nodiscard]] ObjdumpSummary summarize(const Program& program);
+
+/// Full disassembly listing: "address: word  mnemonic operands" per line.
+[[nodiscard]] std::string listing(const Program& program);
+
+/// Number of BRAM blocks needed to store the image, given the block
+/// capacity in bytes (Virtex-II Pro block RAM: 18 Kbit => 2 KiB usable
+/// data width configuration for 32-bit words).
+[[nodiscard]] u32 brams_for_program(const Program& program,
+                                    u32 bram_bytes = 2048);
+
+}  // namespace mbcosim::assembler

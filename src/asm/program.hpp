@@ -1,0 +1,28 @@
+// Assembled program image: the mbcosim analog of the .ELF files produced
+// by mb-gcc in the paper's flow (Section III-A). Images are loaded into
+// the LMB BRAM of the ISS (or of the RTL baseline model).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mbcosim::assembler {
+
+struct Program {
+  Addr origin = 0;              ///< load address of the first word
+  std::vector<Word> words;      ///< code + data, word-addressed
+  std::unordered_map<std::string, Addr> symbols;  ///< labels and .equ values
+
+  [[nodiscard]] u32 size_bytes() const noexcept {
+    return static_cast<u32>(words.size()) * 4u;
+  }
+  [[nodiscard]] Addr entry() const noexcept { return origin; }
+
+  /// Address of a symbol; throws SimError if not defined.
+  [[nodiscard]] Addr symbol(const std::string& name) const;
+};
+
+}  // namespace mbcosim::assembler

@@ -1,0 +1,76 @@
+#include "bus/opb_bus.hpp"
+
+#include <algorithm>
+
+namespace mbcosim::bus {
+
+void OpbBus::map(std::string name, Addr base, u32 size,
+                 std::unique_ptr<OpbPeripheral> peripheral) {
+  if (peripheral == nullptr) {
+    throw SimError("OpbBus: null peripheral '" + name + "'");
+  }
+  if ((base % 4) != 0 || (size % 4) != 0 || size == 0) {
+    throw SimError("OpbBus: region '" + name +
+                   "' must be word-aligned and nonempty");
+  }
+  for (const Region& region : regions_) {
+    const bool overlap = base < region.base + region.size &&
+                         region.base < base + size;
+    if (overlap) {
+      throw SimError("OpbBus: region '" + name + "' overlaps '" +
+                     region.name + "'");
+    }
+  }
+  regions_.push_back(Region{std::move(name), base, size,
+                            std::move(peripheral)});
+}
+
+bool OpbBus::decodes(Addr addr) const noexcept {
+  return find(addr) != nullptr;
+}
+
+OpbBus::Region* OpbBus::find(Addr addr) noexcept {
+  for (Region& region : regions_) {
+    if (addr >= region.base && addr - region.base < region.size) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+const OpbBus::Region* OpbBus::find(Addr addr) const noexcept {
+  for (const Region& region : regions_) {
+    if (addr >= region.base && addr - region.base < region.size) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+BusResponse OpbBus::read(Addr addr) {
+  Region* region = find(addr);
+  if (region == nullptr) return BusResponse{};
+  ++transactions_;
+  const Addr offset = (addr - region->base) & ~Addr{3};
+  BusResponse response;
+  response.ok = true;
+  response.data = region->peripheral->read(offset);
+  response.wait_states =
+      kBusWaitStates + region->peripheral->device_wait_states();
+  return response;
+}
+
+BusResponse OpbBus::write(Addr addr, Word value) {
+  Region* region = find(addr);
+  if (region == nullptr) return BusResponse{};
+  ++transactions_;
+  const Addr offset = (addr - region->base) & ~Addr{3};
+  region->peripheral->write(offset, value);
+  BusResponse response;
+  response.ok = true;
+  response.wait_states =
+      kBusWaitStates + region->peripheral->device_wait_states();
+  return response;
+}
+
+}  // namespace mbcosim::bus

@@ -1,0 +1,78 @@
+// Bit-manipulation helpers used by the ISA encoder/decoder, the ISS and the
+// RTL primitive models.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace mbcosim {
+
+/// Extract bits [lo, lo+width) of `value` (lo = 0 is the LSB).
+constexpr u32 bits(u32 value, unsigned lo, unsigned width) noexcept {
+  assert(lo < 32 && width >= 1 && lo + width <= 32);
+  const u32 mask = width >= 32 ? ~0u : ((1u << width) - 1u);
+  return (value >> lo) & mask;
+}
+
+/// Return `value` with bits [lo, lo+width) replaced by the low bits of
+/// `field`.
+constexpr u32 insert_bits(u32 value, unsigned lo, unsigned width,
+                          u32 field) noexcept {
+  assert(lo < 32 && width >= 1 && lo + width <= 32);
+  const u32 mask = (width >= 32 ? ~0u : ((1u << width) - 1u)) << lo;
+  return (value & ~mask) | ((field << lo) & mask);
+}
+
+/// Test a single bit.
+constexpr bool bit(u32 value, unsigned index) noexcept {
+  assert(index < 32);
+  return ((value >> index) & 1u) != 0;
+}
+
+/// Sign-extend the low `width` bits of `value` to 32 bits.
+constexpr u32 sign_extend(u32 value, unsigned width) noexcept {
+  assert(width >= 1 && width <= 32);
+  if (width == 32) return value;
+  const u32 sign_bit = 1u << (width - 1);
+  const u32 mask = (1u << width) - 1u;
+  value &= mask;
+  return (value ^ sign_bit) - sign_bit;
+}
+
+/// Sign-extend to 64 bits, as used by the fixed-point library.
+constexpr i64 sign_extend64(u64 value, unsigned width) noexcept {
+  assert(width >= 1 && width <= 64);
+  if (width == 64) return static_cast<i64>(value);
+  const u64 sign_bit = u64{1} << (width - 1);
+  const u64 mask = (u64{1} << width) - 1u;
+  value &= mask;
+  return static_cast<i64>((value ^ sign_bit) - sign_bit);
+}
+
+/// Mask of the low `width` bits (width in [0, 64]).
+constexpr u64 low_mask64(unsigned width) noexcept {
+  assert(width <= 64);
+  return width >= 64 ? ~u64{0} : ((u64{1} << width) - 1u);
+}
+
+/// Number of 32-bit words needed to hold `bytes` bytes.
+constexpr u32 words_for_bytes(u32 bytes) noexcept { return (bytes + 3u) / 4u; }
+
+/// Ceiling division for unsigned integral operands.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T ceil_div(T a, T b) noexcept {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+/// True when `value` is a power of two (zero is not).
+constexpr bool is_pow2(u64 value) noexcept {
+  return value != 0 && std::has_single_bit(value);
+}
+
+}  // namespace mbcosim

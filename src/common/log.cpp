@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace mbcosim {
+
+Log::State& Log::state() noexcept {
+  static State instance;
+  return instance;
+}
+
+Log::Sink Log::set_sink(Sink sink) {
+  Sink previous = std::move(state().sink);
+  state().sink = std::move(sink);
+  return previous;
+}
+
+const char* Log::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  if (state().sink) {
+    state().sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[mbcosim %s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mbcosim

@@ -1,0 +1,72 @@
+// Minimal leveled logger. Simulators log through this so tests can silence
+// or capture output deterministically.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mbcosim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logging configuration. Not thread-safe by design: all
+/// simulators in this project are single-threaded (see DESIGN.md §6).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static LogLevel level() noexcept { return state().level; }
+  static void set_level(LogLevel level) noexcept { state().level = level; }
+
+  /// Replace the output sink (default: stderr). Returns the previous sink.
+  static Sink set_sink(Sink sink);
+
+  static bool enabled(LogLevel level) noexcept {
+    return level >= state().level && state().level != LogLevel::kOff;
+  }
+
+  static void write(LogLevel level, std::string_view message);
+
+  static const char* level_name(LogLevel level) noexcept;
+
+ private:
+  struct State {
+    LogLevel level = LogLevel::kWarn;
+    Sink sink;  // empty => stderr
+  };
+  static State& state() noexcept;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mbcosim
+
+#define MBC_LOG(level)                        \
+  if (!::mbcosim::Log::enabled(level)) {      \
+  } else                                      \
+    ::mbcosim::detail::LogLine(level)
+
+#define MBC_TRACE MBC_LOG(::mbcosim::LogLevel::kTrace)
+#define MBC_DEBUG MBC_LOG(::mbcosim::LogLevel::kDebug)
+#define MBC_INFO MBC_LOG(::mbcosim::LogLevel::kInfo)
+#define MBC_WARN MBC_LOG(::mbcosim::LogLevel::kWarn)
+#define MBC_ERROR MBC_LOG(::mbcosim::LogLevel::kError)

@@ -1,0 +1,36 @@
+// FPGA resource vector: the three quantities the paper's rapid resource
+// estimation tracks for Xilinx Virtex-II Pro parts (Section III-C):
+// slices, BRAM blocks, and embedded 18x18 multipliers.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mbcosim {
+
+struct ResourceVec {
+  u32 slices = 0;
+  u32 brams = 0;
+  u32 mult18s = 0;
+
+  friend bool operator==(const ResourceVec&, const ResourceVec&) = default;
+
+  ResourceVec& operator+=(const ResourceVec& other) noexcept {
+    slices += other.slices;
+    brams += other.brams;
+    mult18s += other.mult18s;
+    return *this;
+  }
+  friend ResourceVec operator+(ResourceVec a, const ResourceVec& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(slices) + " slices, " + std::to_string(brams) +
+           " BRAMs, " + std::to_string(mult18s) + " MULT18x18s";
+  }
+};
+
+}  // namespace mbcosim

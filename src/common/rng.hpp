@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generator for workload synthesis and
+// property-based tests. splitmix64 seeding + xoshiro256** core; every
+// experiment in bench/ derives its inputs from fixed seeds so runs are
+// reproducible bit-for-bit.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace mbcosim {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    u64 x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  u32 next_u32() noexcept { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 next_below(u64 bound) noexcept {
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for test workloads but we still use the high bits.
+    return next_u64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 next_in(i64 lo, i64 hi) noexcept {
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  u64 state_[4]{};
+};
+
+}  // namespace mbcosim

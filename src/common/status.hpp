@@ -1,0 +1,60 @@
+// Error handling: construction / configuration errors throw SimError;
+// hot-path operations report through status enums or Expected<T>.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mbcosim {
+
+/// Exception thrown for configuration and programming errors (bad block
+/// graphs, malformed assembly, out-of-range parameters). Simulation-time
+/// conditions (bus errors, illegal opcodes) are modelled as architectural
+/// events instead, never as C++ exceptions.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+/// Lightweight expected-or-error-message result for parsing layers.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Expected failure(std::string message) {
+    return Expected(ErrorMessage{std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw SimError("Expected::value on error: " + error());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw SimError("Expected::value on error: " + error());
+    return std::get<T>(std::move(storage_));
+  }
+  [[nodiscard]] const std::string& error() const {
+    static const std::string empty;
+    if (ok()) return empty;
+    return std::get<ErrorMessage>(storage_).text;
+  }
+
+ private:
+  /// Distinct wrapper so Expected<std::string> is well-formed.
+  struct ErrorMessage {
+    std::string text;
+  };
+  explicit Expected(ErrorMessage message) : storage_(std::move(message)) {}
+  std::variant<T, ErrorMessage> storage_;
+};
+
+}  // namespace mbcosim

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for the simulation-speed experiments (Table I / II).
+#pragma once
+
+#include <chrono>
+
+namespace mbcosim {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mbcosim

@@ -1,0 +1,36 @@
+// Fundamental scalar types shared by every mbcosim module.
+#pragma once
+
+#include <cstdint>
+
+namespace mbcosim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// A 32-bit machine word as seen by the soft processor and its buses.
+using Word = u32;
+
+/// Simulated clock-cycle count. All simulators in the project express
+/// progress in cycles of the single system clock (50 MHz in the paper's
+/// experiments).
+using Cycle = u64;
+
+/// Byte address in the processor's LMB address space.
+using Addr = u32;
+
+/// Clock frequency used throughout the paper's evaluation (Section IV).
+inline constexpr double kClockHz = 50.0e6;
+
+/// Convert a cycle count into simulated microseconds at the system clock.
+constexpr double cycles_to_usec(Cycle cycles) noexcept {
+  return static_cast<double>(cycles) / kClockHz * 1.0e6;
+}
+
+}  // namespace mbcosim

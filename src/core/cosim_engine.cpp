@@ -1,0 +1,80 @@
+#include "core/cosim_engine.hpp"
+
+namespace mbcosim::core {
+
+void CoSimEngine::reset(Addr pc) {
+  cpu_.reset(pc);
+  hardware_.reset();
+  bridge_.hub().clear();
+  hw_cycles_ = 0;
+  idle_streak_ = 0;
+  skipped_cycles_ = 0;
+}
+
+void CoSimEngine::tick_hardware(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) {
+    if (quiescence_window_ > 0) {
+      if (bridge_.interface_active()) {
+        idle_streak_ = 0;
+      } else if (++idle_streak_ > quiescence_window_) {
+        // The peripheral has provably drained: fast-forward this cycle.
+        ++skipped_cycles_;
+        ++hw_cycles_;
+        continue;
+      }
+    }
+    bridge_.pre_cycle();
+    hardware_.step();
+    bridge_.post_cycle();
+    ++hw_cycles_;
+  }
+}
+
+StopReason CoSimEngine::run(Cycle max_cycles) {
+  Cycle blocked_streak = 0;
+  u64 last_traffic = bridge_.stats().words_to_hw +
+                     bridge_.stats().words_from_hw;
+  while (!cpu_.halted() && cpu_.cycle() < max_cycles) {
+    const iss::StepResult result = cpu_.step();
+    // Keep the hardware clock in lock step with the processor clock.
+    tick_hardware(result.cycles);
+    switch (result.event) {
+      case iss::Event::kHalted:
+        return StopReason::kHalted;
+      case iss::Event::kIllegal:
+        return StopReason::kIllegal;
+      case iss::Event::kFslStall: {
+        const u64 traffic = bridge_.stats().words_to_hw +
+                            bridge_.stats().words_from_hw;
+        if (traffic == last_traffic) {
+          if (++blocked_streak >= deadlock_threshold_) {
+            return StopReason::kDeadlock;
+          }
+        } else {
+          blocked_streak = 0;
+          last_traffic = traffic;
+        }
+        break;
+      }
+      case iss::Event::kRetired:
+        blocked_streak = 0;
+        last_traffic = bridge_.stats().words_to_hw +
+                       bridge_.stats().words_from_hw;
+        break;
+    }
+  }
+  return cpu_.halted() ? StopReason::kHalted : StopReason::kCycleLimit;
+}
+
+CoSimStats CoSimEngine::stats() const {
+  CoSimStats stats;
+  stats.cycles = cpu_.stats().cycles;
+  stats.instructions = cpu_.stats().instructions;
+  stats.fsl_stall_cycles = cpu_.stats().fsl_stall_cycles;
+  stats.hw_cycles_stepped = hw_cycles_ - skipped_cycles_;
+  stats.hw_cycles_skipped = skipped_cycles_;
+  stats.bridge = bridge_.stats();
+  return stats;
+}
+
+}  // namespace mbcosim::core

@@ -1,0 +1,97 @@
+// CoSimEngine: the paper's primary contribution — a high-level
+// cycle-accurate hardware/software co-simulation loop (Figure 1/2).
+//
+// Three simulated components advance in lock step on the single system
+// clock:
+//   - the software execution platform: the cycle-accurate ISS
+//     (iss::Processor, the Xilinx MicroBlaze-simulator analog);
+//   - the customized hardware peripherals: a sysgen::Model
+//     (the System Generator / Simulink analog);
+//   - the communication interface: fsl::FslHub FIFOs bridged into the
+//     model by core::FslBridge (the MicroBlaze-Simulink-block analog).
+//
+// Every processor step reports how many clock cycles it consumed; the
+// engine then advances the hardware model by exactly that many cycles, so
+// at every FIFO access both sides agree on the cycle count — this is the
+// paper's definition of high-level cycle accuracy (Section I). A
+// processor blocked on a full/empty FSL burns one cycle per step until
+// the hardware makes progress (Section III-B's stalling semantics).
+#pragma once
+
+#include "common/types.hpp"
+#include "core/fsl_bridge.hpp"
+#include "fsl/fsl_hub.hpp"
+#include "iss/processor.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::core {
+
+struct CoSimStats {
+  Cycle cycles = 0;            ///< total simulated clock cycles
+  u64 instructions = 0;        ///< instructions retired by the processor
+  Cycle fsl_stall_cycles = 0;  ///< cycles the processor spent blocked
+  Cycle hw_cycles_stepped = 0; ///< hardware cycles actually evaluated
+  Cycle hw_cycles_skipped = 0; ///< quiescent cycles fast-forwarded
+  BridgeStats bridge;          ///< FIFO traffic
+};
+
+enum class StopReason : u8 {
+  kHalted,      ///< software reached its end (branch-to-self)
+  kCycleLimit,  ///< budget exhausted
+  kIllegal,     ///< architectural error in the software
+  kDeadlock,    ///< processor blocked on FSL with no hardware progress
+};
+
+class CoSimEngine {
+ public:
+  CoSimEngine(iss::Processor& cpu, sysgen::Model& hardware, fsl::FslHub& hub)
+      : cpu_(cpu), hardware_(hardware), bridge_(hub) {}
+
+  [[nodiscard]] FslBridge& bridge() noexcept { return bridge_; }
+  [[nodiscard]] iss::Processor& cpu() noexcept { return cpu_; }
+  [[nodiscard]] sysgen::Model& hardware() noexcept { return hardware_; }
+
+  /// Reset processor (to `pc`), hardware model and FIFOs.
+  void reset(Addr pc = 0);
+
+  /// Run the co-simulation until the software halts, an error occurs, or
+  /// `max_cycles` simulated cycles have elapsed.
+  StopReason run(Cycle max_cycles = ~Cycle{0} >> 1);
+
+  /// Advance the hardware (and bridge) alone by `cycles` clock cycles —
+  /// used when the software side is idle and by hardware-only benches.
+  void tick_hardware(Cycle cycles);
+
+  [[nodiscard]] CoSimStats stats() const;
+
+  /// Deadlock heuristic: how many consecutive blocked processor cycles
+  /// with zero FIFO movement before run() gives up.
+  void set_deadlock_threshold(Cycle threshold) noexcept {
+    deadlock_threshold_ = threshold;
+  }
+
+  /// Enable the quiescence optimization the paper describes in Section
+  /// III-A ("whenever there is data coming from the processor,
+  /// simulation of these hardware designs is carried out"): once the FSL
+  /// interface has been inactive for `drain_cycles` consecutive cycles —
+  /// an upper bound on the peripheral's pipeline drain time, supplied by
+  /// the application — further idle cycles are fast-forwarded without
+  /// evaluating the hardware model. Cycle counts are unaffected: a
+  /// drained synchronous pipeline with no input is a fixed point of the
+  /// simulation. 0 disables the optimization (every cycle is stepped).
+  void set_quiescence_window(Cycle drain_cycles) noexcept {
+    quiescence_window_ = drain_cycles;
+  }
+
+ private:
+  iss::Processor& cpu_;
+  sysgen::Model& hardware_;
+  FslBridge bridge_;
+  Cycle hw_cycles_ = 0;
+  Cycle deadlock_threshold_ = 100'000;
+  Cycle quiescence_window_ = 0;
+  Cycle idle_streak_ = 0;
+  Cycle skipped_cycles_ = 0;
+};
+
+}  // namespace mbcosim::core

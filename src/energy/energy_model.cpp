@@ -1,0 +1,73 @@
+#include "energy/energy_model.hpp"
+
+#include <sstream>
+
+namespace mbcosim::energy {
+
+double processor_energy_nj(const iss::CpuStats& stats,
+                           const EnergyParams& params) {
+  // Decompose the retired instruction mix. Loads, stores, multiplies,
+  // branches and FSL accesses are counted directly by the ISS; the rest
+  // of the retired instructions are plain ALU operations.
+  const u64 counted = stats.loads + stats.stores + stats.multiplies +
+                      stats.branches + stats.fsl_reads + stats.fsl_writes;
+  const u64 alu = stats.instructions > counted
+                      ? stats.instructions - counted
+                      : 0;
+  double energy = 0;
+  energy += double(alu) * params.alu_nj;
+  energy += double(stats.multiplies) * params.multiply_nj;
+  energy += double(stats.loads) * params.load_nj;
+  energy += double(stats.stores) * params.store_nj;
+  energy += double(stats.branches) * params.branch_nj;
+  energy += double(stats.fsl_reads + stats.fsl_writes) * params.fsl_nj;
+  energy += double(stats.fsl_stall_cycles) * params.stall_nj;
+  return energy;
+}
+
+double peripheral_energy_nj(const sysgen::Model& model, Cycle active_cycles,
+                            const EnergyParams& params) {
+  const ResourceVec resources = model.resources();
+  const double per_cycle =
+      params.default_activity *
+      (double(resources.slices) * params.slice_dynamic_nj_per_cycle +
+       double(resources.mult18s) * params.mult18_dynamic_nj_per_cycle +
+       double(resources.brams) * params.bram_dynamic_nj_per_cycle);
+  return per_cycle * double(active_cycles);
+}
+
+double static_energy_nj(const ResourceVec& resources, Cycle cycles,
+                        const EnergyParams& params) {
+  const double static_watts =
+      double(resources.slices) * params.slice_static_nw * 1e-9;
+  const double seconds = double(cycles) / params.clock_hz;
+  return static_watts * seconds * 1e9;  // joules -> nJ
+}
+
+EnergyReport estimate_energy(const iss::CpuStats& cpu_stats,
+                             const sysgen::Model* peripheral,
+                             Cycle active_hw_cycles,
+                             const ResourceVec& system_resources,
+                             const EnergyParams& params) {
+  EnergyReport report;
+  report.cycles = cpu_stats.cycles;
+  report.processor_nj = processor_energy_nj(cpu_stats, params);
+  if (peripheral != nullptr) {
+    report.peripheral_nj =
+        peripheral_energy_nj(*peripheral, active_hw_cycles, params);
+  }
+  report.static_nj =
+      static_energy_nj(system_resources, cpu_stats.cycles, params);
+  return report;
+}
+
+std::string EnergyReport::to_string() const {
+  std::ostringstream os;
+  os << "energy: " << total_uj() << " uJ over " << cycles << " cycles ("
+     << "processor " << processor_nj * 1e-3 << " uJ, peripheral "
+     << peripheral_nj * 1e-3 << " uJ, static " << static_nj * 1e-3
+     << " uJ); average power " << average_power_mw() << " mW";
+  return os.str();
+}
+
+}  // namespace mbcosim::energy

@@ -1,0 +1,108 @@
+// Rapid energy estimation — the extension the paper names as its future
+// work (Section V): "One important extension of our work is to provide
+// rapid energy estimation for application development using soft
+// processors. We have developed an instruction-level energy estimation
+// technique for computations on soft processors in [9] ... and a
+// domain-specific energy modeling technique for different parallel
+// hardware designs using FPGAs in [10]. We are working on to integrate
+// these two rapid energy estimation techniques into the co-simulation
+// framework."
+//
+// This module implements that integration:
+//   - instruction-level model (the [9] technique): each instruction class
+//     executed on the soft processor is charged a characterized energy;
+//     stall cycles are charged idle energy;
+//   - domain-specific model (the [10] technique): each hardware block is
+//     charged a per-active-cycle energy derived from the resources of its
+//     low-level implementation (slices / embedded multipliers / BRAMs)
+//     and a switching-activity factor; quiescent (fast-forwarded) cycles
+//     are charged static leakage only, following the leakage analysis the
+//     paper cites ([12], Tuan & Lai).
+//
+// The characterization constants approximate a Virtex-II Pro at 1.5 V,
+// 50 MHz; like the resource tables they are calibration points, not
+// measurements — what the framework provides is the *rapid estimation
+// flow*, resolved per instruction and per block without any low-level
+// power simulation.
+#pragma once
+
+#include <string>
+
+#include "common/resources.hpp"
+#include "common/types.hpp"
+#include "iss/processor.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::energy {
+
+/// Characterized per-event energies in nanojoules and static power in
+/// milliwatts. Defaults approximate a small Virtex-II Pro design.
+struct EnergyParams {
+  // Instruction-level constants (nJ per instruction), from [9]-style
+  // characterization: multiply and memory instructions switch much more
+  // logic than plain ALU operations.
+  double alu_nj = 1.2;
+  double multiply_nj = 4.1;
+  double load_nj = 2.6;   ///< includes the BRAM read
+  double store_nj = 2.8;  ///< includes the BRAM write
+  double branch_nj = 1.6;
+  double fsl_nj = 1.9;    ///< FSL get/put (FIFO access)
+  double stall_nj = 0.5;  ///< pipeline held, clock still toggling
+  // Domain-specific hardware constants ([10]-style): dynamic energy per
+  // active clock cycle per resource unit, scaled by switching activity.
+  double slice_dynamic_nj_per_cycle = 0.0065;
+  double mult18_dynamic_nj_per_cycle = 0.45;
+  double bram_dynamic_nj_per_cycle = 0.6;
+  double default_activity = 0.25;  ///< average toggle rate of the datapath
+  // Leakage ([12]): static power of the occupied fabric, charged for
+  // every simulated cycle, active or quiescent.
+  double slice_static_nw = 18.0;  ///< nanowatts per occupied slice
+  double clock_hz = kClockHz;
+};
+
+/// Energy broken down the way the two techniques produce it.
+struct EnergyReport {
+  double processor_nj = 0;   ///< instruction-level total (software side)
+  double peripheral_nj = 0;  ///< domain-specific total (hardware side)
+  double static_nj = 0;      ///< leakage of the occupied fabric
+  Cycle cycles = 0;          ///< simulated cycles the estimate covers
+
+  [[nodiscard]] double total_nj() const {
+    return processor_nj + peripheral_nj + static_nj;
+  }
+  [[nodiscard]] double total_uj() const { return total_nj() * 1e-3; }
+  /// Average power over the run at the configured clock.
+  [[nodiscard]] double average_power_mw(double clock_hz = kClockHz) const {
+    if (cycles == 0) return 0;
+    const double seconds = static_cast<double>(cycles) / clock_hz;
+    return total_nj() * 1e-9 / seconds * 1e3;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Instruction-level energy of a finished software run (technique [9]).
+[[nodiscard]] double processor_energy_nj(const iss::CpuStats& stats,
+                                         const EnergyParams& params = {});
+
+/// Domain-specific energy of a hardware model over `active_cycles`
+/// evaluated cycles (technique [10]). Quiescent cycles contribute no
+/// dynamic energy (clock gating / inactive datapath).
+[[nodiscard]] double peripheral_energy_nj(const sysgen::Model& model,
+                                          Cycle active_cycles,
+                                          const EnergyParams& params = {});
+
+/// Static (leakage) energy of `resources` over `cycles` simulated cycles.
+[[nodiscard]] double static_energy_nj(const ResourceVec& resources,
+                                      Cycle cycles,
+                                      const EnergyParams& params = {});
+
+/// Full-system estimate combining all three contributions. `peripheral`
+/// may be null (pure-software design); `active_hw_cycles` is the number
+/// of cycles the hardware model actually evaluated (the co-simulation
+/// engine's hw_cycles_stepped statistic).
+[[nodiscard]] EnergyReport estimate_energy(
+    const iss::CpuStats& cpu_stats, const sysgen::Model* peripheral,
+    Cycle active_hw_cycles, const ResourceVec& system_resources,
+    const EnergyParams& params = {});
+
+}  // namespace mbcosim::energy

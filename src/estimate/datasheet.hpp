@@ -1,0 +1,53 @@
+// Data-sheet resource figures for the fixed system components, standing in
+// for the Xilinx data sheets the paper consults: "Resource usage of the
+// MicroBlaze processor and the two LMB interface controllers is obtained
+// from the Xilinx data sheet" (Section III-C). Figures approximate a
+// MicroBlaze v4-class core on Virtex-II Pro.
+#pragma once
+
+#include "common/resources.hpp"
+#include "isa/isa.hpp"
+
+namespace mbcosim::estimate {
+
+/// Base soft-processor core (3-stage pipeline, 32 GPRs, LMB interfaces
+/// excluded), without optional units.
+inline constexpr ResourceVec kCpuBase{400, 0, 0};
+
+/// Optional hardware multiplier: a 32x32 multiply built from three
+/// MULT18x18 primitives (this is where Table I's baseline "3 multipliers"
+/// comes from).
+inline constexpr ResourceVec kCpuMultiplier{30, 0, 3};
+
+/// Optional barrel shifter.
+inline constexpr ResourceVec kCpuBarrelShifter{90, 0, 0};
+
+/// Optional serial divider.
+inline constexpr ResourceVec kCpuDivider{85, 0, 0};
+
+/// One LMB interface controller (the configuration uses two: instruction
+/// side and data side).
+inline constexpr ResourceVec kLmbController{10, 0, 0};
+
+/// One FSL link (FIFO + handshake), 16 x 33 bits in SRL16s.
+inline constexpr ResourceVec kFslLink{24, 0, 0};
+
+/// Resources of a soft-processor configuration (core + optional units +
+/// the two LMB controllers).
+[[nodiscard]] inline ResourceVec cpu_resources(const isa::CpuConfig& config,
+                                               unsigned fsl_links_used) {
+  ResourceVec total = kCpuBase;
+  if (config.has_multiplier) total += kCpuMultiplier;
+  if (config.has_barrel_shifter) total += kCpuBarrelShifter;
+  if (config.has_divider) total += kCpuDivider;
+  total += kLmbController;  // instruction-side LMB controller
+  total += kLmbController;  // data-side LMB controller
+  for (unsigned i = 0; i < fsl_links_used; ++i) total += kFslLink;
+  return total;
+}
+
+/// Virtex-II Pro block RAM: 18 Kbit. Configured 32 bits wide it stores
+/// 2 KiB of program image (paper Section III-C sizing rule).
+inline constexpr u32 kBramProgramBytes = 2048;
+
+}  // namespace mbcosim::estimate

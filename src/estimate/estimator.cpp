@@ -1,0 +1,109 @@
+#include "estimate/estimator.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "asm/objdump.hpp"
+#include "estimate/datasheet.hpp"
+#include "sysgen/blocks_basic.hpp"
+#include "sysgen/blocks_memory.hpp"
+
+namespace mbcosim::estimate {
+
+namespace {
+
+/// Fraction of a block's estimated slices that survives implementation.
+/// Carry-chain arithmetic maps essentially one-to-one; routing and state
+/// structures get absorbed into neighbouring logic by the mapper.
+double survival_factor(const sysgen::Block& block) {
+  using namespace mbcosim::sysgen;
+  if (dynamic_cast<const AddSub*>(&block) != nullptr ||
+      dynamic_cast<const Negate*>(&block) != nullptr ||
+      dynamic_cast<const Relational*>(&block) != nullptr) {
+    return 0.99;  // dedicated carry chains
+  }
+  if (dynamic_cast<const Mult*>(&block) != nullptr) {
+    return 0.95;  // embedded multiplier + small correction logic
+  }
+  if (dynamic_cast<const VariableShiftRight*>(&block) != nullptr) {
+    return 0.92;  // mux tree, partially absorbed
+  }
+  if (dynamic_cast<const Mux*>(&block) != nullptr ||
+      dynamic_cast<const Logical*>(&block) != nullptr ||
+      dynamic_cast<const Slice*>(&block) != nullptr ||
+      dynamic_cast<const Convert*>(&block) != nullptr) {
+    return 0.70;  // pure LUT logic, heavily merged with consumers
+  }
+  if (dynamic_cast<const Register*>(&block) != nullptr ||
+      dynamic_cast<const Delay*>(&block) != nullptr ||
+      dynamic_cast<const Counter*>(&block) != nullptr) {
+    return 0.80;  // flip-flops packed into the slices of their drivers
+  }
+  return 0.85;  // memories, custom blocks: mild packing gains
+}
+
+}  // namespace
+
+ResourceVec implemented_peripheral_resources(const sysgen::Model& model) {
+  double slices = 0.0;
+  ResourceVec fixed;  // BRAMs and multipliers never trim
+  for (const auto& block : model.blocks()) {
+    const ResourceVec r = block->resources();
+    slices += r.slices * survival_factor(*block);
+    fixed.brams += r.brams;
+    fixed.mult18s += r.mult18s;
+  }
+  ResourceVec result = fixed;
+  result.slices = static_cast<u32>(std::lround(slices));
+  return result;
+}
+
+ResourceReport estimate_system(const SystemDescription& system) {
+  ResourceReport report;
+
+  ResourceVec cpu = cpu_resources(system.cpu, system.fsl_links_used);
+  for (const ResourceVec& unit : system.custom_instructions) cpu += unit;
+  report.parts.push_back(
+      {system.custom_instructions.empty()
+           ? std::string("soft processor + LMB + FSL links")
+           : std::string("soft processor + LMB + FSL links + ") +
+                 std::to_string(system.custom_instructions.size()) +
+                 " custom instruction unit(s)",
+       cpu});
+
+  ResourceVec peripheral_estimated;
+  ResourceVec peripheral_implemented;
+  if (system.peripheral != nullptr) {
+    peripheral_estimated = system.peripheral->resources();
+    peripheral_implemented =
+        implemented_peripheral_resources(*system.peripheral);
+    report.parts.push_back({"customized hardware peripheral (" +
+                                system.peripheral->name() + ")",
+                            peripheral_estimated});
+  }
+
+  ResourceVec program;
+  if (system.program != nullptr) {
+    program.brams =
+        assembler::brams_for_program(*system.program, kBramProgramBytes);
+    report.parts.push_back({"software program storage", program});
+  }
+
+  report.estimated = cpu + peripheral_estimated + program;
+  // The processor macro and BRAMs are pre-implemented; only the
+  // peripheral's estimate moves between estimation and implementation.
+  report.implemented = cpu + peripheral_implemented + program;
+  return report;
+}
+
+std::string ResourceReport::to_string() const {
+  std::ostringstream os;
+  for (const ResourcePart& part : parts) {
+    os << "  " << part.name << ": " << part.estimated.to_string() << "\n";
+  }
+  os << "  estimated:   " << estimated.to_string() << "\n";
+  os << "  implemented: " << implemented.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace mbcosim::estimate

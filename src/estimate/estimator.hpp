@@ -1,0 +1,64 @@
+// Rapid resource estimation (paper Section III-C). Four contributions are
+// summed, exactly as in the paper:
+//   1. the soft processor (+ its two LMB controllers): data-sheet table;
+//   2. the customized hardware peripherals: per-block estimates from the
+//      sysgen model (the System Generator resource-estimator analog);
+//   3. the communication interface: per-FSL-link cost;
+//   4. storage of the software program: image size (mb-objdump analog)
+//      divided into BRAM blocks.
+//
+// Two numbers are produced per design, mirroring Table I:
+//   - `estimated`: the sum-of-parts rapid estimate;
+//   - `implemented`: a deterministic model of the post-place-and-route
+//     report (.par file analog), which trims logic that synthesis can
+//     absorb across block boundaries. Routing/control structures (muxes,
+//     registers, delay lines) trim far more than carry-chain arithmetic,
+//     which is why the paper's matmul designs (mux/control heavy) lose
+//     ~16% of their estimated slices while the CORDIC pipelines (adder
+//     heavy) lose ~1%.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/resources.hpp"
+#include "isa/isa.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::estimate {
+
+/// Everything that occupies FPGA resources in one design.
+struct SystemDescription {
+  isa::CpuConfig cpu;
+  unsigned fsl_links_used = 0;
+  const sysgen::Model* peripheral = nullptr;        ///< may be null (pure SW)
+  const assembler::Program* program = nullptr;      ///< may be null
+  /// Resources of registered custom-instruction units (Nios-style ISA
+  /// customization), one entry per occupied slot.
+  std::vector<ResourceVec> custom_instructions;
+};
+
+/// One line of a resource report.
+struct ResourcePart {
+  std::string name;
+  ResourceVec estimated;
+};
+
+struct ResourceReport {
+  std::vector<ResourcePart> parts;
+  ResourceVec estimated;    ///< sum of parts (the rapid estimate)
+  ResourceVec implemented;  ///< post-implementation model (".par" analog)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Produce the full estimated/implemented report for a design.
+[[nodiscard]] ResourceReport estimate_system(const SystemDescription& system);
+
+/// The trimming model applied to a peripheral: returns the implemented
+/// (post-PAR) resources for a sysgen model. Exposed for tests.
+[[nodiscard]] ResourceVec implemented_peripheral_resources(
+    const sysgen::Model& model);
+
+}  // namespace mbcosim::estimate

@@ -1,0 +1,50 @@
+#include "fsl/fsl_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace mbcosim::fsl {
+
+FslChannel::FslChannel(std::size_t depth, std::string name)
+    : depth_(depth), name_(std::move(name)) {
+  if (depth_ == 0) {
+    throw SimError("FslChannel '" + name_ + "': depth must be nonzero");
+  }
+}
+
+bool FslChannel::try_write(Word data, bool control) {
+  if (full()) {
+    ++refused_writes_;
+    return false;
+  }
+  fifo_.push_back(FslEntry{data, control});
+  ++total_writes_;
+  max_occupancy_ = std::max(max_occupancy_, fifo_.size());
+  return true;
+}
+
+std::optional<FslEntry> FslChannel::try_read() {
+  if (fifo_.empty()) return std::nullopt;
+  FslEntry entry = fifo_.front();
+  fifo_.pop_front();
+  ++total_reads_;
+  return entry;
+}
+
+std::optional<FslEntry> FslChannel::peek() const {
+  if (fifo_.empty()) return std::nullopt;
+  return fifo_.front();
+}
+
+void FslChannel::clear() { fifo_.clear(); }
+
+void FslChannel::reset_stats() {
+  total_writes_ = 0;
+  total_reads_ = 0;
+  refused_writes_ = 0;
+  max_occupancy_ = fifo_.size();
+}
+
+}  // namespace mbcosim::fsl

@@ -1,0 +1,83 @@
+// Cycle-accurate arithmetic-level model of a Xilinx Fast Simplex Link.
+//
+// FSLs are unidirectional FIFOs carrying a 32-bit data word plus one
+// control bit per entry (paper Section III-B). The MicroBlaze-class
+// processor owns up to 8 input and 8 output channels. The model exposes
+// the FSL handshake flags by their paper names:
+//   - `exists` (Out#_exists): data available on the read side;
+//   - `full`   (In#_full): FIFO cannot accept another word.
+// Blocking/non-blocking behaviour lives in the ISS / co-simulation engine
+// (a blocking access stalls the processor until the flag allows progress);
+// this class is the FIFO state machine itself.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mbcosim::fsl {
+
+/// One FIFO entry: data word + control bit. The control bit is how the
+/// paper's applications send configuration words (e.g. the CORDIC C0
+/// constant and the matrix-B block elements) down the same channel as data.
+struct FslEntry {
+  Word data = 0;
+  bool control = false;
+
+  friend bool operator==(const FslEntry&, const FslEntry&) = default;
+};
+
+class FslChannel {
+ public:
+  /// Default FIFO depth matches the Xilinx FSL core default of 16 entries.
+  static constexpr std::size_t kDefaultDepth = 16;
+
+  explicit FslChannel(std::size_t depth = kDefaultDepth,
+                      std::string name = "fsl");
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t occupancy() const noexcept { return fifo_.size(); }
+
+  /// In#_full flag: true when a write would be refused.
+  [[nodiscard]] bool full() const noexcept { return fifo_.size() >= depth_; }
+  /// Out#_exists flag: true when a read can occur.
+  [[nodiscard]] bool exists() const noexcept { return !fifo_.empty(); }
+
+  /// Master-side write. Returns false (and drops nothing) when full.
+  bool try_write(Word data, bool control);
+
+  /// Slave-side read. Empty optional when no data exists.
+  std::optional<FslEntry> try_read();
+
+  /// Inspect the head without consuming it.
+  [[nodiscard]] std::optional<FslEntry> peek() const;
+
+  void clear();
+
+  // Occupancy statistics, used by the co-simulation engine's reports and
+  // by the data-set sizing logic the paper describes in Section IV-A ("the
+  // size of each set of data is selected carefully so that the results
+  // would not overflow the FIFOs").
+  [[nodiscard]] u64 total_writes() const noexcept { return total_writes_; }
+  [[nodiscard]] u64 total_reads() const noexcept { return total_reads_; }
+  [[nodiscard]] u64 refused_writes() const noexcept { return refused_writes_; }
+  [[nodiscard]] std::size_t max_occupancy() const noexcept {
+    return max_occupancy_;
+  }
+  void reset_stats();
+
+ private:
+  std::size_t depth_;
+  std::string name_;
+  std::deque<FslEntry> fifo_;
+  u64 total_writes_ = 0;
+  u64 total_reads_ = 0;
+  u64 refused_writes_ = 0;
+  std::size_t max_occupancy_ = 0;
+};
+
+}  // namespace mbcosim::fsl

@@ -1,0 +1,71 @@
+// The full set of FSL links around one soft processor: up to 8 channels
+// from the processor to the hardware peripherals ("to_hw", the processor
+// is FIFO master) and up to 8 back ("from_hw", the processor is FIFO
+// slave), as in the paper's Figure 3.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "fsl/fsl_channel.hpp"
+
+namespace mbcosim::fsl {
+
+class FslHub {
+ public:
+  static constexpr unsigned kChannels = 8;
+
+  explicit FslHub(std::size_t depth = FslChannel::kDefaultDepth)
+      : to_hw_{make_bank("mb_to_hw", depth)},
+        from_hw_{make_bank("hw_to_mb", depth)} {}
+
+  /// Channel the processor writes with put/cput/nput/ncput.
+  [[nodiscard]] FslChannel& to_hw(unsigned id) {
+    check(id);
+    return to_hw_[id];
+  }
+  [[nodiscard]] const FslChannel& to_hw(unsigned id) const {
+    check(id);
+    return to_hw_[id];
+  }
+  /// Channel the processor reads with get/cget/nget/ncget.
+  [[nodiscard]] FslChannel& from_hw(unsigned id) {
+    check(id);
+    return from_hw_[id];
+  }
+  [[nodiscard]] const FslChannel& from_hw(unsigned id) const {
+    check(id);
+    return from_hw_[id];
+  }
+
+  void clear() {
+    for (auto& ch : to_hw_) ch.clear();
+    for (auto& ch : from_hw_) ch.clear();
+  }
+
+ private:
+  using Bank = std::array<FslChannel, kChannels>;
+
+  static Bank make_bank(const char* prefix, std::size_t depth) {
+    return Bank{FslChannel(depth, std::string(prefix) + "0"),
+                FslChannel(depth, std::string(prefix) + "1"),
+                FslChannel(depth, std::string(prefix) + "2"),
+                FslChannel(depth, std::string(prefix) + "3"),
+                FslChannel(depth, std::string(prefix) + "4"),
+                FslChannel(depth, std::string(prefix) + "5"),
+                FslChannel(depth, std::string(prefix) + "6"),
+                FslChannel(depth, std::string(prefix) + "7")};
+  }
+
+  static void check(unsigned id) {
+    if (id >= kChannels) {
+      throw SimError("FslHub: channel id out of range: " + std::to_string(id));
+    }
+  }
+
+  Bank to_hw_;
+  Bank from_hw_;
+};
+
+}  // namespace mbcosim::fsl

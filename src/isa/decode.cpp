@@ -1,0 +1,220 @@
+#include "common/bits.hpp"
+#include "isa/isa.hpp"
+#include "isa/opcode_map.hpp"
+
+namespace mbcosim::isa {
+
+namespace {
+
+struct Fields {
+  u32 opcode;
+  u8 rd, ra, rb;
+  u32 func;
+  i32 imm;
+};
+
+Fields split(Word word) {
+  Fields f{};
+  f.opcode = bits(word, 26, 6);
+  f.rd = static_cast<u8>(bits(word, 21, 5));
+  f.ra = static_cast<u8>(bits(word, 16, 5));
+  f.rb = static_cast<u8>(bits(word, 11, 5));
+  f.func = bits(word, 0, 11);
+  f.imm = static_cast<i32>(sign_extend(bits(word, 0, 16), 16));
+  return f;
+}
+
+Instruction simple(Op op, const Fields& f, bool imm_form) {
+  Instruction in;
+  in.op = op;
+  in.rd = f.rd;
+  in.ra = f.ra;
+  in.imm_form = imm_form;
+  if (imm_form) {
+    in.imm = f.imm;
+  } else {
+    in.rb = f.rb;
+  }
+  return in;
+}
+
+Instruction illegal() { return Instruction{}; }
+
+}  // namespace
+
+Instruction decode(Word word) {
+  const Fields f = split(word);
+  const bool imm_form = (f.opcode & kImmFormBit) != 0;
+  const u32 base = f.opcode & ~kImmFormBit;
+  switch (f.opcode) {
+    case kOpAdd:
+    case kOpAdd | kImmFormBit: return simple(Op::kAdd, f, imm_form);
+    case kOpRsub:
+    case kOpRsub | kImmFormBit: return simple(Op::kRsub, f, imm_form);
+    case kOpAddc:
+    case kOpAddc | kImmFormBit: return simple(Op::kAddc, f, imm_form);
+    case kOpRsubc:
+    case kOpRsubc | kImmFormBit: return simple(Op::kRsubc, f, imm_form);
+    case kOpAddk:
+    case kOpAddk | kImmFormBit: return simple(Op::kAddk, f, imm_form);
+    case kOpRsubk:
+      if (f.func == 0x001) return simple(Op::kCmp, f, false);
+      if (f.func == 0x003) return simple(Op::kCmpu, f, false);
+      if (f.func == 0x000) return simple(Op::kRsubk, f, false);
+      return illegal();
+    case kOpRsubk | kImmFormBit: return simple(Op::kRsubk, f, true);
+    case kOpMul:
+      if (f.func != 0) return illegal();
+      return simple(Op::kMul, f, false);
+    case kOpMul | kImmFormBit: return simple(Op::kMul, f, true);
+    case kOpIdiv:
+      if (f.func == 0x000) return simple(Op::kIdiv, f, false);
+      if (f.func == 0x002) return simple(Op::kIdivu, f, false);
+      return illegal();
+    case kOpBs:
+    case kOpBs | kImmFormBit: {
+      const u32 kind = bits(word, 9, 2);
+      const Op op = kind == 0 ? Op::kBsrl
+                  : kind == 1 ? Op::kBsra
+                  : kind == 2 ? Op::kBsll
+                              : Op::kIllegal;
+      if (op == Op::kIllegal) return illegal();
+      Instruction in = simple(op, f, imm_form);
+      if (imm_form) in.imm = static_cast<i32>(bits(word, 0, 5));
+      return in;
+    }
+    case kOpOr:
+    case kOpOr | kImmFormBit: return simple(Op::kOr, f, imm_form);
+    case kOpAnd:
+    case kOpAnd | kImmFormBit: return simple(Op::kAnd, f, imm_form);
+    case kOpXor:
+    case kOpXor | kImmFormBit: return simple(Op::kXor, f, imm_form);
+    case kOpAndn:
+    case kOpAndn | kImmFormBit: return simple(Op::kAndn, f, imm_form);
+    case kOpShift: {
+      Instruction in;
+      in.rd = f.rd;
+      in.ra = f.ra;
+      switch (bits(word, 0, 16)) {
+        case kFuncSra: in.op = Op::kSra; break;
+        case kFuncSrc: in.op = Op::kSrc; break;
+        case kFuncSrl: in.op = Op::kSrl; break;
+        case kFuncSext8: in.op = Op::kSext8; break;
+        case kFuncSext16: in.op = Op::kSext16; break;
+        default: return illegal();
+      }
+      return in;
+    }
+    case kOpMsr: {
+      const u32 raw_imm = bits(word, 0, 16);
+      if ((raw_imm & kMsrRegMask) > 1) return illegal();  // only rpc/rmsr
+      Instruction in;
+      in.imm = static_cast<i32>(raw_imm & kMsrRegMask);
+      if ((raw_imm & kMsrFlagFrom) != 0) {
+        in.op = Op::kMfs;
+        in.rd = f.rd;
+      } else {
+        if ((raw_imm & kMsrRegMask) != 1) return illegal();  // PC not writable
+        in.op = Op::kMts;
+        in.ra = f.ra;
+      }
+      return in;
+    }
+    case kOpBr:
+    case kOpBr | kImmFormBit: {
+      Instruction in;
+      in.op = Op::kBr;
+      in.imm_form = imm_form;
+      const u32 flags = f.ra;
+      in.link = (flags & kBrFlagLink) != 0;
+      in.absolute = (flags & kBrFlagAbsolute) != 0;
+      in.delay_slot = (flags & kBrFlagDelay) != 0;
+      in.rd = in.link ? f.rd : u8{0};  // rd is a don't-care without link
+      if (imm_form) {
+        in.imm = f.imm;
+      } else {
+        in.rb = f.rb;
+      }
+      return in;
+    }
+    case kOpBcc:
+    case kOpBcc | kImmFormBit: {
+      Instruction in;
+      in.op = Op::kBcc;
+      in.imm_form = imm_form;
+      in.ra = f.ra;
+      const u32 rd_field = f.rd;
+      const u32 cond = rd_field & 0x07;
+      if (cond > static_cast<u32>(Cond::kGe)) return illegal();
+      in.cond = static_cast<Cond>(cond);
+      in.delay_slot = (rd_field & kBrFlagDelay) != 0;
+      if (imm_form) {
+        in.imm = f.imm;
+      } else {
+        in.rb = f.rb;
+      }
+      return in;
+    }
+    case kOpImm: {
+      Instruction in;
+      in.op = Op::kImm;
+      in.imm = f.imm;
+      in.imm_form = true;
+      return in;
+    }
+    case kOpRtsd: {
+      if (f.rd != 0x10) return illegal();
+      Instruction in;
+      in.op = Op::kRtsd;
+      in.ra = f.ra;
+      in.imm = f.imm;
+      in.imm_form = true;
+      in.delay_slot = true;
+      return in;
+    }
+    case kOpLbu:
+    case kOpLbu | kImmFormBit: return simple(Op::kLbu, f, imm_form);
+    case kOpLhu:
+    case kOpLhu | kImmFormBit: return simple(Op::kLhu, f, imm_form);
+    case kOpLw:
+    case kOpLw | kImmFormBit: return simple(Op::kLw, f, imm_form);
+    case kOpSb:
+    case kOpSb | kImmFormBit: return simple(Op::kSb, f, imm_form);
+    case kOpSh:
+    case kOpSh | kImmFormBit: return simple(Op::kSh, f, imm_form);
+    case kOpSw:
+    case kOpSw | kImmFormBit: return simple(Op::kSw, f, imm_form);
+    case kOpCustom: {
+      if (f.func >= kNumCustomSlots) return illegal();
+      Instruction in;
+      in.op = Op::kCustom;
+      in.rd = f.rd;
+      in.ra = f.ra;
+      in.rb = f.rb;
+      in.custom_slot = static_cast<u8>(f.func);
+      return in;
+    }
+    case kOpGet:
+    case kOpPut: {
+      const u32 raw_imm = bits(word, 0, 16);
+      Instruction in;
+      in.op = f.opcode == kOpGet ? Op::kGet : Op::kPut;
+      in.fsl_id = static_cast<u8>(raw_imm & kFslIdMask);
+      if (in.fsl_id >= kNumFslChannels) return illegal();
+      in.fsl_control = (raw_imm & kFslFlagControl) != 0;
+      in.fsl_nonblocking = (raw_imm & kFslFlagNonblocking) != 0;
+      if (in.op == Op::kGet) {
+        in.rd = f.rd;
+      } else {
+        in.ra = f.ra;
+      }
+      in.imm_form = true;
+      return in;
+    }
+    default:
+      (void)base;
+      return illegal();
+  }
+}
+
+}  // namespace mbcosim::isa

@@ -1,0 +1,175 @@
+#include <sstream>
+
+#include "isa/isa.hpp"
+
+namespace mbcosim::isa {
+
+namespace {
+
+const char* cond_name(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kLe: return "le";
+    case Cond::kGt: return "gt";
+    case Cond::kGe: return "ge";
+  }
+  return "?";
+}
+
+std::string reg(u8 index) { return "r" + std::to_string(int(index)); }
+
+}  // namespace
+
+std::string mnemonic(const Instruction& in) {
+  auto base_imm = [&in](const char* base) {
+    return std::string(base) + (in.imm_form ? "i" : "");
+  };
+  switch (in.op) {
+    case Op::kAdd: return base_imm("add");
+    case Op::kRsub: return base_imm("rsub");
+    case Op::kAddc: return in.imm_form ? "addic" : "addc";
+    case Op::kRsubc: return in.imm_form ? "rsubic" : "rsubc";
+    case Op::kAddk: return in.imm_form ? "addik" : "addk";
+    case Op::kRsubk: return in.imm_form ? "rsubik" : "rsubk";
+    case Op::kCmp: return "cmp";
+    case Op::kCmpu: return "cmpu";
+    case Op::kMul: return base_imm("mul");
+    case Op::kIdiv: return "idiv";
+    case Op::kIdivu: return "idivu";
+    case Op::kBsll: return base_imm("bsll");
+    case Op::kBsra: return base_imm("bsra");
+    case Op::kBsrl: return base_imm("bsrl");
+    case Op::kOr: return base_imm("or");
+    case Op::kAnd: return base_imm("and");
+    case Op::kXor: return base_imm("xor");
+    case Op::kAndn: return base_imm("andn");
+    case Op::kSra: return "sra";
+    case Op::kSrc: return "src";
+    case Op::kSrl: return "srl";
+    case Op::kSext8: return "sext8";
+    case Op::kSext16: return "sext16";
+    case Op::kImm: return "imm";
+    case Op::kMfs: return "mfs";
+    case Op::kMts: return "mts";
+    case Op::kBr: {
+      std::string name = "br";
+      if (in.absolute) name += "a";
+      if (in.link) name += "l";
+      if (in.delay_slot) name += "d";
+      if (in.imm_form) name += "i";
+      // Conventional MicroBlaze spellings put the trailing i before d for
+      // brid/brlid; we follow suit.
+      if (in.imm_form && in.delay_slot) {
+        name = std::string("br") + (in.absolute ? "a" : "") +
+               (in.link ? "l" : "") + "id";
+      }
+      return name;
+    }
+    case Op::kBcc: {
+      std::string name = std::string("b") + cond_name(in.cond);
+      if (in.imm_form) name += "i";
+      if (in.delay_slot) name += "d";
+      return name;
+    }
+    case Op::kRtsd: return "rtsd";
+    case Op::kLbu: return base_imm("lbu");
+    case Op::kLhu: return base_imm("lhu");
+    case Op::kLw: return base_imm("lw");
+    case Op::kSb: return base_imm("sb");
+    case Op::kSh: return base_imm("sh");
+    case Op::kSw: return base_imm("sw");
+    case Op::kGet:
+    case Op::kPut: {
+      std::string name;
+      if (in.fsl_nonblocking) name += "n";
+      if (in.fsl_control) name += "c";
+      name += in.op == Op::kGet ? "get" : "put";
+      return name;
+    }
+    case Op::kCustom: return "cust" + std::to_string(int(in.custom_slot));
+    case Op::kIllegal: return "<illegal>";
+  }
+  return "?";
+}
+
+bool is_control_flow(const Instruction& in) {
+  return in.op == Op::kBr || in.op == Op::kBcc || in.op == Op::kRtsd;
+}
+
+std::string disassemble(const Instruction& in) {
+  std::ostringstream os;
+  os << mnemonic(in);
+  auto operand_b = [&in]() {
+    return in.imm_form ? std::to_string(in.imm) : reg(in.rb);
+  };
+  switch (in.op) {
+    case Op::kAdd:
+    case Op::kRsub:
+    case Op::kAddc:
+    case Op::kRsubc:
+    case Op::kAddk:
+    case Op::kRsubk:
+    case Op::kCmp:
+    case Op::kCmpu:
+    case Op::kMul:
+    case Op::kIdiv:
+    case Op::kIdivu:
+    case Op::kBsll:
+    case Op::kBsra:
+    case Op::kBsrl:
+    case Op::kOr:
+    case Op::kAnd:
+    case Op::kXor:
+    case Op::kAndn:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLw:
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kCustom:
+      os << " " << reg(in.rd) << ", " << reg(in.ra) << ", " << operand_b();
+      break;
+    case Op::kSra:
+    case Op::kSrc:
+    case Op::kSrl:
+    case Op::kSext8:
+    case Op::kSext16:
+      os << " " << reg(in.rd) << ", " << reg(in.ra);
+      break;
+    case Op::kImm:
+      os << " " << in.imm;
+      break;
+    case Op::kMfs:
+      os << " " << reg(in.rd) << ", " << (in.imm == 0 ? "rpc" : "rmsr");
+      break;
+    case Op::kMts:
+      os << " " << (in.imm == 0 ? "rpc" : "rmsr") << ", " << reg(in.ra);
+      break;
+    case Op::kBr:
+      if (in.link) os << " " << reg(in.rd) << ",";
+      os << " " << operand_b();
+      break;
+    case Op::kBcc:
+      os << " " << reg(in.ra) << ", " << operand_b();
+      break;
+    case Op::kRtsd:
+      os << " " << reg(in.ra) << ", " << in.imm;
+      break;
+    case Op::kGet:
+      os << " " << reg(in.rd) << ", rfsl" << int(in.fsl_id);
+      break;
+    case Op::kPut:
+      os << " " << reg(in.ra) << ", rfsl" << int(in.fsl_id);
+      break;
+    case Op::kIllegal:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(Word word) { return disassemble(decode(word)); }
+
+}  // namespace mbcosim::isa

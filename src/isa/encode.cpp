@@ -1,0 +1,170 @@
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "isa/isa.hpp"
+#include "isa/opcode_map.hpp"
+
+namespace mbcosim::isa {
+
+namespace {
+
+void check_reg(u8 reg, const char* what) {
+  if (reg >= kNumRegisters) {
+    throw SimError(std::string("encode: register out of range for ") + what +
+                   ": r" + std::to_string(int(reg)));
+  }
+}
+
+void check_imm16(i32 imm) {
+  if (imm < -32768 || imm > 32767) {
+    throw SimError("encode: immediate does not fit in 16 bits: " +
+                   std::to_string(imm) + " (use an IMM prefix)");
+  }
+}
+
+Word type_a(u32 opcode, u8 rd, u8 ra, u8 rb, u32 func = 0) {
+  Word word = 0;
+  word = insert_bits(word, 26, 6, opcode);
+  word = insert_bits(word, 21, 5, rd);
+  word = insert_bits(word, 16, 5, ra);
+  word = insert_bits(word, 11, 5, rb);
+  word = insert_bits(word, 0, 11, func);
+  return word;
+}
+
+Word type_b(u32 opcode, u8 rd, u8 ra, i32 imm) {
+  check_imm16(imm);
+  Word word = 0;
+  word = insert_bits(word, 26, 6, opcode);
+  word = insert_bits(word, 21, 5, rd);
+  word = insert_bits(word, 16, 5, ra);
+  word = insert_bits(word, 0, 16, static_cast<u32>(imm) & 0xFFFFu);
+  return word;
+}
+
+/// Encode an op that has both register and immediate forms whose opcodes
+/// differ by kImmFormBit.
+Word reg_or_imm(const Instruction& in, u32 reg_opcode) {
+  if (in.imm_form) return type_b(reg_opcode | kImmFormBit, in.rd, in.ra, in.imm);
+  return type_a(reg_opcode, in.rd, in.ra, in.rb);
+}
+
+u32 branch_flags(const Instruction& in) {
+  u32 flags = 0;
+  if (in.link) flags |= kBrFlagLink;
+  if (in.absolute) flags |= kBrFlagAbsolute;
+  if (in.delay_slot) flags |= kBrFlagDelay;
+  return flags;
+}
+
+}  // namespace
+
+Word encode(const Instruction& in) {
+  check_reg(in.rd, "rd");
+  check_reg(in.ra, "ra");
+  check_reg(in.rb, "rb");
+  switch (in.op) {
+    case Op::kAdd: return reg_or_imm(in, kOpAdd);
+    case Op::kRsub: return reg_or_imm(in, kOpRsub);
+    case Op::kAddc: return reg_or_imm(in, kOpAddc);
+    case Op::kRsubc: return reg_or_imm(in, kOpRsubc);
+    case Op::kAddk: return reg_or_imm(in, kOpAddk);
+    case Op::kRsubk: return reg_or_imm(in, kOpRsubk);
+    case Op::kCmp:
+      if (in.imm_form) throw SimError("encode: cmp has no immediate form");
+      return type_a(kOpRsubk, in.rd, in.ra, in.rb, 0x001);
+    case Op::kCmpu:
+      if (in.imm_form) throw SimError("encode: cmpu has no immediate form");
+      return type_a(kOpRsubk, in.rd, in.ra, in.rb, 0x003);
+    case Op::kMul: return reg_or_imm(in, kOpMul);
+    case Op::kIdiv:
+      if (in.imm_form) throw SimError("encode: idiv has no immediate form");
+      return type_a(kOpIdiv, in.rd, in.ra, in.rb, 0x000);
+    case Op::kIdivu:
+      if (in.imm_form) throw SimError("encode: idivu has no immediate form");
+      return type_a(kOpIdiv, in.rd, in.ra, in.rb, 0x002);
+    case Op::kBsrl:
+    case Op::kBsra:
+    case Op::kBsll: {
+      const u32 kind = in.op == Op::kBsrl ? 0u : in.op == Op::kBsra ? 1u : 2u;
+      if (in.imm_form) {
+        if (in.imm < 0 || in.imm > 31) {
+          throw SimError("encode: barrel shift amount must be in [0, 31]");
+        }
+        Word word = type_b(kOpBs | kImmFormBit, in.rd, in.ra, in.imm);
+        return insert_bits(word, 9, 2, kind);
+      }
+      return type_a(kOpBs, in.rd, in.ra, in.rb, kind << 9);
+    }
+    case Op::kOr: return reg_or_imm(in, kOpOr);
+    case Op::kAnd: return reg_or_imm(in, kOpAnd);
+    case Op::kXor: return reg_or_imm(in, kOpXor);
+    case Op::kAndn: return reg_or_imm(in, kOpAndn);
+    case Op::kSra: return type_b(kOpShift, in.rd, in.ra, i32(kFuncSra));
+    case Op::kSrc: return type_b(kOpShift, in.rd, in.ra, i32(kFuncSrc));
+    case Op::kSrl: return type_b(kOpShift, in.rd, in.ra, i32(kFuncSrl));
+    case Op::kSext8: return type_b(kOpShift, in.rd, in.ra, i32(kFuncSext8));
+    case Op::kSext16: return type_b(kOpShift, in.rd, in.ra, i32(kFuncSext16));
+    case Op::kImm: return type_b(kOpImm, 0, 0, in.imm);
+    case Op::kMfs: {
+      // The selector field uses bit 15, outside the signed imm16 range;
+      // build the word directly.
+      Word word = type_a(kOpMsr, in.rd, 0, 0);
+      word = insert_bits(word, 0, 16, kMsrFlagFrom | (u32(in.imm) & kMsrRegMask));
+      return word;
+    }
+    case Op::kMts: {
+      Word word = type_a(kOpMsr, 0, in.ra, 0);
+      word = insert_bits(word, 0, 16, u32(in.imm) & kMsrRegMask);
+      return word;
+    }
+    case Op::kBr: {
+      const u32 flags = branch_flags(in);
+      if (in.imm_form) {
+        Word word = type_b(kOpBr | kImmFormBit, in.rd, 0, in.imm);
+        return insert_bits(word, 16, 5, flags);
+      }
+      return type_a(kOpBr, in.rd, static_cast<u8>(flags), in.rb);
+    }
+    case Op::kBcc: {
+      u32 rd_field = static_cast<u32>(in.cond);
+      if (in.delay_slot) rd_field |= kBrFlagDelay;
+      if (in.imm_form) {
+        Word word = type_b(kOpBcc | kImmFormBit, 0, in.ra, in.imm);
+        return insert_bits(word, 21, 5, rd_field);
+      }
+      return type_a(kOpBcc, static_cast<u8>(rd_field), in.ra, in.rb);
+    }
+    case Op::kRtsd: return type_b(kOpRtsd, 0x10, in.ra, in.imm);
+    case Op::kLbu: return reg_or_imm(in, kOpLbu);
+    case Op::kLhu: return reg_or_imm(in, kOpLhu);
+    case Op::kLw: return reg_or_imm(in, kOpLw);
+    case Op::kSb: return reg_or_imm(in, kOpSb);
+    case Op::kSh: return reg_or_imm(in, kOpSh);
+    case Op::kSw: return reg_or_imm(in, kOpSw);
+    case Op::kGet:
+    case Op::kPut: {
+      if (in.fsl_id >= kNumFslChannels) {
+        throw SimError("encode: FSL channel out of range: " +
+                       std::to_string(int(in.fsl_id)));
+      }
+      u32 imm = in.fsl_id & kFslIdMask;
+      if (in.fsl_control) imm |= kFslFlagControl;
+      if (in.fsl_nonblocking) imm |= kFslFlagNonblocking;
+      if (in.op == Op::kGet) return type_b(kOpGet, in.rd, 0, i32(imm));
+      return type_b(kOpPut, 0, in.ra, i32(imm));
+    }
+    case Op::kCustom:
+      if (in.custom_slot >= kNumCustomSlots) {
+        throw SimError("encode: custom slot out of range: " +
+                       std::to_string(int(in.custom_slot)));
+      }
+      return type_a(kOpCustom, in.rd, in.ra, in.rb, in.custom_slot);
+    case Op::kIllegal:
+      throw SimError("encode: cannot encode Op::kIllegal");
+  }
+  throw SimError("encode: unhandled op");
+}
+
+}  // namespace mbcosim::isa

@@ -1,0 +1,64 @@
+// Shared primary-opcode assignments for the MB32 encoder and decoder.
+// Primary opcode lives in bits [31:26]; immediate (type-B) forms are the
+// register form's opcode with bit 3 set (| 0x08), as in MicroBlaze.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace mbcosim::isa {
+
+inline constexpr u32 kOpAdd = 0x00;
+inline constexpr u32 kOpRsub = 0x01;
+inline constexpr u32 kOpAddc = 0x02;
+inline constexpr u32 kOpRsubc = 0x03;
+inline constexpr u32 kOpAddk = 0x04;
+inline constexpr u32 kOpRsubk = 0x05;  // func 0 = rsubk, 1 = cmp, 3 = cmpu
+inline constexpr u32 kOpMul = 0x10;
+inline constexpr u32 kOpBs = 0x11;  // func bits [10:9]: 0 srl, 1 sra, 2 sll
+inline constexpr u32 kOpIdiv = 0x12;  // func bit 1 set = unsigned
+inline constexpr u32 kOpPut = 0x13;
+inline constexpr u32 kOpGet = 0x1B;
+inline constexpr u32 kOpCustom = 0x16;  // user-customized instruction
+inline constexpr u32 kOpOr = 0x20;
+inline constexpr u32 kOpAnd = 0x21;
+inline constexpr u32 kOpXor = 0x22;
+inline constexpr u32 kOpAndn = 0x23;
+inline constexpr u32 kOpShift = 0x24;  // imm selects sra/src/srl/sext8/sext16
+inline constexpr u32 kOpMsr = 0x25;    // mfs / mts
+inline constexpr u32 kOpBr = 0x26;
+inline constexpr u32 kOpBcc = 0x27;
+inline constexpr u32 kOpImm = 0x2C;
+inline constexpr u32 kOpRtsd = 0x2D;
+inline constexpr u32 kOpLbu = 0x30;
+inline constexpr u32 kOpLhu = 0x31;
+inline constexpr u32 kOpLw = 0x32;
+inline constexpr u32 kOpSb = 0x34;
+inline constexpr u32 kOpSh = 0x35;
+inline constexpr u32 kOpSw = 0x36;
+
+/// OR into the primary opcode for the immediate (type-B) form.
+inline constexpr u32 kImmFormBit = 0x08;
+
+// Shift-group function codes (in the immediate field, like MicroBlaze).
+inline constexpr u32 kFuncSra = 0x001;
+inline constexpr u32 kFuncSrc = 0x021;
+inline constexpr u32 kFuncSrl = 0x041;
+inline constexpr u32 kFuncSext8 = 0x060;
+inline constexpr u32 kFuncSext16 = 0x061;
+
+// Branch flag bits carried in the ra field (unconditional) or rd field
+// (conditional) of branch encodings.
+inline constexpr u32 kBrFlagLink = 0x04;
+inline constexpr u32 kBrFlagAbsolute = 0x08;
+inline constexpr u32 kBrFlagDelay = 0x10;
+
+// FSL access flag bits carried in the immediate field.
+inline constexpr u32 kFslIdMask = 0x000F;
+inline constexpr u32 kFslFlagControl = 0x2000;
+inline constexpr u32 kFslFlagNonblocking = 0x4000;
+
+// mfs/mts selector bits in the immediate field.
+inline constexpr u32 kMsrFlagFrom = 0x8000;   // set = mfs, clear = mts
+inline constexpr u32 kMsrRegMask = 0x0003;
+
+}  // namespace mbcosim::isa

@@ -1,0 +1,50 @@
+// Base instruction latencies of the 3-stage soft-processor pipeline.
+//
+// These are the numbers the paper's "high-level cycle-accurate" simulation
+// must respect (Section I: "the multiplication instruction requires three
+// clock cycles to complete"). Loads/stores assume LMB BRAM access with a
+// guaranteed one-cycle latency (Section III-A: processor and the two LMB
+// interface controllers run at the same frequency, giving a fixed latency
+// of one clock cycle).
+#include "isa/isa.hpp"
+
+namespace mbcosim::isa {
+
+Cycle base_latency(const Instruction& in, bool branch_taken) {
+  switch (in.op) {
+    case Op::kMul:
+      return 3;
+    case Op::kIdiv:
+    case Op::kIdivu:
+      return 34;
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLw:
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+      return 2;
+    case Op::kBr:
+      // Unconditional branches are always taken: 3-cycle refill without a
+      // delay slot, 2 cycles when the delay slot hides one refill cycle.
+      return in.delay_slot ? 2 : 3;
+    case Op::kBcc:
+      if (!branch_taken) return 1;
+      return in.delay_slot ? 2 : 3;
+    case Op::kRtsd:
+      return 2;
+    case Op::kGet:
+    case Op::kPut:
+      // FSL access itself takes 2 cycles; blocking stalls are accounted
+      // dynamically by the ISS (Section III-B).
+      return 2;
+    case Op::kCustom:
+      // Base issue cost; the registered unit's extra latency is charged
+      // dynamically by the ISS.
+      return 1;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace mbcosim::isa

@@ -1,0 +1,162 @@
+#include "iss/debugger.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace mbcosim::iss {
+
+StepResult Debugger::step_over_stalls(Cycle max_stall_cycles) {
+  Cycle burned = 0;
+  while (true) {
+    const StepResult result = cpu_.step();
+    if (result.event != Event::kFslStall) return result;
+    burned += result.cycles;
+    if (burned >= max_stall_cycles) return result;
+  }
+}
+
+StopCause Debugger::cont(Cycle max_cycles) {
+  const Cycle start = cpu_.cycle();
+  while (cpu_.cycle() - start < max_cycles) {
+    if (!breakpoints_.empty() && breakpoints_.count(cpu_.pc()) != 0) {
+      return StopCause::kBreakpoint;
+    }
+    const StepResult result = cpu_.step();
+    switch (result.event) {
+      case Event::kHalted: return StopCause::kHalted;
+      case Event::kIllegal: return StopCause::kIllegal;
+      case Event::kFslStall: return StopCause::kFslStalled;
+      case Event::kRetired: break;
+    }
+  }
+  return StopCause::kCycleLimit;
+}
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream{std::string(line)};
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool parse_u64(const std::string& text, u64& out) {
+  int base = 10;
+  std::string_view body = text;
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    base = 16;
+    body.remove_prefix(2);
+  }
+  const auto* end = body.data() + body.size();
+  const auto result = std::from_chars(body.data(), end, out, base);
+  return result.ec == std::errc{} && result.ptr == end;
+}
+
+std::string hex(u64 value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Debugger::command(std::string_view line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return "error: empty command";
+  const std::string& verb = tokens[0];
+  auto arg_value = [&](size_t index, u64& out) {
+    return index < tokens.size() && parse_u64(tokens[index], out);
+  };
+
+  if (verb == "reg") {
+    u64 index = 0;
+    std::string name = tokens.size() > 1 ? tokens[1] : "";
+    if (!name.empty() && name[0] == 'r') name.erase(0, 1);
+    if (!parse_u64(name, index) || index >= isa::kNumRegisters) {
+      return "error: reg <0..31>";
+    }
+    return hex(cpu_.reg(static_cast<unsigned>(index)));
+  }
+  if (verb == "setreg") {
+    u64 index = 0;
+    u64 value = 0;
+    std::string name = tokens.size() > 1 ? tokens[1] : "";
+    if (!name.empty() && name[0] == 'r') name.erase(0, 1);
+    if (!parse_u64(name, index) || index >= isa::kNumRegisters ||
+        !arg_value(2, value)) {
+      return "error: setreg <0..31> <value>";
+    }
+    cpu_.set_reg(static_cast<unsigned>(index), static_cast<Word>(value));
+    return "ok";
+  }
+  if (verb == "pc") return hex(cpu_.pc());
+  if (verb == "msr") return hex(cpu_.msr());
+  if (verb == "cycles") return std::to_string(cpu_.cycle());
+  if (verb == "mem") {
+    u64 addr = 0;
+    if (!arg_value(1, addr)) return "error: mem <addr>";
+    if (!cpu_.memory().contains(static_cast<Addr>(addr) & ~Addr{3}, 4)) {
+      return "error: address out of range";
+    }
+    return hex(cpu_.memory().read_word(static_cast<Addr>(addr)));
+  }
+  if (verb == "setmem") {
+    u64 addr = 0;
+    u64 value = 0;
+    if (!arg_value(1, addr) || !arg_value(2, value)) {
+      return "error: setmem <addr> <value>";
+    }
+    if (!cpu_.memory().contains(static_cast<Addr>(addr) & ~Addr{3}, 4)) {
+      return "error: address out of range";
+    }
+    cpu_.memory().write_word(static_cast<Addr>(addr),
+                             static_cast<Word>(value));
+    return "ok";
+  }
+  if (verb == "step") {
+    const StepResult result = step_over_stalls();
+    switch (result.event) {
+      case Event::kRetired: return "stopped pc=" + hex(cpu_.pc());
+      case Event::kHalted: return "halted";
+      case Event::kIllegal: return "illegal";
+      case Event::kFslStall: return "stalled";
+    }
+    return "error: unreachable";
+  }
+  if (verb == "cont") {
+    u64 budget = ~u64{0};
+    if (tokens.size() > 1 && !arg_value(1, budget)) {
+      return "error: cont [cycles]";
+    }
+    switch (cont(budget)) {
+      case StopCause::kBreakpoint: return "breakpoint pc=" + hex(cpu_.pc());
+      case StopCause::kHalted: return "halted";
+      case StopCause::kIllegal: return "illegal";
+      case StopCause::kCycleLimit: return "cycle-limit";
+      case StopCause::kFslStalled: return "stalled";
+    }
+    return "error: unreachable";
+  }
+  if (verb == "break" || verb == "delete") {
+    u64 addr = 0;
+    if (!arg_value(1, addr)) return "error: " + verb + " <addr>";
+    if (verb == "break") {
+      add_breakpoint(static_cast<Addr>(addr));
+    } else {
+      remove_breakpoint(static_cast<Addr>(addr));
+    }
+    return "ok";
+  }
+  if (verb == "disasm") {
+    if (!cpu_.memory().contains(cpu_.pc(), 4)) return "error: pc out of range";
+    return isa::disassemble(cpu_.memory().read_word(cpu_.pc()));
+  }
+  return "error: unknown command '" + verb + "'";
+}
+
+}  // namespace mbcosim::iss

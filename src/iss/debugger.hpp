@@ -1,0 +1,73 @@
+// Run-control front end for the ISS — the analog of mb-gdb in the paper's
+// architecture (Figure 2). The paper drives the Xilinx cycle-accurate
+// simulator through mb-gdb inside a bidirectional software pipe that
+// "accepts commands ... and interactively runs the software programs",
+// and through which the MicroBlaze Simulink block "changes the status of
+// the registers of the processor based on the results from the customized
+// hardware designs". This class provides the same two faces:
+//   - a programmatic API (breakpoints, stepping, register/memory access);
+//   - a line-oriented textual command interface (`command`) standing in
+//     for the TCL pipe protocol.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "iss/processor.hpp"
+
+namespace mbcosim::iss {
+
+enum class StopCause : u8 {
+  kBreakpoint,
+  kHalted,
+  kIllegal,
+  kCycleLimit,
+  kFslStalled,  ///< run stopped on an FSL stall (co-sim engine's turn)
+};
+
+class Debugger {
+ public:
+  explicit Debugger(Processor& cpu) : cpu_(cpu) {}
+
+  void add_breakpoint(Addr addr) { breakpoints_.insert(addr); }
+  void remove_breakpoint(Addr addr) { breakpoints_.erase(addr); }
+  [[nodiscard]] bool has_breakpoint(Addr addr) const {
+    return breakpoints_.count(addr) != 0;
+  }
+  [[nodiscard]] const std::set<Addr>& breakpoints() const {
+    return breakpoints_;
+  }
+
+  /// Step exactly one instruction (FSL stalls retry until it completes or
+  /// the cycle budget is gone).
+  StepResult step_over_stalls(Cycle max_stall_cycles = 1'000'000);
+
+  /// Run until a breakpoint, halt, illegal event, FSL stall, or the cycle
+  /// budget is exhausted.
+  StopCause cont(Cycle max_cycles = ~Cycle{0});
+
+  [[nodiscard]] Processor& cpu() noexcept { return cpu_; }
+
+  /// Execute one textual command and return its reply. Supported verbs:
+  ///   reg <n>            -> register value
+  ///   setreg <n> <value> -> write register
+  ///   pc                 -> current PC
+  ///   msr                -> machine status register
+  ///   mem <addr>         -> word at addr
+  ///   setmem <addr> <v>  -> write word
+  ///   step               -> one instruction
+  ///   cont [cycles]      -> run (optionally bounded)
+  ///   break <addr>       -> set breakpoint
+  ///   delete <addr>      -> clear breakpoint
+  ///   cycles             -> cycle counter
+  ///   disasm             -> disassemble at PC
+  /// Unknown input returns "error: ...".
+  std::string command(std::string_view line);
+
+ private:
+  Processor& cpu_;
+  std::set<Addr> breakpoints_;
+};
+
+}  // namespace mbcosim::iss

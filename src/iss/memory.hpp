@@ -1,0 +1,49 @@
+// LMB BRAM memory model. The paper's configuration stores both the
+// instructions and the data of the software program in on-chip BRAMs
+// reached through two LMB interface controllers with a guaranteed
+// one-cycle access latency (Section III-A); the latency itself is charged
+// by the instruction timing model (isa::base_latency), so this class only
+// models state.
+#pragma once
+
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/types.hpp"
+
+namespace mbcosim::iss {
+
+class LmbMemory {
+ public:
+  /// Default size: 64 KiB, i.e. 32 BRAM blocks — ample for the paper's
+  /// applications.
+  explicit LmbMemory(u32 size_bytes = 64 * 1024);
+
+  [[nodiscard]] u32 size_bytes() const noexcept {
+    return static_cast<u32>(bytes_.size());
+  }
+
+  /// True when [addr, addr + bytes) lies inside the memory.
+  [[nodiscard]] bool contains(Addr addr, u32 bytes) const noexcept;
+
+  // Aligned accessors. Unaligned word/halfword addresses are truncated to
+  // alignment, matching LMB behaviour (the low address bits select byte
+  // lanes, they do not shift the access).
+  [[nodiscard]] Word read_word(Addr addr) const;
+  [[nodiscard]] u16 read_half(Addr addr) const;
+  [[nodiscard]] u8 read_byte(Addr addr) const;
+  void write_word(Addr addr, Word value);
+  void write_half(Addr addr, u16 value);
+  void write_byte(Addr addr, u8 value);
+
+  /// Copy an assembled image into memory at its origin.
+  void load_program(const assembler::Program& program);
+
+  void fill(u8 value);
+
+ private:
+  void check(Addr addr, u32 bytes) const;
+  std::vector<u8> bytes_;
+};
+
+}  // namespace mbcosim::iss

@@ -1,0 +1,167 @@
+// Cycle-accurate instruction-set simulator for the MB32 soft processor —
+// the analog of the Xilinx MicroBlaze cycle-accurate simulator the paper
+// integrates for "simulation of the software execution platform"
+// (Section III-A). The simulator charges the base pipeline latency of
+// every instruction (isa::base_latency) plus dynamic stall cycles for
+// blocking FSL accesses, so the cycle counts it reports are the ones the
+// paper plots in Figures 5 and 7.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "bus/opb_bus.hpp"
+#include "common/resources.hpp"
+#include "common/types.hpp"
+#include "fsl/fsl_hub.hpp"
+#include "isa/isa.hpp"
+#include "iss/memory.hpp"
+
+namespace mbcosim::iss {
+
+/// Why a step / run returned.
+enum class Event : u8 {
+  kRetired,   ///< one instruction completed
+  kFslStall,  ///< blocked on a full/empty FSL this cycle; PC unchanged
+  kHalted,    ///< branch-to-self reached (program end)
+  kIllegal,   ///< undecodable word or disabled functional unit
+};
+
+struct StepResult {
+  Event event = Event::kRetired;
+  Cycle cycles = 0;  ///< cycles consumed by this step (>= 1 unless halted)
+};
+
+/// Execution statistics accumulated since reset.
+struct CpuStats {
+  u64 instructions = 0;
+  Cycle cycles = 0;
+  Cycle fsl_stall_cycles = 0;
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 fsl_reads = 0;
+  u64 fsl_writes = 0;
+  u64 branches = 0;
+  u64 branches_taken = 0;
+  u64 multiplies = 0;
+  u64 opb_accesses = 0;
+  Cycle opb_wait_cycles = 0;
+};
+
+/// Record passed to the optional trace hook after each retired instruction.
+struct TraceRecord {
+  Addr pc = 0;
+  Word raw = 0;
+  isa::Instruction instruction;
+  Cycle cycles = 0;
+  Cycle total_cycles = 0;
+};
+
+/// A user-customized instruction datapath (Nios-style ISA customization,
+/// paper Section I). The compute function sees the two source operands
+/// and returns the result written to rd; `latency` is the unit's total
+/// pipeline occupancy in cycles; `resources` feeds the rapid estimator.
+struct CustomInstruction {
+  std::string name;
+  std::function<Word(Word ra, Word rb)> compute;
+  Cycle latency = 1;
+  ResourceVec resources;
+};
+
+class Processor {
+ public:
+  /// The processor aliases (does not own) its LMB memory; an optional
+  /// FslHub connects it to customized hardware peripherals.
+  Processor(isa::CpuConfig config, LmbMemory& memory,
+            fsl::FslHub* fsl_hub = nullptr);
+
+  /// Attach a memory-mapped OPB bus; data accesses whose addresses fall
+  /// outside the LMB memory decode on it (and pay its wait states).
+  void attach_opb(bus::OpbBus* opb) noexcept { opb_ = opb; }
+
+  /// Install a custom instruction in `slot` (0..kNumCustomSlots-1);
+  /// cust<slot> rd, ra, rb then executes it. Executing an empty slot is
+  /// an architectural illegal-opcode event. Throws SimError on a bad
+  /// slot, missing compute function or zero latency.
+  void register_custom_instruction(unsigned slot, CustomInstruction unit);
+  [[nodiscard]] const CustomInstruction* custom_instruction(
+      unsigned slot) const;
+
+  void reset(Addr pc = 0);
+
+  /// Execute (at most) one instruction. A blocked blocking FSL access
+  /// consumes exactly one cycle and leaves the PC unchanged, so a
+  /// co-simulation engine can advance the hardware model in lock step —
+  /// this is how "the processor gets stalled until In#_full becomes low"
+  /// (Section III-B) is realised.
+  StepResult step();
+
+  /// Convenience runner for processor-only workloads: steps until the
+  /// program halts or the cycle budget is exhausted. Returns the final
+  /// event (kHalted, kIllegal, or kFslStall/kRetired when out of budget).
+  Event run(Cycle max_cycles);
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] Addr pc() const noexcept { return pc_; }
+  [[nodiscard]] Word msr() const noexcept { return msr_; }
+  void set_msr(Word value) noexcept { msr_ = value; }
+
+  [[nodiscard]] Word reg(unsigned index) const;
+  void set_reg(unsigned index, Word value);
+
+  [[nodiscard]] const CpuStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Cycle cycle() const noexcept { return stats_.cycles; }
+
+  [[nodiscard]] LmbMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const isa::CpuConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Install a per-instruction trace hook (empty function to remove).
+  void set_trace(std::function<void(const TraceRecord&)> hook) {
+    trace_ = std::move(hook);
+  }
+
+ private:
+  struct ExecOutcome {
+    Event event = Event::kRetired;
+    bool branch_taken = false;
+  };
+
+  ExecOutcome execute(const isa::Instruction& in);
+  [[nodiscard]] u32 operand_b(const isa::Instruction& in) const;
+  void write_rd(u8 rd, Word value);
+  void add_family(const isa::Instruction& in, bool subtract, bool use_carry,
+                  bool keep_carry);
+  [[nodiscard]] bool carry() const noexcept {
+    return (msr_ & isa::Msr::kCarry) != 0;
+  }
+  void set_carry(bool value) noexcept {
+    msr_ = value ? (msr_ | isa::Msr::kCarry) : (msr_ & ~isa::Msr::kCarry);
+  }
+
+  isa::CpuConfig config_;
+  LmbMemory& memory_;
+  fsl::FslHub* fsl_hub_;
+  bus::OpbBus* opb_ = nullptr;
+  /// Wait states from the last OPB transaction, charged by step().
+  Cycle pending_wait_states_ = 0;
+
+  Word regs_[isa::kNumRegisters] = {};
+  Addr pc_ = 0;
+  Word msr_ = 0;
+  bool halted_ = false;
+  /// High half captured by an IMM prefix, pending for the next type-B.
+  std::optional<u16> imm_prefix_;
+  /// Branch target to apply after the current delay-slot instruction.
+  std::optional<Addr> delay_target_;
+
+  CpuStats stats_;
+  std::function<void(const TraceRecord&)> trace_;
+  std::array<std::optional<CustomInstruction>, isa::kNumCustomSlots>
+      custom_units_;
+};
+
+}  // namespace mbcosim::iss

@@ -1,0 +1,116 @@
+#include "rtl/kernel.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace mbcosim::rtl {
+
+Net& Simulator::net(std::string name, unsigned width) {
+  nets_.push_back(std::make_unique<Net>(std::move(name), width));
+  return *nets_.back();
+}
+
+Net& Simulator::net(std::string name, unsigned width, u64 init) {
+  Net& n = net(std::move(name), width);
+  n.current_ = LogicVector::of(width, init);
+  n.previous_ = n.current_;
+  return n;
+}
+
+Net* Simulator::find_net(std::string_view name) const {
+  for (const auto& net : nets_) {
+    if (net->name() == name) return net.get();
+  }
+  return nullptr;
+}
+
+void Simulator::process(std::string name, std::vector<Net*> sensitivity,
+                        std::function<void()> body) {
+  const u32 index = static_cast<u32>(processes_.size());
+  processes_.push_back(Process{std::move(name), std::move(body), false});
+  for (Net* n : sensitivity) {
+    n->sensitive_processes_.push_back(index);
+  }
+}
+
+void Simulator::assign(Net& target, const LogicVector& value) {
+  if (value.width != target.width()) {
+    throw SimError("Simulator::assign: width mismatch on net '" +
+                   target.name() + "' (" + std::to_string(int(value.width)) +
+                   " vs " + std::to_string(target.width()) + ")");
+  }
+  ++stats_.assignments;
+  target.pending_ = value;
+  target.has_pending_ = true;
+  // Register for commit at the delta boundary (last assignment wins,
+  // VHDL signal semantics).
+  for (Net* n : pending_nets_) {
+    if (n == &target) return;
+  }
+  pending_nets_.push_back(&target);
+}
+
+void Simulator::run_queued_processes() {
+  // Drain the current queue; new wake-ups go to the next delta.
+  std::vector<u32> queue = std::move(run_queue_);
+  run_queue_.clear();
+  for (const u32 index : queue) {
+    processes_[index].queued = false;
+    ++stats_.process_activations;
+    processes_[index].body();
+  }
+}
+
+void Simulator::start() {
+  if (started_) return;
+  started_ = true;
+  for (u32 i = 0; i < processes_.size(); ++i) {
+    processes_[i].queued = true;
+    run_queue_.push_back(i);
+  }
+  settle();
+}
+
+void Simulator::settle() {
+  if (!started_) {
+    start();
+    return;
+  }
+  u64 deltas = 0;
+  while (!run_queue_.empty() || !pending_nets_.empty()) {
+    if (++deltas > max_deltas_) {
+      throw SimError("Simulator: delta-cycle limit exceeded "
+                     "(combinational oscillation?)");
+    }
+    ++stats_.delta_cycles;
+    run_queued_processes();
+    // Commit scheduled assignments; changed nets wake their processes.
+    std::vector<Net*> pending = std::move(pending_nets_);
+    pending_nets_.clear();
+    for (Net* n : pending) {
+      if (!n->has_pending_) continue;
+      n->has_pending_ = false;
+      if (n->pending_ == n->current_) continue;
+      n->previous_ = n->current_;
+      n->current_ = n->pending_;
+      ++stats_.events;
+      for (const u32 proc : n->sensitive_processes_) {
+        if (!processes_[proc].queued) {
+          processes_[proc].queued = true;
+          run_queue_.push_back(proc);
+        }
+      }
+    }
+  }
+}
+
+void Simulator::tick(Net& clk) {
+  start();
+  assign_bit(clk, true);
+  settle();
+  assign_bit(clk, false);
+  settle();
+  ++stats_.clock_cycles;
+}
+
+}  // namespace mbcosim::rtl

@@ -1,0 +1,134 @@
+// Event-driven simulation kernel with VHDL semantics: signals (Net),
+// processes with sensitivity lists, non-blocking signal assignment and
+// delta cycles. This is the engine under the "low-level behavioral
+// simulation" baseline (the paper's ModelSim runs, Table I/II): every
+// signal update is an event, every event wakes the processes sensitive
+// to it, and a simulated clock cycle settles through as many delta
+// cycles as the design needs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtl/logic.hpp"
+
+namespace mbcosim::rtl {
+
+class Simulator;
+
+/// A signal. Reads return the current (committed) value; writes go
+/// through Simulator::assign and commit at the next delta boundary.
+class Net {
+ public:
+  Net(std::string name, unsigned width)
+      : name_(std::move(name)),
+        current_(LogicVector::unknown(width)),
+        previous_(LogicVector::unknown(width)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] unsigned width() const noexcept { return current_.width; }
+  [[nodiscard]] const LogicVector& read() const noexcept { return current_; }
+  [[nodiscard]] u64 value() const { return current_.value(); }
+
+  /// True when the last commit changed a 1-bit net from 0 to 1 / 1 to 0.
+  [[nodiscard]] bool rose() const noexcept {
+    return previous_.bits == 0 && previous_.xmask == 0 &&
+           current_.bits == 1 && current_.xmask == 0;
+  }
+  [[nodiscard]] bool fell() const noexcept {
+    return previous_.bits == 1 && previous_.xmask == 0 &&
+           current_.bits == 0 && current_.xmask == 0;
+  }
+
+ private:
+  friend class Simulator;
+  std::string name_;
+  LogicVector current_;
+  LogicVector previous_;
+  LogicVector pending_{};
+  bool has_pending_ = false;
+  std::vector<u32> sensitive_processes_;
+};
+
+/// Kernel statistics — the quantities that make low-level simulation
+/// expensive, reported by the Table II bench.
+struct KernelStats {
+  u64 events = 0;             ///< committed signal value changes
+  u64 process_activations = 0;
+  u64 delta_cycles = 0;
+  u64 assignments = 0;        ///< scheduled signal assignments
+  Cycle clock_cycles = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Create a signal. Initial value is all-X, like an unresetted net.
+  Net& net(std::string name, unsigned width);
+  /// Create a signal initialized to a known value.
+  Net& net(std::string name, unsigned width, u64 init);
+
+  /// Register a process. The body runs once at time zero (VHDL initial
+  /// activation) and afterwards whenever a signal in `sensitivity`
+  /// changes value.
+  void process(std::string name, std::vector<Net*> sensitivity,
+               std::function<void()> body);
+
+  /// Non-blocking assignment: takes effect at the next delta boundary.
+  void assign(Net& target, const LogicVector& value);
+  void assign(Net& target, u64 value) {
+    assign(target, LogicVector::of(target.width(), value));
+  }
+  void assign_bit(Net& target, bool value) {
+    assign(target, LogicVector::of(1, value ? 1 : 0));
+  }
+
+  /// Run delta cycles until no more events are pending.
+  void settle();
+
+  /// One full clock cycle on `clk`: rising edge, settle, falling edge,
+  /// settle. Counted in stats().clock_cycles.
+  void tick(Net& clk);
+
+  /// Initial activation of every process (called lazily by the first
+  /// settle/tick, or explicitly).
+  void start();
+
+  /// Look up a net by full name (nullptr when absent). Intended for
+  /// probes and waveform dumping, not for simulation-time logic.
+  [[nodiscard]] Net* find_net(std::string_view name) const;
+
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t net_count() const noexcept { return nets_.size(); }
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return processes_.size();
+  }
+
+  /// Delta-cycle runaway guard (combinational oscillation).
+  void set_max_deltas(u64 limit) noexcept { max_deltas_ = limit; }
+
+ private:
+  struct Process {
+    std::string name;
+    std::function<void()> body;
+    bool queued = false;
+  };
+
+  void run_queued_processes();
+
+  std::vector<std::unique_ptr<Net>> nets_;
+  std::vector<Process> processes_;
+  std::vector<u32> run_queue_;
+  std::vector<Net*> pending_nets_;
+  bool started_ = false;
+  u64 max_deltas_ = 10'000;
+  KernelStats stats_;
+};
+
+}  // namespace mbcosim::rtl

@@ -1,0 +1,136 @@
+// Four-valued logic and bit vectors for the low-level (HDL-style)
+// simulation kernel — the substrate of the ModelSim-behavioral baseline
+// the paper compares against (Section IV, Table I). Values are '0', '1',
+// 'X' (unknown) and 'Z' (treated as unknown on reads).
+#pragma once
+
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace mbcosim::rtl {
+
+enum class Logic : u8 { k0 = 0, k1 = 1, kX = 2, kZ = 3 };
+
+[[nodiscard]] constexpr char logic_char(Logic value) {
+  switch (value) {
+    case Logic::k0: return '0';
+    case Logic::k1: return '1';
+    case Logic::kX: return 'X';
+    case Logic::kZ: return 'Z';
+  }
+  return '?';
+}
+
+/// A bit vector of up to 64 bits: value bits plus an unknown mask
+/// (bit set in `xmask` means that bit is X/Z).
+struct LogicVector {
+  u64 bits = 0;
+  u64 xmask = 0;
+  u8 width = 1;
+
+  static LogicVector of(unsigned bit_width, u64 value) {
+    check_width(bit_width);
+    LogicVector v;
+    v.width = static_cast<u8>(bit_width);
+    v.bits = value & low_mask64(bit_width);
+    v.xmask = 0;
+    return v;
+  }
+
+  static LogicVector unknown(unsigned bit_width) {
+    check_width(bit_width);
+    LogicVector v;
+    v.width = static_cast<u8>(bit_width);
+    v.bits = 0;
+    v.xmask = low_mask64(bit_width);
+    return v;
+  }
+
+  [[nodiscard]] bool is_fully_known() const noexcept { return xmask == 0; }
+
+  /// Known numeric value; throws if any bit is unknown.
+  [[nodiscard]] u64 value() const {
+    if (!is_fully_known()) {
+      throw SimError("LogicVector::value on vector with X bits");
+    }
+    return bits;
+  }
+
+  [[nodiscard]] Logic at(unsigned index) const {
+    if (index >= width) {
+      throw SimError("LogicVector::at index out of range");
+    }
+    if ((xmask >> index) & 1u) return Logic::kX;
+    return ((bits >> index) & 1u) != 0 ? Logic::k1 : Logic::k0;
+  }
+
+  void set(unsigned index, Logic value) {
+    if (index >= width) {
+      throw SimError("LogicVector::set index out of range");
+    }
+    const u64 mask = u64{1} << index;
+    switch (value) {
+      case Logic::k0:
+        bits &= ~mask;
+        xmask &= ~mask;
+        break;
+      case Logic::k1:
+        bits |= mask;
+        xmask &= ~mask;
+        break;
+      case Logic::kX:
+      case Logic::kZ:
+        bits &= ~mask;
+        xmask |= mask;
+        break;
+    }
+  }
+
+  friend bool operator==(const LogicVector& a, const LogicVector& b) {
+    return a.width == b.width && a.bits == b.bits && a.xmask == b.xmask;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    out.reserve(width);
+    for (unsigned i = width; i-- > 0;) {
+      out.push_back(logic_char(at(i)));
+    }
+    return out;
+  }
+
+ private:
+  static void check_width(unsigned bit_width) {
+    if (bit_width == 0 || bit_width > 64) {
+      throw SimError("LogicVector: width must be in [1, 64]");
+    }
+  }
+};
+
+/// Single-bit helpers with X propagation.
+[[nodiscard]] constexpr Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::k0 || b == Logic::k0) return Logic::k0;
+  if (a == Logic::k1 && b == Logic::k1) return Logic::k1;
+  return Logic::kX;
+}
+[[nodiscard]] constexpr Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::k1 || b == Logic::k1) return Logic::k1;
+  if (a == Logic::k0 && b == Logic::k0) return Logic::k0;
+  return Logic::kX;
+}
+[[nodiscard]] constexpr Logic logic_xor(Logic a, Logic b) {
+  if (a == Logic::kX || a == Logic::kZ || b == Logic::kX || b == Logic::kZ) {
+    return Logic::kX;
+  }
+  return a == b ? Logic::k0 : Logic::k1;
+}
+[[nodiscard]] constexpr Logic logic_not(Logic a) {
+  if (a == Logic::k0) return Logic::k1;
+  if (a == Logic::k1) return Logic::k0;
+  return Logic::kX;
+}
+
+}  // namespace mbcosim::rtl

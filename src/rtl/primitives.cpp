@@ -1,0 +1,213 @@
+#include "rtl/primitives.hpp"
+
+namespace mbcosim::rtl {
+
+namespace {
+void check_same_width(const LogicVector& a, const LogicVector& b,
+                      const char* what) {
+  if (a.width != b.width) {
+    throw SimError(std::string(what) + ": operand width mismatch (" +
+                   std::to_string(int(a.width)) + " vs " +
+                   std::to_string(int(b.width)) + ")");
+  }
+}
+}  // namespace
+
+LogicVector rc_add(const LogicVector& a, const LogicVector& b, Logic carry_in,
+                   Logic* carry_out) {
+  check_same_width(a, b, "rc_add");
+  LogicVector sum = LogicVector::of(a.width, 0);
+  Logic carry = carry_in;
+  for (unsigned i = 0; i < a.width; ++i) {
+    const Logic ai = a.at(i);
+    const Logic bi = b.at(i);
+    // Full adder: s = a ^ b ^ c; c' = (a & b) | (c & (a ^ b)).
+    const Logic axb = logic_xor(ai, bi);
+    sum.set(i, logic_xor(axb, carry));
+    carry = logic_or(logic_and(ai, bi), logic_and(carry, axb));
+  }
+  if (carry_out != nullptr) *carry_out = carry;
+  return sum;
+}
+
+LogicVector rc_sub(const LogicVector& a, const LogicVector& b,
+                   Logic* carry_out) {
+  return rc_add(a, not_v(b), Logic::k1, carry_out);
+}
+
+LogicVector and_v(const LogicVector& a, const LogicVector& b) {
+  check_same_width(a, b, "and_v");
+  LogicVector out = LogicVector::of(a.width, 0);
+  for (unsigned i = 0; i < a.width; ++i) {
+    out.set(i, logic_and(a.at(i), b.at(i)));
+  }
+  return out;
+}
+
+LogicVector or_v(const LogicVector& a, const LogicVector& b) {
+  check_same_width(a, b, "or_v");
+  LogicVector out = LogicVector::of(a.width, 0);
+  for (unsigned i = 0; i < a.width; ++i) {
+    out.set(i, logic_or(a.at(i), b.at(i)));
+  }
+  return out;
+}
+
+LogicVector xor_v(const LogicVector& a, const LogicVector& b) {
+  check_same_width(a, b, "xor_v");
+  LogicVector out = LogicVector::of(a.width, 0);
+  for (unsigned i = 0; i < a.width; ++i) {
+    out.set(i, logic_xor(a.at(i), b.at(i)));
+  }
+  return out;
+}
+
+LogicVector not_v(const LogicVector& a) {
+  LogicVector out = LogicVector::of(a.width, 0);
+  for (unsigned i = 0; i < a.width; ++i) {
+    out.set(i, logic_not(a.at(i)));
+  }
+  return out;
+}
+
+LogicVector mux2(Logic select, const LogicVector& when0,
+                 const LogicVector& when1) {
+  check_same_width(when0, when1, "mux2");
+  if (select == Logic::k0) return when0;
+  if (select == Logic::k1) return when1;
+  // Unknown select: bits that agree stay known, the rest go X.
+  LogicVector out = LogicVector::of(when0.width, 0);
+  for (unsigned i = 0; i < when0.width; ++i) {
+    const Logic z = when0.at(i);
+    const Logic o = when1.at(i);
+    out.set(i, z == o ? z : Logic::kX);
+  }
+  return out;
+}
+
+Logic eq_v(const LogicVector& a, const LogicVector& b) {
+  check_same_width(a, b, "eq_v");
+  Logic all = Logic::k1;
+  for (unsigned i = 0; i < a.width; ++i) {
+    all = logic_and(all, logic_not(logic_xor(a.at(i), b.at(i))));
+    if (all == Logic::k0) return Logic::k0;
+  }
+  return all;
+}
+
+Logic lt_signed(const LogicVector& a, const LogicVector& b) {
+  // a < b  <=>  sign(a - b) xor overflow(a - b).
+  LogicVector diff = rc_sub(a, b);
+  const Logic sa = a.at(a.width - 1);
+  const Logic sb = b.at(b.width - 1);
+  const Logic sd = diff.at(diff.width - 1);
+  // Overflow when the operand signs differ and the result sign differs
+  // from the sign of a.
+  const Logic overflow =
+      logic_and(logic_xor(sa, sb), logic_xor(sa, sd));
+  return logic_xor(sd, overflow);
+}
+
+namespace {
+LogicVector barrel_shift(const LogicVector& a, const LogicVector& amount,
+                         bool left, bool arithmetic) {
+  LogicVector stage = a;
+  const Logic fill_known = arithmetic ? a.at(a.width - 1) : Logic::k0;
+  for (unsigned level = 0; level < amount.width; ++level) {
+    const unsigned step = 1u << level;
+    if (step >= a.width && level > 0) {
+      // Remaining levels shift everything out; still evaluate the mux
+      // so the cost model matches the hardware depth.
+    }
+    LogicVector shifted = LogicVector::of(a.width, 0);
+    for (unsigned i = 0; i < a.width; ++i) {
+      Logic moved;
+      if (left) {
+        moved = i >= step ? stage.at(i - step) : Logic::k0;
+      } else {
+        moved = (i + step < a.width) ? stage.at(i + step) : fill_known;
+      }
+      shifted.set(i, moved);
+    }
+    stage = mux2(amount.at(level), stage, shifted);
+  }
+  return stage;
+}
+}  // namespace
+
+LogicVector barrel_shift_right_arith(const LogicVector& a,
+                                     const LogicVector& amount) {
+  return barrel_shift(a, amount, /*left=*/false, /*arithmetic=*/true);
+}
+
+LogicVector barrel_shift_right_logic(const LogicVector& a,
+                                     const LogicVector& amount) {
+  return barrel_shift(a, amount, /*left=*/false, /*arithmetic=*/false);
+}
+
+LogicVector barrel_shift_left(const LogicVector& a,
+                              const LogicVector& amount) {
+  return barrel_shift(a, amount, /*left=*/true, /*arithmetic=*/false);
+}
+
+LogicVector array_multiply(const LogicVector& a, const LogicVector& b) {
+  check_same_width(a, b, "array_multiply");
+  // Shift-add array: for each bit of b, conditionally add the shifted a.
+  LogicVector acc = LogicVector::of(a.width, 0);
+  LogicVector shifted = a;
+  for (unsigned i = 0; i < b.width; ++i) {
+    const LogicVector summand =
+        mux2(b.at(i), LogicVector::of(a.width, 0), shifted);
+    acc = rc_add(acc, summand);
+    // Shift partial-product operand left by one.
+    LogicVector next = LogicVector::of(a.width, 0);
+    for (unsigned j = a.width; j-- > 1;) next.set(j, shifted.at(j - 1));
+    next.set(0, Logic::k0);
+    shifted = next;
+  }
+  return acc;
+}
+
+LogicVector zero_extend(const LogicVector& a, unsigned width) {
+  if (width < a.width) throw SimError("zero_extend: narrowing");
+  LogicVector out = LogicVector::of(width, 0);
+  for (unsigned i = 0; i < a.width; ++i) out.set(i, a.at(i));
+  return out;
+}
+
+LogicVector sign_extend_v(const LogicVector& a, unsigned width) {
+  if (width < a.width) throw SimError("sign_extend_v: narrowing");
+  LogicVector out = LogicVector::of(width, 0);
+  const Logic sign = a.at(a.width - 1);
+  for (unsigned i = 0; i < width; ++i) {
+    out.set(i, i < a.width ? a.at(i) : sign);
+  }
+  return out;
+}
+
+LogicVector truncate(const LogicVector& a, unsigned width) {
+  if (width > a.width) throw SimError("truncate: widening");
+  LogicVector out = LogicVector::of(width, 0);
+  for (unsigned i = 0; i < width; ++i) out.set(i, a.at(i));
+  return out;
+}
+
+LogicVector slice(const LogicVector& a, unsigned low, unsigned width) {
+  if (low + width > a.width) throw SimError("slice: out of range");
+  LogicVector out = LogicVector::of(width, 0);
+  for (unsigned i = 0; i < width; ++i) out.set(i, a.at(low + i));
+  return out;
+}
+
+LogicVector concat(const LogicVector& high, const LogicVector& low) {
+  const unsigned width = high.width + low.width;
+  if (width > 64) throw SimError("concat: result exceeds 64 bits");
+  LogicVector out = LogicVector::of(width, 0);
+  for (unsigned i = 0; i < low.width; ++i) out.set(i, low.at(i));
+  for (unsigned i = 0; i < high.width; ++i) {
+    out.set(low.width + i, high.at(i));
+  }
+  return out;
+}
+
+}  // namespace mbcosim::rtl

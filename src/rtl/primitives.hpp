@@ -1,0 +1,63 @@
+// Structural arithmetic primitives for the RTL models. Everything is
+// computed gate-by-gate over four-valued logic: ripple-carry adders walk
+// the carry chain bit by bit, barrel shifters are log-depth trees of
+// per-bit 2:1 muxes, the multiplier is a shift-add array. This per-bit
+// evaluation is exactly why low-level simulation is slow — it is the
+// cost the paper's high-level environment avoids by simulating "only the
+// arithmetic aspects of the low-level implementations" (Section I).
+#pragma once
+
+#include "rtl/logic.hpp"
+
+namespace mbcosim::rtl {
+
+/// Full-adder based ripple-carry addition: result width = operand width.
+/// Returns sum; carry-out written to `carry_out` when non-null.
+[[nodiscard]] LogicVector rc_add(const LogicVector& a, const LogicVector& b,
+                                 Logic carry_in = Logic::k0,
+                                 Logic* carry_out = nullptr);
+
+/// Two's-complement subtraction a - b via a + ~b + 1.
+[[nodiscard]] LogicVector rc_sub(const LogicVector& a, const LogicVector& b,
+                                 Logic* carry_out = nullptr);
+
+/// Bitwise operations (per-bit gate evaluation).
+[[nodiscard]] LogicVector and_v(const LogicVector& a, const LogicVector& b);
+[[nodiscard]] LogicVector or_v(const LogicVector& a, const LogicVector& b);
+[[nodiscard]] LogicVector xor_v(const LogicVector& a, const LogicVector& b);
+[[nodiscard]] LogicVector not_v(const LogicVector& a);
+
+/// Word-wide 2:1 mux (select X poisons the output).
+[[nodiscard]] LogicVector mux2(Logic select, const LogicVector& when0,
+                               const LogicVector& when1);
+
+/// Equality comparator tree; X anywhere yields X.
+[[nodiscard]] Logic eq_v(const LogicVector& a, const LogicVector& b);
+
+/// Signed less-than via subtraction (sign of the difference corrected
+/// for overflow).
+[[nodiscard]] Logic lt_signed(const LogicVector& a, const LogicVector& b);
+
+/// Logarithmic barrel shifter: arithmetic right shift of `a` by the
+/// unsigned amount in `amount` (per-bit mux levels).
+[[nodiscard]] LogicVector barrel_shift_right_arith(const LogicVector& a,
+                                                   const LogicVector& amount);
+[[nodiscard]] LogicVector barrel_shift_right_logic(const LogicVector& a,
+                                                   const LogicVector& amount);
+[[nodiscard]] LogicVector barrel_shift_left(const LogicVector& a,
+                                            const LogicVector& amount);
+
+/// Shift-add array multiplier: low `width(a)` bits of a * b.
+[[nodiscard]] LogicVector array_multiply(const LogicVector& a,
+                                         const LogicVector& b);
+
+/// Width adapters.
+[[nodiscard]] LogicVector zero_extend(const LogicVector& a, unsigned width);
+[[nodiscard]] LogicVector sign_extend_v(const LogicVector& a, unsigned width);
+[[nodiscard]] LogicVector truncate(const LogicVector& a, unsigned width);
+[[nodiscard]] LogicVector slice(const LogicVector& a, unsigned low,
+                                unsigned width);
+[[nodiscard]] LogicVector concat(const LogicVector& high,
+                                 const LogicVector& low);
+
+}  // namespace mbcosim::rtl

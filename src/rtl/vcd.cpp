@@ -1,0 +1,68 @@
+#include "rtl/vcd.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace mbcosim::rtl {
+
+VcdWriter::VcdWriter(std::ostream& out, std::vector<const Net*> nets,
+                     std::string module_name)
+    : out_(out), nets_(std::move(nets)) {
+  if (nets_.empty()) {
+    throw SimError("VcdWriter: no nets to observe");
+  }
+  last_.reserve(nets_.size());
+  ids_.reserve(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    last_.push_back(LogicVector::unknown(nets_[i]->width()));
+    ids_.push_back(identifier(i));
+  }
+  write_header(module_name);
+}
+
+std::string VcdWriter::identifier(std::size_t index) {
+  // Printable VCD identifier alphabet: '!' (33) .. '~' (126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdWriter::write_header(const std::string& module_name) {
+  out_ << "$date mbcosim $end\n";
+  out_ << "$version mbcosim rtl kernel $end\n";
+  out_ << "$timescale 1 ns $end\n";
+  out_ << "$scope module " << module_name << " $end\n";
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    std::string name = nets_[i]->name();
+    std::replace(name.begin(), name.end(), ' ', '_');
+    out_ << "$var wire " << nets_[i]->width() << " " << ids_[i] << " "
+         << name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::sample(u64 time) {
+  bool time_emitted = false;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const LogicVector& now = nets_[i]->read();
+    if (samples_ != 0 && now == last_[i]) continue;
+    if (!time_emitted) {
+      out_ << "#" << time << "\n";
+      time_emitted = true;
+    }
+    if (nets_[i]->width() == 1) {
+      out_ << logic_char(now.at(0)) << ids_[i] << "\n";
+    } else {
+      out_ << "b" << now.to_string() << " " << ids_[i] << "\n";
+    }
+    last_[i] = now;
+  }
+  ++samples_;
+}
+
+}  // namespace mbcosim::rtl

@@ -1,0 +1,42 @@
+// VCD (Value Change Dump) waveform writer for the event-driven kernel —
+// what you would get from the baseline simulator's wave window. Attach it
+// to a Simulator, call sample() once per clock cycle (or settle point),
+// and load the output in GTKWave or any VCD viewer.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/kernel.hpp"
+
+namespace mbcosim::rtl {
+
+class VcdWriter {
+ public:
+  /// Observe `nets` (all values dumped relative to sample index). The
+  /// stream must outlive the writer. Timescale is one simulated clock
+  /// cycle per VCD time unit.
+  VcdWriter(std::ostream& out, std::vector<const Net*> nets,
+            std::string module_name = "mbcosim");
+
+  /// Record the current values at time `time` (monotonically
+  /// non-decreasing; usually the clock-cycle count). Only changed nets
+  /// are emitted, per the VCD format.
+  void sample(u64 time);
+
+  [[nodiscard]] u64 samples_taken() const noexcept { return samples_; }
+
+ private:
+  void write_header(const std::string& module_name);
+  static std::string identifier(std::size_t index);
+
+  std::ostream& out_;
+  std::vector<const Net*> nets_;
+  std::vector<LogicVector> last_;
+  std::vector<std::string> ids_;
+  u64 samples_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace mbcosim::rtl

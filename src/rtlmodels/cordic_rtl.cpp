@@ -1,0 +1,150 @@
+#include "rtlmodels/cordic_rtl.hpp"
+
+#include <string>
+
+#include "apps/cordic/cordic_reference.hpp"
+#include "common/status.hpp"
+
+namespace mbcosim::rtlmodels {
+
+using rtl::Logic;
+using rtl::LogicVector;
+
+CordicPipelineRtl::CordicPipelineRtl(rtl::Simulator& sim, rtl::Net& clk,
+                                     unsigned num_pes,
+                                     fsl::FslChannel& from_cpu,
+                                     fsl::FslChannel& to_cpu)
+    : sim_(sim), clk_(clk), num_pes_(num_pes), from_cpu_(from_cpu),
+      to_cpu_(to_cpu) {
+  if (num_pes_ == 0 || num_pes_ > 32) {
+    throw SimError("CordicPipelineRtl: P must be in [1, 32]");
+  }
+  x_hold_ = &sim_.net("cordic.deser.x_hold", 32, 0);
+  y_hold_ = &sim_.net("cordic.deser.y_hold", 32, 0);
+  s0_hold_ = &sim_.net("cordic.deser.s0_hold", 6, 0);
+  idx_ = &sim_.net("cordic.deser.idx", 2, 0);
+  stages_.resize(num_pes_);
+  for (unsigned i = 0; i < num_pes_; ++i) {
+    const std::string prefix = "cordic.pe" + std::to_string(i + 1);
+    stages_[i].x = &sim_.net(prefix + ".x", 32, 0);
+    stages_[i].y = &sim_.net(prefix + ".y", 32, 0);
+    stages_[i].z = &sim_.net(prefix + ".z", 32, 0);
+    stages_[i].s = &sim_.net(prefix + ".s", 6, 0);
+    stages_[i].v = &sim_.net(prefix + ".v", 1, 0);
+    stages_[i].neg = &sim_.net(prefix + ".neg", 1, 0);
+    stages_[i].xs = &sim_.net(prefix + ".xs", 32, 0);
+    stages_[i].cs = &sim_.net(prefix + ".cs", 32, 0);
+    stages_[i].y_next = &sim_.net(prefix + ".y_next", 32, 0);
+    stages_[i].z_next = &sim_.net(prefix + ".z_next", 32, 0);
+    stages_[i].s_next = &sim_.net(prefix + ".s_next", 6, 0);
+  }
+  sim_.process("cordic.pipeline", {&clk_}, [this] { on_clock(); });
+}
+
+void CordicPipelineRtl::reset() {
+  sim_.assign(*x_hold_, 0);
+  sim_.assign(*y_hold_, 0);
+  sim_.assign(*s0_hold_, 0);
+  sim_.assign(*idx_, 0);
+  for (Stage& stage : stages_) {
+    sim_.assign(*stage.x, 0);
+    sim_.assign(*stage.y, 0);
+    sim_.assign(*stage.z, 0);
+    sim_.assign(*stage.s, 0);
+    sim_.assign(*stage.v, 0);
+  }
+  out_queue_.clear();
+  sim_.settle();
+}
+
+void CordicPipelineRtl::on_clock() {
+  if (!clk_.rose()) return;
+
+  // ---- FSL slave side: inspect the incoming FIFO head. ---------------------
+  const auto head = from_cpu_.peek();
+  const bool exists = head.has_value();
+  const bool is_control = exists && head->control;
+  const bool data_accept = exists && !is_control;
+  const bool ctrl_accept = exists && is_control;
+  const u64 head_data = exists ? head->data : 0;
+  const u64 idx_now = idx_->value();
+
+  // ---- Per-PE datapath, evaluated structurally every cycle. -----------------
+  const LogicVector one32 =
+      LogicVector::of(32, static_cast<u32>(apps::cordic::kOneRaw));
+  // Stage-1 inputs come from the deserializer.
+  LogicVector x_in = x_hold_->read();
+  LogicVector y_in = y_hold_->read();
+  LogicVector z_in = LogicVector::of(32, head_data & 0xFFFFFFFFu);
+  LogicVector s_in = s0_hold_->read();
+  bool v_in = data_accept && idx_now == 2;
+
+  for (Stage& stage : stages_) {
+    // d selection, barrel-shifted operands, the two add/sub pairs. Each
+    // primitive output drives its own signal (netlist fidelity).
+    const Logic neg = rtl::lt_signed(y_in, LogicVector::of(32, 0));
+    const LogicVector xs = rtl::barrel_shift_right_arith(
+        x_in, rtl::truncate(s_in, 5));
+    const LogicVector cs = rtl::barrel_shift_right_arith(
+        one32, rtl::truncate(s_in, 5));
+    const LogicVector y_next =
+        rtl::mux2(neg, rtl::rc_sub(y_in, xs), rtl::rc_add(y_in, xs));
+    const LogicVector z_next =
+        rtl::mux2(neg, rtl::rc_add(z_in, cs), rtl::rc_sub(z_in, cs));
+    const LogicVector s_next =
+        rtl::rc_add(s_in, LogicVector::of(6, 1));
+    sim_.assign(*stage.neg, LogicVector::of(1, neg == Logic::k1 ? 1 : 0));
+    sim_.assign(*stage.xs, xs);
+    sim_.assign(*stage.cs, cs);
+    sim_.assign(*stage.y_next, y_next);
+    sim_.assign(*stage.z_next, z_next);
+    sim_.assign(*stage.s_next, s_next);
+
+    // Latch into the stage registers; the *current* register values feed
+    // the next stage this cycle (fully pipelined linear array).
+    const LogicVector x_q = stage.x->read();
+    const LogicVector y_q = stage.y->read();
+    const LogicVector z_q = stage.z->read();
+    const LogicVector s_q = stage.s->read();
+    const bool v_q = stage.v->value() != 0;
+
+    sim_.assign(*stage.x, x_in);
+    sim_.assign(*stage.y, y_next);
+    sim_.assign(*stage.z, z_next);
+    sim_.assign(*stage.s, s_next);
+    sim_.assign_bit(*stage.v, v_in);
+
+    x_in = x_q;
+    y_in = y_q;
+    z_in = z_q;
+    s_in = s_q;
+    v_in = v_q;
+  }
+
+  // ---- Output serializer (x_in .. v_in now hold the last stage's
+  // registered outputs). ------------------------------------------------------
+  if (!out_queue_.empty() && !to_cpu_.full()) {
+    to_cpu_.try_write(out_queue_.front(), false);
+    out_queue_.pop_front();
+  }
+  if (v_in) {
+    out_queue_.push_back(static_cast<Word>(x_in.value()));
+    out_queue_.push_back(static_cast<Word>(y_in.value()));
+    out_queue_.push_back(static_cast<Word>(z_in.value()));
+  }
+
+  // ---- Deserializer state update and FIFO pop. ------------------------------
+  if (ctrl_accept) {
+    sim_.assign(*s0_hold_, head_data & 0x3Fu);
+  }
+  if (data_accept) {
+    if (idx_now == 0) sim_.assign(*x_hold_, head_data & 0xFFFFFFFFu);
+    if (idx_now == 1) sim_.assign(*y_hold_, head_data & 0xFFFFFFFFu);
+    sim_.assign(*idx_, (idx_now + 1) % 3);
+  }
+  if (exists) {
+    (void)from_cpu_.try_read();
+  }
+}
+
+}  // namespace mbcosim::rtlmodels

@@ -1,0 +1,70 @@
+// Structural RTL model of the CORDIC division pipeline — the low-level
+// implementation that System Generator would generate from the block
+// design in src/apps/cordic/cordic_hw.cpp, simulated by the event-driven
+// kernel for the baseline measurements. Stage registers are kernel nets;
+// the per-stage datapath (sign detect, two barrel shifters, two
+// adder/subtractor pairs) is evaluated gate-by-gate through the
+// structural primitives each clock cycle.
+//
+// Cycle behaviour is identical to the high-level sysgen pipeline: the
+// cross-validation tests run the same program on both systems and demand
+// bit- and cycle-exact agreement.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fsl/fsl_channel.hpp"
+#include "rtl/kernel.hpp"
+#include "rtl/primitives.hpp"
+
+namespace mbcosim::rtlmodels {
+
+class CordicPipelineRtl {
+ public:
+  CordicPipelineRtl(rtl::Simulator& sim, rtl::Net& clk, unsigned num_pes,
+                    fsl::FslChannel& from_cpu, fsl::FslChannel& to_cpu);
+
+  [[nodiscard]] unsigned num_pes() const noexcept { return num_pes_; }
+
+  void reset();
+
+ private:
+  void on_clock();
+
+  rtl::Simulator& sim_;
+  rtl::Net& clk_;
+  unsigned num_pes_;
+  fsl::FslChannel& from_cpu_;
+  fsl::FslChannel& to_cpu_;
+
+  // Deserializer state.
+  rtl::Net* x_hold_ = nullptr;
+  rtl::Net* y_hold_ = nullptr;
+  rtl::Net* s0_hold_ = nullptr;
+  rtl::Net* idx_ = nullptr;
+
+  // Pipeline stage registers (index 0 = first PE's output registers),
+  // plus one signal per combinational primitive output in the PE's
+  // datapath, updated every cycle like the elaborated netlist.
+  struct Stage {
+    rtl::Net* x = nullptr;
+    rtl::Net* y = nullptr;
+    rtl::Net* z = nullptr;
+    rtl::Net* s = nullptr;
+    rtl::Net* v = nullptr;
+    rtl::Net* neg = nullptr;
+    rtl::Net* xs = nullptr;
+    rtl::Net* cs = nullptr;
+    rtl::Net* y_next = nullptr;
+    rtl::Net* z_next = nullptr;
+    rtl::Net* s_next = nullptr;
+  };
+  std::vector<Stage> stages_;
+
+  // Output serializer (behavioral queue + handshake, as in the custom
+  // VectorSerializer block of the high-level model).
+  std::deque<Word> out_queue_;
+};
+
+}  // namespace mbcosim::rtlmodels

@@ -1,0 +1,108 @@
+#include "rtlmodels/matmul_rtl.hpp"
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace mbcosim::rtlmodels {
+
+using rtl::Logic;
+using rtl::LogicVector;
+
+MatmulRtl::MatmulRtl(rtl::Simulator& sim, rtl::Net& clk, unsigned block_size,
+                     fsl::FslChannel& from_cpu, fsl::FslChannel& to_cpu)
+    : sim_(sim), clk_(clk), n_(block_size), from_cpu_(from_cpu),
+      to_cpu_(to_cpu) {
+  if (n_ < 2 || n_ > 4) {
+    throw SimError("MatmulRtl: block size must be in [2, 4]");
+  }
+  for (unsigned k = 0; k < n_; ++k) {
+    for (unsigned j = 0; j < n_; ++j) {
+      b_regs_.push_back(&sim_.net(
+          "matmul.b" + std::to_string(k) + std::to_string(j), 16, 0));
+    }
+  }
+  b_idx_ = &sim_.net("matmul.b_idx", 5, 0);
+  k_idx_ = &sim_.net("matmul.k_idx", 3, 0);
+  for (unsigned j = 0; j < n_; ++j) {
+    const std::string tag = "matmul.col" + std::to_string(j);
+    accs_.push_back(&sim_.net(tag + ".acc", 36, 0));
+    b_sel_nets_.push_back(&sim_.net(tag + ".bsel", 16, 0));
+    product_nets_.push_back(&sim_.net(tag + ".product", 32, 0));
+    acc_next_nets_.push_back(&sim_.net(tag + ".acc_next", 36, 0));
+  }
+  sim_.process("matmul.mac", {&clk_}, [this] { on_clock(); });
+}
+
+void MatmulRtl::reset() {
+  for (rtl::Net* reg : b_regs_) sim_.assign(*reg, 0);
+  sim_.assign(*b_idx_, 0);
+  sim_.assign(*k_idx_, 0);
+  for (rtl::Net* acc : accs_) sim_.assign(*acc, 0);
+  out_queue_.clear();
+  sim_.settle();
+}
+
+void MatmulRtl::on_clock() {
+  if (!clk_.rose()) return;
+
+  const auto head = from_cpu_.peek();
+  const bool exists = head.has_value();
+  const bool is_control = exists && head->control;
+  const bool data_accept = exists && !is_control;
+  const bool ctrl_accept = exists && is_control;
+  const LogicVector a_element =
+      LogicVector::of(16, exists ? (head->data & 0xFFFFu) : 0);
+
+  const u64 k_now = k_idx_->value();
+  const bool k_first = k_now == 0;
+  const bool row_done = data_accept && k_now == n_ - 1;
+
+  // ---- Streaming MAC datapath: n multipliers + n accumulators. -------------
+  // The combinational array evaluates every cycle on whatever sits at its
+  // inputs (multipliers do not know about handshakes); only the state
+  // updates are qualified by data_accept.
+  std::vector<Word> row(n_, 0);
+  const LogicVector a_ext = rtl::sign_extend_v(a_element, 32);
+  for (unsigned j = 0; j < n_; ++j) {
+    // b[k][j] selected from column j of the register file.
+    const LogicVector b_sel =
+        b_regs_[static_cast<std::size_t>(k_now) * n_ + j]->read();
+    const LogicVector product =
+        rtl::array_multiply(a_ext, rtl::sign_extend_v(b_sel, 32));
+    const LogicVector product36 = rtl::sign_extend_v(product, 36);
+    const LogicVector sum = rtl::rc_add(accs_[j]->read(), product36);
+    const LogicVector acc_next = k_first ? product36 : sum;
+    sim_.assign(*b_sel_nets_[j], b_sel);
+    sim_.assign(*product_nets_[j], product);
+    sim_.assign(*acc_next_nets_[j], acc_next);
+    if (data_accept) {
+      sim_.assign(*accs_[j], acc_next);
+      row[j] = static_cast<Word>(rtl::truncate(acc_next, 32).value());
+    }
+  }
+  if (data_accept) {
+    sim_.assign(*k_idx_, (k_now + 1) % n_);
+  }
+
+  // ---- Output serializer. ----------------------------------------------------
+  if (!out_queue_.empty() && !to_cpu_.full()) {
+    to_cpu_.try_write(out_queue_.front(), false);
+    out_queue_.pop_front();
+  }
+  if (row_done) {
+    for (unsigned j = 0; j < n_; ++j) out_queue_.push_back(row[j]);
+  }
+
+  // ---- Control-word loading of the B block. ----------------------------------
+  if (ctrl_accept) {
+    const u64 index = b_idx_->value();
+    sim_.assign(*b_regs_[static_cast<std::size_t>(index)], a_element);
+    sim_.assign(*b_idx_, (index + 1) % (static_cast<u64>(n_) * n_));
+  }
+  if (exists) {
+    (void)from_cpu_.try_read();
+  }
+}
+
+}  // namespace mbcosim::rtlmodels

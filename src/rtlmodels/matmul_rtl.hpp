@@ -1,0 +1,51 @@
+// Structural RTL model of the n x n block matrix multiplication
+// peripheral (the low-level counterpart of src/apps/matmul/matmul_hw.cpp)
+// for the baseline simulator. The B-block register file, the stream
+// counter and the accumulators are kernel nets; the multipliers are
+// shift-add arrays and the accumulators ripple-carry adders, evaluated
+// bit by bit each clock cycle. Cycle behaviour matches the high-level
+// model exactly (cross-validated by the test suite).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fsl/fsl_channel.hpp"
+#include "rtl/kernel.hpp"
+#include "rtl/primitives.hpp"
+
+namespace mbcosim::rtlmodels {
+
+class MatmulRtl {
+ public:
+  MatmulRtl(rtl::Simulator& sim, rtl::Net& clk, unsigned block_size,
+            fsl::FslChannel& from_cpu, fsl::FslChannel& to_cpu);
+
+  [[nodiscard]] unsigned block_size() const noexcept { return n_; }
+
+  void reset();
+
+ private:
+  void on_clock();
+
+  rtl::Simulator& sim_;
+  rtl::Net& clk_;
+  unsigned n_;
+  fsl::FslChannel& from_cpu_;
+  fsl::FslChannel& to_cpu_;
+
+  std::vector<rtl::Net*> b_regs_;  ///< n*n 16-bit registers, row-major
+  rtl::Net* b_idx_ = nullptr;      ///< control-word load index
+  rtl::Net* k_idx_ = nullptr;      ///< stream position within a row
+  std::vector<rtl::Net*> accs_;    ///< n accumulators (36-bit)
+  // Combinational primitive outputs, one signal per netlist node (the
+  // b-column mux, the multiplier, the adder and the restart mux of each
+  // column) -- updated every cycle like the hardware they model.
+  std::vector<rtl::Net*> b_sel_nets_;
+  std::vector<rtl::Net*> product_nets_;
+  std::vector<rtl::Net*> acc_next_nets_;
+
+  std::deque<Word> out_queue_;
+};
+
+}  // namespace mbcosim::rtlmodels

@@ -1,0 +1,430 @@
+#include "rtlmodels/mb_core_rtl.hpp"
+
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace mbcosim::rtlmodels {
+
+using isa::Instruction;
+using isa::Op;
+using rtl::Logic;
+using rtl::LogicVector;
+
+namespace {
+constexpr unsigned kWordBits = 32;
+}
+
+MbCoreRtl::MbCoreRtl(rtl::Simulator& sim, rtl::Net& clk, isa::CpuConfig config,
+                     iss::LmbMemory& memory, fsl::FslHub* fsl_hub)
+    : sim_(sim), clk_(clk), config_(config), memory_(memory),
+      fsl_hub_(fsl_hub) {
+  regs_.reserve(isa::kNumRegisters);
+  for (unsigned i = 0; i < isa::kNumRegisters; ++i) {
+    regs_.push_back(&sim_.net("cpu.r" + std::to_string(i), kWordBits, 0));
+  }
+  pc_ = &sim_.net("cpu.pc", kWordBits, 0);
+  msr_ = &sim_.net("cpu.msr", kWordBits, 0);
+  halt_net_ = &sim_.net("cpu.halted", 1, 0);
+  op_a_net_ = &sim_.net("cpu.op_a", kWordBits, 0);
+  op_b_net_ = &sim_.net("cpu.op_b", kWordBits, 0);
+  result_net_ = &sim_.net("cpu.result", kWordBits, 0);
+  sim_.process("cpu.exec", {&clk_}, [this] { on_clock(); });
+}
+
+void MbCoreRtl::reset(Addr pc) {
+  for (rtl::Net* reg : regs_) sim_.assign(*reg, 0);
+  sim_.assign(*pc_, pc);
+  sim_.assign(*msr_, 0);
+  sim_.assign_bit(*halt_net_, false);
+  halted_ = false;
+  illegal_ = false;
+  halt_pending_ = false;
+  wait_counter_ = 0;
+  imm_prefix_.reset();
+  delay_target_.reset();
+  instructions_ = 0;
+  sim_.settle();
+}
+
+Word MbCoreRtl::reg_value(unsigned index) const {
+  if (index >= isa::kNumRegisters) {
+    throw SimError("MbCoreRtl::reg_value out of range");
+  }
+  return static_cast<Word>(regs_[index]->value());
+}
+
+LogicVector MbCoreRtl::read_reg(unsigned index) const {
+  return regs_[index]->read();
+}
+
+void MbCoreRtl::write_reg(unsigned index, const LogicVector& value) {
+  if (!value.is_fully_known()) {
+    throw SimError("MbCoreRtl: X propagated into register r" +
+                   std::to_string(index));
+  }
+  // The result bus toggles regardless of the destination register.
+  sim_.assign(*result_net_, value);
+  if (index == 0) return;  // r0 is hard-wired to zero
+  sim_.assign(*regs_[index], value);
+}
+
+LogicVector MbCoreRtl::operand_b(const Instruction& in) const {
+  LogicVector value;
+  if (!in.imm_form) {
+    value = read_reg(in.rb);
+  } else {
+    u32 imm32;
+    if (imm_prefix_) {
+      imm32 = (u32(*imm_prefix_) << 16) | (static_cast<u32>(in.imm) & 0xFFFFu);
+    } else {
+      imm32 = static_cast<u32>(in.imm);
+    }
+    value = LogicVector::of(kWordBits, imm32);
+  }
+  // Drive the operand buses (events on every executed instruction).
+  sim_.assign(*op_a_net_, regs_[in.ra]->read());
+  sim_.assign(*op_b_net_, value);
+  return value;
+}
+
+void MbCoreRtl::set_msr_bits(bool carry_bit, bool fsl_error_bit) {
+  Word msr = static_cast<Word>(msr_->value());
+  msr = carry_bit ? (msr | isa::Msr::kCarry) : (msr & ~isa::Msr::kCarry);
+  if (fsl_error_bit) msr |= isa::Msr::kFslError;
+  sim_.assign(*msr_, msr);
+}
+
+void MbCoreRtl::on_clock() {
+  if (!clk_.rose() || halted_) return;
+  if (wait_counter_ > 0) {
+    if (--wait_counter_ == 0 && halt_pending_) {
+      halted_ = true;
+      sim_.assign_bit(*halt_net_, true);
+    }
+    return;
+  }
+  const Addr pc = static_cast<Addr>(pc_->value());
+  if (!memory_.contains(pc, 4)) {
+    illegal_ = true;
+    halted_ = true;
+    sim_.assign_bit(*halt_net_, true);
+    return;
+  }
+  const Word raw = memory_.read_word(pc);
+  execute(isa::decode(raw));
+}
+
+void MbCoreRtl::execute(const Instruction& in) {
+  const Addr this_pc = static_cast<Addr>(pc_->value());
+  const bool in_delay_slot = delay_target_.has_value();
+  Addr next_pc = this_pc + 4;
+  bool consume_imm_prefix = true;
+  bool branch_taken = false;
+  auto stall = [this] { wait_counter_ = 0; };
+  auto go_illegal = [this] {
+    illegal_ = true;
+    halted_ = true;
+    sim_.assign_bit(*halt_net_, true);
+  };
+
+  switch (in.op) {
+    case Op::kAdd:
+    case Op::kAddc:
+    case Op::kAddk:
+    case Op::kRsub:
+    case Op::kRsubc:
+    case Op::kRsubk: {
+      const bool subtract =
+          in.op == Op::kRsub || in.op == Op::kRsubc || in.op == Op::kRsubk;
+      const bool use_carry = in.op == Op::kAddc || in.op == Op::kRsubc;
+      const bool keep_carry = in.op == Op::kAddk || in.op == Op::kRsubk;
+      const LogicVector a = subtract ? rtl::not_v(read_reg(in.ra))
+                                     : read_reg(in.ra);
+      const LogicVector b = operand_b(in);
+      Logic cin = Logic::k0;
+      if (subtract && !use_carry) {
+        cin = Logic::k1;
+      } else if (use_carry) {
+        cin = carry() ? Logic::k1 : Logic::k0;
+      }
+      Logic cout = Logic::k0;
+      const LogicVector sum = rtl::rc_add(a, b, cin, &cout);
+      write_reg(in.rd, sum);
+      if (!keep_carry) {
+        set_msr_bits(cout == Logic::k1, false);
+      }
+      break;
+    }
+    case Op::kCmp:
+    case Op::kCmpu: {
+      const LogicVector ra = read_reg(in.ra);
+      const LogicVector rb = read_reg(in.rb);
+      LogicVector diff = rtl::rc_sub(rb, ra);
+      bool less;
+      if (in.op == Op::kCmp) {
+        less = rtl::lt_signed(rb, ra) == Logic::k1;
+      } else {
+        Logic borrow_free = Logic::k0;
+        (void)rtl::rc_sub(rb, ra, &borrow_free);
+        less = borrow_free == Logic::k0;  // no carry out => rb < ra
+      }
+      diff.set(31, less ? Logic::k1 : Logic::k0);
+      write_reg(in.rd, diff);
+      break;
+    }
+    case Op::kMul: {
+      if (!config_.has_multiplier) return go_illegal();
+      write_reg(in.rd, rtl::array_multiply(read_reg(in.ra), operand_b(in)));
+      break;
+    }
+    case Op::kIdiv:
+    case Op::kIdivu: {
+      if (!config_.has_divider) return go_illegal();
+      // Behavioral division (the serial divider would iterate 32 steps;
+      // the timing model charges them through base_latency).
+      const u32 divisor = static_cast<u32>(read_reg(in.ra).value());
+      const u32 dividend = static_cast<u32>(read_reg(in.rb).value());
+      u32 quotient = 0;
+      if (divisor != 0) {
+        quotient = in.op == Op::kIdiv
+                       ? static_cast<u32>(static_cast<i32>(dividend) /
+                                          static_cast<i32>(divisor))
+                       : dividend / divisor;
+      }
+      write_reg(in.rd, LogicVector::of(kWordBits, quotient));
+      break;
+    }
+    case Op::kBsll:
+    case Op::kBsra:
+    case Op::kBsrl: {
+      if (!config_.has_barrel_shifter) return go_illegal();
+      const LogicVector amount = rtl::truncate(operand_b(in), 5);
+      const LogicVector value = read_reg(in.ra);
+      LogicVector result = value;
+      if (in.op == Op::kBsll) {
+        result = rtl::barrel_shift_left(value, amount);
+      } else if (in.op == Op::kBsrl) {
+        result = rtl::barrel_shift_right_logic(value, amount);
+      } else {
+        result = rtl::barrel_shift_right_arith(value, amount);
+      }
+      write_reg(in.rd, result);
+      break;
+    }
+    case Op::kOr:
+      write_reg(in.rd, rtl::or_v(read_reg(in.ra), operand_b(in)));
+      break;
+    case Op::kAnd:
+      write_reg(in.rd, rtl::and_v(read_reg(in.ra), operand_b(in)));
+      break;
+    case Op::kXor:
+      write_reg(in.rd, rtl::xor_v(read_reg(in.ra), operand_b(in)));
+      break;
+    case Op::kAndn:
+      write_reg(in.rd,
+                rtl::and_v(read_reg(in.ra), rtl::not_v(operand_b(in))));
+      break;
+    case Op::kSra:
+    case Op::kSrl:
+    case Op::kSrc: {
+      const LogicVector value = read_reg(in.ra);
+      LogicVector result = LogicVector::of(kWordBits, 0);
+      for (unsigned i = 0; i + 1 < kWordBits; ++i) {
+        result.set(i, value.at(i + 1));
+      }
+      if (in.op == Op::kSra) {
+        result.set(31, value.at(31));
+      } else if (in.op == Op::kSrc) {
+        result.set(31, carry() ? Logic::k1 : Logic::k0);
+      }  // kSrl: stays 0
+      write_reg(in.rd, result);
+      set_msr_bits(value.at(0) == Logic::k1, false);
+      break;
+    }
+    case Op::kSext8:
+      write_reg(in.rd, rtl::sign_extend_v(rtl::slice(read_reg(in.ra), 0, 8),
+                                          kWordBits));
+      break;
+    case Op::kSext16:
+      write_reg(in.rd, rtl::sign_extend_v(rtl::slice(read_reg(in.ra), 0, 16),
+                                          kWordBits));
+      break;
+    case Op::kImm:
+      imm_prefix_ = static_cast<u16>(static_cast<u32>(in.imm) & 0xFFFFu);
+      consume_imm_prefix = false;
+      break;
+    case Op::kMfs:
+      write_reg(in.rd, LogicVector::of(kWordBits,
+                                       in.imm == 0 ? pc_->value()
+                                                   : msr_->value()));
+      break;
+    case Op::kMts:
+      sim_.assign(*msr_, read_reg(in.ra));
+      break;
+    case Op::kBr: {
+      branch_taken = true;
+      const LogicVector disp = operand_b(in);
+      const Addr target =
+          in.absolute
+              ? static_cast<Addr>(disp.value())
+              : static_cast<Addr>(
+                    rtl::rc_add(LogicVector::of(kWordBits, this_pc), disp)
+                        .value());
+      if (in.link) write_reg(in.rd, LogicVector::of(kWordBits, this_pc));
+      if (target == this_pc && !in.link) {
+        // Branch-to-self: end of program. Burn the branch latency first.
+        wait_counter_ =
+            static_cast<unsigned>(isa::base_latency(in, true)) - 1;
+        halt_pending_ = true;
+        instructions_ += 1;
+        if (wait_counter_ == 0) {
+          halted_ = true;
+          sim_.assign_bit(*halt_net_, true);
+        }
+        return;
+      }
+      if (in_delay_slot) return go_illegal();
+      if (in.delay_slot) {
+        delay_target_ = target;
+      } else {
+        next_pc = target;
+      }
+      break;
+    }
+    case Op::kBcc: {
+      const LogicVector value = read_reg(in.ra);
+      const LogicVector zero = LogicVector::of(kWordBits, 0);
+      const bool is_zero = rtl::eq_v(value, zero) == Logic::k1;
+      const bool is_neg = value.at(31) == Logic::k1;
+      bool taken = false;
+      switch (in.cond) {
+        case isa::Cond::kEq: taken = is_zero; break;
+        case isa::Cond::kNe: taken = !is_zero; break;
+        case isa::Cond::kLt: taken = is_neg; break;
+        case isa::Cond::kLe: taken = is_neg || is_zero; break;
+        case isa::Cond::kGt: taken = !is_neg && !is_zero; break;
+        case isa::Cond::kGe: taken = !is_neg; break;
+      }
+      branch_taken = taken;
+      if (taken) {
+        const Addr target = static_cast<Addr>(
+            rtl::rc_add(LogicVector::of(kWordBits, this_pc), operand_b(in))
+                .value());
+        if (in_delay_slot) return go_illegal();
+        if (in.delay_slot) {
+          delay_target_ = target;
+        } else {
+          next_pc = target;
+        }
+      }
+      break;
+    }
+    case Op::kRtsd: {
+      branch_taken = true;
+      const Addr target = static_cast<Addr>(
+          rtl::rc_add(read_reg(in.ra),
+                      LogicVector::of(kWordBits, static_cast<u32>(in.imm)))
+              .value());
+      if (in_delay_slot) return go_illegal();
+      delay_target_ = target;
+      break;
+    }
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLw: {
+      const Addr addr = static_cast<Addr>(
+          rtl::rc_add(read_reg(in.ra), operand_b(in)).value());
+      const unsigned bytes =
+          in.op == Op::kLbu ? 1u : in.op == Op::kLhu ? 2u : 4u;
+      if (!memory_.contains(addr & ~Addr{bytes - 1}, bytes)) {
+        return go_illegal();
+      }
+      const Word value = bytes == 1 ? memory_.read_byte(addr)
+                         : bytes == 2 ? memory_.read_half(addr)
+                                      : memory_.read_word(addr);
+      write_reg(in.rd, LogicVector::of(kWordBits, value));
+      break;
+    }
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw: {
+      const Addr addr = static_cast<Addr>(
+          rtl::rc_add(read_reg(in.ra), operand_b(in)).value());
+      const unsigned bytes = in.op == Op::kSb ? 1u : in.op == Op::kSh ? 2u : 4u;
+      if (!memory_.contains(addr & ~Addr{bytes - 1}, bytes)) {
+        return go_illegal();
+      }
+      const Word value = static_cast<Word>(read_reg(in.rd).value());
+      if (bytes == 1) {
+        memory_.write_byte(addr, static_cast<u8>(value));
+      } else if (bytes == 2) {
+        memory_.write_half(addr, static_cast<u16>(value));
+      } else {
+        memory_.write_word(addr, value);
+      }
+      break;
+    }
+    case Op::kGet: {
+      if (fsl_hub_ == nullptr || in.fsl_id >= config_.fsl_links) {
+        return go_illegal();
+      }
+      auto& channel = fsl_hub_->from_hw(in.fsl_id);
+      if (!channel.exists()) {
+        if (in.fsl_nonblocking) {
+          set_msr_bits(true, false);
+          break;
+        }
+        return stall();
+      }
+      const auto entry = channel.try_read();
+      write_reg(in.rd, LogicVector::of(kWordBits, entry->data));
+      const bool fsl_error = entry->control != in.fsl_control;
+      if (in.fsl_nonblocking) {
+        set_msr_bits(false, fsl_error);
+      } else if (fsl_error) {
+        sim_.assign(*msr_, static_cast<Word>(msr_->value()) |
+                               isa::Msr::kFslError);
+      }
+      break;
+    }
+    case Op::kPut: {
+      if (fsl_hub_ == nullptr || in.fsl_id >= config_.fsl_links) {
+        return go_illegal();
+      }
+      auto& channel = fsl_hub_->to_hw(in.fsl_id);
+      if (channel.full()) {
+        if (in.fsl_nonblocking) {
+          set_msr_bits(true, false);
+          break;
+        }
+        return stall();
+      }
+      channel.try_write(static_cast<Word>(read_reg(in.ra).value()),
+                        in.fsl_control);
+      if (in.fsl_nonblocking) set_msr_bits(false, false);
+      break;
+    }
+    case Op::kCustom:
+      // Custom-instruction units are a high-level (Nios-style) feature of
+      // the co-simulation environment; the generated low-level model does
+      // not include user datapaths, so executing one here is an error.
+      return go_illegal();
+    case Op::kIllegal:
+      return go_illegal();
+  }
+
+  if (consume_imm_prefix) imm_prefix_.reset();
+
+  if (in_delay_slot) {
+    next_pc = *delay_target_;
+    delay_target_.reset();
+  }
+  sim_.assign(*pc_, next_pc);
+  wait_counter_ =
+      static_cast<unsigned>(isa::base_latency(in, branch_taken)) - 1;
+  instructions_ += 1;
+}
+
+}  // namespace mbcosim::rtlmodels

@@ -1,0 +1,43 @@
+#include "rtlmodels/system_rtl.hpp"
+
+namespace mbcosim::rtlmodels {
+
+RtlSystem::RtlSystem(const assembler::Program& program,
+                     isa::CpuConfig cpu_config,
+                     RtlPeripheralConfig peripheral, u32 memory_bytes)
+    : memory_(memory_bytes) {
+  memory_.load_program(program);
+  clk_ = &sim_.net("clk", 1, 0);
+  // Registration order fixes same-edge process execution order: the core
+  // first (it produces FSL words), then the peripheral — mirroring the
+  // co-simulation engine's step order (processor step, then hardware
+  // cycles).
+  core_ = std::make_unique<MbCoreRtl>(sim_, *clk_, cpu_config, memory_,
+                                      &hub_);
+  switch (peripheral.kind) {
+    case RtlPeripheralConfig::Kind::kNone:
+      break;
+    case RtlPeripheralConfig::Kind::kCordic:
+      cordic_ = std::make_unique<CordicPipelineRtl>(
+          sim_, *clk_, peripheral.parameter, hub_.to_hw(0), hub_.from_hw(0));
+      break;
+    case RtlPeripheralConfig::Kind::kMatmul:
+      matmul_ = std::make_unique<MatmulRtl>(
+          sim_, *clk_, peripheral.parameter, hub_.to_hw(0), hub_.from_hw(0));
+      break;
+  }
+  sim_.start();
+  core_->reset(program.entry());
+}
+
+RtlStopReason RtlSystem::run(Cycle max_cycles) {
+  const Cycle start = sim_.stats().clock_cycles;
+  while (!core_->halted() &&
+         sim_.stats().clock_cycles - start < max_cycles) {
+    sim_.tick(*clk_);
+  }
+  if (core_->illegal()) return RtlStopReason::kIllegal;
+  return core_->halted() ? RtlStopReason::kHalted : RtlStopReason::kCycleLimit;
+}
+
+}  // namespace mbcosim::rtlmodels

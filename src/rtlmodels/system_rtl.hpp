@@ -1,0 +1,64 @@
+// Full-system low-level simulation testbench: soft-processor core +
+// FSL FIFOs + (optionally) one of the two application peripherals, all on
+// one clock, simulated by the event-driven kernel. This is the analog of
+// behavioral simulation of the complete generated design in ModelSim —
+// the baseline the paper's Table I compares the co-simulation
+// environment against.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "asm/program.hpp"
+#include "fsl/fsl_hub.hpp"
+#include "iss/memory.hpp"
+#include "rtl/kernel.hpp"
+#include "rtlmodels/cordic_rtl.hpp"
+#include "rtlmodels/matmul_rtl.hpp"
+#include "rtlmodels/mb_core_rtl.hpp"
+
+namespace mbcosim::rtlmodels {
+
+/// Which customized hardware peripheral is instantiated next to the core.
+struct RtlPeripheralConfig {
+  enum class Kind : u8 { kNone, kCordic, kMatmul };
+  Kind kind = Kind::kNone;
+  unsigned parameter = 0;  ///< P for CORDIC, block size for matmul
+};
+
+enum class RtlStopReason : u8 { kHalted, kCycleLimit, kIllegal };
+
+class RtlSystem {
+ public:
+  RtlSystem(const assembler::Program& program, isa::CpuConfig cpu_config,
+            RtlPeripheralConfig peripheral,
+            u32 memory_bytes = 64 * 1024);
+
+  /// Run full clock cycles until the program halts or the budget is out.
+  RtlStopReason run(Cycle max_cycles);
+
+  [[nodiscard]] Cycle cycles() const noexcept {
+    return sim_.stats().clock_cycles;
+  }
+  [[nodiscard]] const rtl::KernelStats& kernel_stats() const noexcept {
+    return sim_.stats();
+  }
+  [[nodiscard]] MbCoreRtl& core() noexcept { return *core_; }
+  [[nodiscard]] iss::LmbMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] rtl::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] rtl::Net& clock() noexcept { return *clk_; }
+
+  /// Advance exactly one clock cycle (for probe/waveform loops).
+  void tick() { sim_.tick(*clk_); }
+
+ private:
+  rtl::Simulator sim_;
+  iss::LmbMemory memory_;
+  fsl::FslHub hub_;
+  rtl::Net* clk_ = nullptr;
+  std::unique_ptr<MbCoreRtl> core_;
+  std::unique_ptr<CordicPipelineRtl> cordic_;
+  std::unique_ptr<MatmulRtl> matmul_;
+};
+
+}  // namespace mbcosim::rtlmodels

@@ -1,0 +1,84 @@
+// Base class of every hardware block in the sysgen framework — the analog
+// of a System Generator block-set element (paper Section II: designers
+// "assemble designs by dragging and dropping the blocks from the block
+// set ... and connecting them"). Our API replaces the GUI with builder
+// code; the simulation semantics are the same synchronous cycle-based
+// dataflow:
+//
+//   phase 0  output_state(): sequential blocks drive their outputs from
+//            internal state (registers are Moore machines);
+//   phase 1  propagate():    combinational blocks evaluate in topological
+//            order (algebraic loops are rejected at elaboration);
+//   phase 2  latch():        sequential blocks capture their inputs.
+//
+// A block is sequential iff is_sequential() returns true; it then
+// participates in phases 0/2 and must not implement propagate().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/resources.hpp"
+#include "sysgen/signal.hpp"
+
+namespace mbcosim::sysgen {
+
+class Model;
+
+class Block {
+ public:
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+  virtual ~Block() = default;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] virtual bool is_sequential() const { return false; }
+
+  /// Phase 0: drive outputs from state (sequential blocks only).
+  virtual void output_state() {}
+  /// Phase 1: combinational evaluation (combinational blocks only).
+  virtual void propagate() {}
+  /// Phase 2: capture inputs into state (sequential blocks only).
+  virtual void latch() {}
+  /// Return all state to power-on values.
+  virtual void reset() {}
+
+  /// Structural validation hook, run at elaboration; throw SimError to
+  /// reject an incompletely wired block.
+  virtual void check() const {}
+
+  /// Estimated FPGA resources of the low-level implementation this block
+  /// abstracts; the per-block figures feed the rapid resource estimator
+  /// (paper Section III-C).
+  [[nodiscard]] virtual ResourceVec resources() const { return {}; }
+
+  [[nodiscard]] const std::vector<Signal*>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<Signal*>& outputs() const noexcept {
+    return outputs_;
+  }
+
+ protected:
+  Block(Model& model, std::string name);
+
+  /// Create and take ownership of an output signal named
+  /// "<block>.<suffix>".
+  Signal& make_output(const std::string& suffix, FixFormat format);
+
+  /// Register an input connection.
+  void connect_input(Signal& signal) { inputs_.push_back(&signal); }
+
+  /// Input accessor with a bounds check that reports the block name.
+  [[nodiscard]] const Signal& in(std::size_t index) const;
+
+  Model& model_;
+
+ private:
+  std::string name_;
+  std::vector<Signal*> inputs_;
+  std::vector<Signal*> outputs_;
+};
+
+}  // namespace mbcosim::sysgen

@@ -1,0 +1,638 @@
+// Standard block set: the arithmetic, routing and state primitives our
+// applications are assembled from — the analog of the System Generator
+// block set (Constant, AddSub, Mult, Mux, Relational, Logical, Shift,
+// Delay, Register, Counter, Convert, Slice, Gateway In/Out).
+//
+// Per-block resource figures approximate a Virtex-II Pro mapping (two
+// 4-input LUTs per slice); they feed the rapid resource estimator.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "sysgen/block.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::sysgen {
+
+/// Slices for a W-bit ripple-carry add/sub/compare datapath.
+constexpr u32 slices_for_adder(unsigned width) {
+  return (width + 1) / 2;
+}
+/// Slices for W-bit registers (two flip-flops per slice).
+constexpr u32 slices_for_register(unsigned width) {
+  return (width + 1) / 2;
+}
+
+// ---------------------------------------------------------------------------
+// Sources and sinks
+// ---------------------------------------------------------------------------
+
+/// Constant: drives a fixed value forever.
+class Constant : public Block {
+ public:
+  Constant(Model& model, std::string name, Fix value)
+      : Block(model, std::move(name)),
+        value_(value),
+        out_(make_output("out", value.format())) {}
+
+  void propagate() override { out_.drive(value_); }
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+
+ private:
+  Fix value_;
+  Signal& out_;
+};
+
+/// Gateway In: the boundary through which the surrounding environment
+/// (testbench or co-simulation engine) injects values into the hardware
+/// design — System Generator's "Gateway In" block (paper Section III-A).
+class GatewayIn : public Block {
+ public:
+  GatewayIn(Model& model, std::string name, FixFormat format)
+      : Block(model, std::move(name)),
+        format_(format),
+        pending_(Fix::from_raw(format, 0)),
+        out_(make_output("out", format)) {}
+
+  /// Set the value presented during the next step(). Doubles are
+  /// quantized like a hardware gateway (round, saturate).
+  void set(double value) { pending_ = Fix::from_double(format_, value); }
+  void set_raw(i64 raw_code) { pending_ = Fix::from_raw(format_, raw_code); }
+  void set_fix(const Fix& value) {
+    pending_ = value.cast(format_, Quantization::kRoundHalfUp,
+                          Overflow::kSaturate);
+  }
+  void set_bool(bool value) { pending_ = Fix::from_raw(format_, value ? 1 : 0); }
+
+  void propagate() override { out_.drive(pending_); }
+  void reset() override { pending_ = Fix::from_raw(format_, 0); }
+
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+
+ private:
+  FixFormat format_;
+  Fix pending_;
+  Signal& out_;
+};
+
+/// Gateway Out: exposes an internal signal to the environment.
+class GatewayOut : public Block {
+ public:
+  GatewayOut(Model& model, std::string name, Signal& source)
+      : Block(model, std::move(name)) {
+    connect_input(source);
+  }
+
+  [[nodiscard]] const Fix& read() const { return in(0).value(); }
+  [[nodiscard]] i64 read_raw() const { return in(0).raw(); }
+  [[nodiscard]] bool read_bool() const { return in(0).as_bool(); }
+};
+
+// ---------------------------------------------------------------------------
+// Pipelined function base
+// ---------------------------------------------------------------------------
+
+/// Common machinery for arithmetic blocks with a configurable pipeline
+/// latency: latency 0 is combinational; latency L >= 1 inserts L output
+/// registers (like the "latency" parameter on System Generator blocks).
+class PipelinedFunction : public Block {
+ public:
+  [[nodiscard]] bool is_sequential() const override { return latency_ > 0; }
+
+  void output_state() override { out_.drive(pipe_.front()); }
+  void propagate() override { out_.drive(compute()); }
+  void latch() override {
+    pipe_.push_back(compute());
+    pipe_.pop_front();
+  }
+  void reset() override {
+    for (auto& stage : pipe_) stage = Fix::from_raw(out_.format(), 0);
+  }
+
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+  [[nodiscard]] unsigned latency() const noexcept { return latency_; }
+
+ protected:
+  PipelinedFunction(Model& model, std::string name, FixFormat out_format,
+                    unsigned latency)
+      : Block(model, std::move(name)),
+        latency_(latency),
+        out_(make_output("out", out_format)) {
+    pipe_.assign(latency_, Fix::from_raw(out_format, 0));
+  }
+
+  /// Evaluate the combinational function from the current inputs.
+  [[nodiscard]] virtual Fix compute() const = 0;
+
+ private:
+  unsigned latency_;
+  Signal& out_;
+  std::deque<Fix> pipe_;
+};
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+/// AddSub: rd = a +/- b, cast into the configured output format.
+class AddSub : public PipelinedFunction {
+ public:
+  enum class Mode { kAdd, kSubtract };
+
+  AddSub(Model& model, std::string name, Mode mode, Signal& a, Signal& b,
+         FixFormat out_format, unsigned latency = 0,
+         Quantization quantization = Quantization::kTruncate,
+         Overflow overflow = Overflow::kWrap)
+      : PipelinedFunction(model, std::move(name), out_format, latency),
+        mode_(mode),
+        quantization_(quantization),
+        overflow_(overflow) {
+    connect_input(a);
+    connect_input(b);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    const unsigned width = std::max(in(0).format().word_bits,
+                                    in(1).format().word_bits);
+    ResourceVec r{slices_for_adder(width), 0, 0};
+    if (latency() > 0) {
+      r.slices += slices_for_register(outputs()[0]->format().word_bits);
+    }
+    return r;
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    const Fix full = mode_ == Mode::kAdd ? in(0).value().add_full(in(1).value())
+                                         : in(0).value().sub_full(in(1).value());
+    return full.cast(outputs()[0]->format(), quantization_, overflow_);
+  }
+
+  Mode mode_;
+  Quantization quantization_;
+  Overflow overflow_;
+};
+
+/// Mult: full-precision multiply cast to the output format. Maps to
+/// embedded MULT18x18 primitives when the operands fit, as on Virtex-II.
+class Mult : public PipelinedFunction {
+ public:
+  Mult(Model& model, std::string name, Signal& a, Signal& b,
+       FixFormat out_format, unsigned latency = 1,
+       Quantization quantization = Quantization::kTruncate,
+       Overflow overflow = Overflow::kWrap)
+      : PipelinedFunction(model, std::move(name), out_format, latency),
+        quantization_(quantization),
+        overflow_(overflow) {
+    connect_input(a);
+    connect_input(b);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    const unsigned wa = in(0).format().word_bits;
+    const unsigned wb = in(1).format().word_bits;
+    ResourceVec r;
+    r.mult18s = ceil_div(wa, 18u) * ceil_div(wb, 18u);
+    r.slices = 2 + (latency() > 0
+                        ? slices_for_register(outputs()[0]->format().word_bits)
+                        : 0);
+    return r;
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    return in(0).value().mul_full(in(1).value()).cast(
+        outputs()[0]->format(), quantization_, overflow_);
+  }
+
+  Quantization quantization_;
+  Overflow overflow_;
+};
+
+/// Negate: two's-complement negation.
+class Negate : public PipelinedFunction {
+ public:
+  Negate(Model& model, std::string name, Signal& a, FixFormat out_format,
+         unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name), out_format, latency) {
+    connect_input(a);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    return ResourceVec{slices_for_adder(in(0).format().word_bits), 0, 0};
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    return in(0).value().negate_full().cast(outputs()[0]->format());
+  }
+};
+
+/// Convert: pure format conversion (System Generator "Convert" block).
+class Convert : public PipelinedFunction {
+ public:
+  Convert(Model& model, std::string name, Signal& a, FixFormat out_format,
+          Quantization quantization = Quantization::kTruncate,
+          Overflow overflow = Overflow::kWrap, unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name), out_format, latency),
+        quantization_(quantization),
+        overflow_(overflow) {
+    connect_input(a);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    // Rounding needs an adder stage; truncation is free wiring.
+    ResourceVec r;
+    if (quantization_ == Quantization::kRoundHalfUp) {
+      r.slices += slices_for_adder(outputs()[0]->format().word_bits);
+    }
+    return r;
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    return in(0).value().cast(outputs()[0]->format(), quantization_,
+                              overflow_);
+  }
+
+  Quantization quantization_;
+  Overflow overflow_;
+};
+
+/// Constant-amount shift, binary point fixed (hardware wiring shift).
+class ShiftConst : public PipelinedFunction {
+ public:
+  enum class Direction { kLeft, kRightArithmetic };
+
+  ShiftConst(Model& model, std::string name, Signal& a, Direction direction,
+             unsigned amount, unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name), a.format(), latency),
+        direction_(direction),
+        amount_(amount) {
+    connect_input(a);
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    const Fix& a = in(0).value();
+    if (direction_ == Direction::kRightArithmetic) {
+      return a.shift_right_keep_format(amount_);
+    }
+    return Fix::from_raw(a.format(), a.raw() << amount_);
+  }
+
+  Direction direction_;
+  unsigned amount_;
+};
+
+/// Variable arithmetic right shift: a >> amount, format preserved. Models
+/// a slice-based barrel shifter — this is how the CORDIC PEs scale by the
+/// variable power of two C_i without consuming embedded multipliers
+/// (paper Section IV-A and Table I, which reports no extra multipliers
+/// for the CORDIC peripheral).
+class VariableShiftRight : public PipelinedFunction {
+ public:
+  VariableShiftRight(Model& model, std::string name, Signal& a,
+                     Signal& amount, unsigned max_shift, unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name), a.format(), latency),
+        max_shift_(max_shift) {
+    connect_input(a);
+    connect_input(amount);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    // One 2:1 mux level per shift-amount bit, one LUT per data bit per
+    // level, two LUTs per slice.
+    const unsigned width = in(0).format().word_bits;
+    unsigned levels = 0;
+    while ((1u << levels) <= max_shift_) ++levels;
+    return ResourceVec{ceil_div(width * levels, 2u), 0, 0};
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    const auto amount = static_cast<u64>(in(1).raw());
+    const unsigned clamped =
+        static_cast<unsigned>(std::min<u64>(amount, max_shift_));
+    return in(0).value().shift_right_keep_format(clamped);
+  }
+
+  unsigned max_shift_;
+};
+
+// ---------------------------------------------------------------------------
+// Routing and comparison
+// ---------------------------------------------------------------------------
+
+/// Mux: data inputs selected by an unsigned select input.
+class Mux : public PipelinedFunction {
+ public:
+  Mux(Model& model, std::string name, Signal& select,
+      std::vector<Signal*> data, unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name),
+                          data.empty() ? FixFormat{} : data.front()->format(),
+                          latency),
+        fan_in_(static_cast<unsigned>(data.size())) {
+    if (data.empty()) {
+      throw SimError("Mux '" + this->name() + "': needs at least one input");
+    }
+    for (const Signal* signal : data) {
+      if (signal->format() != data.front()->format()) {
+        throw SimError("Mux '" + this->name() +
+                       "': all data inputs must share a format");
+      }
+    }
+    connect_input(select);
+    for (Signal* signal : data) connect_input(*signal);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    const unsigned width = outputs()[0]->format().word_bits;
+    return ResourceVec{ceil_div(width * (fan_in_ - 1), 2u), 0, 0};
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    auto index = static_cast<u64>(in(0).raw());
+    if (index >= fan_in_) index = fan_in_ - 1;  // clamp like the HW core
+    return in(1 + static_cast<std::size_t>(index)).value();
+  }
+
+  unsigned fan_in_;
+};
+
+/// Relational: boolean (UFix1_0) comparison of two inputs.
+class Relational : public PipelinedFunction {
+ public:
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  Relational(Model& model, std::string name, Op op, Signal& a, Signal& b,
+             unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name),
+                          FixFormat::unsigned_fix(1, 0), latency),
+        op_(op) {
+    connect_input(a);
+    connect_input(b);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    const unsigned width = std::max(in(0).format().word_bits,
+                                    in(1).format().word_bits);
+    return ResourceVec{slices_for_adder(width), 0, 0};
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    const auto ordering = in(0).value().compare(in(1).value());
+    bool result = false;
+    switch (op_) {
+      case Op::kEq: result = ordering == std::strong_ordering::equal; break;
+      case Op::kNe: result = ordering != std::strong_ordering::equal; break;
+      case Op::kLt: result = ordering == std::strong_ordering::less; break;
+      case Op::kLe: result = ordering != std::strong_ordering::greater; break;
+      case Op::kGt: result = ordering == std::strong_ordering::greater; break;
+      case Op::kGe: result = ordering != std::strong_ordering::less; break;
+    }
+    return Fix::from_raw(FixFormat::unsigned_fix(1, 0), result ? 1 : 0);
+  }
+
+  Op op_;
+};
+
+/// Logical: bitwise AND/OR/XOR of N same-format inputs (NOT of one).
+class Logical : public PipelinedFunction {
+ public:
+  enum class Op { kAnd, kOr, kXor, kNot };
+
+  Logical(Model& model, std::string name, Op op, std::vector<Signal*> inputs,
+          unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name),
+                          inputs.empty() ? FixFormat{}
+                                         : inputs.front()->format(),
+                          latency),
+        op_(op) {
+    if (inputs.empty() || (op == Op::kNot && inputs.size() != 1)) {
+      throw SimError("Logical '" + this->name() + "': bad input count");
+    }
+    for (Signal* signal : inputs) connect_input(*signal);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    const unsigned width = outputs()[0]->format().word_bits;
+    const auto fan_in = static_cast<unsigned>(inputs().size());
+    return ResourceVec{ceil_div(width * std::max(1u, fan_in - 1), 2u), 0, 0};
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    const FixFormat fmt = outputs()[0]->format();
+    const u64 mask = low_mask64(fmt.word_bits);
+    u64 acc = static_cast<u64>(in(0).raw()) & mask;
+    if (op_ == Op::kNot) {
+      return Fix::from_raw(fmt, static_cast<i64>(~acc & mask));
+    }
+    for (std::size_t i = 1; i < inputs().size(); ++i) {
+      const u64 operand = static_cast<u64>(in(i).raw()) & mask;
+      switch (op_) {
+        case Op::kAnd: acc &= operand; break;
+        case Op::kOr: acc |= operand; break;
+        case Op::kXor: acc ^= operand; break;
+        case Op::kNot: break;
+      }
+    }
+    return Fix::from_raw(fmt, static_cast<i64>(acc));
+  }
+
+  Op op_;
+};
+
+/// Slice: extract bits [low, low + width) as an unsigned integer.
+class Slice : public PipelinedFunction {
+ public:
+  Slice(Model& model, std::string name, Signal& a, unsigned low,
+        unsigned width, unsigned latency = 0)
+      : PipelinedFunction(model, std::move(name),
+                          FixFormat::unsigned_fix(static_cast<u8>(width), 0),
+                          latency),
+        low_(low) {
+    if (width == 0 || low + width > a.format().word_bits) {
+      throw SimError("Slice '" + this->name() + "': range [" +
+                     std::to_string(low) + ", " + std::to_string(low + width) +
+                     ") outside " + a.format().to_string());
+    }
+    connect_input(a);
+  }
+
+ private:
+  [[nodiscard]] Fix compute() const override {
+    const u64 raw_value = static_cast<u64>(in(0).raw()) >> low_;
+    return Fix::from_raw(outputs()[0]->format(),
+                         static_cast<i64>(raw_value));
+  }
+
+  unsigned low_;
+};
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+/// Register: one-cycle delay with initial value and optional enable.
+/// The feedback-form constructor leaves the data input unconnected so
+/// accumulator loops can be closed after the downstream logic exists
+/// (sequential blocks legally break combinational cycles).
+class Register : public Block {
+ public:
+  Register(Model& model, std::string name, Signal& d, Fix init,
+           Signal* enable = nullptr)
+      : Register(model, std::move(name), init, enable) {
+    connect_d(d);
+  }
+
+  /// Feedback form: call connect_d() before the first simulation step.
+  Register(Model& model, std::string name, Fix init, Signal* enable = nullptr)
+      : Block(model, std::move(name)),
+        init_(init),
+        state_(init),
+        out_(make_output("q", init.format())) {
+    if (enable != nullptr) {
+      enable_index_ = static_cast<int>(inputs().size());
+      connect_input(*enable);
+    }
+  }
+
+  void connect_d(Signal& d) {
+    if (d_index_ >= 0) {
+      throw SimError("Register '" + name() + "': data input already bound");
+    }
+    d_index_ = static_cast<int>(inputs().size());
+    connect_input(d);
+  }
+
+  [[nodiscard]] bool is_sequential() const override { return true; }
+  void check() const override {
+    if (d_index_ < 0) {
+      throw SimError("Register '" + name() + "': data input never connected");
+    }
+  }
+  void output_state() override { out_.drive(state_); }
+  void latch() override {
+    if (enable_index_ >= 0 &&
+        !in(static_cast<std::size_t>(enable_index_)).as_bool()) {
+      return;
+    }
+    state_ = in(static_cast<std::size_t>(d_index_)).value().cast(
+        init_.format());
+  }
+  void reset() override { state_ = init_; }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    return ResourceVec{slices_for_register(init_.format().word_bits), 0, 0};
+  }
+
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+
+ private:
+  Fix init_;
+  Fix state_;
+  int d_index_ = -1;
+  int enable_index_ = -1;
+  Signal& out_;
+};
+
+/// Delay: N-cycle delay line (SRL16-mapped in hardware).
+class Delay : public Block {
+ public:
+  Delay(Model& model, std::string name, Signal& d, unsigned cycles)
+      : Block(model, std::move(name)),
+        cycles_(cycles),
+        out_(make_output("out", d.format())) {
+    if (cycles == 0) {
+      throw SimError("Delay '" + this->name() +
+                     "': zero-cycle delay is a wire, use the signal");
+    }
+    connect_input(d);
+    line_.assign(cycles_, Fix::from_raw(d.format(), 0));
+  }
+
+  [[nodiscard]] bool is_sequential() const override { return true; }
+  void output_state() override { out_.drive(line_.front()); }
+  void latch() override {
+    line_.push_back(in(0).value());
+    line_.pop_front();
+  }
+  void reset() override {
+    for (auto& stage : line_) stage = Fix::from_raw(out_.format(), 0);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    // SRL16: one LUT per bit covers up to 16 stages.
+    const unsigned width = out_.format().word_bits;
+    return ResourceVec{ceil_div(width * ceil_div(cycles_, 16u), 2u), 0, 0};
+  }
+
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+
+ private:
+  unsigned cycles_;
+  Signal& out_;
+  std::deque<Fix> line_;
+};
+
+/// Counter: free-running or enabled up-counter with wrap-around.
+class Counter : public Block {
+ public:
+  Counter(Model& model, std::string name, FixFormat format, i64 limit,
+          Signal* enable = nullptr, Signal* sync_reset = nullptr)
+      : Block(model, std::move(name)),
+        format_(format),
+        limit_(limit),
+        out_(make_output("count", format)) {
+    format_.validate();
+    if (limit_ <= 0 || limit_ > format_.max_raw() + 1) {
+      throw SimError("Counter '" + this->name() + "': bad limit");
+    }
+    if (enable != nullptr) {
+      enable_index_ = static_cast<int>(inputs().size());
+      connect_input(*enable);
+    }
+    if (sync_reset != nullptr) {
+      reset_index_ = static_cast<int>(inputs().size());
+      connect_input(*sync_reset);
+    }
+  }
+
+  [[nodiscard]] bool is_sequential() const override { return true; }
+  void output_state() override { out_.drive_raw(value_); }
+  void latch() override {
+    if (reset_index_ >= 0 && in(static_cast<std::size_t>(reset_index_)).as_bool()) {
+      value_ = 0;
+      return;
+    }
+    if (enable_index_ >= 0 &&
+        !in(static_cast<std::size_t>(enable_index_)).as_bool()) {
+      return;
+    }
+    value_ = (value_ + 1) % limit_;
+  }
+  void reset() override { value_ = 0; }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    return ResourceVec{slices_for_adder(format_.word_bits), 0, 0};
+  }
+
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+
+ private:
+  FixFormat format_;
+  i64 limit_;
+  i64 value_ = 0;
+  int enable_index_ = -1;
+  int reset_index_ = -1;
+  Signal& out_;
+};
+
+}  // namespace mbcosim::sysgen

@@ -1,0 +1,189 @@
+// Memory blocks: ROM, single-port RAM and a synchronous FIFO — the BRAM-
+// backed members of the block set. Resource figures model Virtex-II Pro
+// 18 Kbit block RAMs; small memories map to distributed (slice) RAM.
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "sysgen/block.hpp"
+#include "sysgen/blocks_basic.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::sysgen {
+
+namespace detail {
+/// BRAMs for a depth x width memory; memories of at most 64 entries map
+/// to distributed RAM (reported as slices instead).
+inline ResourceVec memory_resources(std::size_t depth, unsigned width_bits) {
+  ResourceVec r;
+  if (depth <= 64) {
+    r.slices = ceil_div(static_cast<u32>(depth * width_bits), 32u);
+    return r;
+  }
+  constexpr u32 kBramBits = 18 * 1024;
+  r.brams = ceil_div(static_cast<u32>(depth * width_bits), kBramBits);
+  return r;
+}
+}  // namespace detail
+
+/// ROM: synchronous read, one-cycle latency (BRAM output register).
+class Rom : public Block {
+ public:
+  Rom(Model& model, std::string name, Signal& address,
+      std::vector<Fix> contents)
+      : Block(model, std::move(name)),
+        contents_(std::move(contents)),
+        out_(make_output("data",
+                         contents_.empty() ? FixFormat{}
+                                           : contents_.front().format())),
+        pending_(Fix::from_raw(out_.format(), 0)),
+        state_(pending_) {
+    if (contents_.empty()) {
+      throw SimError("Rom '" + this->name() + "': empty contents");
+    }
+    for (const Fix& word : contents_) {
+      if (word.format() != contents_.front().format()) {
+        throw SimError("Rom '" + this->name() + "': mixed word formats");
+      }
+    }
+    connect_input(address);
+  }
+
+  [[nodiscard]] bool is_sequential() const override { return true; }
+  void output_state() override { out_.drive(state_); }
+  void latch() override {
+    auto index = static_cast<u64>(in(0).raw());
+    if (index >= contents_.size()) index = contents_.size() - 1;
+    state_ = contents_[static_cast<std::size_t>(index)];
+  }
+  void reset() override { state_ = Fix::from_raw(out_.format(), 0); }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    return detail::memory_resources(contents_.size(),
+                                    out_.format().word_bits);
+  }
+
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+
+ private:
+  std::vector<Fix> contents_;
+  Signal& out_;
+  Fix pending_;
+  Fix state_;
+};
+
+/// Single-port RAM: synchronous write, synchronous read (read-before-
+/// write port behaviour, like a BRAM in READ_FIRST mode).
+class SinglePortRam : public Block {
+ public:
+  SinglePortRam(Model& model, std::string name, std::size_t depth,
+                FixFormat word_format, Signal& address, Signal& data_in,
+                Signal& write_enable)
+      : Block(model, std::move(name)),
+        word_format_(word_format),
+        cells_(depth, Fix::from_raw(word_format, 0)),
+        out_(make_output("data", word_format)),
+        state_(Fix::from_raw(word_format, 0)) {
+    if (depth == 0) {
+      throw SimError("SinglePortRam '" + this->name() + "': zero depth");
+    }
+    connect_input(address);
+    connect_input(data_in);
+    connect_input(write_enable);
+  }
+
+  [[nodiscard]] bool is_sequential() const override { return true; }
+  void output_state() override { out_.drive(state_); }
+  void latch() override {
+    auto index = static_cast<u64>(in(0).raw());
+    if (index >= cells_.size()) index = cells_.size() - 1;
+    const auto slot = static_cast<std::size_t>(index);
+    state_ = cells_[slot];  // read-before-write
+    if (in(2).as_bool()) {
+      cells_[slot] = in(1).value().cast(word_format_);
+    }
+  }
+  void reset() override {
+    for (auto& cell : cells_) cell = Fix::from_raw(word_format_, 0);
+    state_ = Fix::from_raw(word_format_, 0);
+  }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    return detail::memory_resources(cells_.size(), word_format_.word_bits);
+  }
+
+  [[nodiscard]] Signal& out() noexcept { return out_; }
+  /// Debug peek for tests.
+  [[nodiscard]] const Fix& cell(std::size_t index) const {
+    return cells_.at(index);
+  }
+
+ private:
+  FixFormat word_format_;
+  std::vector<Fix> cells_;
+  Signal& out_;
+  Fix state_;
+};
+
+/// Synchronous FIFO with write/read enables and full/empty flags — the
+/// hardware-side equivalent of the FSL FIFO buffer.
+class FifoBlock : public Block {
+ public:
+  FifoBlock(Model& model, std::string name, std::size_t depth,
+            FixFormat word_format, Signal& data_in, Signal& write_enable,
+            Signal& read_enable)
+      : Block(model, std::move(name)),
+        depth_(depth),
+        word_format_(word_format),
+        data_out_(make_output("dout", word_format)),
+        empty_(make_output("empty", FixFormat::unsigned_fix(1, 0))),
+        full_(make_output("full", FixFormat::unsigned_fix(1, 0))),
+        head_(Fix::from_raw(word_format, 0)) {
+    if (depth_ == 0) {
+      throw SimError("FifoBlock '" + this->name() + "': zero depth");
+    }
+    connect_input(data_in);
+    connect_input(write_enable);
+    connect_input(read_enable);
+  }
+
+  [[nodiscard]] bool is_sequential() const override { return true; }
+
+  void output_state() override {
+    data_out_.drive(fifo_.empty() ? head_ : fifo_.front());
+    empty_.drive_raw(fifo_.empty() ? 1 : 0);
+    full_.drive_raw(fifo_.size() >= depth_ ? 1 : 0);
+  }
+  void latch() override {
+    if (in(2).as_bool() && !fifo_.empty()) fifo_.pop_front();
+    if (in(1).as_bool() && fifo_.size() < depth_) {
+      fifo_.push_back(in(0).value().cast(word_format_));
+    }
+  }
+  void reset() override { fifo_.clear(); }
+
+  [[nodiscard]] ResourceVec resources() const override {
+    ResourceVec r = detail::memory_resources(depth_, word_format_.word_bits);
+    r.slices += slices_for_adder(8) * 2;  // read/write pointers + compare
+    return r;
+  }
+
+  [[nodiscard]] Signal& data_out() noexcept { return data_out_; }
+  [[nodiscard]] Signal& empty() noexcept { return empty_; }
+  [[nodiscard]] Signal& full() noexcept { return full_; }
+  [[nodiscard]] std::size_t occupancy() const noexcept { return fifo_.size(); }
+
+ private:
+  std::size_t depth_;
+  FixFormat word_format_;
+  Signal& data_out_;
+  Signal& empty_;
+  Signal& full_;
+  Fix head_;
+  std::deque<Fix> fifo_;
+};
+
+}  // namespace mbcosim::sysgen

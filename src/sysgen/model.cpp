@@ -1,0 +1,138 @@
+#include "sysgen/model.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mbcosim::sysgen {
+
+// ----- Block base ----------------------------------------------------------
+
+Block::Block(Model& model, std::string name)
+    : model_(model), name_(std::move(name)) {}
+
+Signal& Block::make_output(const std::string& suffix, FixFormat format) {
+  Signal& signal = model_.make_signal(name_ + "." + suffix, format);
+  signal.set_driver(this);
+  outputs_.push_back(&signal);
+  return signal;
+}
+
+const Signal& Block::in(std::size_t index) const {
+  if (index >= inputs_.size()) {
+    throw SimError("Block '" + name_ + "': input index " +
+                   std::to_string(index) + " out of range (" +
+                   std::to_string(inputs_.size()) + " inputs)");
+  }
+  return *inputs_[index];
+}
+
+// ----- Model ----------------------------------------------------------------
+
+Signal& Model::make_signal(std::string signal_name, FixFormat format) {
+  if (find_signal(signal_name) != nullptr) {
+    throw SimError("Model '" + name_ + "': duplicate signal '" + signal_name +
+                   "'");
+  }
+  signals_.emplace_back(std::move(signal_name), format);
+  return signals_.back();
+}
+
+void Model::elaborate() {
+  if (elaborated_) return;
+  for (const auto& block : blocks_) block->check();
+  sequential_.clear();
+  combinational_order_.clear();
+
+  std::vector<Block*> combinational;
+  for (const auto& block : blocks_) {
+    if (block->is_sequential()) {
+      sequential_.push_back(block.get());
+    } else {
+      combinational.push_back(block.get());
+    }
+  }
+
+  // Kahn's algorithm over the combinational dependency graph: an edge
+  // A -> B exists when combinational block B reads a signal driven by
+  // combinational block A. Sequential drivers impose no ordering (their
+  // outputs are valid from phase 0).
+  std::unordered_map<Block*, std::vector<Block*>> consumers;
+  std::unordered_map<Block*, unsigned> pending;
+  for (Block* block : combinational) pending[block] = 0;
+  for (Block* block : combinational) {
+    for (const Signal* input : block->inputs()) {
+      Block* driver = input->driver();
+      if (driver != nullptr && !driver->is_sequential()) {
+        consumers[driver].push_back(block);
+        pending[block] += 1;
+      }
+    }
+  }
+  std::vector<Block*> ready;
+  for (Block* block : combinational) {
+    if (pending[block] == 0) ready.push_back(block);
+  }
+  while (!ready.empty()) {
+    Block* block = ready.back();
+    ready.pop_back();
+    combinational_order_.push_back(block);
+    for (Block* next : consumers[block]) {
+      if (--pending[next] == 0) ready.push_back(next);
+    }
+  }
+  if (combinational_order_.size() != combinational.size()) {
+    std::string cycle_members;
+    for (Block* block : combinational) {
+      if (pending[block] != 0) {
+        if (!cycle_members.empty()) cycle_members += ", ";
+        cycle_members += block->name();
+      }
+    }
+    throw SimError("Model '" + name_ +
+                   "': algebraic loop through combinational blocks: " +
+                   cycle_members + " (insert a Delay or Register)");
+  }
+  elaborated_ = true;
+}
+
+void Model::reset() {
+  for (auto& signal : signals_) signal.reset();
+  for (const auto& block : blocks_) block->reset();
+  cycle_ = 0;
+}
+
+void Model::step() {
+  if (!elaborated_) elaborate();
+  for (Block* block : sequential_) block->output_state();
+  for (Block* block : combinational_order_) block->propagate();
+  for (Block* block : sequential_) block->latch();
+  ++cycle_;
+}
+
+void Model::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+ResourceVec Model::resources() const {
+  ResourceVec total;
+  for (const auto& block : blocks_) total += block->resources();
+  return total;
+}
+
+Block* Model::find_block(const std::string& block_name) const {
+  const auto it = std::find_if(
+      blocks_.begin(), blocks_.end(),
+      [&](const auto& block) { return block->name() == block_name; });
+  return it == blocks_.end() ? nullptr : it->get();
+}
+
+Signal* Model::find_signal(const std::string& signal_name) const {
+  for (const auto& signal : signals_) {
+    if (signal.name() == signal_name) {
+      return const_cast<Signal*>(&signal);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mbcosim::sysgen

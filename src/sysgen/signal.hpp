@@ -1,0 +1,67 @@
+// A Signal is a typed wire between block ports: it carries one Fix value
+// per simulated clock cycle. Exactly one block output drives each signal.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/fixed_point.hpp"
+#include "common/status.hpp"
+
+namespace mbcosim::sysgen {
+
+class Block;
+
+class Signal {
+ public:
+  Signal(std::string name, FixFormat format)
+      : name_(std::move(name)),
+        format_(format),
+        value_(Fix::from_raw(format, 0)) {
+    format_.validate();
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const FixFormat& format() const noexcept { return format_; }
+  [[nodiscard]] const Fix& value() const noexcept { return value_; }
+
+  /// Convenience readers used all over the block library.
+  [[nodiscard]] i64 raw() const noexcept { return value_.raw(); }
+  [[nodiscard]] bool as_bool() const noexcept { return value_.raw() != 0; }
+  [[nodiscard]] double as_double() const noexcept {
+    return value_.to_double();
+  }
+
+  /// Drive the wire. The value must already be in the signal's format —
+  /// blocks cast their results explicitly, exactly like the hardware they
+  /// abstract (there are no implicit width conversions on an FPGA net).
+  void drive(const Fix& value) {
+    if (value.format() != format_) {
+      throw SimError("Signal '" + name_ + "': driven with format " +
+                     value.format().to_string() + ", expected " +
+                     format_.to_string());
+    }
+    value_ = value;
+  }
+
+  /// Drive from a raw code (masked into the format).
+  void drive_raw(i64 raw_code) { value_ = Fix::from_raw(format_, raw_code); }
+
+  [[nodiscard]] Block* driver() const noexcept { return driver_; }
+  void set_driver(Block* block) {
+    if (driver_ != nullptr && block != nullptr) {
+      throw SimError("Signal '" + name_ + "' already has a driver");
+    }
+    driver_ = block;
+  }
+
+  void reset() { value_ = Fix::from_raw(format_, 0); }
+
+ private:
+  std::string name_;
+  FixFormat format_;
+  Fix value_;
+  Block* driver_ = nullptr;
+};
+
+}  // namespace mbcosim::sysgen

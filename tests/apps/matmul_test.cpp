@@ -1,0 +1,153 @@
+// Block matrix multiplication application tests.
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul_app.hpp"
+
+namespace mbcosim::apps::matmul {
+namespace {
+
+TEST(MatmulReference, KnownProduct) {
+  Matrix a(2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 3; a.at(1, 1) = 4;
+  Matrix b(2);
+  b.at(0, 0) = 5; b.at(0, 1) = 6;
+  b.at(1, 0) = 7; b.at(1, 1) = 8;
+  const Matrix c = multiply_reference(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatmulReference, IdentityIsNeutral) {
+  const Matrix a = make_matrix(8, 77);
+  Matrix identity(8);
+  for (unsigned i = 0; i < 8; ++i) identity.at(i, i) = 1;
+  const Matrix left = multiply_reference(identity, a);
+  const Matrix right = multiply_reference(a, identity);
+  EXPECT_EQ(left.data, a.data);
+  EXPECT_EQ(right.data, a.data);
+}
+
+TEST(MatmulReference, SizeMismatchRejected) {
+  EXPECT_THROW(multiply_reference(Matrix(2), Matrix(4)), SimError);
+}
+
+TEST(MatmulDataset, ElementsAreSmall) {
+  const Matrix m = make_matrix(16, 5);
+  for (const i32 v : m.data) {
+    EXPECT_GE(v, -50);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(MatmulSw, PureSoftwareMatchesReference) {
+  for (unsigned n : {2u, 4u, 8u, 12u}) {
+    const Matrix a = make_matrix(n, n);
+    const Matrix b = make_matrix(n, n + 1);
+    MatmulRunConfig config;
+    config.matrix_size = n;
+    config.block_size = 0;
+    const auto result = run_matmul(config, a, b);
+    const Matrix expected = multiply_reference(a, b);
+    EXPECT_EQ(result.c.data, expected.data) << "N=" << n;
+  }
+}
+
+struct HwCase {
+  unsigned matrix_size;
+  unsigned block_size;
+};
+
+class MatmulHwConfigs : public ::testing::TestWithParam<HwCase> {};
+
+TEST_P(MatmulHwConfigs, MatchesReference) {
+  const auto [matrix_size, block_size] = GetParam();
+  const Matrix a = make_matrix(matrix_size, matrix_size * 3);
+  const Matrix b = make_matrix(matrix_size, matrix_size * 7);
+  MatmulRunConfig config;
+  config.matrix_size = matrix_size;
+  config.block_size = block_size;
+  const auto result = run_matmul(config, a, b);
+  const Matrix expected = multiply_reference(a, b);
+  EXPECT_EQ(result.c.data, expected.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, MatmulHwConfigs,
+    ::testing::Values(HwCase{4, 2}, HwCase{4, 4}, HwCase{8, 2}, HwCase{8, 4},
+                      HwCase{12, 2}, HwCase{12, 3}, HwCase{16, 2},
+                      HwCase{16, 4}),
+    [](const ::testing::TestParamInfo<HwCase>& info) {
+      return "N" + std::to_string(info.param.matrix_size) + "_b" +
+             std::to_string(info.param.block_size);
+    });
+
+TEST(MatmulPerf, Paper4x4SpeedupShape) {
+  // Figure 7 at N = 16: the 4x4-block design is about 2.2x faster than
+  // pure software.
+  const Matrix a = make_matrix(16, 1);
+  const Matrix b = make_matrix(16, 2);
+  MatmulRunConfig sw{16, 0};
+  MatmulRunConfig hw4{16, 4};
+  const auto sw_result = run_matmul(sw, a, b);
+  const auto hw_result = run_matmul(hw4, a, b);
+  const double speedup = double(sw_result.cycles) / double(hw_result.cycles);
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 3.5);
+}
+
+TEST(MatmulPerf, Paper2x2PenaltyShape) {
+  // Figure 7's crossover: the 2x2-block design LOSES to pure software
+  // (paper: 8.8% more execution time) because per-word communication
+  // overhead exceeds the offloaded MAC work.
+  const Matrix a = make_matrix(16, 1);
+  const Matrix b = make_matrix(16, 2);
+  MatmulRunConfig sw{16, 0};
+  MatmulRunConfig hw2{16, 2};
+  const auto sw_result = run_matmul(sw, a, b);
+  const auto hw_result = run_matmul(hw2, a, b);
+  EXPECT_GT(hw_result.cycles, sw_result.cycles);
+  // The penalty is small (paper: under ~15%).
+  EXPECT_LT(double(hw_result.cycles) / double(sw_result.cycles), 1.25);
+}
+
+TEST(MatmulResources, MultiplierBudget) {
+  const Matrix a = make_matrix(8, 1);
+  const Matrix b = make_matrix(8, 2);
+  MatmulRunConfig hw2{8, 2};
+  MatmulRunConfig hw4{8, 4};
+  EXPECT_EQ(run_matmul(hw2, a, b).estimated_resources.mult18s, 5u);
+  EXPECT_EQ(run_matmul(hw4, a, b).estimated_resources.mult18s, 7u);
+}
+
+TEST(MatmulApp, RejectsBadConfigurations) {
+  const Matrix a = make_matrix(8, 1);
+  const Matrix b = make_matrix(8, 2);
+  EXPECT_THROW((void)hw_driver_program(a, b, 5), SimError);
+  EXPECT_THROW((void)hw_driver_program(a, b, 3), SimError);  // 8 % 3 != 0
+  EXPECT_THROW((void)build_matmul_peripheral(1), SimError);
+  EXPECT_THROW((void)build_matmul_peripheral(5), SimError);
+  MatmulRunConfig mismatched{16, 0};
+  EXPECT_THROW((void)run_matmul(mismatched, a, b), SimError);
+}
+
+TEST(MatmulApp, FslWordCountMatchesSchedule) {
+  const unsigned n = 2;
+  const unsigned size = 8;
+  const unsigned nb = size / n;
+  const Matrix a = make_matrix(size, 1);
+  const Matrix b = make_matrix(size, 2);
+  MatmulRunConfig config{size, n};
+  const auto result = run_matmul(config, a, b);
+  // Per (kb, jb): n^2 control words; per (kb, jb, ib): n rows x n data
+  // down and n partials back.
+  const u64 expected = u64(nb) * nb * n * n            // B loads
+                       + u64(nb) * nb * nb * n * n     // A words
+                       + u64(nb) * nb * nb * n * n;    // results
+  EXPECT_EQ(result.fsl_words, expected);
+}
+
+}  // namespace
+}  // namespace mbcosim::apps::matmul

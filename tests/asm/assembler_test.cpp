@@ -1,0 +1,225 @@
+// Assembler tests: syntax, directives, labels, pseudo-instructions and
+// error reporting.
+#include "asm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace mbcosim::assembler {
+namespace {
+
+Program ok(std::string_view source) {
+  auto result = assemble(source);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return std::move(result).value();
+}
+
+std::string err(std::string_view source) {
+  auto result = assemble(source);
+  EXPECT_FALSE(result.ok());
+  return result.error();
+}
+
+TEST(Assembler, EmptyProgram) {
+  const Program p = ok("");
+  EXPECT_TRUE(p.words.empty());
+  EXPECT_EQ(p.size_bytes(), 0u);
+}
+
+TEST(Assembler, SingleInstruction) {
+  const Program p = ok("add r1, r2, r3");
+  ASSERT_EQ(p.words.size(), 1u);
+  EXPECT_EQ(isa::disassemble(p.words[0]), "add r1, r2, r3");
+}
+
+TEST(Assembler, CommentStyles) {
+  const Program p = ok(
+      "add r1, r2, r3   # hash comment\n"
+      "add r1, r2, r3   ; semicolon comment\n"
+      "add r1, r2, r3   // slash comment\n"
+      "# full-line comment\n");
+  EXPECT_EQ(p.words.size(), 3u);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const Program p = ok(
+      "start:\n"
+      "  bri forward\n"
+      "forward:\n"
+      "  bri start\n");
+  ASSERT_EQ(p.words.size(), 2u);
+  EXPECT_EQ(p.symbol("start"), 0u);
+  EXPECT_EQ(p.symbol("forward"), 4u);
+  // bri forward at address 0 -> offset +4; bri start at 4 -> offset -4.
+  const isa::Instruction first = isa::decode(p.words[0]);
+  EXPECT_EQ(first.imm, 4);
+  const isa::Instruction second = isa::decode(p.words[1]);
+  EXPECT_EQ(second.imm, -4);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const Program p = ok("loop: bri loop\n");
+  ASSERT_EQ(p.words.size(), 1u);
+  EXPECT_EQ(isa::decode(p.words[0]).imm, 0);
+}
+
+TEST(Assembler, WordDirective) {
+  const Program p = ok(".word 1, 2, 0xdeadbeef, -1");
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.words[0], 1u);
+  EXPECT_EQ(p.words[1], 2u);
+  EXPECT_EQ(p.words[2], 0xDEADBEEFu);
+  EXPECT_EQ(p.words[3], 0xFFFFFFFFu);
+}
+
+TEST(Assembler, WordDirectiveWithSymbol) {
+  const Program p = ok(
+      "  .equ MAGIC, 0x55\n"
+      "  .word MAGIC\n");
+  ASSERT_EQ(p.words.size(), 1u);
+  EXPECT_EQ(p.words[0], 0x55u);
+}
+
+TEST(Assembler, SpaceDirectiveZeroFills) {
+  const Program p = ok(
+      "data: .space 12\n"
+      "end_marker: .word 7\n");
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.symbol("end_marker"), 12u);
+  EXPECT_EQ(p.words[3], 7u);
+}
+
+TEST(Assembler, OrgSetsOrigin) {
+  const Program p = ok(
+      ".org 0x100\n"
+      "entry: nop\n");
+  EXPECT_EQ(p.origin, 0x100u);
+  EXPECT_EQ(p.symbol("entry"), 0x100u);
+}
+
+TEST(Assembler, EquDefinesConstants) {
+  const Program p = ok(
+      ".equ SIZE, 64\n"
+      "addik r3, r0, SIZE\n");
+  const isa::Instruction in = isa::decode(p.words[0]);
+  EXPECT_EQ(in.imm, 64);
+}
+
+TEST(Assembler, LiExpandsToImmPair) {
+  const Program p = ok("li r5, 0x12345678");
+  ASSERT_EQ(p.words.size(), 2u);
+  const isa::Instruction prefix = isa::decode(p.words[0]);
+  EXPECT_EQ(prefix.op, isa::Op::kImm);
+  EXPECT_EQ(static_cast<u16>(prefix.imm), 0x1234u);
+  const isa::Instruction low = isa::decode(p.words[1]);
+  EXPECT_EQ(low.op, isa::Op::kAddk);
+  EXPECT_EQ(static_cast<u16>(low.imm), 0x5678u);
+}
+
+TEST(Assembler, LaResolvesSymbolAddress) {
+  const Program p = ok(
+      "  la r4, table\n"
+      "  halt\n"
+      "table: .word 9\n");
+  // la = 2 words, halt = 1 word -> table at byte 12.
+  EXPECT_EQ(p.symbol("table"), 12u);
+  const isa::Instruction low = isa::decode(p.words[1]);
+  EXPECT_EQ(low.imm, 12);
+}
+
+TEST(Assembler, NopIsOrR0) {
+  const Program p = ok("nop");
+  const isa::Instruction in = isa::decode(p.words[0]);
+  EXPECT_EQ(in.op, isa::Op::kOr);
+  EXPECT_EQ(in.rd, 0);
+}
+
+TEST(Assembler, HaltIsBranchToSelf) {
+  const Program p = ok("halt");
+  const isa::Instruction in = isa::decode(p.words[0]);
+  EXPECT_EQ(in.op, isa::Op::kBr);
+  EXPECT_TRUE(in.imm_form);
+  EXPECT_EQ(in.imm, 0);
+}
+
+TEST(Assembler, FslInstructions) {
+  const Program p = ok(
+      "get r3, rfsl0\n"
+      "nget r4, rfsl1\n"
+      "cput r5, rfsl7\n"
+      "ncput r6, rfsl3\n");
+  EXPECT_EQ(isa::disassemble(p.words[0]), "get r3, rfsl0");
+  EXPECT_EQ(isa::disassemble(p.words[1]), "nget r4, rfsl1");
+  EXPECT_EQ(isa::disassemble(p.words[2]), "cput r5, rfsl7");
+  EXPECT_EQ(isa::disassemble(p.words[3]), "ncput r6, rfsl3");
+}
+
+TEST(Assembler, NumericBranchOffsets) {
+  const Program p = ok("bri 8\nbnei r3, -4\n");
+  EXPECT_EQ(isa::decode(p.words[0]).imm, 8);
+  EXPECT_EQ(isa::decode(p.words[1]).imm, -4);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonicsAndRegisters) {
+  const Program p = ok("ADD R1, r2, R3\n");
+  EXPECT_EQ(isa::disassemble(p.words[0]), "add r1, r2, r3");
+}
+
+// ---- Error paths ----------------------------------------------------------
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_NE(err("frobnicate r1, r2").find("unknown mnemonic"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_NE(err("add r1, r2, r32").find("bad register"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_NE(err("bri nowhere").find("cannot resolve"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_NE(err("a:\na:\n").find("duplicate symbol"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateTooLarge) {
+  EXPECT_NE(err("addik r1, r0, 40000").find("16 bits"), std::string::npos);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_NE(err("add r1, r2").find("expected 3 operand"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ShiftAmountRange) {
+  EXPECT_NE(err("bslli r1, r2, 32").find("shift amount"), std::string::npos);
+}
+
+TEST(AssemblerErrors, OrgAfterCodeRejected) {
+  EXPECT_NE(err("nop\n.org 0x10\n").find(".org"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ReportsLineNumbers) {
+  const std::string message = err("nop\nnop\nbogus\n");
+  EXPECT_NE(message.find("line 3"), std::string::npos);
+}
+
+TEST(AssemblerErrors, MultipleErrorsAllReported) {
+  const std::string message = err("bogus1\nbogus2\n");
+  EXPECT_NE(message.find("bogus1"), std::string::npos);
+  EXPECT_NE(message.find("bogus2"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ThrowingWrapper) {
+  EXPECT_THROW(assemble_or_throw("bogus"), SimError);
+}
+
+TEST(Program, UndefinedSymbolThrows) {
+  const Program p = ok("nop");
+  EXPECT_THROW(p.symbol("missing"), SimError);
+}
+
+}  // namespace
+}  // namespace mbcosim::assembler

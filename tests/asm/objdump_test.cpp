@@ -1,0 +1,59 @@
+// Tests for the program-image inspection tool (mb-objdump analog) and
+// the BRAM sizing rule it feeds (paper Section III-C).
+#include "asm/objdump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+
+namespace mbcosim::assembler {
+namespace {
+
+TEST(Objdump, CountsInstructionAndDataWords) {
+  const Program p = assemble_or_throw(
+      "  add r1, r2, r3\n"
+      "  halt\n"
+      "data: .word 0xfc000000\n");  // undecodable -> data
+  const ObjdumpSummary summary = summarize(p);
+  EXPECT_EQ(summary.size_words, 3u);
+  EXPECT_EQ(summary.size_bytes, 12u);
+  EXPECT_EQ(summary.instruction_words, 2u);
+  EXPECT_EQ(summary.data_words, 1u);
+}
+
+TEST(Objdump, ListingContainsAddressesAndLabels) {
+  const Program p = assemble_or_throw(
+      "entry:\n"
+      "  nop\n"
+      "tail:\n"
+      "  halt\n");
+  const std::string text = listing(p);
+  EXPECT_NE(text.find("entry:"), std::string::npos);
+  EXPECT_NE(text.find("tail:"), std::string::npos);
+  EXPECT_NE(text.find("0x00000000"), std::string::npos);
+  EXPECT_NE(text.find("0x00000004"), std::string::npos);
+}
+
+TEST(Objdump, BramSizingRoundsUp) {
+  Program p;
+  p.words.assign(1, 0);  // 4 bytes
+  EXPECT_EQ(brams_for_program(p), 1u);
+  p.words.assign(512, 0);  // exactly 2048 bytes
+  EXPECT_EQ(brams_for_program(p), 1u);
+  p.words.assign(513, 0);  // one byte over
+  EXPECT_EQ(brams_for_program(p), 2u);
+}
+
+TEST(Objdump, EmptyProgramNeedsNoBram) {
+  Program p;
+  EXPECT_EQ(brams_for_program(p), 0u);
+}
+
+TEST(Objdump, CustomBramCapacity) {
+  Program p;
+  p.words.assign(1024, 0);  // 4096 bytes
+  EXPECT_EQ(brams_for_program(p, 1024), 4u);
+}
+
+}  // namespace
+}  // namespace mbcosim::assembler

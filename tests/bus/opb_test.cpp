@@ -1,0 +1,89 @@
+// OPB bus model unit tests: decode, wait states, stock peripherals.
+#include "bus/opb_bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcosim::bus {
+namespace {
+
+TEST(OpbBus, DecodeAndAccess) {
+  OpbBus bus;
+  bus.map("regs", 0x1000, 64, std::make_unique<OpbScratchpad>(16));
+  EXPECT_TRUE(bus.decodes(0x1000));
+  EXPECT_TRUE(bus.decodes(0x103C));
+  EXPECT_FALSE(bus.decodes(0x1040));
+  EXPECT_FALSE(bus.decodes(0x0FFC));
+
+  const BusResponse w = bus.write(0x1008, 77);
+  EXPECT_TRUE(w.ok);
+  const BusResponse r = bus.read(0x1008);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.data, 77u);
+  EXPECT_EQ(r.wait_states, OpbBus::kBusWaitStates);
+}
+
+TEST(OpbBus, UnmappedAccessFails) {
+  OpbBus bus;
+  EXPECT_FALSE(bus.read(0x2000).ok);
+  EXPECT_FALSE(bus.write(0x2000, 1).ok);
+}
+
+TEST(OpbBus, RejectsOverlappingRegions) {
+  OpbBus bus;
+  bus.map("a", 0x1000, 64, std::make_unique<OpbScratchpad>(16));
+  EXPECT_THROW(
+      bus.map("b", 0x1020, 64, std::make_unique<OpbScratchpad>(16)),
+      SimError);
+  // Adjacent is fine.
+  EXPECT_NO_THROW(
+      bus.map("c", 0x1040, 64, std::make_unique<OpbScratchpad>(16)));
+}
+
+TEST(OpbBus, RejectsBadRegions) {
+  OpbBus bus;
+  EXPECT_THROW(bus.map("odd", 0x1001, 64, std::make_unique<OpbScratchpad>(16)),
+               SimError);
+  EXPECT_THROW(bus.map("empty", 0x1000, 0, std::make_unique<OpbScratchpad>(16)),
+               SimError);
+  EXPECT_THROW(bus.map("null", 0x1000, 64, nullptr), SimError);
+}
+
+TEST(OpbBus, SubWordAddressesAlignToWord) {
+  OpbBus bus;
+  bus.map("regs", 0, 64, std::make_unique<OpbScratchpad>(16));
+  bus.write(0x4, 0xAABBCCDD);
+  EXPECT_EQ(bus.read(0x5).data, 0xAABBCCDDu);
+  EXPECT_EQ(bus.read(0x7).data, 0xAABBCCDDu);
+}
+
+TEST(OpbBus, TransactionCounter) {
+  OpbBus bus;
+  bus.map("regs", 0, 64, std::make_unique<OpbScratchpad>(16));
+  bus.write(0, 1);
+  bus.read(0);
+  bus.read(4);
+  EXPECT_EQ(bus.transactions(), 3u);
+  bus.read(0x5000);  // unmapped: not counted
+  EXPECT_EQ(bus.transactions(), 3u);
+}
+
+TEST(OpbTimer, CountsAndClears) {
+  OpbBus bus;
+  auto timer = std::make_unique<OpbTimer>();
+  OpbTimer* raw = timer.get();
+  bus.map("timer", 0x100, 8, std::move(timer));
+  raw->tick(1000);
+  EXPECT_EQ(bus.read(0x100).data, 1000u);
+  bus.write(0x100, 0);  // any write clears
+  EXPECT_EQ(bus.read(0x100).data, 0u);
+}
+
+TEST(OpbTimer, HighWord) {
+  OpbTimer timer;
+  timer.tick(0x1'0000'0005ull);
+  EXPECT_EQ(timer.read(0), 5u);
+  EXPECT_EQ(timer.read(4), 1u);
+}
+
+}  // namespace
+}  // namespace mbcosim::bus

@@ -1,0 +1,79 @@
+// Tests for the bit-manipulation helpers.
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcosim {
+namespace {
+
+TEST(Bits, ExtractField) {
+  EXPECT_EQ(bits(0xDEADBEEFu, 0, 4), 0xFu);
+  EXPECT_EQ(bits(0xDEADBEEFu, 28, 4), 0xDu);
+  EXPECT_EQ(bits(0xDEADBEEFu, 8, 8), 0xBEu);
+  EXPECT_EQ(bits(0xFFFFFFFFu, 0, 32), 0xFFFFFFFFu);
+}
+
+TEST(Bits, InsertField) {
+  EXPECT_EQ(insert_bits(0u, 4, 4, 0xF), 0xF0u);
+  EXPECT_EQ(insert_bits(0xFFFFFFFFu, 8, 8, 0), 0xFFFF00FFu);
+  EXPECT_EQ(insert_bits(0u, 31, 1, 1), 0x80000000u);
+  // Field wider than the slot is masked.
+  EXPECT_EQ(insert_bits(0u, 0, 4, 0x1F), 0xFu);
+}
+
+TEST(Bits, SingleBit) {
+  EXPECT_TRUE(bit(0x80000000u, 31));
+  EXPECT_FALSE(bit(0x7FFFFFFFu, 31));
+  EXPECT_TRUE(bit(1u, 0));
+}
+
+TEST(Bits, SignExtend32) {
+  EXPECT_EQ(sign_extend(0xFF, 8), 0xFFFFFFFFu);
+  EXPECT_EQ(sign_extend(0x7F, 8), 0x7Fu);
+  EXPECT_EQ(sign_extend(0x8000, 16), 0xFFFF8000u);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 0x7FFFu);
+  EXPECT_EQ(sign_extend(0xDEADBEEF, 32), 0xDEADBEEFu);
+}
+
+TEST(Bits, SignExtend64) {
+  EXPECT_EQ(sign_extend64(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend64(0x80, 8), -128);
+  EXPECT_EQ(sign_extend64(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend64(~u64{0}, 64), -1);
+}
+
+TEST(Bits, LowMask64) {
+  EXPECT_EQ(low_mask64(0), 0u);
+  EXPECT_EQ(low_mask64(1), 1u);
+  EXPECT_EQ(low_mask64(8), 0xFFu);
+  EXPECT_EQ(low_mask64(64), ~u64{0});
+}
+
+TEST(Bits, WordsForBytes) {
+  EXPECT_EQ(words_for_bytes(0), 0u);
+  EXPECT_EQ(words_for_bytes(1), 1u);
+  EXPECT_EQ(words_for_bytes(4), 1u);
+  EXPECT_EQ(words_for_bytes(5), 2u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(10u, 3u), 4u);
+  EXPECT_EQ(ceil_div(9u, 3u), 3u);
+  EXPECT_EQ(ceil_div(0u, 3u), 0u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Bits, CyclesToUsec) {
+  // 50 cycles at 50 MHz = 1 microsecond.
+  EXPECT_DOUBLE_EQ(cycles_to_usec(50), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_usec(50'000'000), 1.0e6);
+}
+
+}  // namespace
+}  // namespace mbcosim

@@ -1,0 +1,141 @@
+// FslBridge unit tests: gateway driving, pops on read-ack, pushes on
+// write, full-flag behaviour.
+#include "core/fsl_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sysgen/model.hpp"
+
+namespace mbcosim::core {
+namespace {
+
+namespace sg = mbcosim::sysgen;
+const FixFormat kWord = FixFormat::signed_fix(32, 0);
+const FixFormat kBool = FixFormat::unsigned_fix(1, 0);
+
+/// Minimal loopback hardware: echoes every incoming word back, adding 1.
+struct Loopback {
+  Loopback()
+      : model("loopback"),
+        data_in(model.add<sg::GatewayIn>("s.data", kWord)),
+        exists_in(model.add<sg::GatewayIn>("s.exists", kBool)),
+        control_in(model.add<sg::GatewayIn>("s.control", kBool)),
+        read_out(model.add<sg::GatewayOut>("s.read", exists_in.out())),
+        one(model.add<sg::Constant>("one", Fix::from_int(kWord, 1))),
+        plus_one(model.add<sg::AddSub>("inc", sg::AddSub::Mode::kAdd,
+                                       data_in.out(), one.out(), kWord)),
+        full_in(model.add<sg::GatewayIn>("m.full", kBool)),
+        data_out(model.add<sg::GatewayOut>("m.data", plus_one.out())),
+        write_out(model.add<sg::GatewayOut>("m.write", exists_in.out())) {}
+
+  void bind(FslBridge& bridge) {
+    SlaveBinding slave;
+    slave.channel = 0;
+    slave.data = &data_in;
+    slave.exists = &exists_in;
+    slave.control = &control_in;
+    slave.read = &read_out;
+    bridge.bind_slave(slave);
+    MasterBinding master;
+    master.channel = 0;
+    master.data = &data_out;
+    master.write = &write_out;
+    master.full = &full_in;
+    bridge.bind_master(master);
+  }
+
+  void cycle(FslBridge& bridge) {
+    bridge.pre_cycle();
+    model.step();
+    bridge.post_cycle();
+  }
+
+  sg::Model model;
+  sg::GatewayIn& data_in;
+  sg::GatewayIn& exists_in;
+  sg::GatewayIn& control_in;
+  sg::GatewayOut& read_out;
+  sg::Constant& one;
+  sg::AddSub& plus_one;
+  sg::GatewayIn& full_in;
+  sg::GatewayOut& data_out;
+  sg::GatewayOut& write_out;
+};
+
+TEST(Bridge, EchoesWordsWithIncrement) {
+  fsl::FslHub hub;
+  FslBridge bridge(hub);
+  Loopback hw;
+  hw.bind(bridge);
+
+  hub.to_hw(0).try_write(41, false);
+  hw.cycle(bridge);
+  auto out = hub.from_hw(0).try_read();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->data, 42u);
+  EXPECT_FALSE(hub.to_hw(0).exists());  // consumed
+}
+
+TEST(Bridge, IdleCycleMovesNothing) {
+  fsl::FslHub hub;
+  FslBridge bridge(hub);
+  Loopback hw;
+  hw.bind(bridge);
+  hw.cycle(bridge);
+  hw.cycle(bridge);
+  EXPECT_EQ(bridge.stats().words_to_hw, 0u);
+  EXPECT_EQ(bridge.stats().words_from_hw, 0u);
+  EXPECT_FALSE(hub.from_hw(0).exists());
+}
+
+TEST(Bridge, StatsCountTraffic) {
+  fsl::FslHub hub;
+  FslBridge bridge(hub);
+  Loopback hw;
+  hw.bind(bridge);
+  for (int i = 0; i < 5; ++i) hub.to_hw(0).try_write(i, false);
+  for (int i = 0; i < 5; ++i) hw.cycle(bridge);
+  EXPECT_EQ(bridge.stats().words_to_hw, 5u);
+  EXPECT_EQ(bridge.stats().words_from_hw, 5u);
+  EXPECT_EQ(hub.from_hw(0).occupancy(), 5u);
+}
+
+TEST(Bridge, RefusedWritesWhenOutputFull) {
+  fsl::FslHub hub(/*depth=*/2);
+  FslBridge bridge(hub);
+  Loopback hw;  // loopback ignores full (no handshake): words get refused
+  hw.bind(bridge);
+  // Fill the output FIFO (depth 2) with two echoes...
+  for (int i = 0; i < 2; ++i) hub.to_hw(0).try_write(i, false);
+  for (int i = 0; i < 2; ++i) hw.cycle(bridge);
+  EXPECT_EQ(hub.from_hw(0).occupancy(), 2u);
+  // ...then push two more words: their echoes are refused.
+  for (int i = 0; i < 2; ++i) hub.to_hw(0).try_write(i + 2, false);
+  for (int i = 0; i < 2; ++i) hw.cycle(bridge);
+  EXPECT_EQ(hub.from_hw(0).occupancy(), 2u);
+  EXPECT_EQ(bridge.stats().refused_writes, 2u);
+}
+
+TEST(Bridge, ControlBitForwarded) {
+  fsl::FslHub hub;
+  FslBridge bridge(hub);
+  Loopback hw;
+  hw.bind(bridge);
+  hub.to_hw(0).try_write(7, true);
+  bridge.pre_cycle();
+  hw.model.step();
+  EXPECT_TRUE(hw.control_in.out().as_bool());
+  bridge.post_cycle();
+}
+
+TEST(Bridge, BindingValidation) {
+  fsl::FslHub hub;
+  FslBridge bridge(hub);
+  SlaveBinding incomplete;
+  EXPECT_THROW(bridge.bind_slave(incomplete), SimError);
+  MasterBinding bad_master;
+  EXPECT_THROW(bridge.bind_master(bad_master), SimError);
+}
+
+}  // namespace
+}  // namespace mbcosim::core

@@ -1,0 +1,132 @@
+// Tests for the rapid energy-estimation extension (paper Section V).
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/cordic/cordic_app.hpp"
+#include "apps/cordic/cordic_hw.hpp"
+#include "apps/matmul/matmul_app.hpp"
+
+namespace mbcosim::energy {
+namespace {
+
+TEST(ProcessorEnergy, InstructionMixDecomposition) {
+  iss::CpuStats stats;
+  stats.instructions = 100;
+  stats.loads = 10;
+  stats.stores = 5;
+  stats.multiplies = 20;
+  stats.branches = 15;
+  stats.fsl_reads = 3;
+  stats.fsl_writes = 2;
+  stats.fsl_stall_cycles = 50;
+  const EnergyParams p;
+  // 45 plain ALU instructions remain.
+  const double expected = 45 * p.alu_nj + 20 * p.multiply_nj +
+                          10 * p.load_nj + 5 * p.store_nj + 15 * p.branch_nj +
+                          5 * p.fsl_nj + 50 * p.stall_nj;
+  EXPECT_DOUBLE_EQ(processor_energy_nj(stats, p), expected);
+}
+
+TEST(ProcessorEnergy, EmptyRunIsFree) {
+  EXPECT_DOUBLE_EQ(processor_energy_nj(iss::CpuStats{}), 0.0);
+}
+
+TEST(ProcessorEnergy, MultiplyCostsMoreThanAlu) {
+  iss::CpuStats alu_run;
+  alu_run.instructions = 100;
+  iss::CpuStats mul_run;
+  mul_run.instructions = 100;
+  mul_run.multiplies = 100;
+  EXPECT_GT(processor_energy_nj(mul_run), processor_energy_nj(alu_run));
+}
+
+TEST(PeripheralEnergy, ScalesWithActiveCyclesAndSize) {
+  const auto small = apps::cordic::build_cordic_pipeline(2);
+  const auto large = apps::cordic::build_cordic_pipeline(8);
+  const double small_e = peripheral_energy_nj(*small.model, 1000);
+  const double large_e = peripheral_energy_nj(*large.model, 1000);
+  EXPECT_GT(large_e, small_e);
+  EXPECT_DOUBLE_EQ(peripheral_energy_nj(*small.model, 2000), 2 * small_e);
+  EXPECT_DOUBLE_EQ(peripheral_energy_nj(*small.model, 0), 0.0);
+}
+
+TEST(StaticEnergy, ScalesWithAreaAndTime) {
+  ResourceVec area{1000, 0, 0};
+  const double one_ms_cycles = 50'000;  // 1 ms at 50 MHz
+  const double e = static_energy_nj(area, Cycle(one_ms_cycles));
+  // 1000 slices * 18 nW = 18 uW; over 1 ms = 18 nJ.
+  EXPECT_NEAR(e, 18.0, 1e-9);
+  EXPECT_DOUBLE_EQ(static_energy_nj(ResourceVec{}, 1000), 0.0);
+}
+
+TEST(EnergyReport, TotalsAndPower) {
+  EnergyReport report;
+  report.processor_nj = 1000;
+  report.peripheral_nj = 500;
+  report.static_nj = 100;
+  report.cycles = 50'000;  // 1 ms
+  EXPECT_DOUBLE_EQ(report.total_nj(), 1600.0);
+  EXPECT_DOUBLE_EQ(report.total_uj(), 1.6);
+  // 1600 nJ over 1 ms = 1.6 mW.
+  EXPECT_NEAR(report.average_power_mw(), 1.6, 1e-9);
+  EXPECT_NE(report.to_string().find("uJ"), std::string::npos);
+}
+
+TEST(EnergyIntegration, CordicRunsPopulateEnergy) {
+  auto [x, y] = apps::cordic::make_cordic_dataset(10, 77);
+  apps::cordic::CordicRunConfig config;
+  config.iterations = 24;
+  config.items = 10;
+  for (unsigned p : {0u, 4u}) {
+    config.num_pes = p;
+    const auto result = apps::cordic::run_cordic(config, x, y);
+    EXPECT_GT(result.energy.total_nj(), 0.0) << "P=" << p;
+    EXPECT_EQ(result.energy.cycles, result.cycles);
+    if (p == 0) {
+      EXPECT_DOUBLE_EQ(result.energy.peripheral_nj, 0.0);
+    } else {
+      EXPECT_GT(result.energy.peripheral_nj, 0.0);
+    }
+  }
+}
+
+TEST(EnergyIntegration, HardwareReducesEnergyForCordic) {
+  // The design-space insight the extension enables: P = 4 finishes so
+  // much earlier than pure software that it wins on energy too, despite
+  // the extra powered fabric.
+  auto [x, y] = apps::cordic::make_cordic_dataset(20, 78);
+  apps::cordic::CordicRunConfig sw;
+  sw.num_pes = 0;
+  sw.iterations = 24;
+  sw.items = 20;
+  apps::cordic::CordicRunConfig hw = sw;
+  hw.num_pes = 4;
+  const auto sw_result = apps::cordic::run_cordic(sw, x, y);
+  const auto hw_result = apps::cordic::run_cordic(hw, x, y);
+  EXPECT_LT(hw_result.energy.total_nj(), sw_result.energy.total_nj());
+}
+
+TEST(EnergyIntegration, MatmulRunsPopulateEnergy) {
+  const auto a = apps::matmul::make_matrix(8, 1);
+  const auto b = apps::matmul::make_matrix(8, 2);
+  apps::matmul::MatmulRunConfig config{8, 4};
+  const auto result = apps::matmul::run_matmul(config, a, b);
+  EXPECT_GT(result.energy.peripheral_nj, 0.0);
+  EXPECT_GT(result.energy.processor_nj, 0.0);
+  EXPECT_GT(result.energy.static_nj, 0.0);
+}
+
+TEST(EnergyParams, CustomCharacterization) {
+  iss::CpuStats stats;
+  stats.instructions = 10;
+  EnergyParams cheap;
+  cheap.alu_nj = 0.1;
+  EnergyParams expensive;
+  expensive.alu_nj = 10.0;
+  EXPECT_LT(processor_energy_nj(stats, cheap),
+            processor_energy_nj(stats, expensive));
+}
+
+}  // namespace
+}  // namespace mbcosim::energy

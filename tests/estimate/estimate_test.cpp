@@ -1,0 +1,138 @@
+// Resource-estimation tests (paper Section III-C / Table I structure).
+#include "estimate/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/cordic/cordic_hw.hpp"
+#include "apps/matmul/matmul_hw.hpp"
+#include "asm/assembler.hpp"
+#include "estimate/datasheet.hpp"
+
+namespace mbcosim::estimate {
+namespace {
+
+TEST(Datasheet, CpuOptionsAddUp) {
+  isa::CpuConfig base;
+  base.has_multiplier = false;
+  base.has_barrel_shifter = false;
+  base.has_divider = false;
+  const ResourceVec plain = cpu_resources(base, 0);
+  base.has_multiplier = true;
+  const ResourceVec with_mul = cpu_resources(base, 0);
+  EXPECT_EQ(with_mul.mult18s, 3u);  // Table I's baseline "3 multipliers"
+  EXPECT_GT(with_mul.slices, plain.slices);
+  base.has_barrel_shifter = true;
+  base.has_divider = true;
+  const ResourceVec full = cpu_resources(base, 2);
+  EXPECT_EQ(full.slices, plain.slices + kCpuMultiplier.slices +
+                             kCpuBarrelShifter.slices + kCpuDivider.slices +
+                             2 * kFslLink.slices);
+}
+
+TEST(Estimator, PureSoftwareSystemHasOnlyCpuAndProgram) {
+  const auto program = assembler::assemble_or_throw(
+      "start: nop\nhalt\ndata: .space 64\n");
+  SystemDescription system;
+  system.program = &program;
+  const ResourceReport report = estimate_system(system);
+  EXPECT_EQ(report.parts.size(), 2u);
+  EXPECT_EQ(report.estimated.brams, 1u);  // program fits one BRAM
+  EXPECT_EQ(report.estimated.slices, report.implemented.slices);
+}
+
+TEST(Estimator, CordicSlicesGrowLinearlyWithP) {
+  std::vector<u32> slices;
+  for (unsigned p : {2u, 4u, 6u, 8u}) {
+    const auto pipeline = apps::cordic::build_cordic_pipeline(p);
+    SystemDescription system;
+    system.fsl_links_used = 2;
+    system.peripheral = pipeline.model.get();
+    slices.push_back(estimate_system(system).estimated.slices);
+  }
+  const u32 delta1 = slices[1] - slices[0];
+  const u32 delta2 = slices[2] - slices[1];
+  const u32 delta3 = slices[3] - slices[2];
+  EXPECT_EQ(delta1, delta2);  // constant per-PE increment
+  EXPECT_EQ(delta2, delta3);
+  EXPECT_GT(delta1, 0u);
+}
+
+TEST(Estimator, CordicUsesNoExtraMultipliers) {
+  // Table I: the CORDIC designs report 3 multipliers for every P — all
+  // from the processor's multiply unit, none from the PEs.
+  const auto pipeline = apps::cordic::build_cordic_pipeline(8);
+  SystemDescription system;
+  system.cpu.has_multiplier = true;
+  system.fsl_links_used = 2;
+  system.peripheral = pipeline.model.get();
+  EXPECT_EQ(estimate_system(system).estimated.mult18s, 3u);
+}
+
+TEST(Estimator, MatmulMultiplierCountsMatchTable1) {
+  // Table I: 5 multipliers for 2x2 blocks, 7 for 4x4 (3 from the CPU).
+  for (const auto& [block, expected] : {std::pair{2u, 5u}, {4u, 7u}}) {
+    const auto peripheral = apps::matmul::build_matmul_peripheral(block);
+    SystemDescription system;
+    system.cpu.has_multiplier = true;
+    system.fsl_links_used = 2;
+    system.peripheral = peripheral.model.get();
+    EXPECT_EQ(estimate_system(system).estimated.mult18s, expected)
+        << "block size " << block;
+  }
+}
+
+TEST(Estimator, ImplementedNeverExceedsEstimatedSlices) {
+  for (unsigned p : {2u, 4u, 8u}) {
+    const auto pipeline = apps::cordic::build_cordic_pipeline(p);
+    SystemDescription system;
+    system.fsl_links_used = 2;
+    system.peripheral = pipeline.model.get();
+    const ResourceReport report = estimate_system(system);
+    EXPECT_LE(report.implemented.slices, report.estimated.slices);
+    EXPECT_EQ(report.implemented.brams, report.estimated.brams);
+    EXPECT_EQ(report.implemented.mult18s, report.estimated.mult18s);
+  }
+}
+
+TEST(Estimator, MatmulTrimsMoreThanCordic) {
+  // The paper's matmul designs lose ~16% of estimated slices after
+  // implementation while the CORDIC pipelines lose ~1%: mux/control
+  // heavy logic trims, carry chains do not.
+  const auto cordic = apps::cordic::build_cordic_pipeline(4);
+  const auto matmul = apps::matmul::build_matmul_peripheral(4);
+  const ResourceVec cordic_est = cordic.model->resources();
+  const ResourceVec cordic_impl =
+      implemented_peripheral_resources(*cordic.model);
+  const ResourceVec matmul_est = matmul.model->resources();
+  const ResourceVec matmul_impl =
+      implemented_peripheral_resources(*matmul.model);
+  const double cordic_trim =
+      1.0 - double(cordic_impl.slices) / double(cordic_est.slices);
+  const double matmul_trim =
+      1.0 - double(matmul_impl.slices) / double(matmul_est.slices);
+  EXPECT_GT(matmul_trim, cordic_trim);
+}
+
+TEST(Estimator, ProgramBramSizing) {
+  // 600 words = 2400 bytes -> 2 BRAMs at 2 KiB per block.
+  std::string source;
+  for (int i = 0; i < 600; ++i) source += ".word 0\n";
+  const auto program = assembler::assemble_or_throw(source);
+  SystemDescription system;
+  system.program = &program;
+  EXPECT_EQ(estimate_system(system).estimated.brams, 2u);
+}
+
+TEST(Estimator, ReportFormatting) {
+  const auto pipeline = apps::cordic::build_cordic_pipeline(2);
+  SystemDescription system;
+  system.fsl_links_used = 2;
+  system.peripheral = pipeline.model.get();
+  const std::string text = estimate_system(system).to_string();
+  EXPECT_NE(text.find("estimated:"), std::string::npos);
+  EXPECT_NE(text.find("implemented:"), std::string::npos);
+  EXPECT_NE(text.find("cordic_div_p2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbcosim::estimate

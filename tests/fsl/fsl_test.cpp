@@ -1,0 +1,109 @@
+// FSL channel and hub unit tests (FIFO semantics, flags, statistics).
+#include "fsl/fsl_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsl/fsl_hub.hpp"
+
+namespace mbcosim::fsl {
+namespace {
+
+TEST(FslChannel, StartsEmpty) {
+  FslChannel ch;
+  EXPECT_FALSE(ch.exists());
+  EXPECT_FALSE(ch.full());
+  EXPECT_EQ(ch.occupancy(), 0u);
+  EXPECT_EQ(ch.depth(), FslChannel::kDefaultDepth);
+}
+
+TEST(FslChannel, FifoOrder) {
+  FslChannel ch;
+  ch.try_write(1, false);
+  ch.try_write(2, true);
+  ch.try_write(3, false);
+  EXPECT_EQ(ch.try_read()->data, 1u);
+  EXPECT_EQ(ch.try_read()->data, 2u);
+  EXPECT_EQ(ch.try_read()->data, 3u);
+  EXPECT_FALSE(ch.try_read().has_value());
+}
+
+TEST(FslChannel, ControlBitTravelsWithData) {
+  FslChannel ch;
+  ch.try_write(7, true);
+  const auto entry = ch.try_read();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->control);
+}
+
+TEST(FslChannel, FullFlagBlocksWrites) {
+  FslChannel ch(2);
+  EXPECT_TRUE(ch.try_write(1, false));
+  EXPECT_TRUE(ch.try_write(2, false));
+  EXPECT_TRUE(ch.full());
+  EXPECT_FALSE(ch.try_write(3, false));
+  EXPECT_EQ(ch.refused_writes(), 1u);
+  (void)ch.try_read();
+  EXPECT_FALSE(ch.full());
+  EXPECT_TRUE(ch.try_write(3, false));
+}
+
+TEST(FslChannel, PeekDoesNotConsume) {
+  FslChannel ch;
+  ch.try_write(9, false);
+  EXPECT_EQ(ch.peek()->data, 9u);
+  EXPECT_EQ(ch.occupancy(), 1u);
+  EXPECT_EQ(ch.try_read()->data, 9u);
+  EXPECT_FALSE(ch.peek().has_value());
+}
+
+TEST(FslChannel, StatisticsTrackTraffic) {
+  FslChannel ch(4);
+  for (int i = 0; i < 3; ++i) ch.try_write(i, false);
+  (void)ch.try_read();
+  EXPECT_EQ(ch.total_writes(), 3u);
+  EXPECT_EQ(ch.total_reads(), 1u);
+  EXPECT_EQ(ch.max_occupancy(), 3u);
+  ch.reset_stats();
+  EXPECT_EQ(ch.total_writes(), 0u);
+  EXPECT_EQ(ch.max_occupancy(), ch.occupancy());
+}
+
+TEST(FslChannel, ClearEmpties) {
+  FslChannel ch;
+  ch.try_write(1, false);
+  ch.clear();
+  EXPECT_FALSE(ch.exists());
+}
+
+TEST(FslChannel, ZeroDepthRejected) {
+  EXPECT_THROW(FslChannel(0), SimError);
+}
+
+TEST(FslHub, ChannelsAreIndependent) {
+  FslHub hub;
+  hub.to_hw(0).try_write(1, false);
+  hub.to_hw(7).try_write(2, false);
+  hub.from_hw(0).try_write(3, false);
+  EXPECT_EQ(hub.to_hw(0).occupancy(), 1u);
+  EXPECT_EQ(hub.to_hw(7).occupancy(), 1u);
+  EXPECT_EQ(hub.to_hw(1).occupancy(), 0u);
+  EXPECT_EQ(hub.from_hw(0).occupancy(), 1u);
+}
+
+TEST(FslHub, RangeChecked) {
+  FslHub hub;
+  EXPECT_THROW(hub.to_hw(8), SimError);
+  EXPECT_THROW(hub.from_hw(99), SimError);
+}
+
+TEST(FslHub, ClearAffectsAllChannels) {
+  FslHub hub;
+  hub.to_hw(3).try_write(1, false);
+  hub.from_hw(4).try_write(2, false);
+  hub.clear();
+  EXPECT_FALSE(hub.to_hw(3).exists());
+  EXPECT_FALSE(hub.from_hw(4).exists());
+}
+
+}  // namespace
+}  // namespace mbcosim::fsl

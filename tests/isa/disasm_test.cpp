@@ -1,0 +1,164 @@
+// Disassembler formatting tests, including the round trip through the
+// assembler (disassembled text must re-assemble to the same word).
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "isa/isa.hpp"
+
+namespace mbcosim::isa {
+namespace {
+
+TEST(Disasm, TypeAFormat) {
+  Instruction in;
+  in.op = Op::kAdd;
+  in.rd = 3;
+  in.ra = 4;
+  in.rb = 5;
+  EXPECT_EQ(disassemble(in), "add r3, r4, r5");
+}
+
+TEST(Disasm, TypeBFormat) {
+  Instruction in;
+  in.op = Op::kAddk;
+  in.imm_form = true;
+  in.rd = 3;
+  in.ra = 4;
+  in.imm = -100;
+  EXPECT_EQ(disassemble(in), "addik r3, r4, -100");
+}
+
+TEST(Disasm, BranchSpellings) {
+  Instruction br;
+  br.op = Op::kBr;
+  br.imm_form = true;
+  br.imm = 16;
+  EXPECT_EQ(disassemble(br), "bri 16");
+  br.delay_slot = true;
+  EXPECT_EQ(disassemble(br), "brid 16");
+  br.link = true;
+  br.rd = 15;
+  EXPECT_EQ(disassemble(br), "brlid r15, 16");
+}
+
+TEST(Disasm, ConditionalBranch) {
+  Instruction bcc;
+  bcc.op = Op::kBcc;
+  bcc.cond = Cond::kNe;
+  bcc.imm_form = true;
+  bcc.ra = 5;
+  bcc.imm = -8;
+  EXPECT_EQ(disassemble(bcc), "bnei r5, -8");
+  bcc.delay_slot = true;
+  EXPECT_EQ(disassemble(bcc), "bneid r5, -8");
+}
+
+TEST(Disasm, FslVariants) {
+  Instruction get;
+  get.op = Op::kGet;
+  get.rd = 3;
+  get.fsl_id = 2;
+  get.imm_form = true;
+  EXPECT_EQ(disassemble(get), "get r3, rfsl2");
+  get.fsl_nonblocking = true;
+  EXPECT_EQ(disassemble(get), "nget r3, rfsl2");
+  get.fsl_control = true;
+  EXPECT_EQ(disassemble(get), "ncget r3, rfsl2");
+
+  Instruction put;
+  put.op = Op::kPut;
+  put.ra = 7;
+  put.fsl_id = 1;
+  put.imm_form = true;
+  put.fsl_control = true;
+  EXPECT_EQ(disassemble(put), "cput r7, rfsl1");
+}
+
+TEST(Disasm, SpecialRegisters) {
+  Instruction mfs;
+  mfs.op = Op::kMfs;
+  mfs.rd = 4;
+  mfs.imm = 1;
+  EXPECT_EQ(disassemble(mfs), "mfs r4, rmsr");
+  Instruction mts;
+  mts.op = Op::kMts;
+  mts.ra = 4;
+  mts.imm = 1;
+  EXPECT_EQ(disassemble(mts), "mts rmsr, r4");
+}
+
+TEST(Disasm, IllegalWord) {
+  EXPECT_EQ(disassemble(Word{0xFC000000u}), "<illegal>");
+}
+
+TEST(Disasm, ControlFlowPredicate) {
+  Instruction br;
+  br.op = Op::kBr;
+  EXPECT_TRUE(is_control_flow(br));
+  Instruction add;
+  add.op = Op::kAdd;
+  EXPECT_FALSE(is_control_flow(add));
+  Instruction rtsd;
+  rtsd.op = Op::kRtsd;
+  EXPECT_TRUE(is_control_flow(rtsd));
+}
+
+/// Disassembler output must re-assemble to the identical encoding for
+/// non-label-relative instructions.
+class DisasmRoundTrip : public ::testing::TestWithParam<Word> {};
+
+TEST_P(DisasmRoundTrip, ReassemblesToSameWord) {
+  const Word word = GetParam();
+  const std::string text = disassemble(word);
+  const auto program = assembler::assemble(text);
+  ASSERT_TRUE(program.ok()) << text << ": " << program.error();
+  ASSERT_EQ(program.value().words.size(), 1u);
+  EXPECT_EQ(program.value().words[0], word) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, DisasmRoundTrip,
+    ::testing::Values(encode([] {
+                        Instruction i;
+                        i.op = Op::kAdd;
+                        i.rd = 1;
+                        i.ra = 2;
+                        i.rb = 3;
+                        return i;
+                      }()),
+                      encode([] {
+                        Instruction i;
+                        i.op = Op::kMul;
+                        i.imm_form = true;
+                        i.rd = 4;
+                        i.ra = 5;
+                        i.imm = 77;
+                        return i;
+                      }()),
+                      encode([] {
+                        Instruction i;
+                        i.op = Op::kSra;
+                        i.rd = 6;
+                        i.ra = 7;
+                        return i;
+                      }()),
+                      encode([] {
+                        Instruction i;
+                        i.op = Op::kGet;
+                        i.imm_form = true;
+                        i.rd = 8;
+                        i.fsl_id = 5;
+                        i.fsl_nonblocking = true;
+                        return i;
+                      }()),
+                      encode([] {
+                        Instruction i;
+                        i.op = Op::kRtsd;
+                        i.imm_form = true;
+                        i.delay_slot = true;
+                        i.ra = 15;
+                        i.imm = 8;
+                        return i;
+                      }())));
+
+}  // namespace
+}  // namespace mbcosim::isa

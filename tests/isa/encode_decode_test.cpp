@@ -1,0 +1,230 @@
+// Encoder/decoder round-trip tests across the full instruction set.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "isa/isa.hpp"
+
+namespace mbcosim::isa {
+namespace {
+
+Instruction make(Op op) {
+  Instruction in;
+  in.op = op;
+  return in;
+}
+
+/// Instructions covering every operand shape for round-trip testing.
+std::vector<Instruction> representative_instructions() {
+  std::vector<Instruction> all;
+  auto add = [&all](Instruction in) { all.push_back(in); };
+
+  for (Op op : {Op::kAdd, Op::kRsub, Op::kAddc, Op::kRsubc, Op::kAddk,
+                Op::kRsubk, Op::kMul, Op::kOr, Op::kAnd, Op::kXor, Op::kAndn,
+                Op::kLbu, Op::kLhu, Op::kLw, Op::kSb, Op::kSh, Op::kSw}) {
+    Instruction reg = make(op);
+    reg.rd = 3;
+    reg.ra = 4;
+    reg.rb = 5;
+    add(reg);
+    Instruction imm = make(op);
+    imm.rd = 31;
+    imm.ra = 1;
+    imm.imm = -1234;
+    imm.imm_form = true;
+    add(imm);
+  }
+  for (Op op : {Op::kCmp, Op::kCmpu, Op::kIdiv, Op::kIdivu}) {
+    Instruction in = make(op);
+    in.rd = 7;
+    in.ra = 8;
+    in.rb = 9;
+    add(in);
+  }
+  for (Op op : {Op::kBsll, Op::kBsra, Op::kBsrl}) {
+    Instruction reg = make(op);
+    reg.rd = 2;
+    reg.ra = 3;
+    reg.rb = 4;
+    add(reg);
+    Instruction imm = make(op);
+    imm.rd = 2;
+    imm.ra = 3;
+    imm.imm = 17;
+    imm.imm_form = true;
+    add(imm);
+  }
+  for (Op op : {Op::kSra, Op::kSrc, Op::kSrl, Op::kSext8, Op::kSext16}) {
+    Instruction in = make(op);
+    in.rd = 10;
+    in.ra = 11;
+    add(in);
+  }
+  {
+    Instruction in = make(Op::kImm);
+    in.imm = -32768;
+    in.imm_form = true;
+    add(in);
+  }
+  {
+    Instruction mfs = make(Op::kMfs);
+    mfs.rd = 12;
+    mfs.imm = 1;
+    add(mfs);
+    Instruction mts = make(Op::kMts);
+    mts.ra = 13;
+    mts.imm = 1;
+    add(mts);
+  }
+  // Every unconditional branch variant.
+  for (int absolute = 0; absolute <= 1; ++absolute) {
+    for (int link = 0; link <= 1; ++link) {
+      for (int delay = 0; delay <= 1; ++delay) {
+        for (int immf = 0; immf <= 1; ++immf) {
+          Instruction br = make(Op::kBr);
+          br.absolute = absolute != 0;
+          br.link = link != 0;
+          br.delay_slot = delay != 0;
+          br.imm_form = immf != 0;
+          if (br.link) br.rd = 15;
+          if (br.imm_form) {
+            br.imm = 0x100;
+          } else {
+            br.rb = 6;
+          }
+          all.push_back(br);
+        }
+      }
+    }
+  }
+  // Every conditional branch variant.
+  for (unsigned cond = 0; cond < 6; ++cond) {
+    for (int delay = 0; delay <= 1; ++delay) {
+      for (int immf = 0; immf <= 1; ++immf) {
+        Instruction bcc = make(Op::kBcc);
+        bcc.cond = static_cast<Cond>(cond);
+        bcc.delay_slot = delay != 0;
+        bcc.imm_form = immf != 0;
+        bcc.ra = 20;
+        if (bcc.imm_form) {
+          bcc.imm = -64;
+        } else {
+          bcc.rb = 21;
+        }
+        all.push_back(bcc);
+      }
+    }
+  }
+  {
+    Instruction rtsd = make(Op::kRtsd);
+    rtsd.ra = 15;
+    rtsd.imm = 8;
+    rtsd.imm_form = true;
+    rtsd.delay_slot = true;
+    add(rtsd);
+  }
+  // Every FSL variant on several channels.
+  for (Op op : {Op::kGet, Op::kPut}) {
+    for (int nb = 0; nb <= 1; ++nb) {
+      for (int ctrl = 0; ctrl <= 1; ++ctrl) {
+        for (u8 channel : {u8{0}, u8{3}, u8{7}}) {
+          Instruction fsl = make(op);
+          fsl.fsl_nonblocking = nb != 0;
+          fsl.fsl_control = ctrl != 0;
+          fsl.fsl_id = channel;
+          fsl.imm_form = true;
+          if (op == Op::kGet) {
+            fsl.rd = 9;
+          } else {
+            fsl.ra = 9;
+          }
+          all.push_back(fsl);
+        }
+      }
+    }
+  }
+  return all;
+}
+
+class RoundTrip : public ::testing::TestWithParam<Instruction> {};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity) {
+  const Instruction original = GetParam();
+  const Word word = encode(original);
+  const Instruction decoded = decode(word);
+  EXPECT_EQ(decoded, original) << "word=0x" << std::hex << word << "\n  "
+                               << disassemble(original) << "\n  "
+                               << disassemble(decoded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, RoundTrip, ::testing::ValuesIn(representative_instructions()),
+    [](const ::testing::TestParamInfo<Instruction>& info) {
+      std::string name = mnemonic(info.param) + "_" +
+                         std::to_string(info.index);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Encode, RejectsOutOfRangeImmediate) {
+  Instruction in;
+  in.op = Op::kAdd;
+  in.imm_form = true;
+  in.imm = 40000;
+  EXPECT_THROW(encode(in), SimError);
+}
+
+TEST(Encode, RejectsOutOfRangeShiftAmount) {
+  Instruction in;
+  in.op = Op::kBsll;
+  in.imm_form = true;
+  in.imm = 32;
+  EXPECT_THROW(encode(in), SimError);
+}
+
+TEST(Encode, RejectsBadFslChannel) {
+  Instruction in;
+  in.op = Op::kGet;
+  in.imm_form = true;
+  in.fsl_id = 8;
+  EXPECT_THROW(encode(in), SimError);
+}
+
+TEST(Encode, RejectsIllegalOp) {
+  EXPECT_THROW(encode(Instruction{}), SimError);
+}
+
+TEST(Encode, RejectsCmpImmediateForm) {
+  Instruction in;
+  in.op = Op::kCmp;
+  in.imm_form = true;
+  EXPECT_THROW(encode(in), SimError);
+}
+
+TEST(Decode, UndecodableWordsYieldIllegal) {
+  // Opcode 0x3F is unassigned.
+  EXPECT_EQ(decode(0xFC000000u).op, Op::kIllegal);
+  // RSUBK with a junk function field.
+  EXPECT_EQ(decode(0x14000777u).op, Op::kIllegal);
+}
+
+TEST(Decode, RandomWordsNeverCrash) {
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const Word word = rng.next_u32();
+    const Instruction in = decode(word);
+    if (in.op != Op::kIllegal) {
+      // Whatever decodes must re-encode to a decodable word.
+      const Instruction again = decode(encode(in));
+      EXPECT_EQ(again, in);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbcosim::isa

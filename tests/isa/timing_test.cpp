@@ -1,0 +1,67 @@
+// Tests for the pipeline timing model (the numbers behind the paper's
+// "high-level cycle-accurate" claim: 3-cycle multiply, LMB load latency,
+// branch penalties with and without delay slots).
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace mbcosim::isa {
+namespace {
+
+Instruction make(Op op) {
+  Instruction in;
+  in.op = op;
+  return in;
+}
+
+TEST(Timing, SingleCycleAlu) {
+  for (Op op : {Op::kAdd, Op::kRsub, Op::kAddk, Op::kOr, Op::kAnd, Op::kXor,
+                Op::kAndn, Op::kSra, Op::kSrc, Op::kSrl, Op::kSext8,
+                Op::kSext16, Op::kImm, Op::kCmp, Op::kCmpu, Op::kMfs,
+                Op::kMts, Op::kBsll, Op::kBsra, Op::kBsrl}) {
+    EXPECT_EQ(base_latency(make(op), false), 1u)
+        << mnemonic(make(op));
+  }
+}
+
+TEST(Timing, MultiplyTakesThreeCycles) {
+  // Section I: "the multiplication instruction requires three clock
+  // cycles to complete".
+  EXPECT_EQ(base_latency(make(Op::kMul), false), 3u);
+}
+
+TEST(Timing, DividerTakes34Cycles) {
+  EXPECT_EQ(base_latency(make(Op::kIdiv), false), 34u);
+  EXPECT_EQ(base_latency(make(Op::kIdivu), false), 34u);
+}
+
+TEST(Timing, LmbAccesssTakeTwoCycles) {
+  for (Op op : {Op::kLbu, Op::kLhu, Op::kLw, Op::kSb, Op::kSh, Op::kSw}) {
+    EXPECT_EQ(base_latency(make(op), false), 2u);
+  }
+}
+
+TEST(Timing, BranchPenalties) {
+  Instruction br = make(Op::kBr);
+  EXPECT_EQ(base_latency(br, true), 3u);
+  br.delay_slot = true;
+  EXPECT_EQ(base_latency(br, true), 2u);
+
+  Instruction bcc = make(Op::kBcc);
+  EXPECT_EQ(base_latency(bcc, false), 1u);  // not taken
+  EXPECT_EQ(base_latency(bcc, true), 3u);
+  bcc.delay_slot = true;
+  EXPECT_EQ(base_latency(bcc, true), 2u);
+}
+
+TEST(Timing, ReturnTakesTwoCycles) {
+  EXPECT_EQ(base_latency(make(Op::kRtsd), true), 2u);
+}
+
+TEST(Timing, FslAccessBaseCost) {
+  EXPECT_EQ(base_latency(make(Op::kGet), false), 2u);
+  EXPECT_EQ(base_latency(make(Op::kPut), false), 2u);
+}
+
+}  // namespace
+}  // namespace mbcosim::isa

@@ -1,0 +1,117 @@
+// Tests for the run-control front end (the mb-gdb analog), including its
+// textual command interface.
+#include "iss/debugger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iss/test_helpers.hpp"
+
+namespace mbcosim::iss {
+namespace {
+
+using testing::TestMachine;
+
+TEST(Debugger, BreakpointStopsExecution) {
+  TestMachine m(
+      "  li r3, 1\n"     // words at 0, 4
+      "  li r4, 2\n"     // words at 8, 12
+      "  halt\n");
+  Debugger dbg(m.cpu);
+  dbg.add_breakpoint(8);
+  EXPECT_EQ(dbg.cont(), StopCause::kBreakpoint);
+  EXPECT_EQ(m.cpu.pc(), 8u);
+  EXPECT_EQ(m.cpu.reg(3), 1u);
+  EXPECT_EQ(m.cpu.reg(4), 0u);
+  dbg.remove_breakpoint(8);
+  EXPECT_EQ(dbg.cont(), StopCause::kHalted);
+  EXPECT_EQ(m.cpu.reg(4), 2u);
+}
+
+TEST(Debugger, CycleLimitStops) {
+  TestMachine m("loop: bri loop2\nloop2: bri loop\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.cont(30), StopCause::kCycleLimit);
+}
+
+TEST(Debugger, StepOverStallsRetries) {
+  TestMachine m("get r3, rfsl0\nhalt\n");
+  Debugger dbg(m.cpu);
+  m.hub.from_hw(0).try_write(5, false);
+  const StepResult r = dbg.step_over_stalls();
+  EXPECT_EQ(r.event, Event::kRetired);
+  EXPECT_EQ(m.cpu.reg(3), 5u);
+}
+
+TEST(Debugger, FslStallReportedToCaller) {
+  TestMachine m("get r3, rfsl0\nhalt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.cont(100), StopCause::kFslStalled);
+}
+
+TEST(DebuggerCommands, RegisterAccess) {
+  TestMachine m("halt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.command("setreg r5 0x2a"), "ok");
+  EXPECT_EQ(dbg.command("reg r5"), "0x2a");
+  EXPECT_EQ(dbg.command("reg 5"), "0x2a");
+  EXPECT_NE(dbg.command("reg r32").find("error"), std::string::npos);
+}
+
+TEST(DebuggerCommands, MemoryAccess) {
+  TestMachine m("halt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.command("setmem 0x100 0xdeadbeef"), "ok");
+  EXPECT_EQ(dbg.command("mem 0x100"), "0xdeadbeef");
+  EXPECT_NE(dbg.command("mem 0xFFFFFFF0").find("error"), std::string::npos);
+}
+
+TEST(DebuggerCommands, StepAndPc) {
+  TestMachine m("nop\nnop\nhalt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.command("pc"), "0x0");
+  EXPECT_EQ(dbg.command("step"), "stopped pc=0x4");
+  EXPECT_EQ(dbg.command("cycles"), "1");
+}
+
+TEST(DebuggerCommands, ContinueToHalt) {
+  TestMachine m("li r3, 9\nhalt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.command("cont"), "halted");
+  EXPECT_EQ(dbg.command("reg r3"), "0x9");
+}
+
+TEST(DebuggerCommands, BreakpointViaCommands) {
+  TestMachine m("nop\nnop\nhalt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.command("break 0x4"), "ok");
+  EXPECT_EQ(dbg.command("cont"), "breakpoint pc=0x4");
+  EXPECT_EQ(dbg.command("delete 0x4"), "ok");
+  EXPECT_EQ(dbg.command("cont"), "halted");
+}
+
+TEST(DebuggerCommands, Disassemble) {
+  TestMachine m("add r1, r2, r3\nhalt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_EQ(dbg.command("disasm"), "add r1, r2, r3");
+}
+
+TEST(DebuggerCommands, UnknownCommand) {
+  TestMachine m("halt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_NE(dbg.command("launch missiles").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("").find("error"), std::string::npos);
+}
+
+TEST(DebuggerCommands, MsrQuery) {
+  TestMachine m(
+      "  li r3, 0xFFFFFFFF\n"
+      "  li r4, 1\n"
+      "  add r5, r3, r4\n"
+      "  halt\n");
+  Debugger dbg(m.cpu);
+  dbg.command("cont");
+  EXPECT_EQ(dbg.command("msr"), "0x1");  // carry set
+}
+
+}  // namespace
+}  // namespace mbcosim::iss

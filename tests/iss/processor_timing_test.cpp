@@ -1,0 +1,122 @@
+// Cycle-accuracy tests: the ISS must charge exactly the documented
+// latencies (this is the property the whole co-simulation environment is
+// built on — paper Section I).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "iss/test_helpers.hpp"
+
+namespace mbcosim::iss {
+namespace {
+
+using testing::TestMachine;
+
+/// Cycles consumed by the program body, excluding the final halt (bri 0,
+/// 3 cycles).
+Cycle body_cycles(const char* source) {
+  TestMachine m(source);
+  EXPECT_EQ(m.run(), Event::kHalted);
+  return m.cpu.stats().cycles - 3;
+}
+
+TEST(CycleAccuracy, SingleAluOp) {
+  EXPECT_EQ(body_cycles("add r3, r4, r5\nhalt\n"), 1u);
+}
+
+TEST(CycleAccuracy, MultiplyIsThreeCycles) {
+  EXPECT_EQ(body_cycles("mul r3, r4, r5\nhalt\n"), 3u);
+}
+
+TEST(CycleAccuracy, DivideIs34Cycles) {
+  EXPECT_EQ(body_cycles("idiv r3, r4, r5\nhalt\n"), 34u);
+}
+
+TEST(CycleAccuracy, LoadStoreTwoCycles) {
+  EXPECT_EQ(body_cycles("lwi r3, r0, 0\nhalt\n"), 2u);
+  EXPECT_EQ(body_cycles("swi r3, r0, 0\nhalt\n"), 2u);
+}
+
+TEST(CycleAccuracy, TakenBranchThreeCycles) {
+  EXPECT_EQ(body_cycles("bri next\nnext: halt\n"), 3u);
+}
+
+TEST(CycleAccuracy, DelaySlotBranchTwoCyclesPlusSlot) {
+  // brid (2) + delay-slot add (1).
+  EXPECT_EQ(body_cycles("brid next\nadd r3, r3, r3\nnext: halt\n"), 3u);
+}
+
+TEST(CycleAccuracy, NotTakenConditionalOneCycle) {
+  EXPECT_EQ(body_cycles("bnei r0, away\nhalt\naway: halt\n"), 1u);
+}
+
+TEST(CycleAccuracy, TakenConditionalThreeCycles) {
+  EXPECT_EQ(body_cycles("beqi r0, away\nhalt\naway: halt\n"), 3u);
+}
+
+TEST(CycleAccuracy, LoopCycleCountExact) {
+  // 4 iterations of: addik (1) + bnei (taken 3 / not-taken 1).
+  // Total = 4 * 1 + 3 * 3 + 1 = 14, plus li r3 (imm + addik = 2).
+  const Cycle cycles = body_cycles(
+      "  li r3, 4\n"
+      "loop:\n"
+      "  addik r3, r3, -1\n"
+      "  bnei r3, loop\n"
+      "  halt\n");
+  EXPECT_EQ(cycles, 2u + 4u + 3u * 3u + 1u);
+}
+
+TEST(CycleAccuracy, InstructionCountMatches) {
+  TestMachine m(
+      "  li r3, 2\n"
+      "loop:\n"
+      "  addik r3, r3, -1\n"
+      "  bnei r3, loop\n"
+      "  halt\n");
+  m.run();
+  // imm, addik (li), 2x addik, 2x bnei, halt = 7 instructions.
+  EXPECT_EQ(m.cpu.stats().instructions, 7u);
+}
+
+TEST(CycleAccuracy, FslStallCyclesAreAccounted) {
+  TestMachine m("get r3, rfsl0\nhalt\n");
+  for (int i = 0; i < 10; ++i) m.cpu.step();
+  m.hub.from_hw(0).try_write(1, false);
+  m.run();
+  EXPECT_EQ(m.cpu.stats().fsl_stall_cycles, 10u);
+  // Total: 10 stall + 2 (get) + 3 (halt).
+  EXPECT_EQ(m.cpu.stats().cycles, 15u);
+}
+
+TEST(CycleAccuracy, TraceHookSeesEveryRetirement) {
+  TestMachine m(
+      "  add r3, r0, r0\n"
+      "  mul r4, r3, r3\n"
+      "  halt\n");
+  std::vector<TraceRecord> records;
+  m.cpu.set_trace([&records](const TraceRecord& r) { records.push_back(r); });
+  m.run();
+  // The final halting branch does not reach the trace hook (it ends the
+  // simulation); the two body instructions must.
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].pc, 0u);
+  EXPECT_EQ(records[0].cycles, 1u);
+  EXPECT_EQ(records[1].pc, 4u);
+  EXPECT_EQ(records[1].cycles, 3u);
+  EXPECT_EQ(records[1].instruction.op, isa::Op::kMul);
+}
+
+TEST(CycleAccuracy, ResetClearsEverything) {
+  TestMachine m("li r3, 7\nhalt\n");
+  m.run();
+  EXPECT_NE(m.cpu.stats().cycles, 0u);
+  m.cpu.reset(0);
+  EXPECT_EQ(m.cpu.stats().cycles, 0u);
+  EXPECT_EQ(m.cpu.reg(3), 0u);
+  EXPECT_FALSE(m.cpu.halted());
+  m.run();
+  EXPECT_EQ(m.cpu.reg(3), 7u);
+}
+
+}  // namespace
+}  // namespace mbcosim::iss

@@ -1,0 +1,40 @@
+// Shared fixture for ISS tests: assemble a source snippet, load it, run.
+#pragma once
+
+#include <string_view>
+
+#include "asm/assembler.hpp"
+#include "fsl/fsl_hub.hpp"
+#include "iss/memory.hpp"
+#include "iss/processor.hpp"
+
+namespace mbcosim::iss::testing {
+
+struct TestMachine {
+  explicit TestMachine(std::string_view source,
+                       isa::CpuConfig config = make_default_config())
+      : program(assembler::assemble_or_throw(source)),
+        memory(64 * 1024),
+        cpu(config, memory, &hub) {
+    memory.load_program(program);
+    cpu.reset(program.entry());
+  }
+
+  static isa::CpuConfig make_default_config() {
+    isa::CpuConfig config;
+    config.has_barrel_shifter = true;
+    config.has_multiplier = true;
+    config.has_divider = true;
+    return config;
+  }
+
+  /// Run to completion; returns the final event.
+  Event run(Cycle max_cycles = 1'000'000) { return cpu.run(max_cycles); }
+
+  assembler::Program program;
+  LmbMemory memory;
+  fsl::FslHub hub;
+  Processor cpu;
+};
+
+}  // namespace mbcosim::iss::testing

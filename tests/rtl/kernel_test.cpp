@@ -1,0 +1,140 @@
+// Event-driven kernel tests: delta cycles, sensitivity, edges, stats.
+#include "rtl/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcosim::rtl {
+namespace {
+
+TEST(Kernel, CombinationalProcessFollowsInput) {
+  Simulator sim;
+  Net& a = sim.net("a", 8, 0);
+  Net& b = sim.net("b", 8, 0);
+  sim.process("invert", {&a}, [&] {
+    sim.assign(b, LogicVector::of(8, ~a.read().bits & 0xFF));
+  });
+  sim.start();
+  EXPECT_EQ(b.value(), 0xFFu);
+  sim.assign(a, 0x55);
+  sim.settle();
+  EXPECT_EQ(b.value(), 0xAAu);
+}
+
+TEST(Kernel, DeltaCyclesCascadeThroughChain) {
+  Simulator sim;
+  Net& a = sim.net("a", 8, 0);
+  Net& b = sim.net("b", 8, 0);
+  Net& c = sim.net("c", 8, 0);
+  sim.process("ab", {&a}, [&] { sim.assign(b, a.read().bits + 1); });
+  sim.process("bc", {&b}, [&] { sim.assign(c, b.read().bits + 1); });
+  sim.start();
+  sim.assign(a, 10);
+  sim.settle();
+  EXPECT_EQ(c.value(), 12u);
+  EXPECT_GT(sim.stats().delta_cycles, 1u);
+}
+
+TEST(Kernel, NoChangeNoWakeup) {
+  Simulator sim;
+  Net& a = sim.net("a", 1, 0);
+  int activations = 0;
+  sim.process("watch", {&a}, [&] { ++activations; });
+  sim.start();
+  const int after_start = activations;
+  sim.assign_bit(a, false);  // same value: no event
+  sim.settle();
+  EXPECT_EQ(activations, after_start);
+  sim.assign_bit(a, true);
+  sim.settle();
+  EXPECT_EQ(activations, after_start + 1);
+}
+
+TEST(Kernel, LastAssignmentWinsInDelta) {
+  Simulator sim;
+  Net& a = sim.net("a", 8, 0);
+  Net& trigger = sim.net("t", 1, 0);
+  sim.process("write_twice", {&trigger}, [&] {
+    sim.assign(a, 1);
+    sim.assign(a, 2);
+  });
+  sim.start();
+  sim.assign_bit(trigger, true);
+  sim.settle();
+  EXPECT_EQ(a.value(), 2u);
+}
+
+TEST(Kernel, RisingEdgeDetection) {
+  Simulator sim;
+  Net& clk = sim.net("clk", 1, 0);
+  int rises = 0;
+  int falls = 0;
+  sim.process("edges", {&clk}, [&] {
+    if (clk.rose()) ++rises;
+    if (clk.fell()) ++falls;
+  });
+  sim.start();
+  sim.tick(clk);
+  sim.tick(clk);
+  EXPECT_EQ(rises, 2);
+  EXPECT_EQ(falls, 2);
+  EXPECT_EQ(sim.stats().clock_cycles, 2u);
+}
+
+TEST(Kernel, ClockedRegisterBehaviour) {
+  Simulator sim;
+  Net& clk = sim.net("clk", 1, 0);
+  Net& d = sim.net("d", 8, 0);
+  Net& q = sim.net("q", 8, 0);
+  sim.process("reg", {&clk}, [&] {
+    if (clk.rose()) sim.assign(q, d.read());
+  });
+  sim.start();
+  sim.assign(d, 7);
+  sim.settle();
+  EXPECT_EQ(q.value(), 0u);  // not clocked yet
+  sim.tick(clk);
+  EXPECT_EQ(q.value(), 7u);
+}
+
+TEST(Kernel, OscillationGuard) {
+  Simulator sim;
+  Net& a = sim.net("a", 1, 0);
+  sim.process("osc", {&a}, [&] {
+    sim.assign(a, LogicVector::of(1, ~a.read().bits & 1));
+  });
+  sim.set_max_deltas(100);
+  EXPECT_THROW(sim.start(), SimError);
+}
+
+TEST(Kernel, WidthMismatchRejected) {
+  Simulator sim;
+  Net& a = sim.net("a", 8, 0);
+  sim.start();
+  EXPECT_THROW(sim.assign(a, LogicVector::of(4, 1)), SimError);
+}
+
+TEST(Kernel, StatsAccumulate) {
+  Simulator sim;
+  Net& clk = sim.net("clk", 1, 0);
+  Net& counter = sim.net("count", 8, 0);
+  sim.process("count", {&clk}, [&] {
+    if (clk.rose()) sim.assign(counter, counter.read().bits + 1);
+  });
+  sim.start();
+  for (int i = 0; i < 10; ++i) sim.tick(clk);
+  EXPECT_EQ(counter.value(), 10u);
+  EXPECT_GE(sim.stats().events, 20u);  // clk edges + counter changes
+  EXPECT_GE(sim.stats().process_activations, 20u);
+  EXPECT_GT(sim.stats().assignments, 0u);
+  EXPECT_EQ(sim.net_count(), 2u);
+  EXPECT_EQ(sim.process_count(), 1u);
+}
+
+TEST(Kernel, UninitializedNetStartsUnknown) {
+  Simulator sim;
+  Net& a = sim.net("a", 4);
+  EXPECT_FALSE(a.read().is_fully_known());
+}
+
+}  // namespace
+}  // namespace mbcosim::rtl

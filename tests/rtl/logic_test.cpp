@@ -1,0 +1,83 @@
+// Four-valued logic and LogicVector tests.
+#include "rtl/logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcosim::rtl {
+namespace {
+
+TEST(Logic, TruthTables) {
+  EXPECT_EQ(logic_and(Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_and(Logic::k1, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_and(Logic::k0, Logic::kX), Logic::k0);  // 0 dominates
+  EXPECT_EQ(logic_and(Logic::k1, Logic::kX), Logic::kX);
+
+  EXPECT_EQ(logic_or(Logic::k0, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_or(Logic::k1, Logic::kX), Logic::k1);  // 1 dominates
+  EXPECT_EQ(logic_or(Logic::k0, Logic::kX), Logic::kX);
+
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::k1), Logic::k0);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::kX), Logic::kX);
+
+  EXPECT_EQ(logic_not(Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_not(Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_not(Logic::kZ), Logic::kX);
+}
+
+TEST(LogicVector, KnownValue) {
+  const LogicVector v = LogicVector::of(8, 0xA5);
+  EXPECT_TRUE(v.is_fully_known());
+  EXPECT_EQ(v.value(), 0xA5u);
+  EXPECT_EQ(v.at(0), Logic::k1);
+  EXPECT_EQ(v.at(1), Logic::k0);
+  EXPECT_EQ(v.at(7), Logic::k1);
+}
+
+TEST(LogicVector, ValueMasksToWidth) {
+  const LogicVector v = LogicVector::of(4, 0xFF);
+  EXPECT_EQ(v.value(), 0xFu);
+}
+
+TEST(LogicVector, UnknownVector) {
+  const LogicVector x = LogicVector::unknown(8);
+  EXPECT_FALSE(x.is_fully_known());
+  EXPECT_THROW(x.value(), SimError);
+  EXPECT_EQ(x.at(3), Logic::kX);
+}
+
+TEST(LogicVector, SetBits) {
+  LogicVector v = LogicVector::of(4, 0);
+  v.set(2, Logic::k1);
+  EXPECT_EQ(v.value(), 4u);
+  v.set(2, Logic::kX);
+  EXPECT_FALSE(v.is_fully_known());
+  v.set(2, Logic::k0);
+  EXPECT_EQ(v.value(), 0u);
+}
+
+TEST(LogicVector, BoundsChecked) {
+  LogicVector v = LogicVector::of(4, 0);
+  EXPECT_THROW(v.at(4), SimError);
+  EXPECT_THROW(v.set(4, Logic::k1), SimError);
+  EXPECT_THROW(LogicVector::of(0, 0), SimError);
+  EXPECT_THROW(LogicVector::of(65, 0), SimError);
+  EXPECT_NO_THROW(LogicVector::of(64, ~u64{0}).value());
+}
+
+TEST(LogicVector, ToString) {
+  LogicVector v = LogicVector::of(4, 0b1010);
+  EXPECT_EQ(v.to_string(), "1010");
+  v.set(1, Logic::kX);
+  EXPECT_EQ(v.to_string(), "10X0");
+}
+
+TEST(LogicVector, Equality) {
+  EXPECT_EQ(LogicVector::of(8, 5), LogicVector::of(8, 5));
+  EXPECT_FALSE(LogicVector::of(8, 5) == LogicVector::of(8, 6));
+  EXPECT_FALSE(LogicVector::of(8, 5) == LogicVector::of(16, 5));
+  EXPECT_EQ(LogicVector::unknown(8), LogicVector::unknown(8));
+}
+
+}  // namespace
+}  // namespace mbcosim::rtl

@@ -1,0 +1,148 @@
+// Property tests: structural bit-level primitives against host arithmetic
+// over random vectors.
+#include "rtl/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace mbcosim::rtl {
+namespace {
+
+class PrimitiveProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PrimitiveProperty, RippleCarryAddMatchesHost) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    const unsigned width = static_cast<unsigned>(rng.next_in(1, 32));
+    const u64 a = rng.next_u64() & low_mask64(width);
+    const u64 b = rng.next_u64() & low_mask64(width);
+    Logic carry = Logic::k0;
+    const LogicVector sum = rc_add(LogicVector::of(width, a),
+                                   LogicVector::of(width, b), Logic::k0,
+                                   &carry);
+    const u64 expected = (a + b) & low_mask64(width);
+    EXPECT_EQ(sum.value(), expected);
+    EXPECT_EQ(carry == Logic::k1, ((a + b) >> width) != 0)
+        << "width=" << width;
+  }
+}
+
+TEST_P(PrimitiveProperty, SubtractionMatchesHost) {
+  Rng rng(GetParam() ^ 0x5ABu);
+  for (int trial = 0; trial < 500; ++trial) {
+    const unsigned width = static_cast<unsigned>(rng.next_in(1, 32));
+    const u64 a = rng.next_u64() & low_mask64(width);
+    const u64 b = rng.next_u64() & low_mask64(width);
+    const LogicVector diff =
+        rc_sub(LogicVector::of(width, a), LogicVector::of(width, b));
+    EXPECT_EQ(diff.value(), (a - b) & low_mask64(width));
+  }
+}
+
+TEST_P(PrimitiveProperty, BitwiseOpsMatchHost) {
+  Rng rng(GetParam() ^ 0xB17);
+  for (int trial = 0; trial < 500; ++trial) {
+    const unsigned width = static_cast<unsigned>(rng.next_in(1, 48));
+    const u64 a = rng.next_u64() & low_mask64(width);
+    const u64 b = rng.next_u64() & low_mask64(width);
+    const LogicVector va = LogicVector::of(width, a);
+    const LogicVector vb = LogicVector::of(width, b);
+    EXPECT_EQ(and_v(va, vb).value(), a & b);
+    EXPECT_EQ(or_v(va, vb).value(), a | b);
+    EXPECT_EQ(xor_v(va, vb).value(), a ^ b);
+    EXPECT_EQ(not_v(va).value(), ~a & low_mask64(width));
+  }
+}
+
+TEST_P(PrimitiveProperty, ComparatorsMatchHost) {
+  Rng rng(GetParam() ^ 0xC0);
+  for (int trial = 0; trial < 500; ++trial) {
+    const unsigned width = static_cast<unsigned>(rng.next_in(2, 32));
+    const u64 a = rng.next_u64() & low_mask64(width);
+    const u64 b = rng.next_u64() & low_mask64(width);
+    const LogicVector va = LogicVector::of(width, a);
+    const LogicVector vb = LogicVector::of(width, b);
+    EXPECT_EQ(eq_v(va, vb) == Logic::k1, a == b);
+    const i64 sa = sign_extend64(a, width);
+    const i64 sb = sign_extend64(b, width);
+    EXPECT_EQ(lt_signed(va, vb) == Logic::k1, sa < sb)
+        << "a=" << sa << " b=" << sb << " width=" << width;
+  }
+}
+
+TEST_P(PrimitiveProperty, BarrelShiftsMatchHost) {
+  Rng rng(GetParam() ^ 0xBA44E1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u64 a = rng.next_u32();
+    const unsigned amount = static_cast<unsigned>(rng.next_below(32));
+    const LogicVector va = LogicVector::of(32, a);
+    const LogicVector vamt = LogicVector::of(5, amount);
+    EXPECT_EQ(barrel_shift_right_logic(va, vamt).value(), a >> amount);
+    EXPECT_EQ(barrel_shift_left(va, vamt).value(),
+              (a << amount) & 0xFFFFFFFFu);
+    const i64 sa = sign_extend64(a, 32);
+    EXPECT_EQ(barrel_shift_right_arith(va, vamt).value(),
+              static_cast<u64>(sa >> amount) & 0xFFFFFFFFu);
+  }
+}
+
+TEST_P(PrimitiveProperty, ArrayMultiplierMatchesHost) {
+  Rng rng(GetParam() ^ 0x3114);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u32 a = rng.next_u32();
+    const u32 b = rng.next_u32();
+    const LogicVector product = array_multiply(LogicVector::of(32, a),
+                                               LogicVector::of(32, b));
+    EXPECT_EQ(product.value(), static_cast<u64>(a * b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimitiveProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(Primitives, XPropagatesThroughAdder) {
+  LogicVector a = LogicVector::of(8, 0x0F);
+  a.set(0, Logic::kX);
+  const LogicVector sum = rc_add(a, LogicVector::of(8, 1));
+  EXPECT_FALSE(sum.is_fully_known());
+}
+
+TEST(Primitives, MuxKnownSelect) {
+  const LogicVector a = LogicVector::of(8, 1);
+  const LogicVector b = LogicVector::of(8, 2);
+  EXPECT_EQ(mux2(Logic::k0, a, b).value(), 1u);
+  EXPECT_EQ(mux2(Logic::k1, a, b).value(), 2u);
+}
+
+TEST(Primitives, MuxUnknownSelectKeepsAgreeingBits) {
+  const LogicVector a = LogicVector::of(4, 0b1010);
+  const LogicVector b = LogicVector::of(4, 0b1001);
+  const LogicVector out = mux2(Logic::kX, a, b);
+  EXPECT_EQ(out.at(3), Logic::k1);  // both agree
+  EXPECT_EQ(out.at(2), Logic::k0);
+  EXPECT_EQ(out.at(1), Logic::kX);  // disagree
+  EXPECT_EQ(out.at(0), Logic::kX);
+}
+
+TEST(Primitives, WidthAdapters) {
+  const LogicVector v = LogicVector::of(8, 0x80);
+  EXPECT_EQ(zero_extend(v, 16).value(), 0x80u);
+  EXPECT_EQ(sign_extend_v(v, 16).value(), 0xFF80u);
+  EXPECT_EQ(truncate(LogicVector::of(16, 0x1234), 8).value(), 0x34u);
+  EXPECT_EQ(slice(LogicVector::of(16, 0x1234), 4, 8).value(), 0x23u);
+  EXPECT_EQ(concat(LogicVector::of(4, 0xA), LogicVector::of(4, 0x5)).value(),
+            0xA5u);
+}
+
+TEST(Primitives, WidthMismatchRejected) {
+  EXPECT_THROW(rc_add(LogicVector::of(8, 0), LogicVector::of(4, 0)),
+               SimError);
+  EXPECT_THROW(zero_extend(LogicVector::of(8, 0), 4), SimError);
+  EXPECT_THROW(truncate(LogicVector::of(8, 0), 16), SimError);
+  EXPECT_THROW(slice(LogicVector::of(8, 0), 4, 8), SimError);
+}
+
+}  // namespace
+}  // namespace mbcosim::rtl

@@ -1,0 +1,75 @@
+// VCD waveform writer and net-lookup tests.
+#include "rtl/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mbcosim::rtl {
+namespace {
+
+TEST(FindNet, LooksUpByName) {
+  Simulator sim;
+  Net& a = sim.net("top.a", 8, 0);
+  sim.net("top.b", 1, 0);
+  EXPECT_EQ(sim.find_net("top.a"), &a);
+  EXPECT_EQ(sim.find_net("missing"), nullptr);
+}
+
+TEST(Vcd, HeaderDeclaresAllNets) {
+  Simulator sim;
+  Net& clk = sim.net("clk", 1, 0);
+  Net& bus = sim.net("data bus", 16, 0);
+  std::ostringstream out;
+  VcdWriter vcd(out, {&clk, &bus});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 16 \" data_bus $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, EmitsOnlyChanges) {
+  Simulator sim;
+  Net& clk = sim.net("clk", 1, 0);
+  Net& value = sim.net("value", 8, 0);
+  sim.process("count", {&clk}, [&] {
+    if (clk.rose()) sim.assign(value, value.read().bits + 1);
+  });
+  sim.start();
+  std::ostringstream out;
+  VcdWriter vcd(out, {&value});
+  vcd.sample(0);  // initial dump
+  sim.tick(clk);
+  vcd.sample(1);  // value changed -> emitted
+  vcd.sample(2);  // no change -> nothing
+  sim.tick(clk);
+  vcd.sample(3);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#1"), std::string::npos);
+  EXPECT_EQ(text.find("#2"), std::string::npos);  // suppressed
+  EXPECT_NE(text.find("#3"), std::string::npos);
+  EXPECT_NE(text.find("b00000001 !"), std::string::npos);
+  EXPECT_NE(text.find("b00000010 !"), std::string::npos);
+  EXPECT_EQ(vcd.samples_taken(), 4u);
+}
+
+TEST(Vcd, ScalarNetsUseShortForm) {
+  Simulator sim;
+  Net& flag = sim.net("flag", 1, 0);
+  std::ostringstream out;
+  VcdWriter vcd(out, {&flag});
+  vcd.sample(0);
+  sim.assign_bit(flag, true);
+  sim.settle();
+  vcd.sample(1);
+  EXPECT_NE(out.str().find("\n1!"), std::string::npos);
+}
+
+TEST(Vcd, RejectsEmptyNetList) {
+  std::ostringstream out;
+  EXPECT_THROW(VcdWriter(out, {}), SimError);
+}
+
+}  // namespace
+}  // namespace mbcosim::rtl

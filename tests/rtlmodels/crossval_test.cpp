@@ -1,0 +1,130 @@
+// Full-application cross-validation: the same program + peripheral run on
+// (a) the high-level co-simulation environment and (b) the low-level RTL
+// system must agree bit-for-bit on results AND cycle-for-cycle on timing.
+// This validates the paper's central claim that the high-level simulation
+// is cycle-accurate with respect to the low-level implementation.
+#include <gtest/gtest.h>
+
+#include "apps/cordic/cordic_app.hpp"
+#include "apps/cordic/cordic_sw.hpp"
+#include "apps/matmul/matmul_app.hpp"
+#include "apps/matmul/matmul_sw.hpp"
+#include "asm/assembler.hpp"
+#include "rtlmodels/system_rtl.hpp"
+
+namespace mbcosim::rtlmodels {
+namespace {
+
+namespace cordic = mbcosim::apps::cordic;
+namespace matmul = mbcosim::apps::matmul;
+
+struct CordicCase {
+  unsigned num_pes;
+  unsigned iterations;
+};
+
+class CordicCrossVal : public ::testing::TestWithParam<CordicCase> {};
+
+TEST_P(CordicCrossVal, RtlMatchesCoSimulation) {
+  const auto [num_pes, iterations] = GetParam();
+  auto [x, y] = cordic::make_cordic_dataset(10, 0xC0DE + num_pes);
+
+  cordic::CordicRunConfig config;
+  config.num_pes = num_pes;
+  config.iterations = iterations;
+  config.items = 10;
+  const auto high_level = cordic::run_cordic(config, x, y);
+
+  const auto program = assembler::assemble_or_throw(
+      cordic::hw_driver_program(x, y, iterations, num_pes, 5));
+  isa::CpuConfig cpu_config;
+  cpu_config.has_barrel_shifter = false;
+  RtlSystem rtl(program, cpu_config,
+                RtlPeripheralConfig{RtlPeripheralConfig::Kind::kCordic,
+                                    num_pes});
+  ASSERT_EQ(rtl.run(5'000'000), RtlStopReason::kHalted);
+
+  EXPECT_EQ(rtl.cycles(), high_level.cycles)
+      << "high-level co-simulation must be cycle-accurate vs RTL";
+  const Addr results = program.symbol("results");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(static_cast<i32>(
+                  rtl.memory().read_word(results + static_cast<Addr>(i) * 4)),
+              high_level.quotients_raw[i])
+        << "item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CordicCrossVal,
+    ::testing::Values(CordicCase{2, 24}, CordicCase{4, 24}, CordicCase{6, 24},
+                      CordicCase{8, 24}, CordicCase{4, 32}),
+    [](const ::testing::TestParamInfo<CordicCase>& info) {
+      return "P" + std::to_string(info.param.num_pes) + "_iters" +
+             std::to_string(info.param.iterations);
+    });
+
+struct MatmulCase {
+  unsigned matrix_size;
+  unsigned block_size;
+};
+
+class MatmulCrossVal : public ::testing::TestWithParam<MatmulCase> {};
+
+TEST_P(MatmulCrossVal, RtlMatchesCoSimulation) {
+  const auto [matrix_size, block_size] = GetParam();
+  const auto a = matmul::make_matrix(matrix_size, 0xAAA);
+  const auto b = matmul::make_matrix(matrix_size, 0xBBB);
+
+  matmul::MatmulRunConfig config;
+  config.matrix_size = matrix_size;
+  config.block_size = block_size;
+  const auto high_level = matmul::run_matmul(config, a, b);
+
+  const auto program = assembler::assemble_or_throw(
+      matmul::hw_driver_program(a, b, block_size));
+  isa::CpuConfig cpu_config;
+  cpu_config.has_barrel_shifter = false;
+  RtlSystem rtl(program, cpu_config,
+                RtlPeripheralConfig{RtlPeripheralConfig::Kind::kMatmul,
+                                    block_size},
+                256 * 1024);
+  ASSERT_EQ(rtl.run(5'000'000), RtlStopReason::kHalted);
+
+  EXPECT_EQ(rtl.cycles(), high_level.cycles);
+  const Addr c_addr = program.symbol("mat_c");
+  for (std::size_t i = 0; i < high_level.c.data.size(); ++i) {
+    EXPECT_EQ(static_cast<i32>(
+                  rtl.memory().read_word(c_addr + static_cast<Addr>(i) * 4)),
+              high_level.c.data[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, MatmulCrossVal,
+    ::testing::Values(MatmulCase{8, 2}, MatmulCase{8, 4}, MatmulCase{12, 3},
+                      MatmulCase{16, 4}),
+    [](const ::testing::TestParamInfo<MatmulCase>& info) {
+      return "N" + std::to_string(info.param.matrix_size) + "_block" +
+             std::to_string(info.param.block_size);
+    });
+
+TEST(KernelCost, RtlSimulationDoesFarMoreWorkPerCycle) {
+  // Quantifies WHY low-level simulation is slow (paper Section II): the
+  // event kernel processes many events and delta cycles per clock.
+  auto [x, y] = cordic::make_cordic_dataset(5, 3);
+  const auto program = assembler::assemble_or_throw(
+      cordic::hw_driver_program(x, y, 8, 4, 5));
+  isa::CpuConfig cpu_config;
+  cpu_config.has_barrel_shifter = false;
+  RtlSystem rtl(program, cpu_config,
+                RtlPeripheralConfig{RtlPeripheralConfig::Kind::kCordic, 4});
+  ASSERT_EQ(rtl.run(1'000'000), RtlStopReason::kHalted);
+  const auto& stats = rtl.kernel_stats();
+  EXPECT_GT(stats.events, stats.clock_cycles);
+  EXPECT_GT(stats.process_activations, stats.clock_cycles);
+  EXPECT_GE(stats.delta_cycles, 2 * stats.clock_cycles);
+}
+
+}  // namespace
+}  // namespace mbcosim::rtlmodels

@@ -1,0 +1,264 @@
+// mbcsim — command-line front end for the MB32 toolchain and simulators.
+//
+// Usage:
+//   mbcsim [options] program.s
+//
+// Options:
+//   --disasm            assemble and print the listing, do not run
+//   --trace             print every retired instruction
+//   --regs              dump the register file after the run
+//   --mem ADDR COUNT    dump COUNT memory words starting at ADDR
+//   --max-cycles N      cycle budget (default 100M)
+//   --no-multiplier     processor configuration knobs
+//   --no-barrel-shifter
+//   --divider
+//   --rtl               run on the low-level RTL system instead of the
+//                       ISS (no peripheral; for timing cross-checks)
+//   --vcd FILE          with --rtl: dump pc/halted waveforms to FILE
+//
+// Exit status: 0 = program halted normally, 2 = illegal instruction,
+// 3 = cycle budget exhausted, 1 = usage / assembly errors.
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "asm/objdump.hpp"
+#include "iss/memory.hpp"
+#include "iss/processor.hpp"
+#include "rtl/vcd.hpp"
+#include "rtlmodels/system_rtl.hpp"
+
+using namespace mbcosim;
+
+namespace {
+
+struct Options {
+  std::string source_path;
+  bool disasm_only = false;
+  bool trace = false;
+  bool dump_regs = false;
+  bool use_rtl = false;
+  std::string vcd_path;
+  std::vector<std::pair<Addr, u32>> memory_dumps;
+  Cycle max_cycles = 100'000'000;
+  isa::CpuConfig cpu;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mbcsim [--disasm] [--trace] [--regs]\n"
+               "              [--mem ADDR COUNT] [--max-cycles N]\n"
+               "              [--no-multiplier] [--no-barrel-shifter]\n"
+               "              [--divider] [--rtl] [--vcd FILE] program.s\n");
+}
+
+bool parse_u64(const char* text, u64& out) {
+  std::string_view body = text;
+  int base = 10;
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    base = 16;
+    body.remove_prefix(2);
+  }
+  const auto* end = body.data() + body.size();
+  const auto result = std::from_chars(body.data(), end, out, base);
+  return result.ec == std::errc{} && result.ptr == end;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--disasm") {
+      options.disasm_only = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--regs") {
+      options.dump_regs = true;
+    } else if (arg == "--rtl") {
+      options.use_rtl = true;
+    } else if (arg == "--no-multiplier") {
+      options.cpu.has_multiplier = false;
+    } else if (arg == "--no-barrel-shifter") {
+      options.cpu.has_barrel_shifter = false;
+    } else if (arg == "--divider") {
+      options.cpu.has_divider = true;
+    } else if (arg == "--vcd" && i + 1 < argc) {
+      options.vcd_path = argv[++i];
+    } else if (arg == "--max-cycles" && i + 1 < argc) {
+      u64 value = 0;
+      if (!parse_u64(argv[++i], value)) return false;
+      options.max_cycles = value;
+    } else if (arg == "--mem" && i + 2 < argc) {
+      u64 addr = 0;
+      u64 count = 0;
+      if (!parse_u64(argv[++i], addr) || !parse_u64(argv[++i], count)) {
+        return false;
+      }
+      options.memory_dumps.emplace_back(static_cast<Addr>(addr),
+                                        static_cast<u32>(count));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else if (options.source_path.empty()) {
+      options.source_path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !options.source_path.empty();
+}
+
+void dump_memory(const Options& options, iss::LmbMemory& memory) {
+  for (const auto& [addr, count] : options.memory_dumps) {
+    for (u32 i = 0; i < count; ++i) {
+      const Addr a = addr + 4 * i;
+      if (!memory.contains(a, 4)) {
+        std::printf("  0x%08x: <out of range>\n", a);
+        break;
+      }
+      std::printf("  0x%08x: 0x%08x  (%d)\n", a, memory.read_word(a),
+                  static_cast<i32>(memory.read_word(a)));
+    }
+  }
+}
+
+int run_on_iss(const Options& options, const assembler::Program& program) {
+  iss::LmbMemory memory;
+  memory.load_program(program);
+  fsl::FslHub hub;
+  iss::Processor cpu(options.cpu, memory, &hub);
+  if (options.trace) {
+    cpu.set_trace([](const iss::TraceRecord& record) {
+      std::printf("%10llu  0x%08x  %s\n",
+                  static_cast<unsigned long long>(record.total_cycles),
+                  record.pc, isa::disassemble(record.instruction).c_str());
+    });
+  }
+  cpu.reset(program.entry());
+  const iss::Event event = cpu.run(options.max_cycles);
+
+  const auto& stats = cpu.stats();
+  std::printf("stopped: %s after %llu cycles (%.2f usec @ 50 MHz), "
+              "%llu instructions\n",
+              event == iss::Event::kHalted    ? "halted"
+              : event == iss::Event::kIllegal ? "illegal instruction"
+                                              : "cycle budget exhausted",
+              static_cast<unsigned long long>(stats.cycles),
+              cycles_to_usec(stats.cycles),
+              static_cast<unsigned long long>(stats.instructions));
+  if (options.dump_regs) {
+    for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
+      std::printf("  r%-2u = 0x%08x%s", r, cpu.reg(r),
+                  (r % 4 == 3) ? "\n" : "  ");
+    }
+  }
+  dump_memory(options, memory);
+  if (event == iss::Event::kHalted) return 0;
+  return event == iss::Event::kIllegal ? 2 : 3;
+}
+
+int run_on_rtl(const Options& options, const assembler::Program& program) {
+  rtlmodels::RtlSystem rtl(program, options.cpu,
+                           rtlmodels::RtlPeripheralConfig{});
+  rtlmodels::RtlStopReason reason = rtlmodels::RtlStopReason::kCycleLimit;
+  if (!options.vcd_path.empty()) {
+    std::ofstream vcd_file(options.vcd_path);
+    if (!vcd_file) {
+      std::fprintf(stderr, "cannot open %s\n", options.vcd_path.c_str());
+      return 1;
+    }
+    // Observe the architectural-state nets plus a few datapath buses.
+    std::vector<const rtl::Net*> probes;
+    for (const char* name : {"clk", "cpu.pc", "cpu.halted", "cpu.op_a",
+                             "cpu.op_b", "cpu.result", "cpu.msr", "cpu.r3",
+                             "cpu.r4", "cpu.r5"}) {
+      if (const rtl::Net* net = rtl.simulator().find_net(name)) {
+        probes.push_back(net);
+      }
+    }
+    rtl::VcdWriter vcd(vcd_file, probes);
+    // Tick manually so every clock cycle lands in the waveform.
+    Cycle cycle = 0;
+    while (!rtl.core().halted() && cycle < options.max_cycles) {
+      rtl.tick();
+      vcd.sample(cycle++);
+    }
+    reason = rtl.core().illegal() ? rtlmodels::RtlStopReason::kIllegal
+             : rtl.core().halted() ? rtlmodels::RtlStopReason::kHalted
+                                   : rtlmodels::RtlStopReason::kCycleLimit;
+    std::printf("wrote %llu waveform samples to %s\n",
+                static_cast<unsigned long long>(vcd.samples_taken()),
+                options.vcd_path.c_str());
+  } else {
+    reason = rtl.run(options.max_cycles);
+  }
+  std::printf("RTL stopped: %s after %llu cycles; kernel: %llu events, "
+              "%llu activations, %llu delta cycles\n",
+              reason == rtlmodels::RtlStopReason::kHalted ? "halted"
+              : reason == rtlmodels::RtlStopReason::kIllegal
+                  ? "illegal instruction"
+                  : "cycle budget exhausted",
+              static_cast<unsigned long long>(rtl.cycles()),
+              static_cast<unsigned long long>(rtl.kernel_stats().events),
+              static_cast<unsigned long long>(
+                  rtl.kernel_stats().process_activations),
+              static_cast<unsigned long long>(
+                  rtl.kernel_stats().delta_cycles));
+  if (options.dump_regs) {
+    for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
+      std::printf("  r%-2u = 0x%08x%s", r, rtl.core().reg_value(r),
+                  (r % 4 == 3) ? "\n" : "  ");
+    }
+  }
+  dump_memory(options, rtl.memory());
+  if (reason == rtlmodels::RtlStopReason::kHalted) return 0;
+  return reason == rtlmodels::RtlStopReason::kIllegal ? 2 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream file(options.source_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", options.source_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  const auto assembled = assembler::assemble(buffer.str());
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "%s: assembly failed:\n%s\n",
+                 options.source_path.c_str(), assembled.error().c_str());
+    return 1;
+  }
+  const assembler::Program& program = assembled.value();
+  const auto summary = assembler::summarize(program);
+  std::printf("%s: %u bytes (%u instructions, %u data words), %u BRAM(s)\n",
+              options.source_path.c_str(), summary.size_bytes,
+              summary.instruction_words, summary.data_words,
+              assembler::brams_for_program(program));
+
+  if (options.disasm_only) {
+    std::printf("%s", assembler::listing(program).c_str());
+    return 0;
+  }
+  try {
+    return options.use_rtl ? run_on_rtl(options, program)
+                           : run_on_iss(options, program);
+  } catch (const SimError& error) {
+    std::fprintf(stderr, "simulation error: %s\n", error.what());
+    return 1;
+  }
+}
