@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_exchange"
+  "../bench/bench_ablation_exchange.pdb"
+  "CMakeFiles/bench_ablation_exchange.dir/bench_ablation_exchange.cpp.o"
+  "CMakeFiles/bench_ablation_exchange.dir/bench_ablation_exchange.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rtl_cost"
+  "../bench/bench_ablation_rtl_cost.pdb"
+  "CMakeFiles/bench_ablation_rtl_cost.dir/bench_ablation_rtl_cost.cpp.o"
+  "CMakeFiles/bench_ablation_rtl_cost.dir/bench_ablation_rtl_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rtl_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

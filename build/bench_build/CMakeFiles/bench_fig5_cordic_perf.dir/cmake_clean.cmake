@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_cordic_perf"
+  "../bench/bench_fig5_cordic_perf.pdb"
+  "CMakeFiles/bench_fig5_cordic_perf.dir/bench_fig5_cordic_perf.cpp.o"
+  "CMakeFiles/bench_fig5_cordic_perf.dir/bench_fig5_cordic_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cordic_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_simtime.cpp" "bench_build/CMakeFiles/bench_table1_simtime.dir/bench_table1_simtime.cpp.o" "gcc" "bench_build/CMakeFiles/bench_table1_simtime.dir/bench_table1_simtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtlmodels/CMakeFiles/mbc_rtlmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mbc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mbc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/mbc_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mbc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/mbc_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mbc_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mbc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsl/CMakeFiles/mbc_fsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mbc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysgen/CMakeFiles/mbc_sysgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

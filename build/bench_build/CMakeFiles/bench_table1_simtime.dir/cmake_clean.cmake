@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_simtime"
+  "../bench/bench_table1_simtime.pdb"
+  "CMakeFiles/bench_table1_simtime.dir/bench_table1_simtime.cpp.o"
+  "CMakeFiles/bench_table1_simtime.dir/bench_table1_simtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_simspeed"
+  "../bench/bench_table2_simspeed.pdb"
+  "CMakeFiles/bench_table2_simspeed.dir/bench_table2_simspeed.cpp.o"
+  "CMakeFiles/bench_table2_simspeed.dir/bench_table2_simspeed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

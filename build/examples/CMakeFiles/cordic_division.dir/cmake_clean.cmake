@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordic_division.dir/cordic_division.cpp.o"
+  "CMakeFiles/cordic_division.dir/cordic_division.cpp.o.d"
+  "cordic_division"
+  "cordic_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordic_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_peripheral.dir/custom_peripheral.cpp.o"
+  "CMakeFiles/custom_peripheral.dir/custom_peripheral.cpp.o.d"
+  "custom_peripheral"
+  "custom_peripheral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_peripheral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

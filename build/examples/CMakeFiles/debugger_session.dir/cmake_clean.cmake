@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_session.dir/debugger_session.cpp.o"
+  "CMakeFiles/debugger_session.dir/debugger_session.cpp.o.d"
+  "debugger_session"
+  "debugger_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_app.cpp.o"
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_app.cpp.o.d"
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_hw.cpp.o"
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_hw.cpp.o.d"
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_reference.cpp.o"
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_reference.cpp.o.d"
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_sw.cpp.o"
+  "CMakeFiles/mbc_apps.dir/cordic/cordic_sw.cpp.o.d"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_app.cpp.o"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_app.cpp.o.d"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_hw.cpp.o"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_hw.cpp.o.d"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_reference.cpp.o"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_reference.cpp.o.d"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_sw.cpp.o"
+  "CMakeFiles/mbc_apps.dir/matmul/matmul_sw.cpp.o.d"
+  "libmbc_apps.a"
+  "libmbc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_asm.dir/assembler.cpp.o"
+  "CMakeFiles/mbc_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/mbc_asm.dir/objdump.cpp.o"
+  "CMakeFiles/mbc_asm.dir/objdump.cpp.o.d"
+  "libmbc_asm.a"
+  "libmbc_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_bus.dir/opb_bus.cpp.o"
+  "CMakeFiles/mbc_bus.dir/opb_bus.cpp.o.d"
+  "libmbc_bus.a"
+  "libmbc_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

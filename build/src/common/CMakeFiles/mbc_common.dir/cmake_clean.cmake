@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/mbc_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/mbc_common.dir/log.cpp.o"
+  "CMakeFiles/mbc_common.dir/log.cpp.o.d"
+  "libmbc_common.a"
+  "libmbc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_core.dir/cosim_engine.cpp.o"
+  "CMakeFiles/mbc_core.dir/cosim_engine.cpp.o.d"
+  "CMakeFiles/mbc_core.dir/fsl_bridge.cpp.o"
+  "CMakeFiles/mbc_core.dir/fsl_bridge.cpp.o.d"
+  "libmbc_core.a"
+  "libmbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/mbc_energy.dir/energy_model.cpp.o.d"
+  "libmbc_energy.a"
+  "libmbc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

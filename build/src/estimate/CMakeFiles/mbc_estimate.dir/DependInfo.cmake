@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimate/estimator.cpp" "src/estimate/CMakeFiles/mbc_estimate.dir/estimator.cpp.o" "gcc" "src/estimate/CMakeFiles/mbc_estimate.dir/estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mbc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mbc_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysgen/CMakeFiles/mbc_sysgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_estimate.dir/estimator.cpp.o"
+  "CMakeFiles/mbc_estimate.dir/estimator.cpp.o.d"
+  "libmbc_estimate.a"
+  "libmbc_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

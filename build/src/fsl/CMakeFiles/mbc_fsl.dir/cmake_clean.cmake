@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_fsl.dir/fsl_channel.cpp.o"
+  "CMakeFiles/mbc_fsl.dir/fsl_channel.cpp.o.d"
+  "libmbc_fsl.a"
+  "libmbc_fsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_fsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_isa.dir/decode.cpp.o"
+  "CMakeFiles/mbc_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/mbc_isa.dir/disasm.cpp.o"
+  "CMakeFiles/mbc_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/mbc_isa.dir/encode.cpp.o"
+  "CMakeFiles/mbc_isa.dir/encode.cpp.o.d"
+  "CMakeFiles/mbc_isa.dir/timing.cpp.o"
+  "CMakeFiles/mbc_isa.dir/timing.cpp.o.d"
+  "libmbc_isa.a"
+  "libmbc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

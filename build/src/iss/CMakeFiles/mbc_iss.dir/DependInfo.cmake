@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iss/debugger.cpp" "src/iss/CMakeFiles/mbc_iss.dir/debugger.cpp.o" "gcc" "src/iss/CMakeFiles/mbc_iss.dir/debugger.cpp.o.d"
+  "/root/repo/src/iss/memory.cpp" "src/iss/CMakeFiles/mbc_iss.dir/memory.cpp.o" "gcc" "src/iss/CMakeFiles/mbc_iss.dir/memory.cpp.o.d"
+  "/root/repo/src/iss/processor.cpp" "src/iss/CMakeFiles/mbc_iss.dir/processor.cpp.o" "gcc" "src/iss/CMakeFiles/mbc_iss.dir/processor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mbc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mbc_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsl/CMakeFiles/mbc_fsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mbc_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

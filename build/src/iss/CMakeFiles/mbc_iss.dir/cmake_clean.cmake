@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_iss.dir/debugger.cpp.o"
+  "CMakeFiles/mbc_iss.dir/debugger.cpp.o.d"
+  "CMakeFiles/mbc_iss.dir/memory.cpp.o"
+  "CMakeFiles/mbc_iss.dir/memory.cpp.o.d"
+  "CMakeFiles/mbc_iss.dir/processor.cpp.o"
+  "CMakeFiles/mbc_iss.dir/processor.cpp.o.d"
+  "libmbc_iss.a"
+  "libmbc_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_rtl.dir/kernel.cpp.o"
+  "CMakeFiles/mbc_rtl.dir/kernel.cpp.o.d"
+  "CMakeFiles/mbc_rtl.dir/primitives.cpp.o"
+  "CMakeFiles/mbc_rtl.dir/primitives.cpp.o.d"
+  "CMakeFiles/mbc_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/mbc_rtl.dir/vcd.cpp.o.d"
+  "libmbc_rtl.a"
+  "libmbc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbc_rtl.a"
+)

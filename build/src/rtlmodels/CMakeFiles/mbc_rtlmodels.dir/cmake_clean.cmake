@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_rtlmodels.dir/cordic_rtl.cpp.o"
+  "CMakeFiles/mbc_rtlmodels.dir/cordic_rtl.cpp.o.d"
+  "CMakeFiles/mbc_rtlmodels.dir/matmul_rtl.cpp.o"
+  "CMakeFiles/mbc_rtlmodels.dir/matmul_rtl.cpp.o.d"
+  "CMakeFiles/mbc_rtlmodels.dir/mb_core_rtl.cpp.o"
+  "CMakeFiles/mbc_rtlmodels.dir/mb_core_rtl.cpp.o.d"
+  "CMakeFiles/mbc_rtlmodels.dir/system_rtl.cpp.o"
+  "CMakeFiles/mbc_rtlmodels.dir/system_rtl.cpp.o.d"
+  "libmbc_rtlmodels.a"
+  "libmbc_rtlmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_rtlmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

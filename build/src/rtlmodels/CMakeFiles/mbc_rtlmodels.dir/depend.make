@@ -1,0 +1,2 @@
+# Empty dependencies file for mbc_rtlmodels.
+# This may be replaced when dependencies are built.

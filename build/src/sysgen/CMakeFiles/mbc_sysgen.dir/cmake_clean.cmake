@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_sysgen.dir/model.cpp.o"
+  "CMakeFiles/mbc_sysgen.dir/model.cpp.o.d"
+  "libmbc_sysgen.a"
+  "libmbc_sysgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_sysgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

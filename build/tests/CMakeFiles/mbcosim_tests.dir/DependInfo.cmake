@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/cordic_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/apps/cordic_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/apps/cordic_test.cpp.o.d"
+  "/root/repo/tests/apps/hw_models_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/apps/hw_models_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/apps/hw_models_test.cpp.o.d"
+  "/root/repo/tests/apps/matmul_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/apps/matmul_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/apps/matmul_test.cpp.o.d"
+  "/root/repo/tests/asm/assembler_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/asm/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/asm/assembler_test.cpp.o.d"
+  "/root/repo/tests/asm/objdump_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/asm/objdump_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/asm/objdump_test.cpp.o.d"
+  "/root/repo/tests/asm/roundtrip_property_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/asm/roundtrip_property_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/asm/roundtrip_property_test.cpp.o.d"
+  "/root/repo/tests/bus/opb_integration_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/bus/opb_integration_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/bus/opb_integration_test.cpp.o.d"
+  "/root/repo/tests/bus/opb_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/bus/opb_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/bus/opb_test.cpp.o.d"
+  "/root/repo/tests/common/bits_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/common/bits_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/common/bits_test.cpp.o.d"
+  "/root/repo/tests/common/fixed_point_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/common/fixed_point_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/common/fixed_point_test.cpp.o.d"
+  "/root/repo/tests/common/util_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/common/util_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/common/util_test.cpp.o.d"
+  "/root/repo/tests/core/bridge_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/core/bridge_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/core/bridge_test.cpp.o.d"
+  "/root/repo/tests/core/cosim_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/core/cosim_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/core/cosim_test.cpp.o.d"
+  "/root/repo/tests/core/quiescence_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/core/quiescence_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/core/quiescence_test.cpp.o.d"
+  "/root/repo/tests/energy/energy_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/energy/energy_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/energy/energy_test.cpp.o.d"
+  "/root/repo/tests/estimate/estimate_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/estimate/estimate_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/estimate/estimate_test.cpp.o.d"
+  "/root/repo/tests/fsl/fsl_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/fsl/fsl_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/fsl/fsl_test.cpp.o.d"
+  "/root/repo/tests/isa/disasm_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/isa/disasm_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/isa/disasm_test.cpp.o.d"
+  "/root/repo/tests/isa/encode_decode_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/isa/encode_decode_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/isa/encode_decode_test.cpp.o.d"
+  "/root/repo/tests/isa/timing_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/isa/timing_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/isa/timing_test.cpp.o.d"
+  "/root/repo/tests/iss/custom_instruction_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/custom_instruction_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/custom_instruction_test.cpp.o.d"
+  "/root/repo/tests/iss/debugger_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/debugger_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/debugger_test.cpp.o.d"
+  "/root/repo/tests/iss/processor_alu_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_alu_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_alu_test.cpp.o.d"
+  "/root/repo/tests/iss/processor_branch_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_branch_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_branch_test.cpp.o.d"
+  "/root/repo/tests/iss/processor_fsl_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_fsl_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_fsl_test.cpp.o.d"
+  "/root/repo/tests/iss/processor_mem_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_mem_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_mem_test.cpp.o.d"
+  "/root/repo/tests/iss/processor_timing_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_timing_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/processor_timing_test.cpp.o.d"
+  "/root/repo/tests/iss/property_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/iss/property_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/iss/property_test.cpp.o.d"
+  "/root/repo/tests/rtl/kernel_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/rtl/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/rtl/kernel_test.cpp.o.d"
+  "/root/repo/tests/rtl/logic_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/rtl/logic_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/rtl/logic_test.cpp.o.d"
+  "/root/repo/tests/rtl/primitives_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/rtl/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/rtl/primitives_test.cpp.o.d"
+  "/root/repo/tests/rtl/vcd_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/rtl/vcd_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/rtl/vcd_test.cpp.o.d"
+  "/root/repo/tests/rtlmodels/core_rtl_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/rtlmodels/core_rtl_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/rtlmodels/core_rtl_test.cpp.o.d"
+  "/root/repo/tests/rtlmodels/crossval_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/rtlmodels/crossval_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/rtlmodels/crossval_test.cpp.o.d"
+  "/root/repo/tests/sysgen/blocks_memory_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/sysgen/blocks_memory_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/sysgen/blocks_memory_test.cpp.o.d"
+  "/root/repo/tests/sysgen/blocks_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/sysgen/blocks_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/sysgen/blocks_test.cpp.o.d"
+  "/root/repo/tests/sysgen/model_test.cpp" "tests/CMakeFiles/mbcosim_tests.dir/sysgen/model_test.cpp.o" "gcc" "tests/CMakeFiles/mbcosim_tests.dir/sysgen/model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtlmodels/CMakeFiles/mbc_rtlmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mbc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mbc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/mbc_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mbc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/mbc_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mbc_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mbc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsl/CMakeFiles/mbc_fsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mbc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysgen/CMakeFiles/mbc_sysgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

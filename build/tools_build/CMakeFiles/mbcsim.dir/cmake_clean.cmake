@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/mbcsim"
+  "../tools/mbcsim.pdb"
+  "CMakeFiles/mbcsim.dir/mbcsim.cpp.o"
+  "CMakeFiles/mbcsim.dir/mbcsim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
