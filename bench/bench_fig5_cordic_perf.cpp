@@ -3,13 +3,22 @@
 // versus the number of PEs P, for 24 and 32 iterations. P = 0 denotes
 // the pure software implementation, as in the paper.
 //
+// The 18 design points run as one parallel sim::Sweep over the
+// SimSystem facade: every point is an independent simulator, so the
+// design-space exploration parallelizes perfectly and the per-point
+// cycle counts are bit-identical to a serial run.
+//
 // Reproduced shape: execution time drops steeply from P = 0 to small P
 // and then shows diminishing returns (the pass count ceil(iters/P)
 // dominates); the paper's headline is a 5.6x improvement at P = 4 with
 // 24 iterations.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "bench_common.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace mbcosim;
@@ -18,23 +27,51 @@ int main() {
   print_header(
       "Figure 5: CORDIC division execution time (usec) vs P\n"
       "  (P = 0 is the pure software implementation; 100 items)");
-  std::printf("%4s %18s %18s %14s %14s\n", "P", "24 iters [usec]",
-              "32 iters [usec]", "speedup(24)", "speedup(32)");
-  print_rule();
 
   const CordicWorkload w24 = CordicWorkload::standard(100, 24);
   const CordicWorkload w32 = CordicWorkload::standard(100, 32);
+  const unsigned kPes[] = {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u};
 
+  // Two points (24- and 32-iteration workloads) per pipeline depth.
+  sim::Sweep sweep;
+  for (unsigned p : kPes) {
+    for (const CordicWorkload* w : {&w24, &w32}) {
+      apps::cordic::CordicRunConfig config;
+      config.num_pes = p;
+      config.iterations = w->iterations;
+      config.items = static_cast<unsigned>(w->x.size());
+      sweep.add("P=" + std::to_string(p) + "/" +
+                    std::to_string(w->iterations) + "it",
+                [config, w] {
+                  return apps::cordic::make_cordic_system(config, w->x, w->y);
+                });
+    }
+  }
+
+  const unsigned threads =
+      std::max(4u, std::thread::hardware_concurrency());
+  Stopwatch sweep_watch;
+  const auto results = sweep.run({.threads = threads});
+  const double sweep_seconds = sweep_watch.elapsed_seconds();
+
+  std::printf("%4s %18s %18s %14s %14s\n", "P", "24 iters [usec]",
+              "32 iters [usec]", "speedup(24)", "speedup(32)");
+  print_rule();
   double sw24 = 0;
   double sw32 = 0;
-  for (unsigned p : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
-    const auto r24 = run_cordic_cosim(w24, p);
-    const auto r32 = run_cordic_cosim(w32, p);
-    if (p == 0) {
+  for (std::size_t i = 0; i < std::size(kPes); ++i) {
+    const auto& r24 = results[2 * i];
+    const auto& r32 = results[2 * i + 1];
+    if (!r24.ok || !r32.ok) {
+      std::printf("%4u  FAILED: %s\n", kPes[i],
+                  (!r24.ok ? r24 : r32).error.c_str());
+      return 1;
+    }
+    if (kPes[i] == 0) {
       sw24 = r24.usec();
       sw32 = r32.usec();
     }
-    std::printf("%4u %18.1f %18.1f %13.2fx %13.2fx\n", p, r24.usec(),
+    std::printf("%4u %18.1f %18.1f %13.2fx %13.2fx\n", kPes[i], r24.usec(),
                 r32.usec(), sw24 / r24.usec(), sw32 / r32.usec());
   }
 
@@ -44,6 +81,8 @@ int main() {
       "24 iterations is 5.6x faster than pure software (ours printed in\n"
       "the speedup(24) column). Effective iterations for P that does not\n"
       "divide the count are rounded up to the next multiple of P\n"
-      "(extra CORDIC iterations only refine the quotient).\n");
+      "(extra CORDIC iterations only refine the quotient).\n"
+      "Sweep: %zu points on %u worker threads in %.2f s wall-clock.\n",
+      results.size(), threads, sweep_seconds);
   return 0;
 }

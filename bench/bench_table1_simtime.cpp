@@ -5,20 +5,30 @@
 // reports speedups of 5.6x-19.4x (CORDIC) and 13x/15.1x (matmul); the
 // reproduced shape is "co-simulation is many times faster, and the gap
 // widens for the software-dominated matmul runs".
+//
+// The co-simulation side goes through the SimSystem facade and the
+// sim::Sweep engine — but on ONE worker thread: this bench measures
+// per-design host wall-clock, and concurrent points would contend for
+// cores and distort exactly the quantity being reported.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
 using namespace mbcosim;
 using namespace mbcosim::bench;
 
+constexpr int kReps = 3;
+
 /// Median-of-3 wall time for a callable returning simulated cycles.
 template <typename F>
 double measure_seconds(F&& run) {
   double best = 1e99;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < kReps; ++rep) {
     Stopwatch watch;
     run();
     best = std::min(best, watch.elapsed_seconds());
@@ -40,6 +50,25 @@ void print_row(const Row& row) {
               static_cast<unsigned long long>(row.cycles), row.paper);
 }
 
+/// Best-of-reps simulation-loop seconds and the (identical) cycle count
+/// for the `kReps` sweep rows starting at `first`.
+std::pair<double, Cycle> reduce_reps(
+    const std::vector<sim::SweepPointResult>& results, std::size_t first) {
+  double best = 1e99;
+  Cycle cycles = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto& r = results[first + static_cast<std::size_t>(rep)];
+    if (!r.ok) {
+      std::fprintf(stderr, "point %s FAILED: %s\n", r.label.c_str(),
+                   r.error.c_str());
+      std::exit(1);
+    }
+    best = std::min(best, r.sim_wall_seconds);
+    cycles = r.stats.cycles;
+  }
+  return {best, cycles};
+}
+
 }  // namespace
 
 int main() {
@@ -51,20 +80,50 @@ int main() {
 
   // 100 items keeps each measurement comfortably above timer resolution.
   const CordicWorkload workload = CordicWorkload::standard(100, 24);
+  const unsigned kCordicPes[] = {2u, 4u, 6u, 8u};
+  const unsigned kMatmulBlocks[] = {2u, 4u};
+  const auto a = apps::matmul::make_matrix(16, 1);
+  const auto b = apps::matmul::make_matrix(16, 2);
+
+  // All co-simulation measurements as one serial sweep (kReps rows per
+  // design; estimates off — they are not part of the timed quantity).
+  sim::Sweep cosim;
+  for (unsigned p : kCordicPes) {
+    apps::cordic::CordicRunConfig config;
+    config.num_pes = p;
+    config.iterations = workload.iterations;
+    config.items = static_cast<unsigned>(workload.x.size());
+    for (int rep = 0; rep < kReps; ++rep) {
+      cosim.add("cordic P=" + std::to_string(p), [config, &workload] {
+        return apps::cordic::make_cordic_system(config, workload.x,
+                                                workload.y);
+      });
+    }
+  }
+  for (unsigned block : kMatmulBlocks) {
+    apps::matmul::MatmulRunConfig config;
+    config.matrix_size = 16;
+    config.block_size = block;
+    for (int rep = 0; rep < kReps; ++rep) {
+      cosim.add("matmul " + std::to_string(block) + "x" +
+                    std::to_string(block),
+                [config, &a, &b] {
+                  return apps::matmul::make_matmul_system(config, a, b);
+                });
+    }
+  }
+  const auto results = cosim.run({.threads = 1, .estimates = false});
+
   static const char* kPaperCordic[] = {
       "paper: 6.3s vs 35.5s (5.6x)", "paper: 3.1s vs 34.0s (11.0x)",
       "paper: 2.2s vs 33.5s (15.2x)", "paper: 1.7s vs 33.0s (19.4x)"};
+  std::size_t point = 0;
   int index = 0;
   double total_speedup = 0;
   int designs = 0;
-  for (unsigned p : {2u, 4u, 6u, 8u}) {
-    Cycle cycles = 0;
-    double cosim_s = 1e99;
-    for (int rep = 0; rep < 3; ++rep) {
-      const auto result = run_cordic_cosim(workload, p);
-      cosim_s = std::min(cosim_s, result.sim_wall_seconds);
-      cycles = result.cycles;
-    }
+  for (unsigned p : kCordicPes) {
+    const auto [cosim_s, cycles] = reduce_reps(results, point);
+    point += kReps;
     const double rtl_s = measure_seconds([&] {
       double unused = 0;
       (void)run_cordic_rtl(workload, p, &unused);
@@ -77,19 +136,12 @@ int main() {
     ++designs;
   }
 
-  const auto a = apps::matmul::make_matrix(16, 1);
-  const auto b = apps::matmul::make_matrix(16, 2);
   static const char* kPaperMatmul[] = {"paper: 187s vs 1501s (8.0x)",
                                        "paper: 45s vs 678s (15.1x)"};
   index = 0;
-  for (unsigned block : {2u, 4u}) {
-    Cycle cycles = 0;
-    double cosim_s = 1e99;
-    for (int rep = 0; rep < 3; ++rep) {
-      const auto result = run_matmul_cosim(a, b, block);
-      cosim_s = std::min(cosim_s, result.sim_wall_seconds);
-      cycles = result.cycles;
-    }
+  for (unsigned block : kMatmulBlocks) {
+    const auto [cosim_s, cycles] = reduce_reps(results, point);
+    point += kReps;
     const double rtl_s = measure_seconds([&] {
       double unused = 0;
       (void)run_matmul_rtl(a, b, block, &unused);

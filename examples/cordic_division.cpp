@@ -1,15 +1,18 @@
 // The paper's first application (Section IV-A): adaptive CORDIC division
 // on the soft processor, exploring the pure-software / hardware-assisted
-// design space exactly like Figure 5, then validating one configuration
-// against the low-level RTL model.
+// design space exactly like Figure 5 — here as a parallel sim::Sweep over
+// the SimSystem facade — then validating one configuration against the
+// low-level RTL model.
 //
 // Build & run:   ./build/examples/cordic_division
 #include <cstdio>
+#include <string>
 
 #include "apps/cordic/cordic_app.hpp"
 #include "apps/cordic/cordic_sw.hpp"
 #include "asm/assembler.hpp"
 #include "rtlmodels/system_rtl.hpp"
+#include "sim/sweep.hpp"
 
 using namespace mbcosim;
 using namespace mbcosim::apps;
@@ -18,34 +21,48 @@ int main() {
   // A batch of divisions b/a, as used to update adaptive-filter weights.
   const unsigned kItems = 20;
   const unsigned kIterations = 24;
+  const unsigned kPes[] = {0u, 2u, 4u, 8u};
   auto [x, y] = cordic::make_cordic_dataset(kItems, /*seed=*/2026);
 
   std::printf("CORDIC division of %u values, %u iterations\n\n", kItems,
               kIterations);
-  std::printf("%6s %12s %12s %10s %12s\n", "P", "cycles", "usec@50MHz",
-              "speedup", "slices(est)");
 
-  double software_usec = 0;
-  for (unsigned p : {0u, 2u, 4u, 8u}) {
+  // One sweep point per pipeline depth; every point also validates its
+  // quotients against the bit-exact reference while its memory is live.
+  sim::Sweep sweep;
+  for (unsigned p : kPes) {
     cordic::CordicRunConfig config;
     config.num_pes = p;
     config.iterations = kIterations;
     config.items = kItems;
-    const auto result = cordic::run_cordic(config, x, y);
-    if (p == 0) software_usec = result.usec();
-    std::printf("%6u %12llu %12.1f %9.2fx %12u\n", p,
-                static_cast<unsigned long long>(result.cycles), result.usec(),
-                software_usec / result.usec(),
-                result.estimated_resources.slices);
+    sweep.add(
+        "P=" + std::to_string(p),
+        [config, &x, &y] { return cordic::make_cordic_system(config, x, y); },
+        [config, &x, &y](sim::SimSystem& system, sim::SweepPointResult& r) {
+          const auto expected = cordic::cordic_expected(config, x, y);
+          for (u32 i = 0; i < expected.size(); ++i) {
+            if (static_cast<i32>(system.word("results", i)) != expected[i]) {
+              r.ok = false;
+              r.error = "quotient mismatch at item " + std::to_string(i);
+              return;
+            }
+          }
+        });
+  }
+  const auto results = sweep.run({.threads = 4});
 
-    // Every configuration must agree with the bit-exact reference.
-    const auto expected = cordic::cordic_expected(config, x, y);
-    for (std::size_t i = 0; i < expected.size(); ++i) {
-      if (result.quotients_raw[i] != expected[i]) {
-        std::printf("MISMATCH at item %zu!\n", i);
-        return 1;
-      }
+  std::printf("%6s %12s %12s %10s %12s\n", "P", "cycles", "usec@50MHz",
+              "speedup", "slices(est)");
+  const double software_usec = results[0].usec();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (!r.ok) {
+      std::printf("%6u  FAILED: %s\n", kPes[i], r.error.c_str());
+      return 1;
     }
+    std::printf("%6u %12llu %12.1f %9.2fx %12u\n", kPes[i],
+                static_cast<unsigned long long>(r.stats.cycles), r.usec(),
+                software_usec / r.usec(), r.estimated_resources.slices);
   }
 
   // Show a few quotients against double-precision division.

@@ -5,6 +5,12 @@
 // the driver software, co-simulate, and read off the rapid resource
 // estimate for the design-space exploration loop.
 //
+// NOTE: this example deliberately stays on the LOW-LEVEL API — it wires
+// LmbMemory, FslHub, Processor and CoSimEngine by hand — to show what
+// the sim::SimSystem facade (see examples/quickstart.cpp) does for you
+// and which pieces you can rearrange when the facade's shape does not
+// fit (extra buses, several processors, custom run loops).
+//
 // Build & run:   ./build/examples/custom_peripheral
 #include <cstdio>
 #include <vector>

@@ -1,46 +1,65 @@
 // The paper's second application (Section IV-B): block matrix
 // multiplication with a hardware MAC-array peripheral, reproducing the
 // crossover where the 2x2-block design loses to pure software while the
-// 4x4-block design wins.
+// 4x4-block design wins. The three designs run as one parallel
+// sim::Sweep over the SimSystem facade; each point checks its product
+// against the golden GEMM while its simulated memory is still live.
 //
 // Build & run:   ./build/examples/matrix_multiply
 #include <cstdio>
+#include <string>
 
 #include "apps/matmul/matmul_app.hpp"
+#include "sim/sweep.hpp"
 
 using namespace mbcosim;
 using namespace mbcosim::apps::matmul;
 
 int main() {
   const unsigned kSize = 16;
+  const unsigned kBlocks[] = {0u, 2u, 4u};
   const Matrix a = make_matrix(kSize, 41);
   const Matrix b = make_matrix(kSize, 43);
   const Matrix expected = multiply_reference(a, b);
+
+  sim::Sweep sweep;
+  for (unsigned block : kBlocks) {
+    MatmulRunConfig config;
+    config.matrix_size = kSize;
+    config.block_size = block;
+    const std::string label =
+        block == 0 ? "pure software"
+                   : std::to_string(block) + "x" + std::to_string(block) +
+                         " blocks";
+    sweep.add(
+        label, [config, &a, &b] { return make_matmul_system(config, a, b); },
+        [&expected, kSize](sim::SimSystem& system, sim::SweepPointResult& r) {
+          for (u32 i = 0; i < kSize * kSize; ++i) {
+            if (static_cast<i32>(system.word("mat_c", i)) !=
+                expected.data[i]) {
+              r.ok = false;
+              r.error = "product mismatch at element " + std::to_string(i);
+              return;
+            }
+          }
+        });
+  }
+  const auto results = sweep.run({.threads = 3});
 
   std::printf("%ux%u matrix multiplication on the soft processor\n\n", kSize,
               kSize);
   std::printf("%14s %12s %12s %10s %8s %8s\n", "design", "cycles",
               "usec@50MHz", "vs SW", "mult18", "correct");
-
-  double software_usec = 0;
-  for (unsigned block : {0u, 2u, 4u}) {
-    MatmulRunConfig config;
-    config.matrix_size = kSize;
-    config.block_size = block;
-    const auto result = run_matmul(config, a, b);
-    if (block == 0) software_usec = result.usec();
-    const bool correct = result.c.data == expected.data;
-    char name[32];
-    if (block == 0) {
-      std::snprintf(name, sizeof name, "pure software");
-    } else {
-      std::snprintf(name, sizeof name, "%ux%u blocks", block, block);
+  const double software_usec = results[0].usec();
+  for (const auto& r : results) {
+    std::printf("%14s %12llu %12.1f %9.2fx %8u %8s\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.stats.cycles), r.usec(),
+                software_usec / r.usec(), r.estimated_resources.mult18s,
+                r.ok ? "yes" : "NO");
+    if (!r.ok) {
+      std::printf("  %s\n", r.error.c_str());
+      return 1;
     }
-    std::printf("%14s %12llu %12.1f %9.2fx %8u %8s\n", name,
-                static_cast<unsigned long long>(result.cycles), result.usec(),
-                software_usec / result.usec(),
-                result.estimated_resources.mult18s, correct ? "yes" : "NO");
-    if (!correct) return 1;
   }
 
   std::printf(

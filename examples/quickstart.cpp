@@ -1,5 +1,5 @@
 // Quickstart: assemble a small program, build a tiny hardware peripheral
-// out of sysgen blocks, wire both into the co-simulation engine and run.
+// out of sysgen blocks, hand both to the SimSystem facade and run.
 //
 // The "application" computes 3 * x + 1 for a few inputs: the multiply
 // happens in hardware (one Mult block behind an FSL), the +1 and the
@@ -7,9 +7,9 @@
 //
 // Build & run:   ./build/examples/quickstart
 #include <cstdio>
+#include <memory>
 
-#include "asm/assembler.hpp"
-#include "core/cosim_engine.hpp"
+#include "sim/sim_system.hpp"
 #include "sysgen/blocks_basic.hpp"
 
 using namespace mbcosim;
@@ -38,47 +38,34 @@ int main() {
     inputs:  .word 1, 2, 10, 100
     outputs: .space 16
   )";
-  const assembler::Program program = assembler::assemble_or_throw(kSource);
-  std::printf("assembled %u bytes of MB32 code+data\n", program.size_bytes());
 
   // ---- 2. The hardware: a one-multiplier peripheral. ------------------------
   const FixFormat word32 = FixFormat::signed_fix(32, 0);
   const FixFormat boolf = FixFormat::unsigned_fix(1, 0);
-  sg::Model hw("times_three");
-  auto& data_in = hw.add<sg::GatewayIn>("fsl.data", word32);
-  auto& exists = hw.add<sg::GatewayIn>("fsl.exists", boolf);
-  auto& control = hw.add<sg::GatewayIn>("fsl.control", boolf);
-  auto& read_ack = hw.add<sg::GatewayOut>("fsl.read", exists.out());
-  auto& three = hw.add<sg::Constant>("three", Fix::from_int(word32, 3));
-  auto& product = hw.add<sg::Mult>("mult", data_in.out(), three.out(), word32,
-                                   /*latency=*/0);
-  auto& data_out = hw.add<sg::GatewayOut>("fsl.dout", product.out());
-  auto& write = hw.add<sg::GatewayOut>("fsl.write", exists.out());
+  auto hw = std::make_unique<sg::Model>("times_three");
+  auto& data_in = hw->add<sg::GatewayIn>("fsl.data", word32);
+  auto& exists = hw->add<sg::GatewayIn>("fsl.exists", boolf);
+  auto& control = hw->add<sg::GatewayIn>("fsl.control", boolf);
+  auto& read_ack = hw->add<sg::GatewayOut>("fsl.read", exists.out());
+  auto& three = hw->add<sg::Constant>("three", Fix::from_int(word32, 3));
+  auto& product = hw->add<sg::Mult>("mult", data_in.out(), three.out(), word32,
+                                    /*latency=*/0);
+  auto& data_out = hw->add<sg::GatewayOut>("fsl.dout", product.out());
+  auto& write = hw->add<sg::GatewayOut>("fsl.write", exists.out());
 
-  // ---- 3. Wire processor + hardware through the FSL and run. ---------------
-  iss::LmbMemory memory;
-  memory.load_program(program);
-  fsl::FslHub hub;
-  iss::Processor cpu(isa::CpuConfig{}, memory, &hub);
-  core::CoSimEngine engine(cpu, hw, hub);
+  // ---- 3. Hand program + hardware to the facade and run. -------------------
+  const sim::FslGateways fsl{.s_data = &data_in, .s_exists = &exists,
+                             .s_control = &control, .s_read = &read_ack,
+                             .m_data = &data_out, .m_write = &write};
+  auto built = sim::SimSystem::Builder().program(kSource)
+                   .hardware(std::move(hw)).bind_fsl(0, fsl).build();
+  if (!built) { std::fprintf(stderr, "%s\n", built.error().c_str()); return 1; }
+  sim::SimSystem system = std::move(built).value();
+  const core::StopReason reason = system.run();
 
-  core::SlaveBinding slave;
-  slave.channel = 0;
-  slave.data = &data_in;
-  slave.exists = &exists;
-  slave.control = &control;
-  slave.read = &read_ack;
-  engine.bridge().bind_slave(slave);
-  core::MasterBinding master;
-  master.channel = 0;
-  master.data = &data_out;
-  master.write = &write;
-  engine.bridge().bind_master(master);
-
-  engine.reset(program.entry());
-  const core::StopReason reason = engine.run();
-  const core::CoSimStats stats = engine.stats();
-
+  const core::CoSimStats stats = system.stats();
+  std::printf("assembled %u bytes of MB32 code+data\n",
+              system.program().size_bytes());
   std::printf("co-simulation stopped: %s after %llu cycles (%.1f usec at "
               "50 MHz), %llu instructions\n",
               reason == core::StopReason::kHalted ? "halted" : "error",
@@ -86,11 +73,9 @@ int main() {
               cycles_to_usec(stats.cycles),
               static_cast<unsigned long long>(stats.instructions));
 
-  const Addr outputs = program.symbol("outputs");
-  const Addr inputs = program.symbol("inputs");
   for (unsigned i = 0; i < 4; ++i) {
-    std::printf("  3 * %3u + 1 = %u\n", memory.read_word(inputs + 4 * i),
-                memory.read_word(outputs + 4 * i));
+    std::printf("  3 * %3u + 1 = %u\n", system.word("inputs", i),
+                system.word("outputs", i));
   }
   return reason == core::StopReason::kHalted ? 0 : 1;
 }

@@ -1,16 +1,28 @@
 #include "apps/cordic/cordic_app.hpp"
 
 #include <string>
+#include <utility>
 
-#include "asm/assembler.hpp"
-#include "common/stopwatch.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
-#include "estimate/estimator.hpp"
-#include "iss/memory.hpp"
-#include "iss/processor.hpp"
 
 namespace mbcosim::apps::cordic {
+
+namespace {
+
+sim::FslGateways to_gateways(const CordicPipelineIo& io) {
+  sim::FslGateways gateways;
+  gateways.s_data = io.s_data;
+  gateways.s_exists = io.s_exists;
+  gateways.s_control = io.s_control;
+  gateways.s_read = io.s_read;
+  gateways.m_data = io.m_data;
+  gateways.m_write = io.m_write;
+  gateways.m_full = io.m_full;
+  return gateways;
+}
+
+}  // namespace
 
 std::pair<std::vector<i32>, std::vector<i32>> make_cordic_dataset(
     unsigned items, u64 seed) {
@@ -45,10 +57,11 @@ std::vector<i32> cordic_expected(const CordicRunConfig& config,
   return expected;
 }
 
-CordicRunResult run_cordic(const CordicRunConfig& config,
-                           std::span<const i32> x, std::span<const i32> y) {
+Expected<sim::SimSystem> make_cordic_system(const CordicRunConfig& config,
+                                            std::span<const i32> x,
+                                            std::span<const i32> y) {
   if (x.size() != y.size() || x.empty()) {
-    throw SimError("run_cordic: bad dataset");
+    return Expected<sim::SimSystem>::failure("make_cordic_system: bad dataset");
   }
   const bool pure_software = config.num_pes == 0;
 
@@ -58,7 +71,6 @@ CordicRunResult run_cordic(const CordicRunConfig& config,
           ? pure_software_program(x, y, config.iterations, config.sw_strategy)
           : hw_driver_program(x, y, config.iterations, config.num_pes,
                               config.set_size);
-  const assembler::Program program = assembler::assemble_or_throw(source);
 
   // Processor configuration: the pure-software barrel-shifter strategy is
   // the only one that needs the barrel shifter option.
@@ -67,80 +79,51 @@ CordicRunResult run_cordic(const CordicRunConfig& config,
   cpu_config.has_barrel_shifter =
       pure_software && config.sw_strategy == ShiftStrategy::kBarrelShifter;
 
-  iss::LmbMemory memory;
-  memory.load_program(program);
-  fsl::FslHub hub(config.fifo_depth);
-  iss::Processor cpu(cpu_config, memory, &hub);
-
-  CordicRunResult result;
-
-  if (pure_software) {
-    cpu.reset(program.entry());
-    Stopwatch sim_watch;
-    const iss::Event final_event = cpu.run(Cycle{1} << 36);
-    result.sim_wall_seconds = sim_watch.elapsed_seconds();
-    if (final_event != iss::Event::kHalted) {
-      throw SimError("run_cordic: pure-software program did not halt");
-    }
-    result.cycles = cpu.stats().cycles;
-    result.instructions = cpu.stats().instructions;
-
-    estimate::SystemDescription system;
-    system.cpu = cpu_config;
-    system.fsl_links_used = 0;
-    system.program = &program;
-    const auto report = estimate::estimate_system(system);
-    result.estimated_resources = report.estimated;
-    result.implemented_resources = report.implemented;
-    result.energy = energy::estimate_energy(cpu.stats(), nullptr, 0,
-                                            report.implemented);
-
-    const Addr results_addr = program.symbol("results");
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      result.quotients_raw.push_back(static_cast<i32>(
-          memory.read_word(results_addr + static_cast<Addr>(i) * 4)));
-    }
-    return result;
+  sim::SimSystem::Builder builder;
+  builder.program(source).cpu_config(cpu_config).fifo_depth(config.fifo_depth);
+  if (!pure_software) {
+    const unsigned num_pes = config.num_pes;
+    builder.hardware([num_pes] {
+      CordicPipeline pipeline = build_cordic_pipeline(num_pes);
+      sim::HardwareBundle bundle;
+      bundle.channels.push_back({0, to_gateways(pipeline.io)});
+      bundle.model = std::move(pipeline.model);
+      return bundle;
+    });
+    // Drain bound: P pipeline stages + deserializer/serializer latency.
+    builder.quiescence(config.num_pes + 16);
   }
+  return builder.build();
+}
 
-  // Hardware-accelerated configuration.
-  CordicPipeline pipeline = build_cordic_pipeline(config.num_pes);
-  core::CoSimEngine engine(cpu, *pipeline.model, hub);
-  pipeline.bind(engine.bridge(), /*channel=*/0);
-  // Drain bound: P pipeline stages + deserializer/serializer latency.
-  engine.set_quiescence_window(config.num_pes + 16);
-  engine.reset(program.entry());
+CordicRunResult run_cordic(const CordicRunConfig& config,
+                           std::span<const i32> x, std::span<const i32> y) {
+  Expected<sim::SimSystem> built = make_cordic_system(config, x, y);
+  if (!built) throw SimError("run_cordic: " + built.error());
+  sim::SimSystem system = std::move(built).value();
 
-  Stopwatch sim_watch;
-  const core::StopReason reason = engine.run(Cycle{1} << 36);
-  result.sim_wall_seconds = sim_watch.elapsed_seconds();
+  const core::StopReason reason = system.run(Cycle{1} << 36);
   if (reason != core::StopReason::kHalted) {
     throw SimError("run_cordic: co-simulation stopped abnormally (reason " +
                    std::to_string(static_cast<int>(reason)) + ")");
   }
 
-  const core::CoSimStats stats = engine.stats();
+  CordicRunResult result;
+  const core::CoSimStats stats = system.stats();
   result.cycles = stats.cycles;
   result.instructions = stats.instructions;
   result.fsl_stall_cycles = stats.fsl_stall_cycles;
   result.fsl_words = stats.bridge.words_to_hw + stats.bridge.words_from_hw;
+  result.sim_wall_seconds = system.run_wall_seconds();
 
-  estimate::SystemDescription system;
-  system.cpu = cpu_config;
-  system.fsl_links_used = 2;  // one input + one output link
-  system.peripheral = pipeline.model.get();
-  system.program = &program;
-  const auto report = estimate::estimate_system(system);
+  const estimate::ResourceReport report = system.resource_report();
   result.estimated_resources = report.estimated;
   result.implemented_resources = report.implemented;
-  result.energy = energy::estimate_energy(cpu.stats(), pipeline.model.get(),
-                                          stats.hw_cycles_stepped,
-                                          report.implemented);
+  result.energy = system.energy_report(report.implemented);
 
-  const Addr results_addr = program.symbol("results");
   for (std::size_t i = 0; i < x.size(); ++i) {
-    result.quotients_raw.push_back(static_cast<i32>(
-        memory.read_word(results_addr + static_cast<Addr>(i) * 4)));
+    result.quotients_raw.push_back(
+        static_cast<i32>(system.word("results", static_cast<u32>(i))));
   }
   return result;
 }

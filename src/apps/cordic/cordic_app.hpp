@@ -12,9 +12,11 @@
 #include "apps/cordic/cordic_reference.hpp"
 #include "apps/cordic/cordic_sw.hpp"
 #include "common/resources.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/cosim_engine.hpp"
 #include "energy/energy_model.hpp"
+#include "sim/sim_system.hpp"
 
 namespace mbcosim::apps::cordic {
 
@@ -50,6 +52,15 @@ struct CordicRunResult {
 /// |b/a| < 1.9 (the CORDIC division convergence region).
 [[nodiscard]] std::pair<std::vector<i32>, std::vector<i32>>
 make_cordic_dataset(unsigned items, u64 seed);
+
+/// Build (but do not run) the complete simulated system for one design
+/// point: software program, processor configuration, and — when
+/// num_pes > 0 — the pipeline peripheral wired onto FSL channel 0. This
+/// is the factory a design-space sweep (sim::Sweep) instantiates per
+/// point.
+[[nodiscard]] Expected<sim::SimSystem> make_cordic_system(
+    const CordicRunConfig& config, std::span<const i32> x,
+    std::span<const i32> y);
 
 /// Run the complete application in the co-simulation environment.
 [[nodiscard]] CordicRunResult run_cordic(const CordicRunConfig& config,

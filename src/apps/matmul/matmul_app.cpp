@@ -1,94 +1,89 @@
 #include "apps/matmul/matmul_app.hpp"
 
 #include <string>
+#include <utility>
 
-#include "asm/assembler.hpp"
-#include "common/stopwatch.hpp"
 #include "common/status.hpp"
-#include "core/cosim_engine.hpp"
-#include "estimate/estimator.hpp"
-#include "iss/memory.hpp"
-#include "iss/processor.hpp"
 
 namespace mbcosim::apps::matmul {
 
-MatmulRunResult run_matmul(const MatmulRunConfig& config, const Matrix& a,
-                           const Matrix& b) {
+namespace {
+
+sim::FslGateways to_gateways(const MatmulPeripheralIo& io) {
+  sim::FslGateways gateways;
+  gateways.s_data = io.s_data;
+  gateways.s_exists = io.s_exists;
+  gateways.s_control = io.s_control;
+  gateways.s_read = io.s_read;
+  gateways.m_data = io.m_data;
+  gateways.m_write = io.m_write;
+  gateways.m_full = io.m_full;
+  return gateways;
+}
+
+}  // namespace
+
+Expected<sim::SimSystem> make_matmul_system(const MatmulRunConfig& config,
+                                            const Matrix& a, const Matrix& b) {
   if (a.n != config.matrix_size || b.n != config.matrix_size) {
-    throw SimError("run_matmul: matrix size mismatch with config");
+    return Expected<sim::SimSystem>::failure(
+        "make_matmul_system: matrix size mismatch with config");
   }
   const bool pure_software = config.block_size == 0;
 
   const std::string source =
       pure_software ? pure_software_program(a, b)
                     : hw_driver_program(a, b, config.block_size);
-  const assembler::Program program = assembler::assemble_or_throw(source);
 
   isa::CpuConfig cpu_config;
   cpu_config.has_multiplier = true;
   cpu_config.has_barrel_shifter = false;
 
-  iss::LmbMemory memory(256 * 1024);
-  memory.load_program(program);
-  fsl::FslHub hub;
-  iss::Processor cpu(cpu_config, memory, &hub);
+  sim::SimSystem::Builder builder;
+  builder.program(source).cpu_config(cpu_config).memory_bytes(256 * 1024);
+  if (!pure_software) {
+    const unsigned block_size = config.block_size;
+    builder.hardware([block_size] {
+      MatmulPeripheral peripheral = build_matmul_peripheral(block_size);
+      sim::HardwareBundle bundle;
+      bundle.channels.push_back({0, to_gateways(peripheral.io)});
+      bundle.model = std::move(peripheral.model);
+      return bundle;
+    });
+    // Drain bound: one block row in the MAC array + the serializer.
+    builder.quiescence(2 * config.block_size + 16);
+  }
+  return builder.build();
+}
+
+MatmulRunResult run_matmul(const MatmulRunConfig& config, const Matrix& a,
+                           const Matrix& b) {
+  Expected<sim::SimSystem> built = make_matmul_system(config, a, b);
+  if (!built) throw SimError("run_matmul: " + built.error());
+  sim::SimSystem system = std::move(built).value();
+
+  const core::StopReason reason = system.run(Cycle{1} << 36);
+  if (reason != core::StopReason::kHalted) {
+    throw SimError("run_matmul: co-simulation stopped abnormally (reason " +
+                   std::to_string(static_cast<int>(reason)) + ")");
+  }
 
   MatmulRunResult result;
   result.c = Matrix(config.matrix_size);
+  const core::CoSimStats stats = system.stats();
+  result.cycles = stats.cycles;
+  result.instructions = stats.instructions;
+  result.fsl_stall_cycles = stats.fsl_stall_cycles;
+  result.fsl_words = stats.bridge.words_to_hw + stats.bridge.words_from_hw;
+  result.sim_wall_seconds = system.run_wall_seconds();
 
-  estimate::SystemDescription system;
-  system.cpu = cpu_config;
-  system.program = &program;
+  const estimate::ResourceReport report = system.resource_report();
+  result.estimated_resources = report.estimated;
+  result.implemented_resources = report.implemented;
+  result.energy = system.energy_report(report.implemented);
 
-  if (pure_software) {
-    cpu.reset(program.entry());
-    Stopwatch sim_watch;
-    if (cpu.run(Cycle{1} << 36) != iss::Event::kHalted) {
-      throw SimError("run_matmul: pure-software program did not halt");
-    }
-    result.sim_wall_seconds = sim_watch.elapsed_seconds();
-    result.cycles = cpu.stats().cycles;
-    result.instructions = cpu.stats().instructions;
-    const auto report = estimate::estimate_system(system);
-    result.estimated_resources = report.estimated;
-    result.implemented_resources = report.implemented;
-    result.energy = energy::estimate_energy(cpu.stats(), nullptr, 0,
-                                            report.implemented);
-  } else {
-    MatmulPeripheral peripheral = build_matmul_peripheral(config.block_size);
-    core::CoSimEngine engine(cpu, *peripheral.model, hub);
-    peripheral.bind(engine.bridge(), /*channel=*/0);
-    // Drain bound: one block row in the MAC array + the serializer.
-    engine.set_quiescence_window(2 * config.block_size + 16);
-    engine.reset(program.entry());
-    Stopwatch sim_watch;
-    const core::StopReason reason = engine.run(Cycle{1} << 36);
-    result.sim_wall_seconds = sim_watch.elapsed_seconds();
-    if (reason != core::StopReason::kHalted) {
-      throw SimError("run_matmul: co-simulation stopped abnormally (reason " +
-                     std::to_string(static_cast<int>(reason)) + ")");
-    }
-    const core::CoSimStats stats = engine.stats();
-    result.cycles = stats.cycles;
-    result.instructions = stats.instructions;
-    result.fsl_stall_cycles = stats.fsl_stall_cycles;
-    result.fsl_words = stats.bridge.words_to_hw + stats.bridge.words_from_hw;
-
-    system.fsl_links_used = 2;
-    system.peripheral = peripheral.model.get();
-    const auto report = estimate::estimate_system(system);
-    result.estimated_resources = report.estimated;
-    result.implemented_resources = report.implemented;
-    result.energy = energy::estimate_energy(cpu.stats(),
-                                            peripheral.model.get(),
-                                            stats.hw_cycles_stepped,
-                                            report.implemented);
-  }
-
-  const Addr c_addr = program.symbol("mat_c");
   for (unsigned i = 0; i < config.matrix_size * config.matrix_size; ++i) {
-    result.c.data[i] =
-        static_cast<i32>(memory.read_word(c_addr + i * 4));
+    result.c.data[i] = static_cast<i32>(system.word("mat_c", i));
   }
   return result;
 }

@@ -9,8 +9,10 @@
 #include "apps/matmul/matmul_reference.hpp"
 #include "apps/matmul/matmul_sw.hpp"
 #include "common/resources.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "energy/energy_model.hpp"
+#include "sim/sim_system.hpp"
 
 namespace mbcosim::apps::matmul {
 
@@ -34,6 +36,14 @@ struct MatmulRunResult {
 
   [[nodiscard]] double usec() const { return cycles_to_usec(cycles); }
 };
+
+/// Build (but do not run) the complete simulated system for one design
+/// point: software program, processor configuration, and — when
+/// block_size > 0 — the MAC-array peripheral wired onto FSL channel 0.
+/// This is the factory a design-space sweep (sim::Sweep) instantiates
+/// per point.
+[[nodiscard]] Expected<sim::SimSystem> make_matmul_system(
+    const MatmulRunConfig& config, const Matrix& a, const Matrix& b);
 
 [[nodiscard]] MatmulRunResult run_matmul(const MatmulRunConfig& config,
                                          const Matrix& a, const Matrix& b);

@@ -1,0 +1,345 @@
+#include "sim/sim_system.hpp"
+
+#include <set>
+#include <utility>
+
+#include "asm/assembler.hpp"
+#include "common/stopwatch.hpp"
+#include "iss/memory.hpp"
+
+namespace mbcosim::sim {
+
+// All components live in one heap block so SimSystem stays movable while
+// the internal references (Processor -> LmbMemory/FslHub, CoSimEngine ->
+// Processor/Model/FslHub) stay stable.
+struct SimSystem::State {
+  State(assembler::Program p, const isa::CpuConfig& config, u32 mem_bytes,
+        std::size_t fifo_depth)
+      : program(std::move(p)),
+        cpu_config(config),
+        memory(mem_bytes),
+        hub(fifo_depth),
+        cpu(config, memory, &hub) {}
+
+  assembler::Program program;
+  isa::CpuConfig cpu_config;
+  iss::LmbMemory memory;
+  fsl::FslHub hub;
+  iss::Processor cpu;
+  std::unique_ptr<sysgen::Model> hardware;  ///< null for software-only
+  std::optional<core::CoSimEngine> engine;  ///< engaged iff hardware
+  unsigned fsl_links = 0;
+  Cycle deadlock_threshold = 100'000;
+  double last_run_wall_seconds = 0.0;
+};
+
+SimSystem::SimSystem(std::unique_ptr<State> state) : state_(std::move(state)) {}
+SimSystem::SimSystem(SimSystem&&) noexcept = default;
+SimSystem& SimSystem::operator=(SimSystem&&) noexcept = default;
+SimSystem::~SimSystem() = default;
+
+void SimSystem::reset() {
+  if (state_->engine) {
+    state_->engine->reset(state_->program.entry());
+  } else {
+    state_->cpu.reset(state_->program.entry());
+    state_->hub.clear();
+  }
+}
+
+core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
+  // Mirror of CoSimEngine::run without a hardware side: with no
+  // peripheral attached nothing can ever unblock a blocking FSL access,
+  // so a stall streak of deadlock_threshold cycles is reported as a
+  // deadlock instead of burning the whole cycle budget.
+  iss::Processor& cpu = state_->cpu;
+  Cycle blocked_streak = 0;
+  while (!cpu.halted() && cpu.cycle() < max_cycles) {
+    const iss::StepResult result = cpu.step();
+    switch (result.event) {
+      case iss::Event::kHalted:
+        return core::StopReason::kHalted;
+      case iss::Event::kIllegal:
+        return core::StopReason::kIllegal;
+      case iss::Event::kFslStall:
+        if (++blocked_streak >= state_->deadlock_threshold) {
+          return core::StopReason::kDeadlock;
+        }
+        break;
+      case iss::Event::kRetired:
+        blocked_streak = 0;
+        break;
+    }
+  }
+  return cpu.halted() ? core::StopReason::kHalted
+                      : core::StopReason::kCycleLimit;
+}
+
+core::StopReason SimSystem::run(Cycle max_cycles) {
+  Stopwatch watch;
+  const core::StopReason reason = state_->engine
+                                      ? state_->engine->run(max_cycles)
+                                      : run_software_only(max_cycles);
+  state_->last_run_wall_seconds = watch.elapsed_seconds();
+  return reason;
+}
+
+core::CoSimStats SimSystem::stats() const {
+  if (state_->engine) return state_->engine->stats();
+  core::CoSimStats stats;
+  stats.cycles = state_->cpu.stats().cycles;
+  stats.instructions = state_->cpu.stats().instructions;
+  stats.fsl_stall_cycles = state_->cpu.stats().fsl_stall_cycles;
+  return stats;
+}
+
+double SimSystem::run_wall_seconds() const noexcept {
+  return state_->last_run_wall_seconds;
+}
+
+estimate::ResourceReport SimSystem::resource_report() const {
+  estimate::SystemDescription description;
+  description.cpu = state_->cpu_config;
+  description.fsl_links_used = state_->fsl_links;
+  description.peripheral = state_->hardware.get();
+  description.program = &state_->program;
+  for (unsigned slot = 0; slot < isa::kNumCustomSlots; ++slot) {
+    if (const iss::CustomInstruction* unit =
+            state_->cpu.custom_instruction(slot)) {
+      description.custom_instructions.push_back(unit->resources);
+    }
+  }
+  return estimate::estimate_system(description);
+}
+
+energy::EnergyReport SimSystem::energy_report() const {
+  return energy_report(resource_report().implemented);
+}
+
+energy::EnergyReport SimSystem::energy_report(
+    const ResourceVec& implemented) const {
+  return energy::estimate_energy(state_->cpu.stats(), state_->hardware.get(),
+                                 stats().hw_cycles_stepped, implemented);
+}
+
+iss::Processor& SimSystem::cpu() noexcept { return state_->cpu; }
+const iss::Processor& SimSystem::cpu() const noexcept { return state_->cpu; }
+iss::LmbMemory& SimSystem::memory() noexcept { return state_->memory; }
+const iss::LmbMemory& SimSystem::memory() const noexcept {
+  return state_->memory;
+}
+const assembler::Program& SimSystem::program() const noexcept {
+  return state_->program;
+}
+sysgen::Model* SimSystem::hardware() noexcept {
+  return state_->hardware.get();
+}
+const sysgen::Model* SimSystem::hardware() const noexcept {
+  return state_->hardware.get();
+}
+core::CoSimEngine* SimSystem::engine() noexcept {
+  return state_->engine ? &*state_->engine : nullptr;
+}
+
+Addr SimSystem::symbol(const std::string& name) const {
+  return state_->program.symbol(name);
+}
+
+Word SimSystem::word(const std::string& name, u32 index) const {
+  return state_->memory.read_word(symbol(name) + 4 * index);
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+SimSystem::Builder& SimSystem::Builder::program(std::string_view source) {
+  source_ = std::string(source);
+  image_.reset();
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::program(assembler::Program image) {
+  image_ = std::move(image);
+  source_.reset();
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::cpu_config(
+    const isa::CpuConfig& config) {
+  cpu_config_ = config;
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::memory_bytes(u32 bytes) {
+  memory_bytes_ = bytes;
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::fifo_depth(std::size_t depth) {
+  fifo_depth_ = depth;
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::hardware(
+    std::unique_ptr<sysgen::Model> model) {
+  model_ = std::move(model);
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::hardware(HardwareFactory factory) {
+  factory_ = std::move(factory);
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::bind_fsl(unsigned channel,
+                                                 const FslGateways& io) {
+  bindings_.push_back({channel, io});
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::quiescence(Cycle drain_cycles) {
+  quiescence_ = drain_cycles;
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::deadlock_threshold(Cycle threshold) {
+  deadlock_threshold_ = threshold;
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::custom_instruction(
+    unsigned slot, iss::CustomInstruction unit) {
+  custom_.emplace_back(slot, std::move(unit));
+  return *this;
+}
+
+Expected<SimSystem> SimSystem::Builder::build() {
+  using Failure = Expected<SimSystem>;
+
+  // 1. Software.
+  if (!source_ && !image_) {
+    return Failure::failure(
+        "SimSystem: no program was given (call Builder::program)");
+  }
+  assembler::Program program;
+  if (image_) {
+    program = std::move(*image_);
+  } else {
+    Expected<assembler::Program> assembled = assembler::assemble(*source_);
+    if (!assembled) {
+      return Failure::failure("SimSystem: program does not assemble: " +
+                              assembled.error());
+    }
+    program = std::move(assembled).value();
+  }
+
+  // 2. Hardware (optional): a ready-made model, or a factory that also
+  // carries its own channel bindings.
+  if (model_ && factory_) {
+    return Failure::failure(
+        "SimSystem: both a hardware model and a hardware factory were "
+        "given; they are mutually exclusive");
+  }
+  std::unique_ptr<sysgen::Model> model = std::move(model_);
+  if (factory_) {
+    try {
+      HardwareBundle bundle = factory_();
+      model = std::move(bundle.model);
+      for (const auto& binding : bundle.channels) bindings_.push_back(binding);
+    } catch (const std::exception& error) {
+      return Failure::failure(std::string("SimSystem: hardware factory "
+                                          "failed: ") + error.what());
+    }
+    if (model == nullptr) {
+      return Failure::failure(
+          "SimSystem: the hardware factory returned no model");
+    }
+  }
+
+  // 3. FSL bindings.
+  if (model == nullptr && !bindings_.empty()) {
+    return Failure::failure(
+        "SimSystem: bind_fsl was called but no hardware model was given");
+  }
+  std::set<unsigned> bound;
+  unsigned fsl_links = 0;
+  for (const auto& binding : bindings_) {
+    if (binding.channel >= fsl::FslHub::kChannels) {
+      return Failure::failure(
+          "SimSystem: FSL channel " + std::to_string(binding.channel) +
+          " is out of range (0.." + std::to_string(fsl::FslHub::kChannels - 1) +
+          ")");
+    }
+    if (!bound.insert(binding.channel).second) {
+      return Failure::failure("SimSystem: FSL channel " +
+                              std::to_string(binding.channel) +
+                              " is bound twice");
+    }
+    const FslGateways& io = binding.io;
+    if (!io.has_slave() && !io.has_master()) {
+      return Failure::failure("SimSystem: FSL channel " +
+                              std::to_string(binding.channel) +
+                              " binds no gateways");
+    }
+    if (io.has_slave() && (io.s_data == nullptr || io.s_exists == nullptr ||
+                           io.s_read == nullptr)) {
+      return Failure::failure(
+          "SimSystem: the slave side of FSL channel " +
+          std::to_string(binding.channel) +
+          " needs the s_data, s_exists and s_read gateways");
+    }
+    if (io.has_master() && (io.m_data == nullptr || io.m_write == nullptr)) {
+      return Failure::failure("SimSystem: the master side of FSL channel " +
+                              std::to_string(binding.channel) +
+                              " needs the m_data and m_write gateways");
+    }
+    fsl_links += (io.has_slave() ? 1u : 0u) + (io.has_master() ? 1u : 0u);
+  }
+
+  // 4. Assemble the components and wire them up.
+  auto state = std::make_unique<State>(std::move(program), cpu_config_,
+                                       memory_bytes_, fifo_depth_);
+  state->fsl_links = fsl_links;
+  state->deadlock_threshold = deadlock_threshold_;
+  try {
+    state->memory.load_program(state->program);
+    for (auto& [slot, unit] : custom_) {
+      state->cpu.register_custom_instruction(slot, std::move(unit));
+    }
+    if (model != nullptr) {
+      state->hardware = std::move(model);
+      state->engine.emplace(state->cpu, *state->hardware, state->hub);
+      for (const auto& binding : bindings_) {
+        const FslGateways& io = binding.io;
+        if (io.has_slave()) {
+          core::SlaveBinding slave;
+          slave.channel = binding.channel;
+          slave.data = io.s_data;
+          slave.exists = io.s_exists;
+          slave.control = io.s_control;
+          slave.read = io.s_read;
+          state->engine->bridge().bind_slave(slave);
+        }
+        if (io.has_master()) {
+          core::MasterBinding master;
+          master.channel = binding.channel;
+          master.data = io.m_data;
+          master.control = io.m_control;
+          master.write = io.m_write;
+          master.full = io.m_full;
+          state->engine->bridge().bind_master(master);
+        }
+      }
+      state->engine->set_quiescence_window(quiescence_);
+      state->engine->set_deadlock_threshold(deadlock_threshold_);
+    }
+  } catch (const std::exception& error) {
+    return Failure::failure(std::string("SimSystem: ") + error.what());
+  }
+
+  SimSystem system(std::move(state));
+  system.reset();
+  return system;
+}
+
+}  // namespace mbcosim::sim

@@ -1,0 +1,203 @@
+// SimSystem: the single-entry facade over the high-level co-simulation
+// environment. One SimSystem owns everything a simulated design needs —
+// the assembled program, the LMB BRAM, the FSL hub, the cycle-accurate
+// processor, the sysgen hardware model and the lock-step CoSimEngine —
+// and wires them together from a builder description:
+//
+//   auto built = sim::SimSystem::Builder()
+//                    .program(source)                 // MB32 assembly
+//                    .hardware(std::move(model))      // or a factory
+//                    .bind_fsl(0, gateways)
+//                    .build();                        // Expected<SimSystem>
+//   sim::SimSystem system = std::move(built).value();
+//   system.run();
+//
+// Construction problems (missing program, assembly errors, bad FSL
+// bindings) come back through the Expected error channel instead of
+// throwing from deep inside component constructors, so a design-space
+// sweep can report a broken configuration point and keep going.
+//
+// Thread-safety contract: a SimSystem is a self-contained, single-
+// threaded simulator. Different SimSystem instances share no mutable
+// state, so any number of them may run concurrently on different
+// threads (this is what sim::Sweep does); one instance must never be
+// touched from two threads at once.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/cosim_engine.hpp"
+#include "energy/energy_model.hpp"
+#include "estimate/estimator.hpp"
+#include "fsl/fsl_channel.hpp"
+#include "iss/processor.hpp"
+#include "sysgen/model.hpp"
+
+namespace mbcosim::sim {
+
+/// The FSL-facing gateways of one hardware peripheral on one channel —
+/// the slave side (processor -> hardware) and/or the master side
+/// (hardware -> processor). Unused pointers stay null: a peripheral may
+/// bind only one direction. Required when any slave gateway is set:
+/// s_data, s_exists, s_read; required for the master side: m_data,
+/// m_write.
+struct FslGateways {
+  sysgen::GatewayIn* s_data = nullptr;     ///< FSL_S_Data
+  sysgen::GatewayIn* s_exists = nullptr;   ///< FSL_S_Exists
+  sysgen::GatewayIn* s_control = nullptr;  ///< FSL_S_Control (optional)
+  sysgen::GatewayOut* s_read = nullptr;    ///< FSL_S_Read ack
+  sysgen::GatewayOut* m_data = nullptr;    ///< FSL_M_Data
+  sysgen::GatewayOut* m_control = nullptr; ///< FSL_M_Control (optional)
+  sysgen::GatewayOut* m_write = nullptr;   ///< FSL_M_Write
+  sysgen::GatewayIn* m_full = nullptr;     ///< FSL_M_Full (optional)
+
+  [[nodiscard]] bool has_slave() const noexcept {
+    return s_data != nullptr || s_exists != nullptr || s_control != nullptr ||
+           s_read != nullptr;
+  }
+  [[nodiscard]] bool has_master() const noexcept {
+    return m_data != nullptr || m_control != nullptr || m_write != nullptr ||
+           m_full != nullptr;
+  }
+};
+
+/// A hardware model together with its FSL channel bindings — what a
+/// hardware factory hands to the builder (the factory form exists so a
+/// sweep can stamp out one fresh model per configuration point).
+struct HardwareBundle {
+  struct ChannelBinding {
+    unsigned channel = 0;
+    FslGateways io;
+  };
+  std::unique_ptr<sysgen::Model> model;
+  std::vector<ChannelBinding> channels;
+};
+
+using HardwareFactory = std::function<HardwareBundle()>;
+
+class SimSystem {
+ public:
+  class Builder;
+
+  SimSystem(SimSystem&&) noexcept;
+  SimSystem& operator=(SimSystem&&) noexcept;
+  SimSystem(const SimSystem&) = delete;
+  SimSystem& operator=(const SimSystem&) = delete;
+  ~SimSystem();
+
+  /// Run until the software halts, an architectural error occurs, the
+  /// deadlock heuristic fires, or the cycle budget runs out. The system
+  /// is reset at build time; call reset() before re-running.
+  core::StopReason run(Cycle max_cycles = Cycle{1} << 36);
+
+  /// Reset processor, hardware model and FIFOs back to the program entry.
+  void reset();
+
+  /// Combined statistics (hardware/bridge fields are zero for a
+  /// software-only system).
+  [[nodiscard]] core::CoSimStats stats() const;
+
+  /// Host wall-clock seconds spent inside the most recent run() loop —
+  /// the quantity Table I's simulation-time comparison uses.
+  [[nodiscard]] double run_wall_seconds() const noexcept;
+
+  /// Rapid resource estimate of the whole design (paper Section III-C):
+  /// processor + peripheral + FSL links + program BRAMs.
+  [[nodiscard]] estimate::ResourceReport resource_report() const;
+
+  /// Rapid energy estimate of the finished run (paper Section V).
+  [[nodiscard]] energy::EnergyReport energy_report() const;
+  /// Same, reusing an already-computed implemented-resource vector.
+  [[nodiscard]] energy::EnergyReport energy_report(
+      const ResourceVec& implemented) const;
+
+  // -- component access ------------------------------------------------
+  [[nodiscard]] iss::Processor& cpu() noexcept;
+  [[nodiscard]] const iss::Processor& cpu() const noexcept;
+  [[nodiscard]] iss::LmbMemory& memory() noexcept;
+  [[nodiscard]] const iss::LmbMemory& memory() const noexcept;
+  [[nodiscard]] const assembler::Program& program() const noexcept;
+  /// Hardware model; nullptr for a software-only system.
+  [[nodiscard]] sysgen::Model* hardware() noexcept;
+  [[nodiscard]] const sysgen::Model* hardware() const noexcept;
+  /// Co-simulation engine; nullptr for a software-only system.
+  [[nodiscard]] core::CoSimEngine* engine() noexcept;
+
+  /// Address of a program symbol (throws SimError if undefined).
+  [[nodiscard]] Addr symbol(const std::string& name) const;
+  /// The `index`-th word of the array at program symbol `name`.
+  [[nodiscard]] Word word(const std::string& name, u32 index = 0) const;
+
+ private:
+  struct State;
+  explicit SimSystem(std::unique_ptr<State> state);
+
+  core::StopReason run_software_only(Cycle max_cycles);
+
+  std::unique_ptr<State> state_;
+};
+
+/// Builder for SimSystem. Every setter returns *this for chaining;
+/// build() consumes the builder and reports all configuration problems
+/// through Expected instead of throwing.
+class SimSystem::Builder {
+ public:
+  /// MB32 assembly source, assembled at build() time.
+  Builder& program(std::string_view source);
+  /// Pre-assembled image (overrides a previously-set source and vice
+  /// versa: the last program() call wins).
+  Builder& program(assembler::Program image);
+
+  Builder& cpu_config(const isa::CpuConfig& config);
+  /// LMB BRAM size (default 64 KiB).
+  Builder& memory_bytes(u32 bytes);
+  /// Depth of every FSL FIFO (default fsl::FslChannel::kDefaultDepth).
+  Builder& fifo_depth(std::size_t depth);
+
+  /// Attach a hardware model built elsewhere; bind its gateways with
+  /// bind_fsl(). Mutually exclusive with the factory overload.
+  Builder& hardware(std::unique_ptr<sysgen::Model> model);
+  /// Attach a factory producing the model plus its channel bindings;
+  /// invoked (and its SimError caught) at build() time.
+  Builder& hardware(HardwareFactory factory);
+
+  /// Bind peripheral gateways onto FSL channel `channel`.
+  Builder& bind_fsl(unsigned channel, const FslGateways& io);
+
+  /// Quiescence fast-forward window in cycles (0 = disabled); see
+  /// CoSimEngine::set_quiescence_window.
+  Builder& quiescence(Cycle drain_cycles);
+  /// Consecutive blocked cycles with no FIFO movement before run()
+  /// reports StopReason::kDeadlock.
+  Builder& deadlock_threshold(Cycle threshold);
+
+  /// Install a Nios-style custom instruction in `slot` (0..7).
+  Builder& custom_instruction(unsigned slot, iss::CustomInstruction unit);
+
+  /// Assemble, construct and wire everything; leaves the system reset at
+  /// the program entry. All errors come back as Expected failures.
+  [[nodiscard]] Expected<SimSystem> build();
+
+ private:
+  std::optional<std::string> source_;
+  std::optional<assembler::Program> image_;
+  isa::CpuConfig cpu_config_{};
+  u32 memory_bytes_ = 64 * 1024;
+  std::size_t fifo_depth_ = fsl::FslChannel::kDefaultDepth;
+  std::unique_ptr<sysgen::Model> model_;
+  HardwareFactory factory_;
+  std::vector<HardwareBundle::ChannelBinding> bindings_;
+  Cycle quiescence_ = 0;
+  Cycle deadlock_threshold_ = 100'000;
+  std::vector<std::pair<unsigned, iss::CustomInstruction>> custom_;
+};
+
+}  // namespace mbcosim::sim

@@ -1,0 +1,128 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+
+namespace mbcosim::sim {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned count = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  count = std::max(count, 1u);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this](std::stop_token token) { work(token); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread& worker : workers_) worker.request_stop();
+  wake_.notify_all();
+  // std::jthread joins in workers_'s destructor.
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::work(std::stop_token token) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, token, [this] { return !queue_.empty(); });
+    if (queue_.empty()) return;  // stop requested, nothing left to do
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep
+
+std::size_t Sweep::add(std::string label, Factory factory, Collector collect) {
+  points_.push_back(
+      Point{std::move(label), std::move(factory), std::move(collect)});
+  return points_.size() - 1;
+}
+
+void Sweep::run_point(const Point& point, const SweepOptions& options,
+                      SweepPointResult& result) const {
+  Stopwatch watch;
+  try {
+    Expected<SimSystem> built = point.factory();
+    if (!built) {
+      result.error = built.error();
+      result.wall_seconds = watch.elapsed_seconds();
+      return;
+    }
+    SimSystem system = std::move(built).value();
+    result.stop = system.run(options.max_cycles);
+    result.sim_wall_seconds = system.run_wall_seconds();
+    result.stats = system.stats();
+    result.ok = result.stop == core::StopReason::kHalted;
+    if (options.estimates) {
+      const estimate::ResourceReport report = system.resource_report();
+      result.estimated_resources = report.estimated;
+      result.implemented_resources = report.implemented;
+      result.energy = system.energy_report(report.implemented);
+    }
+    if (point.collect && result.ok) point.collect(system, result);
+  } catch (const std::exception& error) {
+    result.ok = false;
+    result.error = error.what();
+  }
+  result.wall_seconds = watch.elapsed_seconds();
+}
+
+std::vector<SweepPointResult> Sweep::run(const SweepOptions& options) const {
+  std::vector<SweepPointResult> results(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    results[i].index = i;
+    results[i].label = points_[i].label;
+  }
+
+  unsigned threads = options.threads == 0
+                         ? std::thread::hardware_concurrency()
+                         : options.threads;
+  threads = std::max(threads, 1u);
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(points_.size(), 1)));
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      run_point(points_[i], options, results[i]);
+    }
+    return results;
+  }
+
+  // Each job writes only its own pre-sized result row, so the workers
+  // share no mutable state beyond the pool's queue.
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    pool.submit([this, &options, &results, i] {
+      run_point(points_[i], options, results[i]);
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace mbcosim::sim

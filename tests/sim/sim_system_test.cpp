@@ -1,0 +1,315 @@
+// SimSystem facade: builder error paths (every configuration problem
+// comes back through Expected, never a throw) and equivalence with the
+// hand-wired low-level API (identical cycle counts and results).
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "core/cosim_engine.hpp"
+#include "sim/sim_system.hpp"
+#include "sysgen/blocks_basic.hpp"
+
+namespace mbcosim::sim {
+namespace {
+
+namespace sg = mbcosim::sysgen;
+
+// The quickstart "times three" application: multiply in hardware over
+// FSL channel 0, +1 and control flow in software.
+constexpr const char* kTimesThreeSource = R"(
+  start:
+    la   r5, inputs
+    la   r6, outputs
+    li   r7, 4
+  loop:
+    lwi  r3, r5, 0
+    put  r3, rfsl0
+    get  r4, rfsl0
+    addik r4, r4, 1
+    swi  r4, r6, 0
+    addik r5, r5, 4
+    addik r6, r6, 4
+    addik r7, r7, -1
+    bnei r7, loop
+    halt
+  inputs:  .word 1, 2, 10, 100
+  outputs: .space 16
+)";
+
+struct TimesThree {
+  std::unique_ptr<sg::Model> model;
+  FslGateways io;
+};
+
+TimesThree build_times_three() {
+  const FixFormat word32 = FixFormat::signed_fix(32, 0);
+  const FixFormat boolf = FixFormat::unsigned_fix(1, 0);
+  TimesThree hw;
+  hw.model = std::make_unique<sg::Model>("times_three");
+  auto& data_in = hw.model->add<sg::GatewayIn>("fsl.data", word32);
+  auto& exists = hw.model->add<sg::GatewayIn>("fsl.exists", boolf);
+  auto& read_ack = hw.model->add<sg::GatewayOut>("fsl.read", exists.out());
+  auto& three =
+      hw.model->add<sg::Constant>("three", Fix::from_int(word32, 3));
+  auto& product = hw.model->add<sg::Mult>("mult", data_in.out(), three.out(),
+                                          word32, /*latency=*/0);
+  auto& data_out = hw.model->add<sg::GatewayOut>("fsl.dout", product.out());
+  auto& write = hw.model->add<sg::GatewayOut>("fsl.write", exists.out());
+  hw.io.s_data = &data_in;
+  hw.io.s_exists = &exists;
+  hw.io.s_read = &read_ack;
+  hw.io.m_data = &data_out;
+  hw.io.m_write = &write;
+  return hw;
+}
+
+TEST(SimSystemBuilder, MissingProgramIsAnError) {
+  auto built = SimSystem::Builder().build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("no program"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, BadAssemblyIsAnError) {
+  auto built = SimSystem::Builder().program("frobnicate r1, r2\n").build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("does not assemble"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, ChannelOutOfRangeIsAnError) {
+  TimesThree hw = build_times_three();
+  auto built = SimSystem::Builder()
+                   .program("halt\n")
+                   .hardware(std::move(hw.model))
+                   .bind_fsl(8, hw.io)
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("out of range"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, ChannelBoundTwiceIsAnError) {
+  TimesThree hw = build_times_three();
+  auto built = SimSystem::Builder()
+                   .program("halt\n")
+                   .hardware(std::move(hw.model))
+                   .bind_fsl(0, hw.io)
+                   .bind_fsl(0, hw.io)
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("bound twice"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, BindWithoutHardwareIsAnError) {
+  TimesThree hw = build_times_three();  // keeps the gateways alive
+  auto built =
+      SimSystem::Builder().program("halt\n").bind_fsl(0, hw.io).build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("no hardware model"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, IncompleteSlaveSideIsAnError) {
+  TimesThree hw = build_times_three();
+  FslGateways io = hw.io;
+  io.s_read = nullptr;  // slave side now lacks its required read ack
+  auto built = SimSystem::Builder()
+                   .program("halt\n")
+                   .hardware(std::move(hw.model))
+                   .bind_fsl(0, io)
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("s_read"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, EmptyGatewaySetIsAnError) {
+  TimesThree hw = build_times_three();
+  auto built = SimSystem::Builder()
+                   .program("halt\n")
+                   .hardware(std::move(hw.model))
+                   .bind_fsl(0, FslGateways{})
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("binds no gateways"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, ModelAndFactoryAreMutuallyExclusive) {
+  TimesThree hw = build_times_three();
+  auto built = SimSystem::Builder()
+                   .program("halt\n")
+                   .hardware(std::move(hw.model))
+                   .hardware([] { return HardwareBundle{}; })
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("mutually exclusive"), std::string::npos);
+}
+
+TEST(SimSystemBuilder, FactoryExceptionIsCaptured) {
+  auto built = SimSystem::Builder()
+                   .program("halt\n")
+                   .hardware([]() -> HardwareBundle {
+                     throw SimError("peripheral generator exploded");
+                   })
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("peripheral generator exploded"),
+            std::string::npos);
+}
+
+TEST(SimSystemBuilder, ProgramTooLargeForMemoryIsAnError) {
+  auto built = SimSystem::Builder()
+                   .program(".space 4096\nhalt\n")
+                   .memory_bytes(1024)
+                   .build();
+  ASSERT_FALSE(built.ok());
+}
+
+// The acceptance check of the facade: building through SimSystem must be
+// cycle- and bit-identical to the ~20-line hand wiring it replaces.
+TEST(SimSystem, MatchesManualWiring) {
+  // Manual low-level wiring, exactly as examples/custom_peripheral.cpp.
+  TimesThree manual_hw = build_times_three();
+  const assembler::Program program =
+      assembler::assemble_or_throw(kTimesThreeSource);
+  iss::LmbMemory memory;
+  memory.load_program(program);
+  fsl::FslHub hub;
+  iss::Processor cpu(isa::CpuConfig{}, memory, &hub);
+  core::CoSimEngine engine(cpu, *manual_hw.model, hub);
+  core::SlaveBinding slave;
+  slave.channel = 0;
+  slave.data = manual_hw.io.s_data;
+  slave.exists = manual_hw.io.s_exists;
+  slave.read = manual_hw.io.s_read;
+  engine.bridge().bind_slave(slave);
+  core::MasterBinding master;
+  master.channel = 0;
+  master.data = manual_hw.io.m_data;
+  master.write = manual_hw.io.m_write;
+  engine.bridge().bind_master(master);
+  engine.reset(program.entry());
+  const core::StopReason manual_reason = engine.run();
+  const core::CoSimStats manual_stats = engine.stats();
+
+  // The same design through the facade.
+  TimesThree hw = build_times_three();
+  auto built = SimSystem::Builder()
+                   .program(kTimesThreeSource)
+                   .hardware(std::move(hw.model))
+                   .bind_fsl(0, hw.io)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  const core::StopReason reason = system.run();
+  const core::CoSimStats stats = system.stats();
+
+  EXPECT_EQ(reason, manual_reason);
+  EXPECT_EQ(stats.cycles, manual_stats.cycles);
+  EXPECT_EQ(stats.instructions, manual_stats.instructions);
+  EXPECT_EQ(stats.fsl_stall_cycles, manual_stats.fsl_stall_cycles);
+  EXPECT_EQ(stats.bridge.words_to_hw, manual_stats.bridge.words_to_hw);
+  EXPECT_EQ(stats.bridge.words_from_hw, manual_stats.bridge.words_from_hw);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(system.word("outputs", i),
+              memory.read_word(program.symbol("outputs") + 4 * i));
+  }
+}
+
+TEST(SimSystem, SoftwareOnlySystemRuns) {
+  auto built = SimSystem::Builder()
+                   .program(R"(
+                     li  r3, 0
+                     li  r4, 10
+                   loop:
+                     addik r3, r3, 7
+                     addik r4, r4, -1
+                     bnei r4, loop
+                     la  r5, result
+                     swi r3, r5, 0
+                     halt
+                   result: .space 4
+                   )")
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  EXPECT_EQ(system.hardware(), nullptr);
+  EXPECT_EQ(system.engine(), nullptr);
+  EXPECT_EQ(system.run(), core::StopReason::kHalted);
+  EXPECT_EQ(system.word("result"), 70u);
+  EXPECT_GT(system.stats().cycles, 0u);
+  EXPECT_EQ(system.stats().hw_cycles_stepped, 0u);
+}
+
+TEST(SimSystem, SoftwareOnlyDeadlockIsReported) {
+  // A blocking FSL read with no hardware attached can never complete.
+  auto built = SimSystem::Builder()
+                   .program("get r4, rfsl0\nhalt\n")
+                   .deadlock_threshold(200)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  EXPECT_EQ(system.run(), core::StopReason::kDeadlock);
+}
+
+TEST(SimSystem, HardwareDeadlockIsReported) {
+  // A peripheral that never reads nor writes: the processor's blocking
+  // get starves and the engine's deadlock heuristic must fire.
+  auto model = std::make_unique<sg::Model>("dead");
+  const FixFormat word32 = FixFormat::signed_fix(32, 0);
+  const FixFormat boolf = FixFormat::unsigned_fix(1, 0);
+  auto& data_in = model->add<sg::GatewayIn>("fsl.data", word32);
+  auto& exists = model->add<sg::GatewayIn>("fsl.exists", boolf);
+  auto& never =
+      model->add<sg::Constant>("never", Fix::from_int(boolf, 0));
+  auto& read_ack = model->add<sg::GatewayOut>("fsl.read", never.out());
+  FslGateways io;
+  io.s_data = &data_in;
+  io.s_exists = &exists;
+  io.s_read = &read_ack;
+  auto built = SimSystem::Builder()
+                   .program("put r3, rfsl0\nget r4, rfsl0\nhalt\n")
+                   .hardware(std::move(model))
+                   .bind_fsl(0, io)
+                   .deadlock_threshold(500)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  EXPECT_EQ(system.run(), core::StopReason::kDeadlock);
+}
+
+TEST(SimSystem, ResetAllowsRerun) {
+  TimesThree hw = build_times_three();
+  auto built = SimSystem::Builder()
+                   .program(kTimesThreeSource)
+                   .hardware(std::move(hw.model))
+                   .bind_fsl(0, hw.io)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  ASSERT_EQ(system.run(), core::StopReason::kHalted);
+  const Cycle first = system.stats().cycles;
+  system.reset();
+  ASSERT_EQ(system.run(), core::StopReason::kHalted);
+  EXPECT_EQ(system.stats().cycles, first);
+}
+
+TEST(SimSystem, ResourceAndEnergyReportsCoverTheWholeDesign) {
+  TimesThree hw = build_times_three();
+  auto built = SimSystem::Builder()
+                   .program(kTimesThreeSource)
+                   .hardware(std::move(hw.model))
+                   .bind_fsl(0, hw.io)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  ASSERT_EQ(system.run(), core::StopReason::kHalted);
+  const auto report = system.resource_report();
+  EXPECT_GT(report.estimated.slices, 0u);
+  EXPECT_GT(report.estimated.mult18s, 0u);  // the peripheral's multiplier
+  const auto energy = system.energy_report();
+  EXPECT_GT(energy.processor_nj, 0.0);
+  EXPECT_GT(energy.peripheral_nj, 0.0);
+  EXPECT_EQ(energy.cycles, system.stats().cycles);
+}
+
+}  // namespace
+}  // namespace mbcosim::sim
