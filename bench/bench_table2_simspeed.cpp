@@ -11,8 +11,12 @@
 // a potential speedup of "5.5X to more than 1000X".
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "apps/cordic/cordic_hw.hpp"
 #include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/trace_bus.hpp"
 
 namespace {
 
@@ -44,6 +48,34 @@ void BM_InstructionSimulator(benchmark::State& state) {
       static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InstructionSimulator);
+
+// Same workload with the observability bus attached but carrying no
+// sinks — the "compiled in but disabled" configuration whose overhead
+// the trace_overhead guard below bounds.
+void BM_InstructionSimulatorTracingDisabled(benchmark::State& state) {
+  const CordicWorkload workload = CordicWorkload::standard(50, 24);
+  const auto program = assembler::assemble_or_throw(
+      apps::cordic::pure_software_program(
+          workload.x, workload.y, workload.iterations,
+          apps::cordic::ShiftStrategy::kShiftLoop));
+  isa::CpuConfig config;
+  config.has_barrel_shifter = false;
+  iss::LmbMemory memory;
+  memory.load_program(program);
+  iss::Processor cpu(config, memory, nullptr);
+  obs::TraceBus bus;  // no sinks: enabled() stays false
+  cpu.set_trace_bus(&bus);
+
+  Cycle total_cycles = 0;
+  for (auto _ : state) {
+    cpu.reset(program.entry());
+    benchmark::DoNotOptimize(cpu.run(1u << 28));
+    total_cycles += cpu.stats().cycles;
+  }
+  state.counters["cycles_per_second"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InstructionSimulatorTracingDisabled);
 
 // ---------------------------------------------------------------------------
 // Hardware block model alone ("Simulink"): the CORDIC pipeline fed by a
@@ -99,6 +131,60 @@ void BM_RtlFullSystem(benchmark::State& state) {
 }
 BENCHMARK(BM_RtlFullSystem);
 
+// ---------------------------------------------------------------------------
+// trace_overhead guard: the observability layer's cost contract says a
+// wired-but-sinkless TraceBus must be almost free (target < 2% on the
+// ISS hot loop). Measured as the min of several reps to shed scheduler
+// noise; the hard failure threshold is deliberately looser (10%) so the
+// guard trips on real regressions, not on a busy CI host.
+// ---------------------------------------------------------------------------
+int check_trace_overhead() {
+  const CordicWorkload workload = CordicWorkload::standard(50, 24);
+  const auto program = assembler::assemble_or_throw(
+      apps::cordic::pure_software_program(
+          workload.x, workload.y, workload.iterations,
+          apps::cordic::ShiftStrategy::kShiftLoop));
+  isa::CpuConfig config;
+  config.has_barrel_shifter = false;
+
+  const auto run_once = [&](obs::TraceBus* bus) {
+    iss::LmbMemory memory;
+    memory.load_program(program);
+    iss::Processor cpu(config, memory, nullptr);
+    cpu.set_trace_bus(bus);
+    cpu.reset(program.entry());
+    Stopwatch watch;
+    cpu.run(1u << 28);
+    return watch.elapsed_seconds();
+  };
+
+  constexpr int kReps = 5;
+  double baseline = 1e300;
+  double disabled = 1e300;
+  obs::TraceBus bus;  // no sinks attached
+  run_once(nullptr);  // warm caches before timing
+  for (int rep = 0; rep < kReps; ++rep) {
+    baseline = std::min(baseline, run_once(nullptr));
+    disabled = std::min(disabled, run_once(&bus));
+  }
+
+  const double overhead = disabled / baseline - 1.0;
+  constexpr double kTargetOverhead = 0.02;
+  constexpr double kFailOverhead = 0.10;
+  std::printf(
+      "\ntrace_overhead guard: ISS with sinkless TraceBus vs no bus: "
+      "%+.2f%% (target < %.0f%%, fail >= %.0f%%)\n",
+      overhead * 100.0, kTargetOverhead * 100.0, kFailOverhead * 100.0);
+  if (overhead >= kFailOverhead) {
+    std::fprintf(stderr,
+                 "trace_overhead guard FAILED: disabled observability "
+                 "costs %.2f%% on the ISS hot loop\n",
+                 overhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,5 +201,5 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return 0;
+  return check_trace_overhead();
 }

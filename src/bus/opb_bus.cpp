@@ -47,6 +47,15 @@ const OpbBus::Region* OpbBus::find(Addr addr) const noexcept {
   return nullptr;
 }
 
+void OpbBus::emit(obs::EventKind kind, Addr addr, Cycle wait_states) const {
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.cycle = trace_bus_->time();
+  event.addr = addr;
+  event.wait_states = wait_states;
+  trace_bus_->emit(event);
+}
+
 BusResponse OpbBus::read(Addr addr) {
   Region* region = find(addr);
   if (region == nullptr) return BusResponse{};
@@ -57,6 +66,9 @@ BusResponse OpbBus::read(Addr addr) {
   response.data = region->peripheral->read(offset);
   response.wait_states =
       kBusWaitStates + region->peripheral->device_wait_states();
+  if (trace_bus_ != nullptr && trace_bus_->enabled()) {
+    emit(obs::EventKind::kOpbRead, addr, response.wait_states);
+  }
   return response;
 }
 
@@ -70,6 +82,9 @@ BusResponse OpbBus::write(Addr addr, Word value) {
   response.ok = true;
   response.wait_states =
       kBusWaitStates + region->peripheral->device_wait_states();
+  if (trace_bus_ != nullptr && trace_bus_->enabled()) {
+    emit(obs::EventKind::kOpbWrite, addr, response.wait_states);
+  }
   return response;
 }
 

@@ -13,6 +13,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "obs/trace_bus.hpp"
 
 namespace mbcosim::bus {
 
@@ -55,7 +56,14 @@ class OpbBus {
   }
   [[nodiscard]] u64 transactions() const noexcept { return transactions_; }
 
+  /// Attach the observability bus (nullptr to detach): every decoded
+  /// transaction is reported with its wait states, timestamped with the
+  /// bus's simulated-time cursor (driven by the processor).
+  void set_trace_bus(obs::TraceBus* bus) noexcept { trace_bus_ = bus; }
+
  private:
+  void emit(obs::EventKind kind, Addr addr, Cycle wait_states) const;
+
   struct Region {
     std::string name;
     Addr base = 0;
@@ -67,6 +75,7 @@ class OpbBus {
 
   std::vector<Region> regions_;
   u64 transactions_ = 0;
+  obs::TraceBus* trace_bus_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

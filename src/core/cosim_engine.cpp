@@ -12,6 +12,7 @@ void CoSimEngine::reset(Addr pc) {
 }
 
 void CoSimEngine::tick_hardware(Cycle cycles) {
+  Cycle skipped_this_call = 0;
   for (Cycle i = 0; i < cycles; ++i) {
     if (quiescence_window_ > 0) {
       if (bridge_.interface_active()) {
@@ -19,14 +20,24 @@ void CoSimEngine::tick_hardware(Cycle cycles) {
       } else if (++idle_streak_ > quiescence_window_) {
         // The peripheral has provably drained: fast-forward this cycle.
         ++skipped_cycles_;
+        ++skipped_this_call;
         ++hw_cycles_;
         continue;
       }
     }
+    if (trace_bus_ != nullptr) trace_bus_->set_time(hw_cycles_);
     bridge_.pre_cycle();
     hardware_.step();
     bridge_.post_cycle();
     ++hw_cycles_;
+  }
+  if (skipped_this_call != 0 && trace_bus_ != nullptr &&
+      trace_bus_->enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kQuiesceSkip;
+    event.cycle = hw_cycles_;
+    event.skipped = skipped_this_call;
+    trace_bus_->emit(event);
   }
 }
 
@@ -48,6 +59,13 @@ StopReason CoSimEngine::run(Cycle max_cycles) {
                             bridge_.stats().words_from_hw;
         if (traffic == last_traffic) {
           if (++blocked_streak >= deadlock_threshold_) {
+            if (trace_bus_ != nullptr && trace_bus_->enabled()) {
+              obs::TraceEvent event;
+              event.kind = obs::EventKind::kDeadlock;
+              event.cycle = cpu_.cycle();
+              event.cycles = blocked_streak;
+              trace_bus_->emit(event);
+            }
             return StopReason::kDeadlock;
           }
         } else {

@@ -22,6 +22,7 @@
 #include "core/fsl_bridge.hpp"
 #include "fsl/fsl_hub.hpp"
 #include "iss/processor.hpp"
+#include "obs/trace_bus.hpp"
 #include "sysgen/model.hpp"
 
 namespace mbcosim::core {
@@ -83,6 +84,13 @@ class CoSimEngine {
     quiescence_window_ = drain_cycles;
   }
 
+  /// Attach the observability bus (nullptr to detach). The engine
+  /// reports quiescence fast-forward hops and deadlock detection, and
+  /// keeps the bus's time cursor on the hardware clock while ticking
+  /// the model (so bridge-driven FIFO events carry hardware-cycle
+  /// timestamps).
+  void set_trace_bus(obs::TraceBus* bus) noexcept { trace_bus_ = bus; }
+
  private:
   iss::Processor& cpu_;
   sysgen::Model& hardware_;
@@ -92,6 +100,7 @@ class CoSimEngine {
   Cycle quiescence_window_ = 0;
   Cycle idle_streak_ = 0;
   Cycle skipped_cycles_ = 0;
+  obs::TraceBus* trace_bus_ = nullptr;
 };
 
 }  // namespace mbcosim::core

@@ -14,14 +14,32 @@ FslChannel::FslChannel(std::size_t depth, std::string name)
   }
 }
 
+void FslChannel::emit(obs::EventKind kind, Word data, bool control) const {
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.cycle = trace_bus_->time();
+  event.channel = name_.c_str();
+  event.occupancy = static_cast<u32>(fifo_.size());
+  event.depth = static_cast<u32>(depth_);
+  event.data = data;
+  event.control = control;
+  trace_bus_->emit(event);
+}
+
 bool FslChannel::try_write(Word data, bool control) {
   if (full()) {
     ++refused_writes_;
+    if (trace_bus_ != nullptr && trace_bus_->enabled()) {
+      emit(obs::EventKind::kFslRefused, data, control);
+    }
     return false;
   }
   fifo_.push_back(FslEntry{data, control});
   ++total_writes_;
   max_occupancy_ = std::max(max_occupancy_, fifo_.size());
+  if (trace_bus_ != nullptr && trace_bus_->enabled()) {
+    emit(obs::EventKind::kFslPush, data, control);
+  }
   return true;
 }
 
@@ -30,6 +48,9 @@ std::optional<FslEntry> FslChannel::try_read() {
   FslEntry entry = fifo_.front();
   fifo_.pop_front();
   ++total_reads_;
+  if (trace_bus_ != nullptr && trace_bus_->enabled()) {
+    emit(obs::EventKind::kFslPop, entry.data, entry.control);
+  }
   return entry;
 }
 

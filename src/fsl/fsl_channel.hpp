@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/trace_bus.hpp"
 
 namespace mbcosim::fsl {
 
@@ -70,7 +71,14 @@ class FslChannel {
   }
   void reset_stats();
 
+  /// Attach the observability bus (nullptr to detach): every push, pop
+  /// and refused write is reported with the FIFO occupancy after the
+  /// operation, timestamped with the bus's simulated-time cursor.
+  void set_trace_bus(obs::TraceBus* bus) noexcept { trace_bus_ = bus; }
+
  private:
+  void emit(obs::EventKind kind, Word data, bool control) const;
+
   std::size_t depth_;
   std::string name_;
   std::deque<FslEntry> fifo_;
@@ -78,6 +86,7 @@ class FslChannel {
   u64 total_reads_ = 0;
   u64 refused_writes_ = 0;
   std::size_t max_occupancy_ = 0;
+  obs::TraceBus* trace_bus_ = nullptr;
 };
 
 }  // namespace mbcosim::fsl

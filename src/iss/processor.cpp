@@ -90,11 +90,40 @@ void Processor::add_family(const Instruction& in, bool subtract,
   if (!keep_carry) set_carry((sum >> 32) != 0);
 }
 
+void Processor::record_step(Event event, Addr pc, Word raw,
+                            const Instruction& in, Cycle cycles) {
+  if (trace_) {
+    trace_(TraceRecord{pc, raw, in, cycles, stats_.cycles, event});
+  }
+  if (trace_bus_ != nullptr && trace_bus_->enabled()) {
+    obs::TraceEvent out;
+    switch (event) {
+      case Event::kRetired: out.kind = obs::EventKind::kInstrRetire; break;
+      case Event::kFslStall: out.kind = obs::EventKind::kInstrStall; break;
+      case Event::kHalted: out.kind = obs::EventKind::kInstrHalt; break;
+      case Event::kIllegal: out.kind = obs::EventKind::kInstrIllegal; break;
+    }
+    out.cycle = stats_.cycles;
+    out.pc = pc;
+    out.raw = raw;
+    out.cycles = cycles;
+    trace_bus_->emit(out);
+  }
+}
+
 StepResult Processor::step() {
   if (halted_) return StepResult{Event::kHalted, 0};
 
+  // Keep the bus's simulated-time cursor at the step's start cycle so
+  // FSL/OPB events emitted while executing carry the right timestamp.
+  if (trace_bus_ != nullptr) trace_bus_->set_time(stats_.cycles);
+
   if (!memory_.contains(pc_, 4)) {
+    // An instruction-fetch fault occupies the pipeline for one cycle,
+    // exactly like the execute-stage illegal path below.
     halted_ = true;
+    stats_.cycles += 1;
+    record_step(Event::kIllegal, pc_, 0, Instruction{}, 1);
     return StepResult{Event::kIllegal, 1};
   }
   const Addr fetch_pc = pc_;
@@ -107,11 +136,13 @@ StepResult Processor::step() {
     // hardware model can advance and eventually unblock us.
     stats_.cycles += 1;
     stats_.fsl_stall_cycles += 1;
+    record_step(Event::kFslStall, fetch_pc, raw, in, 1);
     return StepResult{Event::kFslStall, 1};
   }
   if (outcome.event == Event::kIllegal) {
     halted_ = true;
     stats_.cycles += 1;
+    record_step(Event::kIllegal, fetch_pc, raw, in, 1);
     return StepResult{Event::kIllegal, 1};
   }
   if (outcome.event == Event::kHalted) {
@@ -120,6 +151,7 @@ StepResult Processor::step() {
     const Cycle cycles = isa::base_latency(in, true);
     stats_.cycles += cycles;
     stats_.instructions += 1;
+    record_step(Event::kHalted, fetch_pc, raw, in, cycles);
     return StepResult{Event::kHalted, cycles};
   }
 
@@ -131,9 +163,7 @@ StepResult Processor::step() {
   }
   stats_.cycles += cycles;
   stats_.instructions += 1;
-  if (trace_) {
-    trace_(TraceRecord{fetch_pc, raw, in, cycles, stats_.cycles});
-  }
+  record_step(Event::kRetired, fetch_pc, raw, in, cycles);
   return StepResult{Event::kRetired, cycles};
 }
 

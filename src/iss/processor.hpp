@@ -18,6 +18,7 @@
 #include "fsl/fsl_hub.hpp"
 #include "isa/isa.hpp"
 #include "iss/memory.hpp"
+#include "obs/trace_bus.hpp"
 
 namespace mbcosim::iss {
 
@@ -50,13 +51,19 @@ struct CpuStats {
   Cycle opb_wait_cycles = 0;
 };
 
-/// Record passed to the optional trace hook after each retired instruction.
+/// Record passed to the optional trace hook after every processor step:
+/// retired instructions, FSL stall cycles, the final halting branch and
+/// illegal/fetch-fault events all reach the hook, distinguished by
+/// `event` (so a trace shows *why* a simulation stopped or stalled, not
+/// just the happy path). On an instruction-fetch fault `raw` is 0 and
+/// `instruction` is default-constructed.
 struct TraceRecord {
   Addr pc = 0;
   Word raw = 0;
   isa::Instruction instruction;
   Cycle cycles = 0;
   Cycle total_cycles = 0;
+  Event event = Event::kRetired;
 };
 
 /// A user-customized instruction datapath (Nios-style ISA customization,
@@ -119,9 +126,19 @@ class Processor {
     return config_;
   }
 
-  /// Install a per-instruction trace hook (empty function to remove).
+  /// Install a per-step trace hook (empty function to remove); fires on
+  /// every step result, see TraceRecord.
   void set_trace(std::function<void(const TraceRecord&)> hook) {
     trace_ = std::move(hook);
+  }
+
+  /// Attach the observability bus (nullptr to detach). The processor
+  /// emits instruction retire/stall/halt/illegal events and drives the
+  /// bus's simulated-time cursor; when the bus is null (the default)
+  /// the only cost is one branch per step.
+  void set_trace_bus(obs::TraceBus* bus) noexcept { trace_bus_ = bus; }
+  [[nodiscard]] obs::TraceBus* trace_bus() const noexcept {
+    return trace_bus_;
   }
 
  private:
@@ -131,6 +148,9 @@ class Processor {
   };
 
   ExecOutcome execute(const isa::Instruction& in);
+  /// Deliver one step result to the trace hook and the trace bus.
+  void record_step(Event event, Addr pc, Word raw, const isa::Instruction& in,
+                   Cycle cycles);
   [[nodiscard]] u32 operand_b(const isa::Instruction& in) const;
   void write_rd(u8 rd, Word value);
   void add_family(const isa::Instruction& in, bool subtract, bool use_carry,
@@ -160,6 +180,7 @@ class Processor {
 
   CpuStats stats_;
   std::function<void(const TraceRecord&)> trace_;
+  obs::TraceBus* trace_bus_ = nullptr;
   std::array<std::optional<CustomInstruction>, isa::kNumCustomSlots>
       custom_units_;
 };

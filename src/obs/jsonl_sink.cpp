@@ -1,0 +1,89 @@
+#include "obs/jsonl_sink.hpp"
+
+#include <cstdio>
+
+namespace mbcosim::obs {
+
+namespace {
+
+void append_hex(std::string& line, const char* key, u32 value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, ",\"%s\":\"0x%08x\"", key, value);
+  line += buffer;
+}
+
+void append_u64(std::string& line, const char* key, u64 value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, ",\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  line += buffer;
+}
+
+/// JSON string escaping for the few non-literal strings we embed
+/// (channel names, disassembly); both alphabets are printable ASCII,
+/// but stay safe against quotes/backslashes anyway.
+void append_string(std::string& line, const char* key, const std::string& s) {
+  line += ",\"";
+  line += key;
+  line += "\":\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') line += '\\';
+    line += c;
+  }
+  line += '"';
+}
+
+}  // namespace
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  std::string line;
+  line.reserve(128);
+  {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "{\"t\":%llu,\"kind\":\"%s\"",
+                  static_cast<unsigned long long>(event.cycle),
+                  kind_name(event.kind));
+    line += buffer;
+  }
+  switch (event.kind) {
+    case EventKind::kInstrRetire:
+    case EventKind::kInstrStall:
+    case EventKind::kInstrHalt:
+    case EventKind::kInstrIllegal:
+      append_hex(line, "pc", event.pc);
+      append_hex(line, "raw", event.raw);
+      append_u64(line, "cycles", event.cycles);
+      if (disassemble_) {
+        append_string(line, "insn", disassemble_(event.pc, event.raw));
+      }
+      break;
+    case EventKind::kFslPush:
+    case EventKind::kFslPop:
+    case EventKind::kFslRefused:
+      append_string(line, "channel",
+                    event.channel != nullptr ? event.channel : "?");
+      append_hex(line, "data", event.data);
+      append_u64(line, "control", event.control ? 1 : 0);
+      append_u64(line, "occupancy", event.occupancy);
+      append_u64(line, "depth", event.depth);
+      break;
+    case EventKind::kOpbRead:
+    case EventKind::kOpbWrite:
+      append_hex(line, "addr", event.addr);
+      append_u64(line, "wait_states", event.wait_states);
+      break;
+    case EventKind::kQuiesceSkip:
+      append_u64(line, "skipped", event.skipped);
+      break;
+    case EventKind::kDeadlock:
+      append_u64(line, "blocked_cycles", event.cycles);
+      break;
+  }
+  line += "}\n";
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  ++events_;
+}
+
+void JsonlSink::flush() { out_->flush(); }
+
+}  // namespace mbcosim::obs

@@ -1,0 +1,52 @@
+// JSONL event-log sink: one JSON object per TraceEvent, one per line —
+// greppable, diffable (the golden-trace test compares these byte for
+// byte) and loadable into any log tooling. Only simulated time is
+// recorded, never host time, so the output is fully deterministic.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "obs/trace_bus.hpp"
+
+namespace mbcosim::obs {
+
+class JsonlSink : public TraceSink {
+ public:
+  /// Render an instruction word as assembly for the "insn" field. The
+  /// obs layer sits below the ISA library, so the disassembler is
+  /// injected by whoever wires the bus (SimSystem, mbcsim).
+  using Disassembler = std::function<std::string(Addr pc, Word raw)>;
+
+  /// Write to a stream the caller keeps alive (tests, stdout).
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  /// Write to a file owned by the sink; check ok() (or let the builder
+  /// do it) before trusting the output.
+  explicit JsonlSink(const std::string& path)
+      : file_(path), out_(&file_), path_(path) {}
+
+  [[nodiscard]] bool ok() const noexcept {
+    return out_ != &file_ || file_.good();
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  void set_disassembler(Disassembler disassemble) {
+    disassemble_ = std::move(disassemble);
+  }
+
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+  [[nodiscard]] u64 events_written() const noexcept { return events_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+  std::string path_;
+  Disassembler disassemble_;
+  u64 events_ = 0;
+};
+
+}  // namespace mbcosim::obs

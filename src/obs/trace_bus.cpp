@@ -1,0 +1,21 @@
+#include "obs/trace_bus.hpp"
+
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace mbcosim::obs {
+
+TraceSink& TraceBus::add_sink(std::unique_ptr<TraceSink> sink) {
+  if (sink == nullptr) {
+    throw SimError("TraceBus::add_sink: null sink");
+  }
+  sinks_.push_back(std::move(sink));
+  return *sinks_.back();
+}
+
+void TraceBus::flush() {
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+}  // namespace mbcosim::obs

@@ -1,0 +1,69 @@
+// TraceBus: the spine of the observability layer. Producers (processor,
+// FSL channels, OPB bus, co-simulation engine) hold a non-owning
+// `TraceBus*` that is null by default; when a user attaches sinks —
+// JSONL event log, VCD waveform writer, metrics registry — the bus is
+// wired through and every emit() fans the event out to all of them.
+//
+// Cost contract (the paper's pitch is visibility *at speed*):
+//   - not wired (the default): one predictable null-pointer branch per
+//     potential event — nothing is constructed;
+//   - wired but no sinks ("compiled in but disabled"): one extra
+//     enabled() load; still no TraceEvent is built, because producers
+//     guard with `bus != nullptr && bus->enabled()`;
+//   - wired with sinks: one TraceEvent aggregate init plus one virtual
+//     call per sink per event.
+// The disabled-mode overhead is asserted by the trace_overhead guard in
+// bench/bench_table2_simspeed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/event.hpp"
+
+namespace mbcosim::obs {
+
+/// A consumer of TraceEvents. Sinks are owned by the bus; flush() is
+/// called when the simulation run they observe completes (sinks that
+/// buffer, like the VCD writer, write their output there).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+class TraceBus {
+ public:
+  TraceBus() = default;
+  TraceBus(const TraceBus&) = delete;
+  TraceBus& operator=(const TraceBus&) = delete;
+
+  /// Attach a sink; the bus owns it. Returns a reference for callers
+  /// that need to keep talking to the sink (e.g. the metrics registry).
+  TraceSink& add_sink(std::unique_ptr<TraceSink> sink);
+
+  /// True when at least one sink is attached. Producers must check this
+  /// (or hold a null bus pointer) before building a TraceEvent.
+  [[nodiscard]] bool enabled() const noexcept { return !sinks_.empty(); }
+
+  void emit(const TraceEvent& event) {
+    for (const auto& sink : sinks_) sink->on_event(event);
+  }
+
+  /// Simulated-time cursor, advanced by whichever component drives the
+  /// clock (the processor per step, the engine per hardware cycle), so
+  /// producers that do not track time themselves (FSL channels, OPB
+  /// bus) can stamp their events.
+  void set_time(Cycle time) noexcept { time_ = time; }
+  [[nodiscard]] Cycle time() const noexcept { return time_; }
+
+  void flush();
+
+ private:
+  std::vector<std::unique_ptr<TraceSink>> sinks_;
+  Cycle time_ = 0;
+};
+
+}  // namespace mbcosim::obs

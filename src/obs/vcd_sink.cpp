@@ -1,0 +1,154 @@
+#include "obs/vcd_sink.hpp"
+
+#include <algorithm>
+
+namespace mbcosim::obs {
+
+namespace {
+
+u32 bits_for(u64 max_value) {
+  u32 bits = 1;
+  while (bits < 64 && (max_value >> bits) != 0) ++bits;
+  return bits;
+}
+
+void write_binary(std::ostream& out, u64 value, u32 width,
+                  const std::string& id) {
+  if (width == 1) {
+    out << (value & 1u) << id << "\n";
+    return;
+  }
+  std::string digits(width, '0');
+  for (u32 bit = 0; bit < width; ++bit) {
+    if ((value >> bit) & 1u) digits[width - 1 - bit] = '1';
+  }
+  out << "b" << digits << " " << id << "\n";
+}
+
+}  // namespace
+
+u32 VcdSink::signal(const std::string& name, u32 width) {
+  const auto [it, inserted] =
+      index_.emplace(name, static_cast<u32>(names_.size()));
+  if (inserted) {
+    names_.push_back(name);
+    widths_.push_back(width);
+  }
+  return it->second;
+}
+
+void VcdSink::record(u32 signal_index, Cycle time, u64 value) {
+  changes_.push_back(Change{time, signal_index, value});
+}
+
+void VcdSink::on_event(const TraceEvent& event) {
+  if (flushed_) return;
+  switch (event.kind) {
+    case EventKind::kInstrRetire:
+    case EventKind::kInstrStall:
+    case EventKind::kInstrHalt:
+    case EventKind::kInstrIllegal: {
+      record(signal("cpu.pc", 32), event.cycle, event.pc);
+      record(signal("cpu.stall", 1), event.cycle,
+             event.kind == EventKind::kInstrStall ? 1 : 0);
+      record(signal("cpu.halted", 1), event.cycle,
+             event.kind == EventKind::kInstrHalt ||
+                     event.kind == EventKind::kInstrIllegal
+                 ? 1
+                 : 0);
+      break;
+    }
+    case EventKind::kFslPush:
+    case EventKind::kFslPop:
+    case EventKind::kFslRefused: {
+      const std::string base =
+          std::string("fsl.") + (event.channel != nullptr ? event.channel : "?");
+      record(signal(base + ".occ", bits_for(event.depth)), event.cycle,
+             event.occupancy);
+      record(signal(base + ".full", 1), event.cycle,
+             event.occupancy >= event.depth ? 1 : 0);
+      break;
+    }
+    case EventKind::kOpbRead:
+    case EventKind::kOpbWrite:
+      record(signal("opb.wait", 8), event.cycle, event.wait_states);
+      break;
+    case EventKind::kQuiesceSkip:
+      quiesce_skipped_total_ += event.skipped;
+      record(signal("engine.qskip", 32), event.cycle, quiesce_skipped_total_);
+      break;
+    case EventKind::kDeadlock:
+      record(signal("engine.deadlock", 1), event.cycle, 1);
+      break;
+  }
+}
+
+std::string VcdSink::identifier(std::size_t index) {
+  // Printable VCD identifier alphabet: '!' (33) .. '~' (126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdSink::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+
+  std::ostream& out = *out_;
+  out << "$date mbcosim $end\n";
+  out << "$version mbcosim observability $end\n";
+  out << "$timescale 1 ns $end\n";
+  out << "$scope module mbcosim $end\n";
+  std::vector<std::string> ids(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    ids[i] = identifier(i);
+    std::string name = names_[i];
+    std::replace(name.begin(), name.end(), ' ', '_');
+    out << "$var wire " << widths_[i] << " " << ids[i] << " " << name
+        << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  // Initial values: everything unknown until its first recorded change.
+  out << "$dumpvars\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (widths_[i] == 1) {
+      out << "x" << ids[i] << "\n";
+    } else {
+      out << "bx " << ids[i] << "\n";
+    }
+  }
+  out << "$end\n";
+
+  // The engine ticks the hardware *after* the processor step that paid
+  // the cycles, so hardware-side events can trail the instruction event
+  // of the same step; a stable sort restores global time order without
+  // reordering same-cycle changes. Then collapse repeated values per
+  // signal and emit one #time header per distinct timestamp.
+  std::stable_sort(
+      changes_.begin(), changes_.end(),
+      [](const Change& a, const Change& b) { return a.time < b.time; });
+  std::vector<u64> last(names_.size(), ~u64{0});
+  std::vector<bool> seen(names_.size(), false);
+  bool any_time = false;
+  Cycle current_time = 0;
+  for (const Change& change : changes_) {
+    if (seen[change.signal] && last[change.signal] == change.value) continue;
+    if (!any_time || change.time != current_time) {
+      out << "#" << change.time << "\n";
+      current_time = change.time;
+      any_time = true;
+    }
+    write_binary(out, change.value, widths_[change.signal],
+                 ids[change.signal]);
+    seen[change.signal] = true;
+    last[change.signal] = change.value;
+  }
+  changes_.clear();
+  out.flush();
+}
+
+}  // namespace mbcosim::obs

@@ -5,7 +5,10 @@
 
 #include "asm/assembler.hpp"
 #include "common/stopwatch.hpp"
+#include "isa/isa.hpp"
 #include "iss/memory.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/vcd_sink.hpp"
 
 namespace mbcosim::sim {
 
@@ -31,6 +34,8 @@ struct SimSystem::State {
   unsigned fsl_links = 0;
   Cycle deadlock_threshold = 100'000;
   double last_run_wall_seconds = 0.0;
+  obs::TraceBus trace_bus;                  ///< stable: lives in the State
+  obs::MetricsRegistry* metrics = nullptr;  ///< owned by trace_bus if set
 };
 
 SimSystem::SimSystem(std::unique_ptr<State> state) : state_(std::move(state)) {}
@@ -63,6 +68,13 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
         return core::StopReason::kIllegal;
       case iss::Event::kFslStall:
         if (++blocked_streak >= state_->deadlock_threshold) {
+          if (state_->trace_bus.enabled()) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::kDeadlock;
+            event.cycle = cpu.cycle();
+            event.cycles = blocked_streak;
+            state_->trace_bus.emit(event);
+          }
           return core::StopReason::kDeadlock;
         }
         break;
@@ -81,6 +93,9 @@ core::StopReason SimSystem::run(Cycle max_cycles) {
                                       ? state_->engine->run(max_cycles)
                                       : run_software_only(max_cycles);
   state_->last_run_wall_seconds = watch.elapsed_seconds();
+  // Make every attached sink durable after each run: the JSONL/VCD files
+  // are complete on disk even if the caller never destroys the system.
+  state_->trace_bus.flush();
   return reason;
 }
 
@@ -121,6 +136,13 @@ energy::EnergyReport SimSystem::energy_report(
   return energy::estimate_energy(state_->cpu.stats(), state_->hardware.get(),
                                  stats().hw_cycles_stepped, implemented);
 }
+
+obs::MetricsSnapshot SimSystem::metrics_snapshot() const {
+  if (state_->metrics == nullptr) return obs::MetricsSnapshot{};
+  return state_->metrics->snapshot();
+}
+
+obs::TraceBus& SimSystem::trace_bus() noexcept { return state_->trace_bus; }
 
 iss::Processor& SimSystem::cpu() noexcept { return state_->cpu; }
 const iss::Processor& SimSystem::cpu() const noexcept { return state_->cpu; }
@@ -213,6 +235,27 @@ SimSystem::Builder& SimSystem::Builder::custom_instruction(
   return *this;
 }
 
+SimSystem::Builder& SimSystem::Builder::trace(std::string path) {
+  trace_path_ = std::move(path);
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::vcd(std::string path) {
+  vcd_path_ = std::move(path);
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::metrics() {
+  metrics_ = true;
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::sink(
+    std::unique_ptr<obs::TraceSink> sink) {
+  extra_sinks_.push_back(std::move(sink));
+  return *this;
+}
+
 Expected<SimSystem> SimSystem::Builder::build() {
   using Failure = Expected<SimSystem>;
 
@@ -301,6 +344,42 @@ Expected<SimSystem> SimSystem::Builder::build() {
                                        memory_bytes_, fifo_depth_);
   state->fsl_links = fsl_links;
   state->deadlock_threshold = deadlock_threshold_;
+
+  // 5. Observability sinks. The bus lives inside the heap-allocated
+  // State, so the pointers handed to the components survive moves of
+  // the SimSystem itself.
+  if (trace_path_) {
+    auto sink = std::make_unique<obs::JsonlSink>(*trace_path_);
+    if (!sink->ok()) {
+      return Failure::failure("SimSystem: cannot open trace file '" +
+                              *trace_path_ + "'");
+    }
+    sink->set_disassembler(
+        [](Addr, Word raw) { return isa::disassemble(raw); });
+    state->trace_bus.add_sink(std::move(sink));
+  }
+  if (vcd_path_) {
+    auto sink = std::make_unique<obs::VcdSink>(*vcd_path_);
+    if (!sink->ok()) {
+      return Failure::failure("SimSystem: cannot open VCD file '" +
+                              *vcd_path_ + "'");
+    }
+    state->trace_bus.add_sink(std::move(sink));
+  }
+  if (metrics_) {
+    auto registry = std::make_unique<obs::MetricsRegistry>();
+    state->metrics = registry.get();
+    state->trace_bus.add_sink(std::move(registry));
+  }
+  for (auto& extra : extra_sinks_) {
+    if (extra != nullptr) state->trace_bus.add_sink(std::move(extra));
+  }
+  // Always wired (the bus without sinks costs one enabled() load per
+  // would-be event), so sinks can also be attached after build() via
+  // SimSystem::trace_bus().
+  state->cpu.set_trace_bus(&state->trace_bus);
+  state->hub.set_trace_bus(&state->trace_bus);
+
   try {
     state->memory.load_program(state->program);
     for (auto& [slot, unit] : custom_) {
@@ -332,6 +411,7 @@ Expected<SimSystem> SimSystem::Builder::build() {
       }
       state->engine->set_quiescence_window(quiescence_);
       state->engine->set_deadlock_threshold(deadlock_threshold_);
+      state->engine->set_trace_bus(&state->trace_bus);
     }
   } catch (const std::exception& error) {
     return Failure::failure(std::string("SimSystem: ") + error.what());

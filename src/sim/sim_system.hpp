@@ -39,6 +39,8 @@
 #include "estimate/estimator.hpp"
 #include "fsl/fsl_channel.hpp"
 #include "iss/processor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_bus.hpp"
 #include "sysgen/model.hpp"
 
 namespace mbcosim::sim {
@@ -119,6 +121,15 @@ class SimSystem {
   [[nodiscard]] energy::EnergyReport energy_report(
       const ResourceVec& implemented) const;
 
+  /// Aggregated observability metrics of the run so far. Empty unless
+  /// the system was built with Builder::metrics().
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// The observability bus every component of this system reports into.
+  /// Carries no sinks (and costs one branch per would-be event) unless
+  /// the builder attached some.
+  [[nodiscard]] obs::TraceBus& trace_bus() noexcept;
+
   // -- component access ------------------------------------------------
   [[nodiscard]] iss::Processor& cpu() noexcept;
   [[nodiscard]] const iss::Processor& cpu() const noexcept;
@@ -182,6 +193,20 @@ class SimSystem::Builder {
   /// Install a Nios-style custom instruction in `slot` (0..7).
   Builder& custom_instruction(unsigned slot, iss::CustomInstruction unit);
 
+  // -- observability ---------------------------------------------------
+  /// Stream every simulation event as one JSON object per line into
+  /// `path`. build() fails if the file cannot be opened.
+  Builder& trace(std::string path);
+  /// Dump a GTKWave-compatible value-change waveform of the run into
+  /// `path`. build() fails if the file cannot be opened.
+  Builder& vcd(std::string path);
+  /// Aggregate events into counters and histograms, readable after (or
+  /// during) the run via SimSystem::metrics_snapshot().
+  Builder& metrics();
+  /// Attach an arbitrary extra sink (e.g. a JsonlSink over a string
+  /// stream in a test).
+  Builder& sink(std::unique_ptr<obs::TraceSink> sink);
+
   /// Assemble, construct and wire everything; leaves the system reset at
   /// the program entry. All errors come back as Expected failures.
   [[nodiscard]] Expected<SimSystem> build();
@@ -198,6 +223,10 @@ class SimSystem::Builder {
   Cycle quiescence_ = 0;
   Cycle deadlock_threshold_ = 100'000;
   std::vector<std::pair<unsigned, iss::CustomInstruction>> custom_;
+  std::optional<std::string> trace_path_;
+  std::optional<std::string> vcd_path_;
+  bool metrics_ = false;
+  std::vector<std::unique_ptr<obs::TraceSink>> extra_sinks_;
 };
 
 }  // namespace mbcosim::sim

@@ -84,7 +84,11 @@ void Sweep::run_point(const Point& point, const SweepOptions& options,
       result.implemented_resources = report.implemented;
       result.energy = system.energy_report(report.implemented);
     }
-    if (point.collect && result.ok) point.collect(system, result);
+    result.metrics = system.metrics_snapshot();
+    // The collector sees every point that actually ran — including
+    // deadlocked or trapped ones, which are exactly the points a DSE
+    // wants to autopsy. (Factory failures never reach this line.)
+    if (point.collect) point.collect(system, result);
   } catch (const std::exception& error) {
     result.ok = false;
     result.error = error.what();

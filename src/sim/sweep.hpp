@@ -34,6 +34,7 @@
 #include "common/types.hpp"
 #include "core/cosim_engine.hpp"
 #include "energy/energy_model.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sim_system.hpp"
 
 namespace mbcosim::sim {
@@ -83,6 +84,9 @@ struct SweepPointResult {
   ResourceVec estimated_resources;
   ResourceVec implemented_resources;
   energy::EnergyReport energy;
+  /// Observability counters/histograms of the point's run; empty unless
+  /// the factory built the system with SimSystem::Builder::metrics().
+  obs::MetricsSnapshot metrics;
   double sim_wall_seconds = 0.0;  ///< host time inside the run() loop
   double wall_seconds = 0.0;      ///< host time for the whole point
 
@@ -100,9 +104,12 @@ class Sweep {
  public:
   /// Builds the point's SimSystem; runs on a worker thread.
   using Factory = std::function<Expected<SimSystem>()>;
-  /// Optional hook run after a successful simulation, while the point's
-  /// SimSystem is still alive — use it to pull application results out
-  /// of the simulated memory (and to veto `ok` on a wrong answer).
+  /// Optional hook run after every simulation that built and ran —
+  /// whatever its StopReason — while the point's SimSystem is still
+  /// alive. Use it to pull application results out of the simulated
+  /// memory, to veto `ok` on a wrong answer, or to inspect a deadlocked
+  /// or trapped point (check `result.ok` / `result.stop` first when only
+  /// clean halts matter). It does not run when the factory itself fails.
   using Collector = std::function<void(SimSystem&, SweepPointResult&)>;
 
   /// Append a configuration point; returns its index.

@@ -107,6 +107,55 @@ TEST(LoadStore, LoadsAreZeroExtended) {
   EXPECT_EQ(m.cpu.reg(4), 0xFFFFu);
 }
 
+TEST(LoadStore, UnalignedWordAccessUsesByteLanes) {
+  // MicroBlaze-style LMB semantics: a word access ignores the low two
+  // address bits (they select byte lanes, the BRAM row is the same), so
+  // an unaligned lw/sw reads/writes the containing aligned word — it
+  // does not trap and it does not assemble a misaligned value.
+  TestMachine m(
+      "  la r5, buffer\n"
+      "  li r3, 0xAABBCCDD\n"
+      "  swi r3, r5, 2\n"   // store at buffer+2: hits buffer's word
+      "  lwi r4, r5, 2\n"   // load at buffer+2: same aligned word back
+      "  lwi r6, r5, 0\n"
+      "  halt\n"
+      "buffer: .word 0x11111111\n"
+      "        .word 0x22222222\n");
+  EXPECT_EQ(m.run(), Event::kHalted);
+  EXPECT_EQ(m.cpu.reg(4), 0xAABBCCDDu);
+  EXPECT_EQ(m.cpu.reg(6), 0xAABBCCDDu);  // buffer+0, same word
+  // The neighbouring word is untouched: nothing straddled the boundary.
+  EXPECT_EQ(m.cpu.reg(5), m.cpu.reg(5) & ~Addr{3});  // buffer is aligned
+  EXPECT_EQ(m.memory.read_word(m.cpu.reg(5) + 4), 0x22222222u);
+}
+
+TEST(LoadStore, UnalignedHalfAccessIgnoresBitZero) {
+  TestMachine m(
+      "  la r5, data\n"
+      "  lhui r3, r5, 1\n"  // odd address: same halfword as data+0
+      "  lhui r4, r5, 0\n"
+      "  halt\n"
+      "data: .word 0x11223344\n");
+  EXPECT_EQ(m.run(), Event::kHalted);
+  EXPECT_EQ(m.cpu.reg(3), m.cpu.reg(4));
+  EXPECT_EQ(m.cpu.reg(3), 0x3344u);
+}
+
+TEST(LoadStore, UnalignedAccessAtMemoryTopDoesNotTrap) {
+  // The bounds check runs on the masked (aligned) address: a word
+  // access at 0xFFFE in a 64 KiB BRAM is the word at 0xFFFC — in
+  // range — not a 2-byte overhang past the end.
+  TestMachine m(
+      "  li r5, 0xFFFE\n"
+      "  li r3, 0x5A5A5A5A\n"
+      "  sw r3, r5, r0\n"
+      "  lw r4, r5, r0\n"
+      "  halt\n");
+  EXPECT_EQ(m.run(), Event::kHalted);
+  EXPECT_EQ(m.cpu.reg(4), 0x5A5A5A5Au);
+  EXPECT_EQ(m.memory.read_word(0xFFFC), 0x5A5A5A5Au);
+}
+
 TEST(LoadStore, OutOfRangeAccessTraps) {
   TestMachine m(
       "  li r5, 0x200000\n"

@@ -88,7 +88,7 @@ TEST(CycleAccuracy, FslStallCyclesAreAccounted) {
   EXPECT_EQ(m.cpu.stats().cycles, 15u);
 }
 
-TEST(CycleAccuracy, TraceHookSeesEveryRetirement) {
+TEST(CycleAccuracy, TraceHookSeesEveryStepIncludingTheHalt) {
   TestMachine m(
       "  add r3, r0, r0\n"
       "  mul r4, r3, r3\n"
@@ -96,14 +96,77 @@ TEST(CycleAccuracy, TraceHookSeesEveryRetirement) {
   std::vector<TraceRecord> records;
   m.cpu.set_trace([&records](const TraceRecord& r) { records.push_back(r); });
   m.run();
-  // The final halting branch does not reach the trace hook (it ends the
-  // simulation); the two body instructions must.
-  ASSERT_EQ(records.size(), 2u);
+  // Every step reaches the hook — the two body instructions and the
+  // final halting branch (which retires and pays its cycles like any
+  // other instruction before ending the simulation).
+  ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[0].pc, 0u);
   EXPECT_EQ(records[0].cycles, 1u);
+  EXPECT_EQ(records[0].event, Event::kRetired);
   EXPECT_EQ(records[1].pc, 4u);
   EXPECT_EQ(records[1].cycles, 3u);
   EXPECT_EQ(records[1].instruction.op, isa::Op::kMul);
+  EXPECT_EQ(records[2].pc, 8u);
+  EXPECT_EQ(records[2].event, Event::kHalted);
+  EXPECT_EQ(records[2].total_cycles, m.cpu.stats().cycles);
+}
+
+TEST(CycleAccuracy, TraceHookSeesStallsAndIllegal) {
+  TestMachine m("get r3, rfsl0\nhalt\n");
+  std::vector<TraceRecord> records;
+  m.cpu.set_trace([&records](const TraceRecord& r) { records.push_back(r); });
+  for (int i = 0; i < 3; ++i) m.cpu.step();  // blocked: 3 stall steps
+  ASSERT_EQ(records.size(), 3u);
+  for (const TraceRecord& r : records) {
+    EXPECT_EQ(r.event, Event::kFslStall);
+    EXPECT_EQ(r.pc, 0u);
+    EXPECT_EQ(r.cycles, 1u);
+  }
+  m.hub.from_hw(0).try_write(1, false);
+  m.run();
+  ASSERT_EQ(records.size(), 5u);  // + get retires, halt
+  EXPECT_EQ(records[3].event, Event::kRetired);
+  EXPECT_EQ(records[4].event, Event::kHalted);
+}
+
+TEST(CycleAccuracy, FetchFaultChargesACycleAndReachesTheHook) {
+  TestMachine m("halt\n");
+  std::vector<TraceRecord> records;
+  m.cpu.set_trace([&records](const TraceRecord& r) { records.push_back(r); });
+  // Jump the PC outside the 64 KiB LMB BRAM: the fetch faults.
+  m.cpu.reset(0x10000);
+  const StepResult result = m.cpu.step();
+  EXPECT_EQ(result.event, Event::kIllegal);
+  EXPECT_EQ(result.cycles, 1u);
+  // The faulting fetch consumed a simulated cycle like every other step.
+  EXPECT_EQ(m.cpu.stats().cycles, 1u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event, Event::kIllegal);
+  EXPECT_EQ(records[0].pc, 0x10000u);
+  EXPECT_EQ(records[0].raw, 0u);
+}
+
+TEST(CycleAccuracy, StepResultCyclesSumToStatsOnEveryPath) {
+  // Mix of retires, FSL stalls, and a final fetch fault: the per-step
+  // cycle charges must add up to the aggregate counter exactly.
+  TestMachine m(
+      "  add r3, r0, r0\n"
+      "  get r4, rfsl0\n"
+      "  li r5, 0x10000\n"
+      "  bra r5\n");  // jump out of memory -> fetch fault
+  Cycle summed = 0;
+  for (int i = 0; i < 5; ++i) {  // add, then 4 blocked get steps
+    summed += m.cpu.step().cycles;
+  }
+  m.hub.from_hw(0).try_write(9, false);
+  for (;;) {
+    const StepResult result = m.cpu.step();
+    summed += result.cycles;
+    if (result.event == Event::kIllegal || result.event == Event::kHalted) {
+      break;
+    }
+  }
+  EXPECT_EQ(summed, m.cpu.stats().cycles);
 }
 
 TEST(CycleAccuracy, ResetClearsEverything) {

@@ -1,0 +1,87 @@
+// Golden-trace regression test: the JSONL event log of a small CORDIC
+// co-simulation, byte for byte against a checked-in reference. The log
+// records only simulated time (never host time), so any diff means the
+// simulator's observable behaviour changed — instruction sequencing,
+// cycle charging, FIFO handshakes or the event encoding itself. When a
+// change is intentional, regenerate the reference with:
+//
+//   MBCOSIM_REGEN_GOLDEN=1 ./tests/mbcosim_tests --gtest_filter='GoldenTrace.*'
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/cordic/cordic_app.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "sim/sim_system.hpp"
+
+namespace mbcosim::obs {
+namespace {
+
+namespace cordic = mbcosim::apps::cordic;
+
+std::string golden_path() {
+  return std::string(MBCOSIM_TEST_DATA_DIR) + "/cordic_trace_golden.jsonl";
+}
+
+/// One fixed, tiny co-simulated workload: CORDIC division, one item,
+/// four iterations, one hardware PE.
+std::string run_traced_cordic() {
+  cordic::CordicRunConfig config;
+  config.num_pes = 1;
+  config.iterations = 4;
+  config.items = 1;
+  config.set_size = 1;
+  const auto [x, y] = cordic::make_cordic_dataset(config.items, 42);
+  auto built = cordic::make_cordic_system(config, x, y);
+  EXPECT_TRUE(built.ok()) << built.error();
+  sim::SimSystem system = std::move(built).value();
+
+  std::ostringstream trace;
+  system.trace_bus().add_sink(std::make_unique<JsonlSink>(trace));
+  EXPECT_EQ(system.run(), core::StopReason::kHalted);
+  return trace.str();
+}
+
+TEST(GoldenTrace, CordicRunMatchesCheckedInReference) {
+  const std::string trace = run_traced_cordic();
+  ASSERT_FALSE(trace.empty());
+
+  if (std::getenv("MBCOSIM_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << trace;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (regenerate with MBCOSIM_REGEN_GOLDEN=1)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+
+  // Compare line by line so a mismatch reports where, not just that.
+  std::istringstream got_stream(trace);
+  std::istringstream want_stream(golden.str());
+  std::string got;
+  std::string want;
+  std::size_t line = 0;
+  while (std::getline(want_stream, want)) {
+    ++line;
+    ASSERT_TRUE(std::getline(got_stream, got))
+        << "trace ends early at line " << line;
+    ASSERT_EQ(got, want) << "first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(got_stream, got))
+      << "trace has extra lines after line " << line;
+}
+
+TEST(GoldenTrace, RerunsAreByteIdentical) {
+  EXPECT_EQ(run_traced_cordic(), run_traced_cordic());
+}
+
+}  // namespace
+}  // namespace mbcosim::obs

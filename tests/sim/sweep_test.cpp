@@ -143,12 +143,15 @@ TEST(Sweep, FailingPointsDoNotPoisonTheOthers) {
   EXPECT_GT(results[4].stats.cycles, 0u);
 }
 
-TEST(Sweep, CollectorRunsOnlyForSuccessfulPoints) {
+TEST(Sweep, CollectorRunsForEveryPointThatRan) {
   std::atomic<int> collected{0};
+  std::atomic<int> saw_deadlock{0};
   Sweep sweep;
   sweep.add(
       "halts", [] { return SimSystem::Builder().program("halt\n").build(); },
       [&collected](SimSystem&, SweepPointResult&) { ++collected; });
+  // A deadlocked point still ran: its collector must fire too (with
+  // result.ok == false), so a sweep can autopsy the stuck system.
   sweep.add(
       "deadlocks",
       [] {
@@ -157,11 +160,53 @@ TEST(Sweep, CollectorRunsOnlyForSuccessfulPoints) {
             .deadlock_threshold(100)
             .build();
       },
+      [&collected, &saw_deadlock](SimSystem&, SweepPointResult& result) {
+        ++collected;
+        if (!result.ok && result.stop == core::StopReason::kDeadlock) {
+          ++saw_deadlock;
+        }
+      });
+  // A point whose factory fails never produces a system to inspect.
+  sweep.add(
+      "unbuildable", [] { return SimSystem::Builder().build(); },
       [&collected](SimSystem&, SweepPointResult&) { ++collected; });
   const auto results = sweep.run({.threads = 2});
   EXPECT_TRUE(results[0].ok);
   EXPECT_FALSE(results[1].ok);
-  EXPECT_EQ(collected.load(), 1);
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_EQ(collected.load(), 2);
+  EXPECT_EQ(saw_deadlock.load(), 1);
+}
+
+TEST(Sweep, MetricsSnapshotIsCapturedPerPoint) {
+  Sweep sweep;
+  sweep.add("with-metrics", [] {
+    return SimSystem::Builder()
+        .program("add r3, r4, r5\nhalt\n")
+        .metrics()
+        .build();
+  });
+  sweep.add("without-metrics", [] {
+    return SimSystem::Builder().program("add r3, r4, r5\nhalt\n").build();
+  });
+  // Metrics reach the result row even for a deadlocked point — that is
+  // precisely when the aggregated stall counters matter most.
+  sweep.add("deadlocked-with-metrics", [] {
+    return SimSystem::Builder()
+        .program("get r4, rfsl0\nhalt\n")
+        .deadlock_threshold(50)
+        .metrics()
+        .build();
+  });
+  const auto results = sweep.run({.threads = 2});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].metrics.empty());
+  EXPECT_EQ(results[0].metrics.counter("cpu.retired"), 1u);
+  EXPECT_EQ(results[0].metrics.counter("cpu.halts"), 1u);
+  EXPECT_TRUE(results[1].metrics.empty());
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_EQ(results[2].metrics.counter("cpu.stall_cycles"), 50u);
+  EXPECT_EQ(results[2].metrics.counter("engine.deadlocks"), 1u);
 }
 
 TEST(Sweep, EstimatesCanBeSkipped) {

@@ -5,7 +5,14 @@
 //
 // Options:
 //   --disasm            assemble and print the listing, do not run
-//   --trace             print every retired instruction
+//   --trace FILE        write a JSONL event log of the run to FILE
+//                       ("-" = stdout): instruction retire/stall/halt/
+//                       trap events plus FSL FIFO traffic
+//   --vcd FILE          write a GTKWave-compatible waveform to FILE
+//                       (ISS runs use the observability VCD sink; --rtl
+//                       runs sample the pc/halted nets directly)
+//   --metrics           print aggregated event counters and histograms
+//                       after the run
 //   --regs              dump the register file after the run
 //   --mem ADDR COUNT    dump COUNT memory words starting at ADDR
 //   --max-cycles N      cycle budget (default 100M)
@@ -14,7 +21,6 @@
 //   --divider
 //   --rtl               run on the low-level RTL system instead of the
 //                       ISS (no peripheral; for timing cross-checks)
-//   --vcd FILE          with --rtl: dump pc/halted waveforms to FILE
 //
 // Exit status: 0 = program halted normally, 2 = illegal instruction,
 // 3 = cycle budget exhausted, 1 = usage / assembly errors.
@@ -31,6 +37,10 @@
 #include "asm/objdump.hpp"
 #include "iss/memory.hpp"
 #include "iss/processor.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_bus.hpp"
+#include "obs/vcd_sink.hpp"
 #include "rtl/vcd.hpp"
 #include "rtlmodels/system_rtl.hpp"
 
@@ -41,9 +51,10 @@ namespace {
 struct Options {
   std::string source_path;
   bool disasm_only = false;
-  bool trace = false;
+  bool metrics = false;
   bool dump_regs = false;
   bool use_rtl = false;
+  std::string trace_path;
   std::string vcd_path;
   std::vector<std::pair<Addr, u32>> memory_dumps;
   Cycle max_cycles = 100'000'000;
@@ -52,10 +63,11 @@ struct Options {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: mbcsim [--disasm] [--trace] [--regs]\n"
-               "              [--mem ADDR COUNT] [--max-cycles N]\n"
-               "              [--no-multiplier] [--no-barrel-shifter]\n"
-               "              [--divider] [--rtl] [--vcd FILE] program.s\n");
+               "usage: mbcsim [--disasm] [--trace FILE] [--vcd FILE]\n"
+               "              [--metrics] [--regs] [--mem ADDR COUNT]\n"
+               "              [--max-cycles N] [--no-multiplier]\n"
+               "              [--no-barrel-shifter] [--divider] [--rtl]\n"
+               "              program.s\n");
 }
 
 bool parse_u64(const char* text, u64& out) {
@@ -75,8 +87,10 @@ bool parse_args(int argc, char** argv, Options& options) {
     const std::string arg = argv[i];
     if (arg == "--disasm") {
       options.disasm_only = true;
-    } else if (arg == "--trace") {
-      options.trace = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      options.metrics = true;
     } else if (arg == "--regs") {
       options.dump_regs = true;
     } else if (arg == "--rtl") {
@@ -132,15 +146,43 @@ int run_on_iss(const Options& options, const assembler::Program& program) {
   memory.load_program(program);
   fsl::FslHub hub;
   iss::Processor cpu(options.cpu, memory, &hub);
-  if (options.trace) {
-    cpu.set_trace([](const iss::TraceRecord& record) {
-      std::printf("%10llu  0x%08x  %s\n",
-                  static_cast<unsigned long long>(record.total_cycles),
-                  record.pc, isa::disassemble(record.instruction).c_str());
-    });
+
+  // Observability: one bus feeding whatever sinks the flags asked for.
+  obs::TraceBus bus;
+  obs::MetricsRegistry* metrics = nullptr;
+  if (!options.trace_path.empty()) {
+    auto sink = options.trace_path == "-"
+                    ? std::make_unique<obs::JsonlSink>(std::cout)
+                    : std::make_unique<obs::JsonlSink>(options.trace_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", options.trace_path.c_str());
+      return 1;
+    }
+    sink->set_disassembler(
+        [](Addr, Word raw) { return isa::disassemble(raw); });
+    bus.add_sink(std::move(sink));
   }
+  if (!options.vcd_path.empty()) {
+    auto sink = std::make_unique<obs::VcdSink>(options.vcd_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", options.vcd_path.c_str());
+      return 1;
+    }
+    bus.add_sink(std::move(sink));
+  }
+  if (options.metrics) {
+    auto registry = std::make_unique<obs::MetricsRegistry>();
+    metrics = registry.get();
+    bus.add_sink(std::move(registry));
+  }
+  if (bus.enabled()) {
+    cpu.set_trace_bus(&bus);
+    hub.set_trace_bus(&bus);
+  }
+
   cpu.reset(program.entry());
   const iss::Event event = cpu.run(options.max_cycles);
+  bus.flush();
 
   const auto& stats = cpu.stats();
   std::printf("stopped: %s after %llu cycles (%.2f usec @ 50 MHz), "
@@ -151,6 +193,12 @@ int run_on_iss(const Options& options, const assembler::Program& program) {
               static_cast<unsigned long long>(stats.cycles),
               cycles_to_usec(stats.cycles),
               static_cast<unsigned long long>(stats.instructions));
+  if (!options.vcd_path.empty()) {
+    std::printf("wrote waveform to %s\n", options.vcd_path.c_str());
+  }
+  if (metrics != nullptr) {
+    std::printf("%s", metrics->snapshot().to_string().c_str());
+  }
   if (options.dump_regs) {
     for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
       std::printf("  r%-2u = 0x%08x%s", r, cpu.reg(r),
