@@ -1,8 +1,10 @@
 // Shared helpers for the paper-reproduction benches: fixed-width table
-// printing and the standard workloads of Section IV.
+// printing, the standard workloads of Section IV, and the machine-
+// readable JSON result emitter used to track perf trajectory across PRs.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,77 @@
 #include "rtlmodels/system_rtl.hpp"
 
 namespace mbcosim::bench {
+
+/// Machine-readable bench results: one row per measured workload, written
+/// as a stable JSON document so `BENCH_*.json` files can be diffed and
+/// plotted across PRs. MHz is derived (simulated cycles per host second
+/// / 1e6) — the exact quantity the paper's Table II compares.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(std::string workload, Cycle simulated_cycles,
+           double wall_seconds) {
+    rows_.push_back(
+        Row{std::move(workload), simulated_cycles, wall_seconds});
+  }
+
+  /// Write the report; returns false (with a message on stderr) when the
+  /// file cannot be opened. An empty path disables emission.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open JSON report file %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      const double mhz = row.wall_seconds > 0.0
+                             ? static_cast<double>(row.cycles) /
+                                   row.wall_seconds / 1e6
+                             : 0.0;
+      std::fprintf(out,
+                   "    {\"workload\": \"%s\", \"simulated_cycles\": %llu, "
+                   "\"wall_seconds\": %.6f, \"mhz\": %.4f}%s\n",
+                   row.workload.c_str(),
+                   static_cast<unsigned long long>(row.cycles),
+                   row.wall_seconds, mhz, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote JSON results to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string workload;
+    Cycle cycles = 0;
+    double wall_seconds = 0.0;
+  };
+  std::string bench_name_;
+  std::vector<Row> rows_;
+};
+
+/// Consume a `--json FILE` argument from argv (so it can run ahead of
+/// google-benchmark's own flag parsing). Returns FILE when given,
+/// `fallback` otherwise; `--json none` disables emission (empty path).
+inline std::string take_json_path_arg(int& argc, char** argv,
+                                      std::string fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path == "none" ? std::string{} : path;
+    }
+  }
+  return fallback;
+}
 
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
@@ -62,7 +135,9 @@ inline apps::cordic::CordicRunResult run_cordic_cosim(
 inline Cycle run_cordic_rtl(const CordicWorkload& workload, unsigned num_pes,
                             double* wall_seconds) {
   isa::CpuConfig cpu_config;
-  cpu_config.has_barrel_shifter = num_pes == 0;  // pure-SW default config
+  // Neither the shift-loop software baseline nor the hardware-driver
+  // program uses barrel shifts, so the RTL core never instantiates one.
+  cpu_config.has_barrel_shifter = false;
   const std::string source =
       num_pes == 0
           ? apps::cordic::pure_software_program(
@@ -70,7 +145,6 @@ inline Cycle run_cordic_rtl(const CordicWorkload& workload, unsigned num_pes,
                 apps::cordic::ShiftStrategy::kShiftLoop)
           : apps::cordic::hw_driver_program(workload.x, workload.y,
                                             workload.iterations, num_pes, 5);
-  if (num_pes == 0) cpu_config.has_barrel_shifter = false;
   const auto program = assembler::assemble_or_throw(source);
   rtlmodels::RtlPeripheralConfig peripheral;
   if (num_pes > 0) {

@@ -10,6 +10,10 @@
 // sim::Sweep engine — but on ONE worker thread: this bench measures
 // per-design host wall-clock, and concurrent points would contend for
 // cores and distort exactly the quantity being reported.
+//
+// Pass `--json FILE` (default BENCH_table1.json, `--json none` to
+// disable) to also write machine-readable rows for perf tracking; each
+// design contributes a cosim_* and an rtl_* row.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -71,7 +75,10 @@ std::pair<double, Cycle> reduce_reps(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      take_json_path_arg(argc, argv, "BENCH_table1.json");
+  JsonReport report("table1_simtime");
   print_header(
       "Table I (simulation time): high-level co-simulation vs low-level "
       "RTL baseline\n  columns: co-sim [s], RTL [s], speedup, simulated "
@@ -132,6 +139,8 @@ int main() {
         "24-iter CORDIC division, P=" + std::to_string(p);
     print_row(Row{name.c_str(), cosim_s, rtl_s, cycles,
                   kPaperCordic[index++]});
+    report.add("cosim_cordic_p" + std::to_string(p), cycles, cosim_s);
+    report.add("rtl_cordic_p" + std::to_string(p), cycles, rtl_s);
     total_speedup += rtl_s / cosim_s;
     ++designs;
   }
@@ -150,6 +159,8 @@ int main() {
                              std::to_string(block) + " blocks";
     print_row(Row{name.c_str(), cosim_s, rtl_s, cycles,
                   kPaperMatmul[index++]});
+    report.add("cosim_matmul_b" + std::to_string(block), cycles, cosim_s);
+    report.add("rtl_matmul_b" + std::to_string(block), cycles, rtl_s);
     total_speedup += rtl_s / cosim_s;
     ++designs;
   }
@@ -158,5 +169,5 @@ int main() {
   std::printf("average simulation speedup over the RTL baseline: %.1fx "
               "(paper: 12.8x average for the CORDIC designs, 11.0x overall)\n",
               total_speedup / designs);
-  return 0;
+  return report.write(json_path) ? 0 : 1;
 }

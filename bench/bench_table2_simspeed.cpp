@@ -9,11 +9,22 @@
 // counter, and a summary table is printed at exit. Paper Table II gives
 // the same ordering: instruction simulator >> Simulink >> ModelSim, with
 // a potential speedup of "5.5X to more than 1000X".
+//
+// Besides the benchmarks, the binary runs two exit guards:
+//   - trace_overhead: a wired-but-sinkless TraceBus must stay almost free;
+//   - predecode: the predecode cache + batched fast path must deliver a
+//     real wall-clock speedup over --no-predecode execution while keeping
+//     simulated cycle and instruction counts bit-identical (ISS alone and
+//     full co-simulation).
+// Pass `--json FILE` (default BENCH_table2.json, `--json none` to
+// disable) to also write machine-readable rows for perf tracking.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "apps/cordic/cordic_hw.hpp"
+#include "apps/matmul/matmul_app.hpp"
 #include "bench_common.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/trace_bus.hpp"
@@ -76,6 +87,33 @@ void BM_InstructionSimulatorTracingDisabled(benchmark::State& state) {
       static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InstructionSimulatorTracingDisabled);
+
+// The --no-predecode A/B baseline: identical workload and cycle counts,
+// but every step re-decodes its instruction word and pays the per-step
+// dispatch overhead (the pre-PR-3 hot loop).
+void BM_InstructionSimulatorNoPredecode(benchmark::State& state) {
+  const CordicWorkload workload = CordicWorkload::standard(50, 24);
+  const auto program = assembler::assemble_or_throw(
+      apps::cordic::pure_software_program(
+          workload.x, workload.y, workload.iterations,
+          apps::cordic::ShiftStrategy::kShiftLoop));
+  isa::CpuConfig config;
+  config.has_barrel_shifter = false;
+  iss::LmbMemory memory;
+  memory.load_program(program);
+  iss::Processor cpu(config, memory, nullptr);
+  cpu.set_predecode(false);
+
+  Cycle total_cycles = 0;
+  for (auto _ : state) {
+    cpu.reset(program.entry());
+    benchmark::DoNotOptimize(cpu.run(1u << 28));
+    total_cycles += cpu.stats().cycles;
+  }
+  state.counters["cycles_per_second"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InstructionSimulatorNoPredecode);
 
 // ---------------------------------------------------------------------------
 // Hardware block model alone ("Simulink"): the CORDIC pipeline fed by a
@@ -185,9 +223,169 @@ int check_trace_overhead() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// predecode guard: the predecode cache + batched fast path must (a) leave
+// simulated cycle and instruction counts bit-identical on the pure ISS
+// *and* the full co-simulation, and (b) deliver a real wall-clock speedup
+// on the ISS hot loop. The identity checks are hard failures; the timing
+// floor is looser than the >= 2x acceptance target so it trips on real
+// regressions, not on a busy CI host.
+// ---------------------------------------------------------------------------
+int check_predecode(JsonReport& report) {
+  const CordicWorkload workload = CordicWorkload::standard(50, 24);
+  const auto program = assembler::assemble_or_throw(
+      apps::cordic::pure_software_program(
+          workload.x, workload.y, workload.iterations,
+          apps::cordic::ShiftStrategy::kShiftLoop));
+  isa::CpuConfig config;
+  config.has_barrel_shifter = false;
+
+  const auto run_once = [&](bool predecode, iss::CpuStats* stats) {
+    iss::LmbMemory memory;
+    memory.load_program(program);
+    iss::Processor cpu(config, memory, nullptr);
+    cpu.set_predecode(predecode);
+    cpu.reset(program.entry());
+    Stopwatch watch;
+    cpu.run(1u << 28);
+    const double seconds = watch.elapsed_seconds();
+    if (stats != nullptr) *stats = cpu.stats();
+    return seconds;
+  };
+
+  int failures = 0;
+  const auto check_equal = [&](const char* what, u64 fast, u64 slow) {
+    if (fast != slow) {
+      std::fprintf(stderr,
+                   "predecode guard FAILED: %s differ: %llu (predecode) vs "
+                   "%llu (--no-predecode)\n",
+                   what, static_cast<unsigned long long>(fast),
+                   static_cast<unsigned long long>(slow));
+      ++failures;
+    }
+  };
+
+  // (a) identity, pure ISS: every CpuStats field the run accumulates.
+  iss::CpuStats fast_stats;
+  iss::CpuStats slow_stats;
+  run_once(true, &fast_stats);
+  run_once(false, &slow_stats);
+  check_equal("ISS cycles", fast_stats.cycles, slow_stats.cycles);
+  check_equal("ISS instructions", fast_stats.instructions,
+              slow_stats.instructions);
+  check_equal("ISS loads", fast_stats.loads, slow_stats.loads);
+  check_equal("ISS stores", fast_stats.stores, slow_stats.stores);
+  check_equal("ISS branches", fast_stats.branches, slow_stats.branches);
+  check_equal("ISS branches_taken", fast_stats.branches_taken,
+              slow_stats.branches_taken);
+
+  // (a) identity, full co-simulation (FSL quanta + quiescence window).
+  const auto cosim_stats = [&](bool predecode, double* wall) {
+    apps::cordic::CordicRunConfig cosim_config;
+    cosim_config.num_pes = 4;
+    cosim_config.iterations = workload.iterations;
+    cosim_config.items = static_cast<unsigned>(workload.x.size());
+    auto built =
+        apps::cordic::make_cordic_system(cosim_config, workload.x, workload.y);
+    if (!built.ok()) {
+      std::fprintf(stderr, "predecode guard: cordic system: %s\n",
+                   built.error().c_str());
+      std::exit(1);
+    }
+    sim::SimSystem system = std::move(built).value();
+    system.cpu().set_predecode(predecode);
+    if (system.run() != core::StopReason::kHalted) {
+      std::fprintf(stderr, "predecode guard: cordic cosim did not halt\n");
+      std::exit(1);
+    }
+    if (wall != nullptr) *wall = system.run_wall_seconds();
+    return system.stats();
+  };
+  double cosim_fast_s = 0;
+  double cosim_slow_s = 0;
+  const core::CoSimStats cosim_fast = cosim_stats(true, &cosim_fast_s);
+  const core::CoSimStats cosim_slow = cosim_stats(false, &cosim_slow_s);
+  check_equal("cosim cycles", cosim_fast.cycles, cosim_slow.cycles);
+  check_equal("cosim instructions", cosim_fast.instructions,
+              cosim_slow.instructions);
+  check_equal("cosim fsl_stall_cycles", cosim_fast.fsl_stall_cycles,
+              cosim_slow.fsl_stall_cycles);
+  check_equal("cosim hw_cycles_stepped", cosim_fast.hw_cycles_stepped,
+              cosim_slow.hw_cycles_stepped);
+  check_equal("cosim hw_cycles_skipped", cosim_fast.hw_cycles_skipped,
+              cosim_slow.hw_cycles_skipped);
+
+  // (a) identity, matmul app (second workload shape: OPB-free, multiplier).
+  const auto matmul_stats = [&](bool predecode) {
+    apps::matmul::MatmulRunConfig matmul_config;
+    matmul_config.matrix_size = 8;
+    matmul_config.block_size = 2;
+    const auto a = apps::matmul::make_matrix(8, 1);
+    const auto b = apps::matmul::make_matrix(8, 2);
+    auto built = apps::matmul::make_matmul_system(matmul_config, a, b);
+    if (!built.ok()) {
+      std::fprintf(stderr, "predecode guard: matmul system: %s\n",
+                   built.error().c_str());
+      std::exit(1);
+    }
+    sim::SimSystem system = std::move(built).value();
+    system.cpu().set_predecode(predecode);
+    if (system.run() != core::StopReason::kHalted) {
+      std::fprintf(stderr, "predecode guard: matmul cosim did not halt\n");
+      std::exit(1);
+    }
+    return system.stats();
+  };
+  const core::CoSimStats matmul_fast = matmul_stats(true);
+  const core::CoSimStats matmul_slow = matmul_stats(false);
+  check_equal("matmul cycles", matmul_fast.cycles, matmul_slow.cycles);
+  check_equal("matmul instructions", matmul_fast.instructions,
+              matmul_slow.instructions);
+
+  // (b) wall-clock speedup on the ISS hot loop, min over reps.
+  constexpr int kReps = 5;
+  double fast_s = 1e300;
+  double slow_s = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    fast_s = std::min(fast_s, run_once(true, nullptr));
+    slow_s = std::min(slow_s, run_once(false, nullptr));
+  }
+  const double speedup = slow_s / fast_s;
+  constexpr double kTargetSpeedup = 2.0;
+  constexpr double kFailSpeedup = 1.3;
+  std::printf(
+      "predecode guard: ISS hot loop %.4fs -> %.4fs, speedup %.2fx "
+      "(target >= %.1fx, fail < %.1fx); cycle/instruction counts "
+      "identical on ISS, CORDIC cosim and matmul cosim\n",
+      slow_s, fast_s, speedup, kTargetSpeedup, kFailSpeedup);
+  if (speedup < kFailSpeedup) {
+    std::fprintf(stderr,
+                 "predecode guard FAILED: batched fast path is only %.2fx "
+                 "over --no-predecode\n",
+                 speedup);
+    ++failures;
+  }
+
+  report.add("iss_cordic_predecode", fast_stats.cycles, fast_s);
+  report.add("iss_cordic_no_predecode", slow_stats.cycles, slow_s);
+  report.add("cosim_cordic_p4_predecode", cosim_fast.cycles, cosim_fast_s);
+  report.add("cosim_cordic_p4_no_predecode", cosim_slow.cycles, cosim_slow_s);
+  return failures == 0 ? 0 : 1;
+}
+
+int emit_rtl_row(JsonReport& report) {
+  const CordicWorkload workload = CordicWorkload::standard(50, 24);
+  double wall = 0;
+  const Cycle cycles = run_cordic_rtl(workload, 4, &wall);
+  report.add("rtl_cordic_p4", cycles, wall);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path =
+      take_json_path_arg(argc, argv, "BENCH_table2.json");
   std::printf(
       "Table II reproduction: simulator speeds in simulated clock cycles "
       "per host second.\nPaper (cycles/sec): instruction simulator ~1.9e5, "
@@ -201,5 +399,11 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return check_trace_overhead();
+
+  JsonReport report("table2_simspeed");
+  int failures = check_trace_overhead();
+  failures += check_predecode(report);
+  failures += emit_rtl_row(report);
+  if (!report.write(json_path)) ++failures;
+  return failures == 0 ? 0 : 1;
 }

@@ -61,8 +61,11 @@ MatmulPeripheral build_matmul_peripheral(unsigned block_size) {
   std::vector<sg::Signal*> b_regs(n * n, nullptr);
   const Fix element_zero = Fix::from_raw(kElementFormat, 0);
   for (unsigned index = 0; index < n * n; ++index) {
-    const std::string tag = "b" + std::to_string(index / n) +
-                            std::to_string(index % n);
+    // Built by append: `"b" + std::to_string(...)` trips a GCC 12
+    // -Wrestrict false positive under -Werror.
+    std::string tag(1, 'b');
+    tag += std::to_string(index / n);
+    tag += std::to_string(index % n);
     auto& index_c = m.add<sg::Constant>(
         "bload." + tag + "_idx",
         Fix::from_raw(b_idx_format, static_cast<i64>(index)));

@@ -18,7 +18,13 @@ const char* cond_name(Cond cond) {
   return "?";
 }
 
-std::string reg(u8 index) { return "r" + std::to_string(int(index)); }
+// Built by append rather than `"r" + std::to_string(...)`: the rvalue
+// operator+ overload trips a GCC 12 -Wrestrict false positive here.
+std::string reg(u8 index) {
+  std::string name(1, 'r');
+  name += std::to_string(int(index));
+  return name;
+}
 
 }  // namespace
 

@@ -143,6 +143,15 @@ struct Instruction {
 [[nodiscard]] Cycle base_latency(const Instruction& instruction,
                                  bool branch_taken);
 
+/// Both static latencies of an instruction at once — what a predecoder
+/// caches so the execution hot loop never re-enters the base_latency
+/// switch. For non-control-flow instructions the two values are equal.
+struct LatencyPair {
+  Cycle taken = 1;      ///< base_latency(in, true)
+  Cycle not_taken = 1;  ///< base_latency(in, false)
+};
+[[nodiscard]] LatencyPair base_latencies(const Instruction& instruction);
+
 /// Hardware configuration options of the soft processor, mirroring the
 /// configurability the paper emphasises (Section I).
 struct CpuConfig {

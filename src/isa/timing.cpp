@@ -47,4 +47,8 @@ Cycle base_latency(const Instruction& in, bool branch_taken) {
   }
 }
 
+LatencyPair base_latencies(const Instruction& in) {
+  return LatencyPair{base_latency(in, true), base_latency(in, false)};
+}
+
 }  // namespace mbcosim::isa

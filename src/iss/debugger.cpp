@@ -116,6 +116,9 @@ std::string Debugger::command(std::string_view line) {
     }
     cpu_.memory().write_word(static_cast<Addr>(addr),
                              static_cast<Word>(value));
+    // Poking instruction memory from outside the processor must drop the
+    // predecoded entry, or the next fetch would execute the stale word.
+    cpu_.invalidate_predecode(static_cast<Addr>(addr));
     return "ok";
   }
   if (verb == "step") {

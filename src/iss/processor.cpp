@@ -23,6 +23,43 @@ void Processor::reset(Addr pc) {
   delay_target_.reset();
   pending_wait_states_ = 0;
   stats_ = CpuStats{};
+  // A reset usually follows a program (re)load: drop every predecoded
+  // entry in O(1) by bumping the generation.
+  invalidate_predecode();
+}
+
+void Processor::set_predecode(bool enabled) {
+  predecode_enabled_ = enabled;
+  if (!enabled) {
+    predecode_.clear();
+    predecode_.shrink_to_fit();
+  }
+}
+
+Processor::Predecoded& Processor::predecode_fetch(Addr pc) {
+  if (predecode_.empty()) predecode_.resize(memory_.size_bytes() / 4);
+  Predecoded& entry = predecode_[pc >> 2];
+  if (entry.gen == predecode_gen_) return entry;
+  entry.raw = memory_.read_word(pc);
+  entry.in = isa::decode(entry.raw);
+  const isa::LatencyPair latency = isa::base_latencies(entry.in);
+  entry.lat_taken = static_cast<u8>(latency.taken);
+  entry.lat_not_taken = static_cast<u8>(latency.not_taken);
+  switch (entry.in.op) {
+    case Op::kGet:
+    case Op::kPut:
+      entry.tag = DispatchTag::kFsl;
+      break;
+    case Op::kImm:
+    case Op::kCustom:
+      entry.tag = DispatchTag::kSlow;
+      break;
+    default:
+      entry.tag = DispatchTag::kFast;
+      break;
+  }
+  entry.gen = predecode_gen_;
+  return entry;
 }
 
 Word Processor::reg(unsigned index) const {
@@ -127,8 +164,19 @@ StepResult Processor::step() {
     return StepResult{Event::kIllegal, 1};
   }
   const Addr fetch_pc = pc_;
-  const Word raw = memory_.read_word(fetch_pc);
-  const Instruction in = isa::decode(raw);
+  // First fetch of a PC decodes into the predecode cache; every later
+  // fetch is a table lookup (stores into cached text invalidate, so
+  // self-modifying code still sees its new instruction words).
+  Word raw;
+  Instruction in;
+  if (predecode_enabled_) {
+    const Predecoded& entry = predecode_fetch(fetch_pc);
+    raw = entry.raw;
+    in = entry.in;
+  } else {
+    raw = memory_.read_word(fetch_pc);
+    in = isa::decode(raw);
+  }
 
   const ExecOutcome outcome = execute(in);
   if (outcome.event == Event::kFslStall) {
@@ -391,6 +439,9 @@ Processor::ExecOutcome Processor::execute(const Instruction& in) {
         } else {
           memory_.write_word(addr, value);
         }
+        // Self-modifying code: a store landing on cached text must force
+        // a re-decode at the next fetch of that word.
+        if (!predecode_.empty()) invalidate_predecode(addr);
       } else if (opb_ != nullptr && opb_->decodes(addr)) {
         // OPB writes are full-word; sub-word stores replicate the value
         // onto the addressed lanes (byte-enable behaviour).
@@ -467,9 +518,91 @@ Processor::ExecOutcome Processor::execute(const Instruction& in) {
   return out;
 }
 
+BatchResult Processor::run_batch(Cycle max_cycles, bool stop_before_fsl) {
+  if (!fast_path_available()) return BatchResult{BatchStop::kPrecise, 0};
+  const Cycle start_cycles = stats_.cycles;
+  const auto consumed = [&] { return stats_.cycles - start_cycles; };
+
+  while (!halted_ && stats_.cycles < max_cycles) {
+    if (!memory_.contains(pc_, 4)) {
+      step();  // charges and records the instruction-fetch fault
+      return BatchResult{BatchStop::kIllegal, consumed()};
+    }
+    const Predecoded& entry = predecode_fetch(pc_);
+    if (entry.tag == DispatchTag::kFsl && stop_before_fsl) {
+      // Do not execute: the co-simulation engine first brings the
+      // hardware model to cycle parity, then steps the FSL access in
+      // lock step (covers FSL accesses sitting in a delay slot too).
+      return BatchResult{BatchStop::kFslPending, consumed()};
+    }
+    if (entry.tag != DispatchTag::kFast || imm_prefix_ || delay_target_)
+        [[unlikely]] {
+      // The precise path — with no hook/bus attached (the fast-path
+      // precondition) it is bit-identical, just slower.
+      switch (step().event) {
+        case Event::kRetired:
+          continue;
+        case Event::kFslStall:
+          return BatchResult{BatchStop::kFslStall, consumed()};
+        case Event::kHalted:
+          return BatchResult{BatchStop::kHalted, consumed()};
+        case Event::kIllegal:
+          return BatchResult{BatchStop::kIllegal, consumed()};
+      }
+      continue;
+    }
+
+    // Fast path: predecoded plain instruction, no prefix/delay state.
+    // Accounting mirrors step() exactly, minus the no-op trace calls.
+    const ExecOutcome outcome = execute(entry.in);
+    if (outcome.event == Event::kRetired) [[likely]] {
+      Cycle cycles =
+          outcome.branch_taken ? entry.lat_taken : entry.lat_not_taken;
+      if (pending_wait_states_ != 0) {
+        cycles += pending_wait_states_;
+        pending_wait_states_ = 0;
+      }
+      stats_.cycles += cycles;
+      stats_.instructions += 1;
+      continue;
+    }
+    if (outcome.event == Event::kHalted) {
+      halted_ = true;
+      stats_.cycles += entry.lat_taken;  // the halting branch is taken
+      stats_.instructions += 1;
+      return BatchResult{BatchStop::kHalted, consumed()};
+    }
+    // Event::kIllegal (disabled unit, bad data address, branch in a
+    // delay slot); kFslStall is impossible here (FSL ops are not kFast).
+    halted_ = true;
+    stats_.cycles += 1;
+    return BatchResult{BatchStop::kIllegal, consumed()};
+  }
+  return BatchResult{BatchStop::kBudget, consumed()};
+}
+
 Event Processor::run(Cycle max_cycles) {
   Event last = Event::kRetired;
   while (!halted_ && stats_.cycles < max_cycles) {
+    if (fast_path_available()) {
+      const BatchResult batch = run_batch(max_cycles, false);
+      switch (batch.stop) {
+        case BatchStop::kHalted:
+          return Event::kHalted;
+        case BatchStop::kIllegal:
+          return Event::kIllegal;
+        case BatchStop::kFslStall:
+          last = Event::kFslStall;
+          if (fsl_hub_ == nullptr) return last;
+          continue;  // keep burning stall cycles, as the step loop does
+        case BatchStop::kBudget:
+          last = Event::kRetired;
+          continue;
+        case BatchStop::kFslPending:
+        case BatchStop::kPrecise:
+          break;  // fall through to the precise step below
+      }
+    }
     last = step().event;
     if (last == Event::kIllegal || last == Event::kHalted) return last;
     if (last == Event::kFslStall && fsl_hub_ == nullptr) return last;

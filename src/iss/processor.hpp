@@ -11,6 +11,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bus/opb_bus.hpp"
 #include "common/resources.hpp"
@@ -33,6 +34,25 @@ enum class Event : u8 {
 struct StepResult {
   Event event = Event::kRetired;
   Cycle cycles = 0;  ///< cycles consumed by this step (>= 1 unless halted)
+};
+
+/// Why Processor::run_batch returned control to its caller.
+enum class BatchStop : u8 {
+  kBudget,      ///< cycle budget reached; every batched instruction retired
+  kFslPending,  ///< next instruction is an FSL access, NOT executed — the
+                ///< co-simulation engine must bring the hardware to cycle
+                ///< parity before stepping it (stop_before_fsl mode only)
+  kFslStall,    ///< an FSL access executed precisely and blocked (one stall
+                ///< cycle charged, PC unchanged)
+  kHalted,      ///< branch-to-self retired; processor is halted
+  kIllegal,     ///< architectural error; processor is halted
+  kPrecise,     ///< the fast path is unavailable (trace hook or enabled
+                ///< trace bus attached, or predecode disabled); nothing ran
+};
+
+struct BatchResult {
+  BatchStop stop = BatchStop::kPrecise;
+  Cycle cycles = 0;  ///< cycles consumed by this batch
 };
 
 /// Execution statistics accumulated since reset.
@@ -108,7 +128,51 @@ class Processor {
   /// Convenience runner for processor-only workloads: steps until the
   /// program halts or the cycle budget is exhausted. Returns the final
   /// event (kHalted, kIllegal, or kFslStall/kRetired when out of budget).
+  /// Internally uses the batched fast path whenever it is available.
   Event run(Cycle max_cycles);
+
+  /// Batched fast-path execution: run straight-line/branchy code in a
+  /// tight loop with the per-step trace-hook, trace-bus and dispatch
+  /// overhead hoisted out, using the predecode cache. Stats are charged
+  /// bit-identically to an equivalent sequence of step() calls. Falls
+  /// back to the precise step() inside the batch for instructions that
+  /// need it (IMM prefix pending, delay slot, custom slot, FSL access
+  /// when `stop_before_fsl` is false). Returns immediately with
+  /// BatchStop::kPrecise (zero cycles) when a trace hook or an enabled
+  /// trace bus is attached or the predecode cache is disabled.
+  ///
+  /// With `stop_before_fsl` a pending FSL access is *not* executed:
+  /// control returns with BatchStop::kFslPending so a co-simulation
+  /// engine can first advance the hardware model to cycle parity — this
+  /// is what keeps multi-cycle CPU quanta cycle-accurate at every FIFO
+  /// boundary.
+  BatchResult run_batch(Cycle max_cycles, bool stop_before_fsl);
+
+  /// True when run_batch would make progress: predecode on, no trace
+  /// hook, no enabled trace bus.
+  [[nodiscard]] bool fast_path_available() const noexcept {
+    return predecode_enabled_ && !trace_ &&
+           (trace_bus_ == nullptr || !trace_bus_->enabled());
+  }
+
+  /// Enable/disable the predecode cache (default: enabled). Disabling
+  /// releases the cache storage and restores decode-per-step execution —
+  /// the configuration the `--no-predecode` A/B benchmarks measure.
+  void set_predecode(bool enabled);
+  [[nodiscard]] bool predecode_enabled() const noexcept {
+    return predecode_enabled_;
+  }
+
+  /// Drop every predecoded entry. Required after writing instruction
+  /// memory from *outside* the processor while a program is in flight
+  /// (stores executed by the program itself, reset() and the debugger's
+  /// setmem invalidate automatically).
+  void invalidate_predecode() noexcept { ++predecode_gen_; }
+  /// Drop the single entry covering `addr` (cheaper targeted form).
+  void invalidate_predecode(Addr addr) noexcept {
+    const std::size_t index = addr >> 2;
+    if (index < predecode_.size()) predecode_[index].gen = 0;
+  }
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] Addr pc() const noexcept { return pc_; }
@@ -147,6 +211,31 @@ class Processor {
     bool branch_taken = false;
   };
 
+  /// Compact dispatch tag of a predecoded instruction, chosen once at
+  /// predecode time so the batched loop classifies with one compare.
+  enum class DispatchTag : u8 {
+    kFast,  ///< run_batch may execute it inline
+    kSlow,  ///< needs the precise step() (IMM prefix, custom slot)
+    kFsl,   ///< FSL access: a co-simulation must sync hardware first
+  };
+
+  /// One predecoded instruction word: the decoded form plus everything
+  /// step() would otherwise recompute on every execution. An entry is
+  /// valid iff `gen == predecode_gen_`; stores into cached text clear
+  /// `gen`, reset() bumps `predecode_gen_` (O(1) full invalidation).
+  struct Predecoded {
+    isa::Instruction in;
+    Word raw = 0;
+    u64 gen = 0;
+    u8 lat_taken = 1;      ///< isa::base_latency(in, true), <= 34
+    u8 lat_not_taken = 1;  ///< isa::base_latency(in, false)
+    DispatchTag tag = DispatchTag::kSlow;
+  };
+
+  /// Decode the word at `pc` into its cache slot and return the entry.
+  /// Pre: predecode enabled, memory_.contains(pc, 4).
+  Predecoded& predecode_fetch(Addr pc);
+
   ExecOutcome execute(const isa::Instruction& in);
   /// Deliver one step result to the trace hook and the trace bus.
   void record_step(Event event, Addr pc, Word raw, const isa::Instruction& in,
@@ -177,6 +266,12 @@ class Processor {
   std::optional<u16> imm_prefix_;
   /// Branch target to apply after the current delay-slot instruction.
   std::optional<Addr> delay_target_;
+
+  /// Predecode cache, indexed by pc >> 2 over the LMB program region
+  /// (sized lazily to the memory on first use; ~40 B per word).
+  std::vector<Predecoded> predecode_;
+  u64 predecode_gen_ = 1;  ///< entries with a different gen are invalid
+  bool predecode_enabled_ = true;
 
   CpuStats stats_;
   std::function<void(const TraceRecord&)> trace_;

@@ -60,6 +60,28 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
   iss::Processor& cpu = state_->cpu;
   Cycle blocked_streak = 0;
   while (!cpu.halted() && cpu.cycle() < max_cycles) {
+    if (cpu.fast_path_available()) {
+      const iss::BatchResult batch = cpu.run_batch(max_cycles, false);
+      switch (batch.stop) {
+        case iss::BatchStop::kHalted:
+          return core::StopReason::kHalted;
+        case iss::BatchStop::kIllegal:
+          return core::StopReason::kIllegal;
+        case iss::BatchStop::kFslStall:
+          // A stall costs exactly one cycle, so cycles > 1 means the
+          // batch retired instructions first — the streak restarts.
+          blocked_streak = batch.cycles > 1 ? 1 : blocked_streak + 1;
+          if (blocked_streak >= state_->deadlock_threshold) {
+            return core::StopReason::kDeadlock;  // bus disabled: no event
+          }
+          continue;
+        case iss::BatchStop::kBudget:
+          continue;  // loop condition exits
+        case iss::BatchStop::kFslPending:  // unreachable: stop_before_fsl off
+        case iss::BatchStop::kPrecise:
+          break;  // fall through to the precise step below
+      }
+    }
     const iss::StepResult result = cpu.step();
     switch (result.event) {
       case iss::Event::kHalted:
@@ -219,6 +241,11 @@ SimSystem::Builder& SimSystem::Builder::bind_fsl(unsigned channel,
   return *this;
 }
 
+SimSystem::Builder& SimSystem::Builder::predecode(bool enabled) {
+  predecode_ = enabled;
+  return *this;
+}
+
 SimSystem::Builder& SimSystem::Builder::quiescence(Cycle drain_cycles) {
   quiescence_ = drain_cycles;
   return *this;
@@ -344,6 +371,7 @@ Expected<SimSystem> SimSystem::Builder::build() {
                                        memory_bytes_, fifo_depth_);
   state->fsl_links = fsl_links;
   state->deadlock_threshold = deadlock_threshold_;
+  state->cpu.set_predecode(predecode_);
 
   // 5. Observability sinks. The bus lives inside the heap-allocated
   // State, so the pointers handed to the components survive moves of

@@ -183,6 +183,12 @@ class SimSystem::Builder {
   /// Bind peripheral gateways onto FSL channel `channel`.
   Builder& bind_fsl(unsigned channel, const FslGateways& io);
 
+  /// Enable/disable the processor's predecode cache and batched fast
+  /// path (default: enabled). Disabling restores decode-per-step
+  /// execution — the `--no-predecode` A/B baseline; simulated cycle
+  /// counts and statistics are identical either way.
+  Builder& predecode(bool enabled);
+
   /// Quiescence fast-forward window in cycles (0 = disabled); see
   /// CoSimEngine::set_quiescence_window.
   Builder& quiescence(Cycle drain_cycles);
@@ -220,6 +226,7 @@ class SimSystem::Builder {
   std::unique_ptr<sysgen::Model> model_;
   HardwareFactory factory_;
   std::vector<HardwareBundle::ChannelBinding> bindings_;
+  bool predecode_ = true;
   Cycle quiescence_ = 0;
   Cycle deadlock_threshold_ = 100'000;
   std::vector<std::pair<unsigned, iss::CustomInstruction>> custom_;

@@ -19,6 +19,8 @@
 //   --no-multiplier     processor configuration knobs
 //   --no-barrel-shifter
 //   --divider
+//   --no-predecode      disable the predecode cache + batched fast path
+//                       (A/B baseline; cycle counts are identical)
 //   --rtl               run on the low-level RTL system instead of the
 //                       ISS (no peripheral; for timing cross-checks)
 //
@@ -58,6 +60,7 @@ struct Options {
   std::string vcd_path;
   std::vector<std::pair<Addr, u32>> memory_dumps;
   Cycle max_cycles = 100'000'000;
+  bool predecode = true;
   isa::CpuConfig cpu;
 };
 
@@ -67,7 +70,7 @@ void usage() {
                "              [--metrics] [--regs] [--mem ADDR COUNT]\n"
                "              [--max-cycles N] [--no-multiplier]\n"
                "              [--no-barrel-shifter] [--divider] [--rtl]\n"
-               "              program.s\n");
+               "              [--no-predecode] program.s\n");
 }
 
 bool parse_u64(const char* text, u64& out) {
@@ -101,6 +104,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.cpu.has_barrel_shifter = false;
     } else if (arg == "--divider") {
       options.cpu.has_divider = true;
+    } else if (arg == "--no-predecode") {
+      options.predecode = false;
     } else if (arg == "--vcd" && i + 1 < argc) {
       options.vcd_path = argv[++i];
     } else if (arg == "--max-cycles" && i + 1 < argc) {
@@ -146,6 +151,7 @@ int run_on_iss(const Options& options, const assembler::Program& program) {
   memory.load_program(program);
   fsl::FslHub hub;
   iss::Processor cpu(options.cpu, memory, &hub);
+  cpu.set_predecode(options.predecode);
 
   // Observability: one bus feeding whatever sinks the flags asked for.
   obs::TraceBus bus;
