@@ -12,9 +12,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbcosim;
   using namespace mbcosim::bench;
+
+  const std::string json_path =
+      take_json_path_arg(argc, argv, "BENCH_ablation_exchange.json");
+  JsonReport report("ablation_exchange");
 
   const CordicWorkload workload = CordicWorkload::standard(100, 24);
 
@@ -37,6 +41,7 @@ int main() {
                 static_cast<unsigned long long>(result.cycles),
                 static_cast<unsigned long long>(result.fsl_stall_cycles),
                 seconds);
+    report.add("set_size=" + std::to_string(set_size), result.cycles, seconds);
   }
   std::printf("Smaller sets exchange control words more often and overlap\n"
               "less compute with communication: more simulated cycles.\n");
@@ -55,6 +60,8 @@ int main() {
     std::printf("%10u %14llu %16llu\n", depth,
                 static_cast<unsigned long long>(result.cycles),
                 static_cast<unsigned long long>(result.fsl_stall_cycles));
+    report.add("fifo_depth=" + std::to_string(depth), result.cycles,
+               result.sim_wall_seconds);
   }
   std::printf(
       "Finding: with correct FSL handshaking (blocking puts/gets on the\n"
@@ -77,9 +84,11 @@ int main() {
     std::printf("%4u %14llu %18.4f %22.3f\n", p,
                 static_cast<unsigned long long>(result.cycles), seconds,
                 seconds / double(result.cycles) * 1e6);
+    report.add("P=" + std::to_string(p), result.cycles, seconds);
   }
   std::printf("More PEs = more block evaluations per simulated cycle: the\n"
               "host cost per cycle grows with the hardware fraction, the\n"
               "paper's first slow-down factor.\n");
+  report.write(json_path);
   return 0;
 }

@@ -20,9 +20,12 @@
 #include "bench_common.hpp"
 #include "sim/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbcosim;
   using namespace mbcosim::bench;
+
+  const std::string json_path =
+      take_json_path_arg(argc, argv, "BENCH_fig5.json");
 
   print_header(
       "Figure 5: CORDIC division execution time (usec) vs P\n"
@@ -54,6 +57,7 @@ int main() {
   const auto results = sweep.run({.threads = threads});
   const double sweep_seconds = sweep_watch.elapsed_seconds();
 
+  JsonReport report("fig5_cordic_perf");
   std::printf("%4s %18s %18s %14s %14s\n", "P", "24 iters [usec]",
               "32 iters [usec]", "speedup(24)", "speedup(32)");
   print_rule();
@@ -73,7 +77,10 @@ int main() {
     }
     std::printf("%4u %18.1f %18.1f %13.2fx %13.2fx\n", kPes[i], r24.usec(),
                 r32.usec(), sw24 / r24.usec(), sw32 / r32.usec());
+    report.add(r24.label, r24.stats.cycles, r24.sim_wall_seconds);
+    report.add(r32.label, r32.stats.cycles, r32.sim_wall_seconds);
   }
+  report.write(json_path);
 
   print_rule();
   std::printf(

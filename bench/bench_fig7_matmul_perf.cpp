@@ -17,9 +17,12 @@
 #include "bench_common.hpp"
 #include "sim/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbcosim;
   using namespace mbcosim::bench;
+
+  const std::string json_path =
+      take_json_path_arg(argc, argv, "BENCH_fig7.json");
 
   print_header(
       "Figure 7: block matmul execution time (usec) vs N\n"
@@ -57,6 +60,7 @@ int main() {
   const auto results = sweep.run({.threads = threads});
   const double sweep_seconds = sweep_watch.elapsed_seconds();
 
+  JsonReport report("fig7_matmul_perf");
   std::printf("%4s %16s %16s %16s %12s %12s\n", "N", "software", "2x2 blocks",
               "4x4 blocks", "2x2 vs sw", "4x4 vs sw");
   print_rule();
@@ -70,11 +74,13 @@ int main() {
                     r->error.c_str());
         return 1;
       }
+      report.add(r->label, r->stats.cycles, r->sim_wall_seconds);
     }
     std::printf("%4u %16.1f %16.1f %16.1f %11.2fx %11.2fx\n", kSizes[i],
                 sw.usec(), hw2.usec(), hw4.usec(), sw.usec() / hw2.usec(),
                 sw.usec() / hw4.usec());
   }
+  report.write(json_path);
 
   print_rule();
   std::printf(

@@ -41,6 +41,12 @@ void CoSimEngine::tick_hardware(Cycle cycles) {
   }
 }
 
+iss::StepResult CoSimEngine::debug_step() {
+  const iss::StepResult result = cpu_.step();
+  tick_hardware(result.cycles);
+  return result;
+}
+
 StopReason CoSimEngine::run(Cycle max_cycles) {
   Cycle blocked_streak = 0;
   u64 last_traffic = bridge_.stats().words_to_hw +

@@ -71,6 +71,12 @@ class CoSimEngine {
   /// used when the software side is idle and by hardware-only benches.
   void tick_hardware(Cycle cycles);
 
+  /// One precise lock-step unit for a debugger: step the processor once
+  /// and bring the hardware model to cycle parity, exactly as run()'s
+  /// precise path does. Interleaving debug_step() with run() keeps every
+  /// statistic identical to an uninterrupted run over the same cycles.
+  iss::StepResult debug_step();
+
   [[nodiscard]] CoSimStats stats() const;
 
   /// Deadlock heuristic: how many consecutive blocked processor cycles

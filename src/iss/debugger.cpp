@@ -72,12 +72,17 @@ std::string Debugger::command(std::string_view line) {
   auto arg_value = [&](size_t index, u64& out) {
     return index < tokens.size() && parse_u64(tokens[index], out);
   };
+  // Every verb takes an exact argument count (cont's budget is the one
+  // optional argument); extra trailing tokens are rejected rather than
+  // silently ignored, so a typo like `setmem 0x100 1 2` cannot write an
+  // unintended location.
+  auto wants = [&](std::size_t count) { return tokens.size() == count; };
 
   if (verb == "reg") {
     u64 index = 0;
     std::string name = tokens.size() > 1 ? tokens[1] : "";
     if (!name.empty() && name[0] == 'r') name.erase(0, 1);
-    if (!parse_u64(name, index) || index >= isa::kNumRegisters) {
+    if (!wants(2) || !parse_u64(name, index) || index >= isa::kNumRegisters) {
       return "error: reg <0..31>";
     }
     return hex(cpu_.reg(static_cast<unsigned>(index)));
@@ -87,19 +92,26 @@ std::string Debugger::command(std::string_view line) {
     u64 value = 0;
     std::string name = tokens.size() > 1 ? tokens[1] : "";
     if (!name.empty() && name[0] == 'r') name.erase(0, 1);
-    if (!parse_u64(name, index) || index >= isa::kNumRegisters ||
+    if (!wants(3) || !parse_u64(name, index) || index >= isa::kNumRegisters ||
         !arg_value(2, value)) {
       return "error: setreg <0..31> <value>";
     }
     cpu_.set_reg(static_cast<unsigned>(index), static_cast<Word>(value));
     return "ok";
   }
-  if (verb == "pc") return hex(cpu_.pc());
-  if (verb == "msr") return hex(cpu_.msr());
-  if (verb == "cycles") return std::to_string(cpu_.cycle());
+  if (verb == "pc") {
+    return wants(1) ? hex(cpu_.pc()) : "error: pc takes no arguments";
+  }
+  if (verb == "msr") {
+    return wants(1) ? hex(cpu_.msr()) : "error: msr takes no arguments";
+  }
+  if (verb == "cycles") {
+    return wants(1) ? std::to_string(cpu_.cycle())
+                    : "error: cycles takes no arguments";
+  }
   if (verb == "mem") {
     u64 addr = 0;
-    if (!arg_value(1, addr)) return "error: mem <addr>";
+    if (!wants(2) || !arg_value(1, addr)) return "error: mem <addr>";
     if (!cpu_.memory().contains(static_cast<Addr>(addr) & ~Addr{3}, 4)) {
       return "error: address out of range";
     }
@@ -108,7 +120,7 @@ std::string Debugger::command(std::string_view line) {
   if (verb == "setmem") {
     u64 addr = 0;
     u64 value = 0;
-    if (!arg_value(1, addr) || !arg_value(2, value)) {
+    if (!wants(3) || !arg_value(1, addr) || !arg_value(2, value)) {
       return "error: setmem <addr> <value>";
     }
     if (!cpu_.memory().contains(static_cast<Addr>(addr) & ~Addr{3}, 4)) {
@@ -122,6 +134,7 @@ std::string Debugger::command(std::string_view line) {
     return "ok";
   }
   if (verb == "step") {
+    if (!wants(1)) return "error: step takes no arguments";
     const StepResult result = step_over_stalls();
     switch (result.event) {
       case Event::kRetired: return "stopped pc=" + hex(cpu_.pc());
@@ -133,7 +146,7 @@ std::string Debugger::command(std::string_view line) {
   }
   if (verb == "cont") {
     u64 budget = ~u64{0};
-    if (tokens.size() > 1 && !arg_value(1, budget)) {
+    if (tokens.size() > 2 || (tokens.size() == 2 && !arg_value(1, budget))) {
       return "error: cont [cycles]";
     }
     switch (cont(budget)) {
@@ -147,7 +160,7 @@ std::string Debugger::command(std::string_view line) {
   }
   if (verb == "break" || verb == "delete") {
     u64 addr = 0;
-    if (!arg_value(1, addr)) return "error: " + verb + " <addr>";
+    if (!wants(2) || !arg_value(1, addr)) return "error: " + verb + " <addr>";
     if (verb == "break") {
       add_breakpoint(static_cast<Addr>(addr));
     } else {
@@ -156,6 +169,7 @@ std::string Debugger::command(std::string_view line) {
     return "ok";
   }
   if (verb == "disasm") {
+    if (!wants(1)) return "error: disasm takes no arguments";
     if (!cpu_.memory().contains(cpu_.pc(), 4)) return "error: pc out of range";
     return isa::disassemble(cpu_.memory().read_word(cpu_.pc()));
   }

@@ -176,6 +176,16 @@ class Processor {
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] Addr pc() const noexcept { return pc_; }
+  /// Debugger-level jump: move the PC without executing a branch. Any
+  /// pending IMM prefix or delay-slot target belongs to the abandoned
+  /// instruction stream and is discarded, and a halted processor becomes
+  /// runnable again (the halt was a property of the old PC).
+  void set_pc(Addr pc) noexcept {
+    pc_ = pc;
+    imm_prefix_.reset();
+    delay_target_.reset();
+    halted_ = false;
+  }
   [[nodiscard]] Word msr() const noexcept { return msr_; }
   void set_msr(Word value) noexcept { msr_ = value; }
 

@@ -1,0 +1,233 @@
+#include "rsp/packet.hpp"
+
+#include <charconv>
+
+namespace mbcosim::rsp {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// RLE repeat counts are printable characters n = 29 + repeats. Counts 6
+// and 7 would be '#' and '$' (packet framing), and '+' / '-' (counts 14
+// and 16) would read as ack/nak to sloppy parsers; the GDB spec forbids
+// all four on the wire.
+bool forbidden_count(Cycle repeats) noexcept {
+  const char c = static_cast<char>(29 + repeats);
+  return c == '#' || c == '$' || c == '+' || c == '-';
+}
+
+}  // namespace
+
+u8 checksum(std::string_view payload) noexcept {
+  unsigned sum = 0;
+  for (const char c : payload) sum += static_cast<u8>(c);
+  return static_cast<u8>(sum);
+}
+
+std::string frame_packet(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  out.push_back('$');
+  out.append(payload);
+  out.push_back('#');
+  const u8 sum = checksum(payload);
+  out.push_back(kHexDigits[sum >> 4]);
+  out.push_back(kHexDigits[sum & 0xf]);
+  return out;
+}
+
+std::string to_hex(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const u8 byte = static_cast<u8>(c);
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+Expected<std::string> from_hex(std::string_view hex) {
+  using Failure = Expected<std::string>;
+  if (hex.size() % 2 != 0) {
+    return Failure::failure("from_hex: odd digit count");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Failure::failure("from_hex: non-hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hex_word(Word value) {
+  std::string bytes;
+  bytes.push_back(static_cast<char>(value));
+  bytes.push_back(static_cast<char>(value >> 8));
+  bytes.push_back(static_cast<char>(value >> 16));
+  bytes.push_back(static_cast<char>(value >> 24));
+  return to_hex(bytes);
+}
+
+Expected<Word> parse_hex_word(std::string_view hex) {
+  using Failure = Expected<Word>;
+  if (hex.size() != 8) return Failure::failure("parse_hex_word: need 8 digits");
+  const Expected<std::string> bytes = from_hex(hex);
+  if (!bytes) return Failure::failure(bytes.error());
+  const std::string& b = bytes.value();
+  return Word(static_cast<u8>(b[0])) | Word(static_cast<u8>(b[1])) << 8 |
+         Word(static_cast<u8>(b[2])) << 16 | Word(static_cast<u8>(b[3])) << 24;
+}
+
+Expected<u64> parse_hex_number(std::string_view hex) {
+  using Failure = Expected<u64>;
+  u64 value = 0;
+  if (hex.empty()) return Failure::failure("parse_hex_number: empty");
+  const auto* end = hex.data() + hex.size();
+  const auto result = std::from_chars(hex.data(), end, value, 16);
+  if (result.ec != std::errc{} || result.ptr != end) {
+    return Failure::failure("parse_hex_number: bad digits in '" +
+                            std::string(hex) + "'");
+  }
+  return value;
+}
+
+std::string escape_binary(std::string_view data) {
+  std::string out;
+  out.reserve(data.size());
+  for (const char c : data) {
+    if (c == '#' || c == '$' || c == '*' || c == '}') {
+      out.push_back('}');
+      out.push_back(static_cast<char>(c ^ 0x20));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Expected<std::string> unescape_binary(std::string_view data) {
+  using Failure = Expected<std::string>;
+  std::string out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == '}') {
+      if (i + 1 >= data.size()) {
+        return Failure::failure("unescape_binary: dangling escape");
+      }
+      out.push_back(static_cast<char>(data[++i] ^ 0x20));
+    } else {
+      out.push_back(data[i]);
+    }
+  }
+  return out;
+}
+
+std::string rle_encode(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size());
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    const char c = payload[i];
+    std::size_t run = 1;
+    while (i + run < payload.size() && payload[i + run] == c) ++run;
+    i += run;
+    out.push_back(c);
+    std::size_t repeats = run - 1;  // copies beyond the literal byte
+    while (repeats > 0) {
+      if (repeats < 3) {
+        // Runs of 2 or 3 total don't pay for the two-byte `*n` suffix
+        // (and counts below 3 are not representable anyway).
+        out.append(repeats, c);
+        break;
+      }
+      std::size_t chunk = repeats < 97 ? repeats : 97;  // 29 + 97 = 126 '~'
+      while (forbidden_count(chunk)) --chunk;
+      out.push_back('*');
+      out.push_back(static_cast<char>(29 + chunk));
+      repeats -= chunk;
+      // A leftover tail continues the same run: re-emit a literal base
+      // byte for the next `*n` (or literally, via the branch above).
+      if (repeats > 0) {
+        out.push_back(c);
+        --repeats;
+      }
+    }
+  }
+  return out;
+}
+
+Expected<std::string> rle_decode(std::string_view payload) {
+  using Failure = Expected<std::string>;
+  std::string out;
+  out.reserve(payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] != '*') {
+      out.push_back(payload[i]);
+      continue;
+    }
+    if (out.empty()) return Failure::failure("rle_decode: leading '*'");
+    if (i + 1 >= payload.size()) {
+      return Failure::failure("rle_decode: dangling '*'");
+    }
+    const int repeats = static_cast<u8>(payload[++i]) - 29;
+    if (repeats < 3) return Failure::failure("rle_decode: count below 3");
+    out.append(static_cast<std::size_t>(repeats), out.back());
+  }
+  return out;
+}
+
+std::optional<DecoderEvent> PacketDecoder::next() {
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    const char c = pending_[i];
+    if (c == '+' || c == '-' || c == '\x03') {
+      pending_.erase(0, i + 1);
+      DecoderEvent event;
+      event.kind = c == '+'      ? DecoderEvent::Kind::kAck
+                   : c == '-'    ? DecoderEvent::Kind::kNak
+                                 : DecoderEvent::Kind::kInterrupt;
+      return event;
+    }
+    if (c != '$') {
+      ++i;  // line noise between packets: skip
+      continue;
+    }
+    const std::size_t hash = pending_.find('#', i + 1);
+    if (hash == std::string::npos || hash + 2 >= pending_.size()) {
+      // Incomplete packet: drop the noise before it and wait for bytes.
+      pending_.erase(0, i);
+      return std::nullopt;
+    }
+    const std::string_view body =
+        std::string_view(pending_).substr(i + 1, hash - i - 1);
+    const int hi = hex_value(pending_[hash + 1]);
+    const int lo = hex_value(pending_[hash + 2]);
+    DecoderEvent event;
+    if (hi < 0 || lo < 0 || static_cast<u8>((hi << 4) | lo) != checksum(body)) {
+      event.kind = DecoderEvent::Kind::kBadPacket;
+    } else if (Expected<std::string> expanded = rle_decode(body); expanded) {
+      event.kind = DecoderEvent::Kind::kPacket;
+      event.payload = std::move(expanded).value();
+    } else {
+      event.kind = DecoderEvent::Kind::kBadPacket;
+    }
+    pending_.erase(0, hash + 3);
+    return event;
+  }
+  pending_.clear();
+  return std::nullopt;
+}
+
+}  // namespace mbcosim::rsp

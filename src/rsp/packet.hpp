@@ -1,0 +1,104 @@
+// GDB Remote Serial Protocol packet codec — the wire layer of the
+// remote-debug subsystem (the analog of the byte stream flowing through
+// the paper's mb-gdb "bidirectional software pipe", Figure 2).
+//
+// Everything in this header is a pure function or a small incremental
+// parser over plain byte strings: no sockets, no target state, no time.
+// That keeps the whole framing layer unit-testable byte-for-byte —
+// checksums, run-length encoding, hex payloads and the `}`-escaping of
+// binary payloads all round-trip without ever opening a connection.
+//
+// Wire format recap (GDB "Remote Protocol" appendix):
+//   packet      := '$' payload '#' hex hex     (checksum = sum of payload
+//                                               bytes mod 256)
+//   ack / nak   := '+' / '-'
+//   interrupt   := 0x03 (sent raw, outside any packet)
+//   RLE         := c '*' n  expands to 1 + (n - 29) copies of c
+//   binary data := '}' escapes; escaped byte is original XOR 0x20
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace mbcosim::rsp {
+
+/// Mod-256 sum of the payload bytes — the RSP packet checksum.
+[[nodiscard]] u8 checksum(std::string_view payload) noexcept;
+
+/// Wrap an (already escaped / RLE'd) payload into `$payload#xx`.
+[[nodiscard]] std::string frame_packet(std::string_view payload);
+
+/// Lower-case hex encoding of raw bytes, two digits per byte.
+[[nodiscard]] std::string to_hex(std::string_view bytes);
+
+/// Inverse of to_hex. Fails on odd length or non-hex digits.
+[[nodiscard]] Expected<std::string> from_hex(std::string_view hex);
+
+/// A 32-bit register value as 8 hex digits in *target byte order*. The
+/// MB32 LMB memory is little-endian (iss::LmbMemory), so registers
+/// travel least-significant byte first — gdb byte-swaps per its own
+/// notion of target endianness, which our target description pins to
+/// little-endian as well (see DESIGN.md "Remote debug").
+[[nodiscard]] std::string hex_word(Word value);
+
+/// Inverse of hex_word (exactly 8 hex digits, little-endian bytes).
+[[nodiscard]] Expected<Word> parse_hex_word(std::string_view hex);
+
+/// Plain big-endian hex number (addresses, lengths, register indexes in
+/// packet headers — NOT register payloads). Empty input fails.
+[[nodiscard]] Expected<u64> parse_hex_number(std::string_view hex);
+
+/// Escape a binary payload for an `X`-style packet: 0x23 `#`, 0x24 `$`,
+/// 0x2a `*` and 0x7d `}` become `}` followed by the byte XOR 0x20.
+[[nodiscard]] std::string escape_binary(std::string_view data);
+
+/// Inverse of escape_binary. Fails on a trailing lone `}`.
+[[nodiscard]] Expected<std::string> unescape_binary(std::string_view data);
+
+/// Run-length encode a payload (`c*n` = 1 + (n - 29) copies of c).
+/// Never emits the forbidden repeat counts 6 and 7 (`#`, `$`), never
+/// emits `+` or `-` as a count, and leaves runs shorter than 4 literal.
+[[nodiscard]] std::string rle_encode(std::string_view payload);
+
+/// Expand run-length encoding. Fails on a dangling `*`, a count below
+/// the printable floor (29 + 3) or an expansion with no preceding byte.
+[[nodiscard]] Expected<std::string> rle_decode(std::string_view payload);
+
+/// One event recovered from the byte stream by PacketDecoder.
+struct DecoderEvent {
+  enum class Kind : u8 {
+    kPacket,     ///< a well-formed packet; `payload` is RLE-expanded
+    kAck,        ///< '+'
+    kNak,        ///< '-'
+    kInterrupt,  ///< raw 0x03 (gdb's Ctrl-C)
+    kBadPacket,  ///< framing or checksum failure — answer with a NAK
+  };
+  Kind kind = Kind::kPacket;
+  std::string payload;
+};
+
+/// Incremental packet parser: feed() arbitrary byte chunks (a packet may
+/// arrive split across any number of reads), next() yields the decoded
+/// events in order. Bytes outside any packet that are not '+', '-' or
+/// 0x03 are line noise per the RSP spec and are skipped.
+class PacketDecoder {
+ public:
+  void feed(std::string_view bytes) { pending_.append(bytes); }
+
+  /// The next complete event, or nullopt when more bytes are needed.
+  [[nodiscard]] std::optional<DecoderEvent> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  std::string pending_;
+};
+
+}  // namespace mbcosim::rsp

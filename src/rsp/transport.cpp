@@ -1,0 +1,216 @@
+#include "rsp/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace mbcosim::rsp {
+
+// ---------------------------------------------------------------------------
+// Loopback
+
+namespace {
+
+/// Shared state of one loopback pair: one buffer per direction. The
+/// mutex makes the pair usable across two threads (server thread +
+/// in-process client); single-threaded tests never contend on it.
+struct LoopbackState {
+  std::mutex mutex;
+  std::array<std::string, 2> buffer;  ///< buffer[i] = bytes waiting for side i
+  std::array<bool, 2> open{true, true};
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+
+  ~LoopbackTransport() override {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->open[side_] = false;
+  }
+
+  bool send(std::string_view bytes) override {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->open[1 - side_]) return false;
+    state_->buffer[1 - side_].append(bytes);
+    return true;
+  }
+
+  std::string recv(int /*timeout_ms*/) override {
+    // Deterministic: whatever is queued right now, never a wait.
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    std::string out = std::move(state_->buffer[side_]);
+    state_->buffer[side_].clear();
+    return out;
+  }
+
+  [[nodiscard]] bool closed() const override {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return !state_->open[1 - side_] && state_->buffer[side_].empty();
+  }
+
+ private:
+  std::shared_ptr<LoopbackState> state_;
+  int side_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback() {
+  auto state = std::make_shared<LoopbackState>();
+  return {std::make_unique<LoopbackTransport>(state, 0),
+          std::make_unique<LoopbackTransport>(state, 1)};
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+
+namespace {
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send(std::string_view bytes) override {
+    if (fd_ < 0) return false;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        closed_ = true;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::string recv(int timeout_ms) override {
+    if (fd_ < 0 || closed_) return {};
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) return {};
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) return {};
+      closed_ = true;  // n == 0: orderly shutdown by the peer
+      return {};
+    }
+    return std::string(chunk, static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] bool closed() const override { return closed_; }
+
+ private:
+  int fd_ = -1;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Expected<TcpListener> TcpListener::listen(u16 port) {
+  using Failure = Expected<TcpListener>;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Failure::failure(std::string("TcpListener: socket: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Failure::failure("TcpListener: bind port " + std::to_string(port) +
+                            ": " + message);
+  }
+  if (::listen(fd, 1) < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Failure::failure("TcpListener: listen: " + message);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Failure::failure("TcpListener: getsockname: " + message);
+  }
+  return TcpListener(fd, ntohs(bound.sin_port));
+}
+
+std::unique_ptr<Transport> TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0) return nullptr;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return nullptr;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  return std::make_unique<TcpTransport>(client);
+}
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host, u16 port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+}  // namespace mbcosim::rsp

@@ -1,0 +1,82 @@
+// Byte transports for the RSP server — the carrier of the paper's
+// "bidirectional software pipe" between the debugger front end and the
+// simulated system (Figure 2). Two implementations:
+//
+//   - an in-memory loopback pair, fully deterministic (no sockets, no
+//     threads, no time) so protocol sessions can be unit-tested
+//     byte-for-byte;
+//   - a POSIX TCP listener/stream, accepting a single gdb client on a
+//     localhost port, with non-blocking polling so a running target can
+//     notice the client's raw `\x03` interrupt byte mid-continue.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace mbcosim::rsp {
+
+/// A bidirectional byte stream. All methods are single-threaded with
+/// respect to one endpoint; the two endpoints of a loopback pair may
+/// live on different threads.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queue/write raw bytes to the peer. False when the connection is
+  /// gone (the session should end).
+  virtual bool send(std::string_view bytes) = 0;
+
+  /// Receive whatever bytes are available, waiting at most `timeout_ms`
+  /// (0 = poll and return immediately). Returns an empty string when
+  /// nothing arrived; check closed() to distinguish timeout from EOF.
+  [[nodiscard]] virtual std::string recv(int timeout_ms) = 0;
+
+  /// True once the peer has disconnected (and every byte it sent before
+  /// disconnecting has been recv()'d).
+  [[nodiscard]] virtual bool closed() const = 0;
+};
+
+/// Create a connected in-memory transport pair (server side, client
+/// side). recv() never blocks regardless of the timeout — the pair is
+/// for deterministic tests and same-process clients.
+[[nodiscard]] std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback();
+
+/// A one-client TCP listener bound to 127.0.0.1. Port 0 picks an
+/// ephemeral port; port() reports the actual one either way.
+class TcpListener {
+ public:
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// Bind and listen on 127.0.0.1:port (0 = ephemeral).
+  [[nodiscard]] static Expected<TcpListener> listen(u16 port);
+
+  [[nodiscard]] u16 port() const noexcept { return port_; }
+
+  /// Accept one client, waiting at most `timeout_ms` (< 0 = forever).
+  /// Null on timeout or listener failure.
+  [[nodiscard]] std::unique_ptr<Transport> accept(int timeout_ms = -1);
+
+ private:
+  TcpListener(int fd, u16 port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  u16 port_ = 0;
+};
+
+/// Client-side connect to host:port (numeric IPv4 host, e.g.
+/// "127.0.0.1"). Null on failure. Used by the end-to-end tests and by
+/// scripted clients.
+[[nodiscard]] std::unique_ptr<Transport> tcp_connect(const std::string& host,
+                                                     u16 port);
+
+}  // namespace mbcosim::rsp

@@ -6,9 +6,12 @@
 #include "asm/assembler.hpp"
 #include "common/stopwatch.hpp"
 #include "isa/isa.hpp"
+#include "iss/debugger.hpp"
 #include "iss/memory.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/vcd_sink.hpp"
+#include "rsp/cosim_target.hpp"
+#include "rsp/transport.hpp"
 
 namespace mbcosim::sim {
 
@@ -36,6 +39,7 @@ struct SimSystem::State {
   double last_run_wall_seconds = 0.0;
   obs::TraceBus trace_bus;                  ///< stable: lives in the State
   obs::MetricsRegistry* metrics = nullptr;  ///< owned by trace_bus if set
+  std::optional<u16> gdb_port;              ///< Builder::gdb_server
 };
 
 SimSystem::SimSystem(std::unique_ptr<State> state) : state_(std::move(state)) {}
@@ -185,6 +189,68 @@ core::CoSimEngine* SimSystem::engine() noexcept {
   return state_->engine ? &*state_->engine : nullptr;
 }
 
+std::optional<u16> SimSystem::gdb_port() const noexcept {
+  return state_->gdb_port;
+}
+
+Expected<rsp::SessionEnd> SimSystem::serve_gdb() {
+  if (!state_->gdb_port) {
+    return Expected<rsp::SessionEnd>::failure(
+        "SimSystem: no gdb port configured (call Builder::gdb_server)");
+  }
+  return serve_gdb(*state_->gdb_port);
+}
+
+Expected<rsp::SessionEnd> SimSystem::serve_gdb(
+    u16 port, std::function<void(u16)> on_listen) {
+  using Failure = Expected<rsp::SessionEnd>;
+  Expected<rsp::TcpListener> bound = rsp::TcpListener::listen(port);
+  if (!bound) {
+    return Failure::failure("SimSystem: gdb server: " + bound.error());
+  }
+  rsp::TcpListener listener = std::move(bound).value();
+  if (on_listen) on_listen(listener.port());
+  std::unique_ptr<rsp::Transport> transport = listener.accept();
+  if (transport == nullptr) {
+    return Failure::failure("SimSystem: gdb server accepted no client");
+  }
+
+  iss::Debugger debugger(state_->cpu);
+  rsp::CoSimTarget target(debugger, engine());
+  target.set_stall_threshold(state_->deadlock_threshold);
+  // System-level monitor verbs layered over the debugger's vocabulary,
+  // so `monitor metrics` / `monitor stats` work from a gdb prompt.
+  target.set_monitor_extra([this](std::string_view line) -> std::string {
+    if (line == "metrics") {
+      const obs::MetricsSnapshot snapshot = metrics_snapshot();
+      if (snapshot.empty()) {
+        return "metrics: not enabled (build with Builder::metrics)";
+      }
+      return snapshot.to_string();
+    }
+    if (line == "stats") {
+      const core::CoSimStats s = stats();
+      std::string out;
+      out += "cycles " + std::to_string(s.cycles);
+      out += "\ninstructions " + std::to_string(s.instructions);
+      out += "\nfsl_stall_cycles " + std::to_string(s.fsl_stall_cycles);
+      out += "\nhw_cycles_stepped " + std::to_string(s.hw_cycles_stepped);
+      out += "\nhw_cycles_skipped " + std::to_string(s.hw_cycles_skipped);
+      out += "\nwords_to_hw " + std::to_string(s.bridge.words_to_hw);
+      out += "\nwords_from_hw " + std::to_string(s.bridge.words_from_hw);
+      return out;
+    }
+    return {};
+  });
+
+  rsp::RspServer server(*transport, target);
+  const rsp::SessionEnd end = server.serve();
+  // The client may have run the program to completion: make the trace
+  // sinks durable exactly as run() does.
+  state_->trace_bus.flush();
+  return end;
+}
+
 Addr SimSystem::symbol(const std::string& name) const {
   return state_->program.symbol(name);
 }
@@ -283,6 +349,11 @@ SimSystem::Builder& SimSystem::Builder::sink(
   return *this;
 }
 
+SimSystem::Builder& SimSystem::Builder::gdb_server(u16 port) {
+  gdb_port_ = port;
+  return *this;
+}
+
 Expected<SimSystem> SimSystem::Builder::build() {
   using Failure = Expected<SimSystem>;
 
@@ -371,6 +442,7 @@ Expected<SimSystem> SimSystem::Builder::build() {
                                        memory_bytes_, fifo_depth_);
   state->fsl_links = fsl_links;
   state->deadlock_threshold = deadlock_threshold_;
+  state->gdb_port = gdb_port_;
   state->cpu.set_predecode(predecode_);
 
   // 5. Observability sinks. The bus lives inside the heap-allocated

@@ -41,6 +41,7 @@
 #include "iss/processor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_bus.hpp"
+#include "rsp/server.hpp"
 #include "sysgen/model.hpp"
 
 namespace mbcosim::sim {
@@ -142,6 +143,20 @@ class SimSystem {
   /// Co-simulation engine; nullptr for a software-only system.
   [[nodiscard]] core::CoSimEngine* engine() noexcept;
 
+  // -- remote debug ----------------------------------------------------
+  /// Serve one GDB Remote Serial Protocol session on 127.0.0.1:`port`
+  /// (0 picks an ephemeral port). Blocks until the client detaches,
+  /// kills the session or disconnects; continue/step advance the full
+  /// co-simulation engine cycle-accurately. `on_listen`, if set, is
+  /// called with the bound port before accepting — this is how a caller
+  /// learns an ephemeral port (and when it is safe to connect).
+  [[nodiscard]] Expected<rsp::SessionEnd> serve_gdb(
+      u16 port, std::function<void(u16)> on_listen = {});
+  /// Same, on the port configured with Builder::gdb_server.
+  [[nodiscard]] Expected<rsp::SessionEnd> serve_gdb();
+  /// Port configured with Builder::gdb_server, if any.
+  [[nodiscard]] std::optional<u16> gdb_port() const noexcept;
+
   /// Address of a program symbol (throws SimError if undefined).
   [[nodiscard]] Addr symbol(const std::string& name) const;
   /// The `index`-th word of the array at program symbol `name`.
@@ -213,6 +228,11 @@ class SimSystem::Builder {
   /// stream in a test).
   Builder& sink(std::unique_ptr<obs::TraceSink> sink);
 
+  /// Configure the port SimSystem::serve_gdb() (no-argument form) will
+  /// listen on; 0 picks an ephemeral port. Build-time configuration
+  /// only — the socket opens when serve_gdb is called.
+  Builder& gdb_server(u16 port);
+
   /// Assemble, construct and wire everything; leaves the system reset at
   /// the program entry. All errors come back as Expected failures.
   [[nodiscard]] Expected<SimSystem> build();
@@ -234,6 +254,7 @@ class SimSystem::Builder {
   std::optional<std::string> vcd_path_;
   bool metrics_ = false;
   std::vector<std::unique_ptr<obs::TraceSink>> extra_sinks_;
+  std::optional<u16> gdb_port_;
 };
 
 }  // namespace mbcosim::sim

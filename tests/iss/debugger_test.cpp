@@ -98,8 +98,39 @@ TEST(DebuggerCommands, Disassemble) {
 TEST(DebuggerCommands, UnknownCommand) {
   TestMachine m("halt\n");
   Debugger dbg(m.cpu);
-  EXPECT_NE(dbg.command("launch missiles").find("error"), std::string::npos);
+  EXPECT_EQ(dbg.command("launch missiles"), "error: unknown command 'launch'");
   EXPECT_NE(dbg.command("").find("error"), std::string::npos);
+}
+
+TEST(DebuggerCommands, TrailingGarbageRejected) {
+  TestMachine m("halt\n");
+  Debugger dbg(m.cpu);
+  // A typo that silently dropped its tail could read/write the wrong
+  // location; every verb takes an exact argument count.
+  EXPECT_NE(dbg.command("reg r3 junk").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("setreg r3 1 2").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("mem 0x100 0x104").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("setmem 0x100 1 2").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("cycles now").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("pc please").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("msr 0").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("step 2").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("cont 10 20").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("break 0x4 0x8").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("disasm 0x0").find("error"), std::string::npos);
+  // Nothing above executed or mutated state.
+  EXPECT_EQ(dbg.command("cycles"), "0");
+  EXPECT_EQ(dbg.command("pc"), "0x0");
+}
+
+TEST(DebuggerCommands, NumericParsingRejectsGarbage) {
+  TestMachine m("halt\n");
+  Debugger dbg(m.cpu);
+  EXPECT_NE(dbg.command("reg r3x").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("mem 0x10q").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("setreg r3 12junk").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("cont ten").find("error"), std::string::npos);
+  EXPECT_NE(dbg.command("break 0x").find("error"), std::string::npos);
 }
 
 TEST(DebuggerCommands, MsrQuery) {

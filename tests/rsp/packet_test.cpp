@@ -1,0 +1,247 @@
+// Unit and property tests for the RSP packet codec: framing, checksums,
+// hex payloads, binary escaping and run-length encoding all round-trip
+// byte-for-byte, and the incremental decoder recovers packets from
+// arbitrarily fragmented byte streams.
+#include "rsp/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace mbcosim::rsp {
+namespace {
+
+TEST(RspChecksum, KnownValues) {
+  EXPECT_EQ(checksum(""), 0u);
+  EXPECT_EQ(checksum("OK"), static_cast<u8>('O' + 'K'));
+  // Sum wraps mod 256.
+  EXPECT_EQ(checksum(std::string(256, 'a')), static_cast<u8>(256 * 'a'));
+}
+
+TEST(RspFrame, KnownPackets) {
+  EXPECT_EQ(frame_packet(""), "$#00");
+  EXPECT_EQ(frame_packet("OK"), "$OK#9a");
+  EXPECT_EQ(frame_packet("S05"), "$S05#b8");
+}
+
+TEST(RspHex, RoundTrip) {
+  const std::string bytes{"\x00\x7f\xff\x10", 4};
+  EXPECT_EQ(to_hex(bytes), "007fff10");
+  const Expected<std::string> back = from_hex("007fff10");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), bytes);
+}
+
+TEST(RspHex, RejectsOddLengthAndBadDigits) {
+  EXPECT_FALSE(from_hex("abc").ok());
+  EXPECT_FALSE(from_hex("zz").ok());
+  EXPECT_TRUE(from_hex("").ok());
+}
+
+TEST(RspHexWord, LittleEndianWire) {
+  // Register values travel least-significant byte first.
+  EXPECT_EQ(hex_word(0x12345678u), "78563412");
+  const Expected<Word> back = parse_hex_word("78563412");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), 0x12345678u);
+  EXPECT_FALSE(parse_hex_word("7856341").ok());    // 7 digits
+  EXPECT_FALSE(parse_hex_word("785634122").ok());  // 9 digits
+  EXPECT_FALSE(parse_hex_word("7856341g").ok());
+}
+
+TEST(RspHexNumber, BigEndianAddresses) {
+  const Expected<u64> value = parse_hex_number("1f0");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 0x1f0u);
+  EXPECT_FALSE(parse_hex_number("").ok());
+  EXPECT_FALSE(parse_hex_number("12x").ok());  // trailing garbage
+}
+
+TEST(RspBinaryEscape, EscapesExactlyTheReservedBytes) {
+  const std::string reserved = "#$*}";
+  const std::string escaped = escape_binary(reserved);
+  EXPECT_EQ(escaped.size(), 8u);
+  for (std::size_t i = 0; i + 1 < escaped.size(); i += 2) {
+    EXPECT_EQ(escaped[i], '}');
+    EXPECT_EQ(static_cast<char>(escaped[i + 1] ^ 0x20), reserved[i / 2]);
+  }
+  EXPECT_EQ(escape_binary("plain"), "plain");
+}
+
+TEST(RspBinaryEscape, EveryByteValueRoundTrips) {
+  std::string all;
+  for (int b = 0; b < 256; ++b) all.push_back(static_cast<char>(b));
+  const std::string escaped = escape_binary(all);
+  // The escaped form never contains a bare reserved byte (except the
+  // leading `}` of an escape pair).
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '}') {
+      ++i;  // the escaped byte that follows may be anything
+      continue;
+    }
+    EXPECT_NE(escaped[i], '#');
+    EXPECT_NE(escaped[i], '$');
+    EXPECT_NE(escaped[i], '*');
+  }
+  const Expected<std::string> back = unescape_binary(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), all);
+}
+
+TEST(RspBinaryEscape, DanglingEscapeFails) {
+  EXPECT_FALSE(unescape_binary("abc}").ok());
+}
+
+TEST(RspRle, KnownExpansions) {
+  // 'c*n' expands to 1 + (n - 29) copies: "0* " is '0' plus 3 more.
+  const Expected<std::string> four = rle_decode("0* ");
+  ASSERT_TRUE(four.ok());
+  EXPECT_EQ(four.value(), "0000");
+  EXPECT_FALSE(rle_decode("*!").ok());   // no preceding byte
+  EXPECT_FALSE(rle_decode("a*").ok());   // dangling
+  EXPECT_FALSE(rle_decode("a*\x1d").ok());  // count 0 < 3
+}
+
+TEST(RspRle, ShortRunsStayLiteral) {
+  EXPECT_EQ(rle_encode("aa"), "aa");
+  EXPECT_EQ(rle_encode("aaa"), "aaa");
+  EXPECT_NE(rle_encode("aaaa").find('*'), std::string::npos);
+}
+
+TEST(RspRle, NeverEmitsForbiddenCounts) {
+  for (std::size_t run = 1; run <= 300; ++run) {
+    const std::string encoded = rle_encode(std::string(run, 'x'));
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      if (encoded[i] != '*') continue;
+      ASSERT_LT(i + 1, encoded.size());
+      const char count = encoded[i + 1];
+      EXPECT_NE(count, '#') << "run " << run;
+      EXPECT_NE(count, '$') << "run " << run;
+      EXPECT_NE(count, '+') << "run " << run;
+      EXPECT_NE(count, '-') << "run " << run;
+      EXPECT_GE(static_cast<u8>(count) - 29, 3) << "run " << run;
+      ++i;
+    }
+    const Expected<std::string> back = rle_decode(encoded);
+    ASSERT_TRUE(back.ok()) << "run " << run;
+    EXPECT_EQ(back.value(), std::string(run, 'x')) << "run " << run;
+  }
+}
+
+TEST(RspRle, FuzzRoundTripOverEscapedPayloads) {
+  // The wire pipeline escapes binary data *before* RLE, so rle_encode
+  // never sees a raw '*'; the fuzz inputs go through the same pipeline.
+  Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string raw;
+    const std::size_t length = rng.next_below(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      // Skew towards runs so the encoder actually compresses.
+      if (!raw.empty() && rng.next_below(4) != 0) {
+        raw.push_back(raw.back());
+      } else {
+        raw.push_back(static_cast<char>(rng.next_below(256)));
+      }
+    }
+    const std::string escaped = escape_binary(raw);
+    const std::string encoded = rle_encode(escaped);
+    const Expected<std::string> decoded = rle_decode(encoded);
+    ASSERT_TRUE(decoded.ok()) << "trial " << trial;
+    ASSERT_EQ(decoded.value(), escaped) << "trial " << trial;
+    const Expected<std::string> unescaped = unescape_binary(decoded.value());
+    ASSERT_TRUE(unescaped.ok()) << "trial " << trial;
+    ASSERT_EQ(unescaped.value(), raw) << "trial " << trial;
+  }
+}
+
+TEST(RspDecoder, ByteAtATime) {
+  PacketDecoder decoder;
+  const std::string wire = frame_packet("qSupported");
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.feed(wire.substr(i, 1));
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+  decoder.feed(wire.substr(wire.size() - 1));
+  const auto event = decoder.next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, DecoderEvent::Kind::kPacket);
+  EXPECT_EQ(event->payload, "qSupported");
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(RspDecoder, AckNakInterruptInterleaved) {
+  PacketDecoder decoder;
+  std::string wire = "+";
+  wire += frame_packet("?");
+  wire += "-\x03";
+  wire += frame_packet("c");
+  decoder.feed(wire);
+  auto e1 = decoder.next();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->kind, DecoderEvent::Kind::kAck);
+  auto e2 = decoder.next();
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->kind, DecoderEvent::Kind::kPacket);
+  EXPECT_EQ(e2->payload, "?");
+  auto e3 = decoder.next();
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(e3->kind, DecoderEvent::Kind::kNak);
+  auto e4 = decoder.next();
+  ASSERT_TRUE(e4.has_value());
+  EXPECT_EQ(e4->kind, DecoderEvent::Kind::kInterrupt);
+  auto e5 = decoder.next();
+  ASSERT_TRUE(e5.has_value());
+  EXPECT_EQ(e5->payload, "c");
+}
+
+TEST(RspDecoder, BadChecksumIsReported) {
+  PacketDecoder decoder;
+  decoder.feed("$OK#00");  // real checksum is 9a
+  const auto event = decoder.next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, DecoderEvent::Kind::kBadPacket);
+  // The stream recovers: the next packet decodes fine.
+  decoder.feed(frame_packet("OK"));
+  const auto good = decoder.next();
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->kind, DecoderEvent::Kind::kPacket);
+  EXPECT_EQ(good->payload, "OK");
+}
+
+TEST(RspDecoder, SkipsLineNoise) {
+  PacketDecoder decoder;
+  decoder.feed("garbage\r\n" + frame_packet("m0,4") + "noise");
+  const auto event = decoder.next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, DecoderEvent::Kind::kPacket);
+  EXPECT_EQ(event->payload, "m0,4");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(RspDecoder, RleExpandedOnTheWayIn) {
+  PacketDecoder decoder;
+  decoder.feed(frame_packet("0* "));  // '0' + 3 repeats
+  const auto event = decoder.next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, DecoderEvent::Kind::kPacket);
+  EXPECT_EQ(event->payload, "0000");
+}
+
+TEST(RspDecoder, FragmentedAcrossFeeds) {
+  PacketDecoder decoder;
+  decoder.feed("$m12");
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.feed("34,8#");
+  EXPECT_FALSE(decoder.next().has_value());
+  const std::string frame = frame_packet("m1234,8");
+  decoder.feed(frame.substr(frame.size() - 2));
+  const auto event = decoder.next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->payload, "m1234,8");
+}
+
+}  // namespace
+}  // namespace mbcosim::rsp

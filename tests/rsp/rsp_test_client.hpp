@@ -1,0 +1,89 @@
+// Scripted RSP client used by the protocol tests: frames packets, waits
+// for (and acks) replies, and decodes qRcmd hex. Works over both the
+// deterministic loopback pair (with an explicit server-pump hook and
+// zero timeouts) and a live TCP connection (server on another thread,
+// real timeouts).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rsp/packet.hpp"
+#include "rsp/transport.hpp"
+
+namespace mbcosim::rsp::testclient {
+
+class RspTestClient {
+ public:
+  /// `pump` (optional) is invoked after every send so a single-threaded
+  /// loopback server gets a chance to process the bytes; `timeout_ms` 0
+  /// means "everything must already be available" (loopback), > 0 polls
+  /// a live transport.
+  explicit RspTestClient(Transport& transport,
+                         std::function<void()> pump = {}, int timeout_ms = 0)
+      : transport_(transport), pump_(std::move(pump)),
+        timeout_ms_(timeout_ms) {}
+
+  void send_raw(std::string_view bytes) { transport_.send(bytes); }
+
+  /// Send one framed packet (no reply expected — e.g. `k`).
+  void send_packet(std::string_view payload) {
+    transport_.send(frame_packet(payload));
+    if (pump_) pump_();
+  }
+
+  /// Send a packet and return the server's reply payload, consuming the
+  /// ack and acking the reply. nullopt on timeout / disconnect / NAK.
+  std::optional<std::string> transact(std::string_view payload) {
+    transport_.send(frame_packet(payload));
+    if (pump_) pump_();
+    while (true) {
+      std::optional<DecoderEvent> event = next_event();
+      if (!event) return std::nullopt;
+      if (event->kind == DecoderEvent::Kind::kAck) continue;
+      if (event->kind != DecoderEvent::Kind::kPacket) return std::nullopt;
+      transport_.send("+");
+      if (pump_) pump_();
+      return std::move(event->payload);
+    }
+  }
+
+  /// gdb `monitor CMD`: hex-encode through qRcmd, hex-decode the reply.
+  std::optional<std::string> monitor(std::string_view command) {
+    const std::optional<std::string> reply =
+        transact("qRcmd," + to_hex(command));
+    if (!reply) return std::nullopt;
+    if (*reply == "OK") return std::string{};
+    const Expected<std::string> text = from_hex(*reply);
+    if (!text) return std::nullopt;
+    return text.value();
+  }
+
+  /// Next decoded event from the wire (ack, packet, ...), honouring the
+  /// client timeout.
+  std::optional<DecoderEvent> next_event() {
+    int waited = 0;
+    while (true) {
+      if (std::optional<DecoderEvent> event = decoder_.next()) return event;
+      const int slice = timeout_ms_ > 0 ? 20 : 0;
+      const std::string bytes = transport_.recv(slice);
+      if (!bytes.empty()) {
+        decoder_.feed(bytes);
+        continue;
+      }
+      if (transport_.closed()) return std::nullopt;
+      if (timeout_ms_ <= 0 || waited >= timeout_ms_) return std::nullopt;
+      waited += slice;
+    }
+  }
+
+ private:
+  Transport& transport_;
+  std::function<void()> pump_;
+  int timeout_ms_ = 0;
+  PacketDecoder decoder_;
+};
+
+}  // namespace mbcosim::rsp::testclient

@@ -23,6 +23,10 @@
 //                       (A/B baseline; cycle counts are identical)
 //   --rtl               run on the low-level RTL system instead of the
 //                       ISS (no peripheral; for timing cross-checks)
+//   --gdb PORT          do not run: serve one GDB Remote Serial Protocol
+//                       session on 127.0.0.1:PORT (0 = ephemeral; the
+//                       bound port is printed) and let the client drive
+//                       execution (`gdb` + `target remote :PORT`)
 //
 // Exit status: 0 = program halted normally, 2 = illegal instruction,
 // 3 = cycle budget exhausted, 1 = usage / assembly errors.
@@ -31,6 +35,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +50,7 @@
 #include "obs/vcd_sink.hpp"
 #include "rtl/vcd.hpp"
 #include "rtlmodels/system_rtl.hpp"
+#include "sim/sim_system.hpp"
 
 using namespace mbcosim;
 
@@ -61,6 +67,7 @@ struct Options {
   std::vector<std::pair<Addr, u32>> memory_dumps;
   Cycle max_cycles = 100'000'000;
   bool predecode = true;
+  std::optional<u16> gdb_port;
   isa::CpuConfig cpu;
 };
 
@@ -70,7 +77,7 @@ void usage() {
                "              [--metrics] [--regs] [--mem ADDR COUNT]\n"
                "              [--max-cycles N] [--no-multiplier]\n"
                "              [--no-barrel-shifter] [--divider] [--rtl]\n"
-               "              [--no-predecode] program.s\n");
+               "              [--no-predecode] [--gdb PORT] program.s\n");
 }
 
 bool parse_u64(const char* text, u64& out) {
@@ -85,13 +92,25 @@ bool parse_u64(const char* text, u64& out) {
   return result.ec == std::errc{} && result.ptr == end;
 }
 
+/// The value of a flag that takes one; null (with a diagnostic) when the
+/// command line ends before it.
+const char* flag_value(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "option %s requires an argument\n", flag.c_str());
+    return nullptr;
+  }
+  return argv[++i];
+}
+
 bool parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--disasm") {
       options.disasm_only = true;
-    } else if (arg == "--trace" && i + 1 < argc) {
-      options.trace_path = argv[++i];
+    } else if (arg == "--trace") {
+      const char* value = flag_value(argc, argv, i, arg);
+      if (value == nullptr) return false;
+      options.trace_path = value;
     } else if (arg == "--metrics") {
       options.metrics = true;
     } else if (arg == "--regs") {
@@ -106,16 +125,42 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.cpu.has_divider = true;
     } else if (arg == "--no-predecode") {
       options.predecode = false;
-    } else if (arg == "--vcd" && i + 1 < argc) {
-      options.vcd_path = argv[++i];
-    } else if (arg == "--max-cycles" && i + 1 < argc) {
-      u64 value = 0;
-      if (!parse_u64(argv[++i], value)) return false;
-      options.max_cycles = value;
-    } else if (arg == "--mem" && i + 2 < argc) {
+    } else if (arg == "--vcd") {
+      const char* value = flag_value(argc, argv, i, arg);
+      if (value == nullptr) return false;
+      options.vcd_path = value;
+    } else if (arg == "--max-cycles") {
+      const char* value = flag_value(argc, argv, i, arg);
+      u64 parsed = 0;
+      if (value == nullptr || !parse_u64(value, parsed)) {
+        if (value != nullptr) {
+          std::fprintf(stderr, "bad --max-cycles value: %s\n", value);
+        }
+        return false;
+      }
+      options.max_cycles = parsed;
+    } else if (arg == "--gdb") {
+      const char* value = flag_value(argc, argv, i, arg);
+      u64 port = 0;
+      if (value == nullptr || !parse_u64(value, port) || port > 65535) {
+        if (value != nullptr) {
+          std::fprintf(stderr, "bad --gdb port: %s\n", value);
+        }
+        return false;
+      }
+      options.gdb_port = static_cast<u16>(port);
+    } else if (arg == "--mem") {
+      const char* addr_text = flag_value(argc, argv, i, arg);
+      const char* count_text =
+          addr_text == nullptr ? nullptr : flag_value(argc, argv, i, arg);
       u64 addr = 0;
       u64 count = 0;
-      if (!parse_u64(argv[++i], addr) || !parse_u64(argv[++i], count)) {
+      if (count_text == nullptr || !parse_u64(addr_text, addr) ||
+          !parse_u64(count_text, count)) {
+        if (count_text != nullptr) {
+          std::fprintf(stderr, "bad --mem arguments: %s %s\n", addr_text,
+                       count_text);
+        }
         return false;
       }
       options.memory_dumps.emplace_back(static_cast<Addr>(addr),
@@ -126,10 +171,15 @@ bool parse_args(int argc, char** argv, Options& options) {
     } else if (options.source_path.empty()) {
       options.source_path = arg;
     } else {
+      std::fprintf(stderr, "unexpected extra argument: %s\n", arg.c_str());
       return false;
     }
   }
-  return !options.source_path.empty();
+  if (options.source_path.empty()) {
+    std::fprintf(stderr, "no program file given\n");
+    return false;
+  }
+  return true;
 }
 
 void dump_memory(const Options& options, iss::LmbMemory& memory) {
@@ -214,6 +264,52 @@ int run_on_iss(const Options& options, const assembler::Program& program) {
   dump_memory(options, memory);
   if (event == iss::Event::kHalted) return 0;
   return event == iss::Event::kIllegal ? 2 : 3;
+}
+
+int run_gdb(const Options& options, const assembler::Program& program) {
+  sim::SimSystem::Builder builder;
+  builder.program(program)
+      .cpu_config(options.cpu)
+      .predecode(options.predecode);
+  if (!options.trace_path.empty()) builder.trace(options.trace_path);
+  if (!options.vcd_path.empty()) builder.vcd(options.vcd_path);
+  if (options.metrics) builder.metrics();
+  Expected<sim::SimSystem> built = builder.build();
+  if (!built) {
+    std::fprintf(stderr, "%s\n", built.error().c_str());
+    return 1;
+  }
+  sim::SimSystem system = std::move(built).value();
+
+  const Expected<rsp::SessionEnd> end =
+      system.serve_gdb(*options.gdb_port, [](u16 port) {
+        std::printf("gdb server listening on 127.0.0.1:%u\n",
+                    static_cast<unsigned>(port));
+        std::fflush(stdout);
+      });
+  if (!end) {
+    std::fprintf(stderr, "%s\n", end.error().c_str());
+    return 1;
+  }
+
+  const core::CoSimStats stats = system.stats();
+  std::printf("gdb client %s after %llu cycles (%.2f usec @ 50 MHz), "
+              "%llu instructions\n",
+              rsp::to_string(end.value()),
+              static_cast<unsigned long long>(stats.cycles),
+              cycles_to_usec(stats.cycles),
+              static_cast<unsigned long long>(stats.instructions));
+  if (options.metrics) {
+    std::printf("%s", system.metrics_snapshot().to_string().c_str());
+  }
+  if (options.dump_regs) {
+    for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
+      std::printf("  r%-2u = 0x%08x%s", r, system.cpu().reg(r),
+                  (r % 4 == 3) ? "\n" : "  ");
+    }
+  }
+  dump_memory(options, system.memory());
+  return 0;
 }
 
 int run_on_rtl(const Options& options, const assembler::Program& program) {
@@ -309,6 +405,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (options.gdb_port) return run_gdb(options, program);
     return options.use_rtl ? run_on_rtl(options, program)
                            : run_on_iss(options, program);
   } catch (const SimError& error) {
