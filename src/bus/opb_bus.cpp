@@ -56,10 +56,31 @@ void OpbBus::emit(obs::EventKind kind, Addr addr, Cycle wait_states) const {
   trace_bus_->emit(event);
 }
 
+OpbFaultControls::Mode OpbBus::consume_fault() noexcept {
+  if (fault_ == nullptr || fault_->fired ||
+      fault_->mode == OpbFaultControls::Mode::kNone) {
+    return OpbFaultControls::Mode::kNone;
+  }
+  if (fault_->countdown > 0) {
+    --fault_->countdown;
+    return OpbFaultControls::Mode::kNone;
+  }
+  fault_->fired = true;
+  return fault_->mode;
+}
+
 BusResponse OpbBus::read(Addr addr) {
   Region* region = find(addr);
   if (region == nullptr) return BusResponse{};
   ++transactions_;
+  if (const auto mode = consume_fault();
+      mode != OpbFaultControls::Mode::kNone) [[unlikely]] {
+    BusResponse response;  // ok = false: error acknowledge or timeout
+    response.wait_states = mode == OpbFaultControls::Mode::kTimeout
+                               ? kTimeoutWaitStates
+                               : kBusWaitStates;
+    return response;
+  }
   const Addr offset = (addr - region->base) & ~Addr{3};
   BusResponse response;
   response.ok = true;
@@ -76,6 +97,14 @@ BusResponse OpbBus::write(Addr addr, Word value) {
   Region* region = find(addr);
   if (region == nullptr) return BusResponse{};
   ++transactions_;
+  if (const auto mode = consume_fault();
+      mode != OpbFaultControls::Mode::kNone) [[unlikely]] {
+    BusResponse response;  // ok = false; the write never reaches the slave
+    response.wait_states = mode == OpbFaultControls::Mode::kTimeout
+                               ? kTimeoutWaitStates
+                               : kBusWaitStates;
+    return response;
+  }
   const Addr offset = (addr - region->base) & ~Addr{3};
   region->peripheral->write(offset, value);
   BusResponse response;

@@ -30,9 +30,24 @@ class OpbPeripheral {
 
 /// Result of a bus transaction.
 struct BusResponse {
-  bool ok = false;      ///< address decoded to a device
+  bool ok = false;      ///< address decoded to a device, transfer completed
   Word data = 0;        ///< read data (reads only)
   Cycle wait_states = 0;  ///< cycles beyond the base access charged to CPU
+};
+
+/// Armed fault-injection behaviour of the bus (src/fault's view of a
+/// failing OPB slave or arbiter). Held behind a null-by-default pointer
+/// so the un-faulted path pays one predictable branch per decoded
+/// transaction — same contract as the trace bus.
+struct OpbFaultControls {
+  enum class Mode : u8 {
+    kNone,
+    kError,    ///< slave raises the OPB error acknowledge (ok = false)
+    kTimeout,  ///< no acknowledge: arbiter times the transfer out
+  };
+  Mode mode = Mode::kNone;
+  u64 countdown = 0;   ///< decoded transactions to let through first
+  bool fired = false;  ///< set once the one-shot fault has hit
 };
 
 class OpbBus {
@@ -40,6 +55,9 @@ class OpbBus {
   /// OPB single-beat transfers cost a bus arbitration + address phase;
   /// two wait states is typical for the MicroBlaze OPB master.
   static constexpr Cycle kBusWaitStates = 2;
+  /// Wait states charged when the arbiter's watchdog times a transfer
+  /// out (OPB timeout counter: 16 cycles of no slave acknowledge).
+  static constexpr Cycle kTimeoutWaitStates = 16;
 
   /// Attach a peripheral at [base, base + size). The bus owns it.
   /// Ranges must be word-aligned and non-overlapping.
@@ -61,8 +79,24 @@ class OpbBus {
   /// bus's simulated-time cursor (driven by the processor).
   void set_trace_bus(obs::TraceBus* bus) noexcept { trace_bus_ = bus; }
 
+  // -- fault injection (src/fault) -------------------------------------
+  /// Arm fault behaviour on the bus (replaces any previous arming).
+  void arm_fault(const OpbFaultControls& controls) {
+    fault_ = std::make_unique<OpbFaultControls>(controls);
+  }
+  /// Return the bus to fault-free operation.
+  void clear_fault() noexcept { fault_.reset(); }
+  /// Armed controls, or nullptr when the bus is fault-free.
+  [[nodiscard]] const OpbFaultControls* fault() const noexcept {
+    return fault_.get();
+  }
+
  private:
   void emit(obs::EventKind kind, Addr addr, Cycle wait_states) const;
+
+  /// Consume the armed one-shot fault for one decoded transaction.
+  /// Returns the mode that fires now (kNone when nothing fires).
+  [[nodiscard]] OpbFaultControls::Mode consume_fault() noexcept;
 
   struct Region {
     std::string name;
@@ -76,6 +110,7 @@ class OpbBus {
   std::vector<Region> regions_;
   u64 transactions_ = 0;
   obs::TraceBus* trace_bus_ = nullptr;
+  std::unique_ptr<OpbFaultControls> fault_;  ///< null = fault-free
 };
 
 // ---------------------------------------------------------------------------

@@ -20,6 +20,20 @@ class SimError : public std::runtime_error {
       : std::runtime_error(std::move(message)) {}
 };
 
+/// Success-or-error-message result for operations with no value to
+/// return (e.g. "did this sink's output stream fail?"). Default state
+/// is success; a failing component latches the *first* failure message
+/// so the error surfaces exactly once instead of repeating per event.
+struct Status {
+  bool ok = true;
+  std::string message;
+
+  static Status failure(std::string text) {
+    return Status{false, std::move(text)};
+  }
+  explicit operator bool() const noexcept { return ok; }
+};
+
 /// Lightweight expected-or-error-message result for parsing layers.
 template <typename T>
 class Expected {

@@ -1,6 +1,49 @@
 #include "core/cosim_engine.hpp"
 
+#include <cstdio>
+
+#include "isa/isa.hpp"
+
 namespace mbcosim::core {
+
+std::string DeadlockDiagnosis::to_string() const {
+  if (channel.empty()) {
+    return "deadlock: processor blocked (no FSL access decodes at pc 0x" +
+           [](Addr a) {
+             char buffer[16];
+             std::snprintf(buffer, sizeof buffer, "%08x", a);
+             return std::string(buffer);
+           }(pc) +
+           ")";
+  }
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer,
+                "deadlock: blocking %s on %s (fsl %u) at pc 0x%08x, "
+                "fifo %u/%u, blocked %llu cycles",
+                is_get ? "get" : "put", channel.c_str(), channel_id, pc,
+                occupancy, depth,
+                static_cast<unsigned long long>(blocked_cycles));
+  return buffer;
+}
+
+DeadlockDiagnosis diagnose_deadlock(const iss::Processor& cpu,
+                                    const fsl::FslHub& hub,
+                                    Cycle blocked_cycles) {
+  DeadlockDiagnosis diagnosis;
+  diagnosis.pc = cpu.pc();
+  diagnosis.blocked_cycles = blocked_cycles;
+  if (!cpu.memory().contains(cpu.pc(), 4)) return diagnosis;
+  const isa::Instruction in = isa::decode(cpu.memory().read_word(cpu.pc()));
+  if (in.op != isa::Op::kGet && in.op != isa::Op::kPut) return diagnosis;
+  diagnosis.is_get = in.op == isa::Op::kGet;
+  diagnosis.channel_id = in.fsl_id;
+  const fsl::FslChannel& channel = diagnosis.is_get ? hub.from_hw(in.fsl_id)
+                                                    : hub.to_hw(in.fsl_id);
+  diagnosis.channel = channel.name();
+  diagnosis.occupancy = static_cast<u32>(channel.occupancy());
+  diagnosis.depth = static_cast<u32>(channel.depth());
+  return diagnosis;
+}
 
 void CoSimEngine::reset(Addr pc) {
   cpu_.reset(pc);
@@ -9,6 +52,7 @@ void CoSimEngine::reset(Addr pc) {
   hw_cycles_ = 0;
   idle_streak_ = 0;
   skipped_cycles_ = 0;
+  last_deadlock_.reset();
 }
 
 void CoSimEngine::tick_hardware(Cycle cycles) {
@@ -85,11 +129,16 @@ StopReason CoSimEngine::run(Cycle max_cycles) {
                             bridge_.stats().words_from_hw;
         if (traffic == last_traffic) {
           if (++blocked_streak >= deadlock_threshold_) {
+            last_deadlock_ =
+                diagnose_deadlock(cpu_, bridge_.hub(), blocked_streak);
             if (trace_bus_ != nullptr && trace_bus_->enabled()) {
               obs::TraceEvent event;
               event.kind = obs::EventKind::kDeadlock;
               event.cycle = cpu_.cycle();
               event.cycles = blocked_streak;
+              event.channel = last_deadlock_->channel.empty()
+                                  ? nullptr
+                                  : last_deadlock_->channel.c_str();
               trace_bus_->emit(event);
             }
             return StopReason::kDeadlock;

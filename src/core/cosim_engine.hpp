@@ -18,6 +18,9 @@
 // the hardware makes progress (Section III-B's stalling semantics).
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "common/types.hpp"
 #include "core/fsl_bridge.hpp"
 #include "fsl/fsl_hub.hpp"
@@ -42,6 +45,45 @@ enum class StopReason : u8 {
   kIllegal,     ///< architectural error in the software
   kDeadlock,    ///< processor blocked on FSL with no hardware progress
 };
+
+/// Stable lower-case name of a stop reason (reports, mbcsim output).
+[[nodiscard]] constexpr const char* stop_reason_name(
+    StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kHalted: return "halted";
+    case StopReason::kCycleLimit: return "cycle_limit";
+    case StopReason::kIllegal: return "illegal";
+    case StopReason::kDeadlock: return "deadlock";
+  }
+  return "unknown";
+}
+
+/// Structured description of *what* was blocked when the deadlock
+/// heuristic fired: the FSL access the processor was spinning on, which
+/// channel it targeted, and the FIFO state that refused it. Built by
+/// diagnose_deadlock() below; surfaced via CoSimEngine /
+/// sim::SimSystem::deadlock_diagnosis() and printed by mbcsim.
+struct DeadlockDiagnosis {
+  std::string channel;       ///< FIFO name (e.g. "hw_to_mb0")
+  unsigned channel_id = 0;   ///< FSL link number
+  bool is_get = false;       ///< true: blocking get (read); false: put
+  Addr pc = 0;               ///< PC of the blocked instruction
+  u32 occupancy = 0;         ///< FIFO occupancy at diagnosis time
+  u32 depth = 0;
+  Cycle blocked_cycles = 0;  ///< length of the blocked streak
+
+  /// One-line human-readable form ("deadlock: blocking get on ...").
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Decode the instruction the blocked processor is parked on and
+/// describe the deadlock. Valid when the processor's last event was
+/// kFslStall (PC unchanged, pointing at the blocking get/put); if the
+/// PC does not hold an FSL access the diagnosis is returned with
+/// channel empty (diagnosable == channel not empty).
+[[nodiscard]] DeadlockDiagnosis diagnose_deadlock(const iss::Processor& cpu,
+                                                  const fsl::FslHub& hub,
+                                                  Cycle blocked_cycles);
 
 class CoSimEngine {
  public:
@@ -79,6 +121,13 @@ class CoSimEngine {
 
   [[nodiscard]] CoSimStats stats() const;
 
+  /// Diagnosis of the most recent StopReason::kDeadlock from run();
+  /// empty until a deadlock has been detected. Cleared by reset().
+  [[nodiscard]] const std::optional<DeadlockDiagnosis>& deadlock_diagnosis()
+      const noexcept {
+    return last_deadlock_;
+  }
+
   /// Deadlock heuristic: how many consecutive blocked processor cycles
   /// with zero FIFO movement before run() gives up.
   void set_deadlock_threshold(Cycle threshold) noexcept {
@@ -115,6 +164,7 @@ class CoSimEngine {
   Cycle idle_streak_ = 0;
   Cycle skipped_cycles_ = 0;
   obs::TraceBus* trace_bus_ = nullptr;
+  std::optional<DeadlockDiagnosis> last_deadlock_;
 };
 
 }  // namespace mbcosim::core

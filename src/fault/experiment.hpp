@@ -1,0 +1,75 @@
+// fault::Experiment: run one FaultPlan against a design and classify
+// what the fault did. The caller provides a *factory* that builds a
+// fresh sim::SimSystem — with the plan armed when given one, fault-free
+// for the golden reference — plus an *extractor* that reads the
+// design's architectural outputs (e.g. the result array in guest
+// memory) once the run stops. Classification follows the standard
+// SEU-campaign taxonomy:
+//
+//   masked  the faulted run halted and its outputs equal the golden run
+//   sdc     silent data corruption: halted, but the outputs differ
+//   hang    the deadlock watchdog fired or the cycle budget ran out
+//   trap    an architectural error (illegal instruction, bus fault)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/cosim_engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/sim_system.hpp"
+
+namespace mbcosim::fault {
+
+enum class Outcome : u8 { kMasked, kSdc, kHang, kTrap };
+
+[[nodiscard]] const char* outcome_name(Outcome outcome) noexcept;
+
+/// Builds one fresh system. `plan` is null for the golden reference and
+/// points at the experiment's plan for a faulted build (pass it to
+/// SimSystem::Builder::fault). Runs on campaign worker threads: factories
+/// must not share mutable state.
+using SystemFactory =
+    std::function<Expected<sim::SimSystem>(const FaultPlan* plan)>;
+
+/// Reads the design's outputs after a run (whatever "the result" means
+/// for the application — typically a memory region via SimSystem::word).
+using OutputExtractor = std::function<std::vector<Word>(sim::SimSystem&)>;
+
+/// The fault-free reference execution a campaign's experiments compare
+/// against. Computed once and shared (read-only) across experiments.
+struct GoldenReference {
+  std::vector<Word> outputs;
+  Cycle cycles = 0;
+  core::StopReason stop = core::StopReason::kHalted;
+};
+
+[[nodiscard]] Expected<GoldenReference> run_golden(
+    const SystemFactory& factory, const OutputExtractor& extract,
+    Cycle max_cycles);
+
+struct ExperimentResult {
+  FaultPlan plan;
+  Outcome outcome = Outcome::kMasked;
+  core::StopReason stop = core::StopReason::kHalted;
+  Cycle cycles = 0;      ///< faulted-run cycles at the stop
+  bool injected = false; ///< the fault actually mutated state / armed
+  std::string detail;    ///< injection + classification cause
+  std::string error;     ///< nonempty when the faulted build failed
+};
+
+/// Build the faulted system, run it under `max_cycles`, classify
+/// against `golden`. A factory failure is reported in
+/// ExperimentResult::error (never thrown) so one broken plan cannot
+/// poison a campaign. The classification is also emitted as a
+/// kFaultOutcome event on the faulted system's trace bus.
+[[nodiscard]] ExperimentResult run_experiment(const SystemFactory& factory,
+                                              const OutputExtractor& extract,
+                                              const FaultPlan& plan,
+                                              const GoldenReference& golden,
+                                              Cycle max_cycles);
+
+}  // namespace mbcosim::fault

@@ -1,0 +1,372 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdio>
+#include <iterator>
+
+namespace mbcosim::fault {
+
+namespace {
+
+[[nodiscard]] bool is_stream_mode(FaultMode mode) noexcept {
+  return mode == FaultMode::kCorruptWord || mode == FaultMode::kDropWord ||
+         mode == FaultMode::kDuplicateWord || mode == FaultMode::kFlipControl;
+}
+
+[[nodiscard]] bool is_stuck_mode(FaultMode mode) noexcept {
+  return mode == FaultMode::kStuckFull || mode == FaultMode::kStuckEmpty;
+}
+
+[[nodiscard]] bool is_flip_mode(FaultMode mode) noexcept {
+  return mode == FaultMode::kBitFlip || mode == FaultMode::kMultiBitFlip;
+}
+
+[[nodiscard]] bool is_bus_mode(FaultMode mode) noexcept {
+  return mode == FaultMode::kBusError || mode == FaultMode::kBusTimeout;
+}
+
+std::string hex32(u32 value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "0x%x", value);
+  return buffer;
+}
+
+}  // namespace
+
+const char* site_name(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kMemory: return "mem";
+    case FaultSite::kRegister: return "reg";
+    case FaultSite::kFslToHw: return "fsl-to-hw";
+    case FaultSite::kFslFromHw: return "fsl-from-hw";
+    case FaultSite::kOpb: return "opb";
+  }
+  return "?";
+}
+
+const char* mode_name(FaultMode mode) noexcept {
+  switch (mode) {
+    case FaultMode::kBitFlip: return "bitflip";
+    case FaultMode::kMultiBitFlip: return "multibitflip";
+    case FaultMode::kCorruptWord: return "corrupt";
+    case FaultMode::kDropWord: return "drop";
+    case FaultMode::kDuplicateWord: return "dup";
+    case FaultMode::kFlipControl: return "flipctl";
+    case FaultMode::kStuckFull: return "stuckfull";
+    case FaultMode::kStuckEmpty: return "stuckempty";
+    case FaultMode::kBusError: return "buserror";
+    case FaultMode::kBusTimeout: return "timeout";
+  }
+  return "?";
+}
+
+const char* trigger_name(TriggerKind kind) noexcept {
+  switch (kind) {
+    case TriggerKind::kCycle: return "cycle";
+    case TriggerKind::kPc: return "pc";
+    case TriggerKind::kCount: return "count";
+  }
+  return "?";
+}
+
+Word FaultPlan::effective_mask() const noexcept {
+  if (mask != 0) return mask;
+  // Derive from the plan seed; one private stream per plan keeps the
+  // choice independent of everything else the campaign sampled.
+  Rng rng(seed ^ 0xfa317eed5eedull);
+  if (mode == FaultMode::kMultiBitFlip) {
+    const unsigned flips = 2 + static_cast<unsigned>(rng.next_below(3));
+    Word derived = 0;
+    while (static_cast<unsigned>(__builtin_popcount(derived)) < flips) {
+      derived |= Word{1} << rng.next_below(32);
+    }
+    return derived;
+  }
+  return Word{1} << rng.next_below(32);
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string spec;
+  spec += "site=";
+  spec += site_name(site);
+  spec += ",mode=";
+  spec += mode_name(mode);
+  spec += ",";
+  spec += trigger_name(trigger);
+  spec += "=";
+  spec += trigger == TriggerKind::kPc
+              ? hex32(static_cast<u32>(trigger_value))
+              : std::to_string(trigger_value);
+  switch (site) {
+    case FaultSite::kMemory:
+      spec += ",addr=" + hex32(address);
+      break;
+    case FaultSite::kRegister:
+      spec += ",reg=" + std::to_string(reg);
+      break;
+    case FaultSite::kFslToHw:
+    case FaultSite::kFslFromHw:
+      spec += ",chan=" + std::to_string(channel);
+      break;
+    case FaultSite::kOpb:
+      break;
+  }
+  if (mask != 0) spec += ",mask=" + hex32(mask);
+  if (seed != 1) spec += ",seed=" + std::to_string(seed);
+  return spec;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out = std::string(mode_name(mode)) + " at " + site_name(site);
+  switch (site) {
+    case FaultSite::kMemory:
+      out += '[';
+      out += hex32(address);
+      out += ']';
+      break;
+    case FaultSite::kRegister:
+      out += "[r";
+      out += std::to_string(reg);
+      out += ']';
+      break;
+    case FaultSite::kFslToHw:
+    case FaultSite::kFslFromHw:
+      out += '[';
+      out += std::to_string(channel);
+      out += ']';
+      break;
+    case FaultSite::kOpb:
+      break;
+  }
+  out += ", trigger ";
+  out += trigger_name(trigger);
+  out += " ";
+  out += trigger == TriggerKind::kPc ? hex32(static_cast<u32>(trigger_value))
+                                     : std::to_string(trigger_value);
+  if (is_flip_mode(mode) || mode == FaultMode::kCorruptWord) {
+    out += ", mask " + hex32(effective_mask());
+  }
+  return out;
+}
+
+Status validate_plan(const FaultPlan& plan) {
+  const auto fail = [&](const std::string& why) {
+    return Status::failure("FaultPlan (" + std::string(site_name(plan.site)) +
+                           "/" + mode_name(plan.mode) + "): " + why);
+  };
+  switch (plan.site) {
+    case FaultSite::kMemory:
+    case FaultSite::kRegister:
+      if (!is_flip_mode(plan.mode)) {
+        return fail("memory/register sites take bitflip or multibitflip");
+      }
+      if (plan.trigger == TriggerKind::kCount) {
+        return fail("state flips need a cycle or pc trigger");
+      }
+      if (plan.site == FaultSite::kRegister &&
+          (plan.reg == 0 || plan.reg >= 32)) {
+        return fail("register must be r1..r31 (r0 is hardwired zero)");
+      }
+      break;
+    case FaultSite::kFslToHw:
+    case FaultSite::kFslFromHw:
+      if (!is_stream_mode(plan.mode) && !is_stuck_mode(plan.mode)) {
+        return fail("FSL sites take stream or stuck-flag modes");
+      }
+      if (is_stuck_mode(plan.mode) && plan.trigger == TriggerKind::kCount) {
+        return fail("stuck flags are persistent; use a cycle or pc trigger");
+      }
+      if (is_stream_mode(plan.mode) && plan.trigger == TriggerKind::kPc) {
+        return fail("stream faults trigger on cycle or the N-th write");
+      }
+      if (plan.channel >= 8) {
+        return fail("FSL channel must be 0..7");
+      }
+      break;
+    case FaultSite::kOpb:
+      if (!is_bus_mode(plan.mode)) {
+        return fail("the OPB site takes buserror or timeout");
+      }
+      if (plan.trigger == TriggerKind::kPc) {
+        return fail("bus faults trigger on cycle or the N-th transaction");
+      }
+      break;
+  }
+  if (plan.trigger == TriggerKind::kCycle && plan.trigger_value == 0) {
+    return fail("cycle trigger must be nonzero");
+  }
+  return {};
+}
+
+Expected<FaultPlan> parse_plan(const std::string& spec, u64 seed) {
+  using Failure = Expected<FaultPlan>;
+  FaultPlan plan;
+  plan.seed = seed;
+  bool trigger_set = false;
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Failure::failure("fault spec: '" + item +
+                              "' is not a key=value pair");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    const auto parse_u64 = [&](u64& out) -> bool {
+      try {
+        std::size_t used = 0;
+        out = std::stoull(value, &used, 0);  // base 0: decimal or 0x...
+        return used == value.size();
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+    u64 number = 0;
+    if (key == "site") {
+      bool found = false;
+      for (const FaultSite site :
+           {FaultSite::kMemory, FaultSite::kRegister, FaultSite::kFslToHw,
+            FaultSite::kFslFromHw, FaultSite::kOpb}) {
+        if (value == site_name(site)) {
+          plan.site = site;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Failure::failure("fault spec: unknown site '" + value + "'");
+      }
+    } else if (key == "mode") {
+      bool found = false;
+      for (const FaultMode mode :
+           {FaultMode::kBitFlip, FaultMode::kMultiBitFlip,
+            FaultMode::kCorruptWord, FaultMode::kDropWord,
+            FaultMode::kDuplicateWord, FaultMode::kFlipControl,
+            FaultMode::kStuckFull, FaultMode::kStuckEmpty,
+            FaultMode::kBusError, FaultMode::kBusTimeout}) {
+        if (value == mode_name(mode)) {
+          plan.mode = mode;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Failure::failure("fault spec: unknown mode '" + value + "'");
+      }
+    } else if (key == "cycle" || key == "pc" || key == "count") {
+      if (trigger_set) {
+        return Failure::failure(
+            "fault spec: only one of cycle=/pc=/count= may be given");
+      }
+      if (!parse_u64(number)) {
+        return Failure::failure("fault spec: bad trigger value '" + value +
+                                "'");
+      }
+      plan.trigger = key == "cycle"  ? TriggerKind::kCycle
+                     : key == "pc"   ? TriggerKind::kPc
+                                     : TriggerKind::kCount;
+      plan.trigger_value = number;
+      trigger_set = true;
+    } else if (key == "addr") {
+      if (!parse_u64(number)) {
+        return Failure::failure("fault spec: bad addr '" + value + "'");
+      }
+      plan.address = static_cast<Addr>(number);
+    } else if (key == "reg") {
+      if (!parse_u64(number) || number >= 32) {
+        return Failure::failure("fault spec: bad reg '" + value + "'");
+      }
+      plan.reg = static_cast<unsigned>(number);
+    } else if (key == "chan") {
+      if (!parse_u64(number) || number >= 8) {
+        return Failure::failure("fault spec: bad chan '" + value + "'");
+      }
+      plan.channel = static_cast<unsigned>(number);
+    } else if (key == "mask") {
+      if (!parse_u64(number)) {
+        return Failure::failure("fault spec: bad mask '" + value + "'");
+      }
+      plan.mask = static_cast<Word>(number);
+    } else if (key == "seed") {
+      if (!parse_u64(number)) {
+        return Failure::failure("fault spec: bad seed '" + value + "'");
+      }
+      plan.seed = number;
+    } else {
+      return Failure::failure("fault spec: unknown key '" + key + "'");
+    }
+  }
+  if (!trigger_set) {
+    return Failure::failure(
+        "fault spec: a trigger (cycle=N, pc=ADDR or count=N) is required");
+  }
+  if (const Status status = validate_plan(plan); !status.ok) {
+    return Failure::failure(status.message);
+  }
+  return plan;
+}
+
+FaultPlan sample_plan(Rng& rng, const PlanSpace& space) {
+  std::vector<FaultSite> sites;
+  if (space.mem_bytes >= 4) sites.push_back(FaultSite::kMemory);
+  if (space.registers >= 2) sites.push_back(FaultSite::kRegister);
+  if (!space.to_hw_channels.empty()) sites.push_back(FaultSite::kFslToHw);
+  if (!space.from_hw_channels.empty()) sites.push_back(FaultSite::kFslFromHw);
+  if (space.opb) sites.push_back(FaultSite::kOpb);
+  if (sites.empty()) {
+    throw SimError("PlanSpace: no fault site is enabled");
+  }
+  if (space.max_trigger_cycle == 0) {
+    throw SimError("PlanSpace: max_trigger_cycle must be nonzero");
+  }
+
+  FaultPlan plan;
+  plan.seed = rng.next_u64();
+  plan.site = sites[rng.next_below(sites.size())];
+  switch (plan.site) {
+    case FaultSite::kMemory:
+      plan.mode = rng.next_below(2) == 0 ? FaultMode::kBitFlip
+                                         : FaultMode::kMultiBitFlip;
+      plan.address =
+          space.mem_base + 4 * static_cast<Addr>(
+                                   rng.next_below(space.mem_bytes / 4));
+      break;
+    case FaultSite::kRegister:
+      plan.mode = rng.next_below(2) == 0 ? FaultMode::kBitFlip
+                                         : FaultMode::kMultiBitFlip;
+      plan.reg = 1 + static_cast<unsigned>(rng.next_below(space.registers - 1));
+      break;
+    case FaultSite::kFslToHw:
+    case FaultSite::kFslFromHw: {
+      static constexpr FaultMode kFslModes[] = {
+          FaultMode::kCorruptWord, FaultMode::kDropWord,
+          FaultMode::kDuplicateWord, FaultMode::kFlipControl,
+          FaultMode::kStuckFull, FaultMode::kStuckEmpty};
+      plan.mode = kFslModes[rng.next_below(std::size(kFslModes))];
+      const auto& channels = plan.site == FaultSite::kFslToHw
+                                 ? space.to_hw_channels
+                                 : space.from_hw_channels;
+      plan.channel = channels[rng.next_below(channels.size())];
+      break;
+    }
+    case FaultSite::kOpb:
+      plan.mode = rng.next_below(2) == 0 ? FaultMode::kBusError
+                                         : FaultMode::kBusTimeout;
+      break;
+  }
+  // Stream and bus faults count operations at the site; state flips and
+  // stuck flags fire at a sampled cycle.
+  if (is_stream_mode(plan.mode) || is_bus_mode(plan.mode)) {
+    plan.trigger = TriggerKind::kCount;
+    plan.trigger_value = rng.next_below(space.max_trigger_count);
+  } else {
+    plan.trigger = TriggerKind::kCycle;
+    plan.trigger_value = 1 + rng.next_below(space.max_trigger_cycle);
+  }
+  return plan;
+}
+
+}  // namespace mbcosim::fault

@@ -1,0 +1,119 @@
+// FaultPlan: the deterministic description of one fault to inject into a
+// simulated system. A plan says *where* (site: guest BRAM, the GPR file,
+// an FSL channel, the OPB bus), *what* (mode: bit flips, corrupted /
+// dropped / duplicated words, stuck handshake flags, bus error or
+// timeout) and *when* (trigger: a simulated cycle, a PC match, or the
+// N-th operation at the site). Everything a plan leaves open — which
+// bit flips, which address is hit — is derived from the plan's own seed,
+// so re-running the same plan reproduces the same fault bit-for-bit.
+//
+// Plans are the unit of work of fault::Campaign: a seeded RNG samples N
+// plans from a PlanSpace (the set of sites/modes/trigger windows that
+// make sense for one design) and each plan becomes one experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace mbcosim::fault {
+
+/// Where the fault lands.
+enum class FaultSite : u8 {
+  kMemory,     ///< LMB BRAM word (models a configuration/data SEU)
+  kRegister,   ///< one GPR of the processor
+  kFslToHw,    ///< processor -> hardware FSL channel
+  kFslFromHw,  ///< hardware -> processor FSL channel
+  kOpb,        ///< the memory-mapped OPB bus
+};
+
+/// What happens at the site.
+enum class FaultMode : u8 {
+  // Memory / register modes.
+  kBitFlip,        ///< XOR one seed-chosen bit
+  kMultiBitFlip,   ///< XOR several seed-chosen bits (MBU)
+  // FSL stream modes (one word in flight is affected).
+  kCorruptWord,    ///< XOR the payload with a seed-chosen mask
+  kDropWord,       ///< the word is silently lost on the link
+  kDuplicateWord,  ///< the word arrives twice
+  kFlipControl,    ///< the control bit is inverted
+  // FSL handshake-flag modes (persistent stuck-at faults).
+  kStuckFull,      ///< In#_full stuck high: every write refused
+  kStuckEmpty,     ///< Out#_exists stuck low: reads never see data
+  // OPB modes (one transaction is affected).
+  kBusError,       ///< slave error acknowledge
+  kBusTimeout,     ///< arbiter watchdog timeout (extra wait states)
+};
+
+/// When the fault fires.
+enum class TriggerKind : u8 {
+  kCycle,  ///< at the first stopping point at/after simulated cycle N
+  kPc,     ///< when the processor is about to execute PC == N
+  kCount,  ///< at the N-th operation at the site (FSL write / OPB access)
+};
+
+[[nodiscard]] const char* site_name(FaultSite site) noexcept;
+[[nodiscard]] const char* mode_name(FaultMode mode) noexcept;
+[[nodiscard]] const char* trigger_name(TriggerKind kind) noexcept;
+
+struct FaultPlan {
+  u64 seed = 1;  ///< derives the open parameters (bit choice, mask)
+  TriggerKind trigger = TriggerKind::kCycle;
+  u64 trigger_value = 0;  ///< cycle number, PC address, or operation count
+  FaultSite site = FaultSite::kMemory;
+  FaultMode mode = FaultMode::kBitFlip;
+  Addr address = 0;      ///< target byte address (kMemory; word-aligned use)
+  unsigned reg = 1;      ///< target GPR (kRegister; r0 is hardwired zero)
+  unsigned channel = 0;  ///< FSL channel id (kFslToHw / kFslFromHw)
+  Word mask = 0;         ///< XOR mask; 0 = derive from `seed`
+
+  /// The XOR mask this plan actually applies: `mask` when nonzero,
+  /// otherwise derived deterministically from `seed` (one bit for
+  /// kBitFlip/kCorruptWord/..., 2-4 bits for kMultiBitFlip).
+  [[nodiscard]] Word effective_mask() const noexcept;
+
+  /// Spec-string round trip of parse_plan ("site=mem,mode=bitflip,...").
+  [[nodiscard]] std::string to_spec() const;
+  /// One-line human-readable description.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Check site/mode/trigger consistency (e.g. kStuckFull needs an FSL
+/// site and a cycle/pc trigger; kBitFlip needs memory or a register).
+/// Returns ok, or a failure explaining the inconsistency.
+[[nodiscard]] Status validate_plan(const FaultPlan& plan);
+
+/// Parse a plan from its comma-separated key=value spec, e.g.
+///   site=mem,mode=bitflip,cycle=1000,addr=0x120
+///   site=fsl-to-hw,mode=drop,count=3,chan=0
+///   site=opb,mode=timeout,count=1
+///   site=reg,mode=multibitflip,pc=0x48,reg=5,mask=0x11
+/// Exactly one of cycle=/pc=/count= selects the trigger. Unset fields
+/// keep their defaults; `seed` seeds the derived parameters. The parsed
+/// plan is validated before being returned.
+[[nodiscard]] Expected<FaultPlan> parse_plan(const std::string& spec,
+                                             u64 seed = 1);
+
+/// The sampling space of a campaign: which sites exist in the design and
+/// the windows the triggers are drawn from. sample_plan() consumes a
+/// deterministic number of RNG draws per call, so a campaign's plan list
+/// is a pure function of (campaign seed, experiment count, space).
+struct PlanSpace {
+  Addr mem_base = 0;  ///< data region targeted by memory faults
+  u32 mem_bytes = 0;  ///< 0 disables the memory site
+  unsigned registers = 32;  ///< GPRs r1..registers-1 targeted; <2 disables
+  std::vector<unsigned> to_hw_channels;    ///< FSL links with CPU->HW traffic
+  std::vector<unsigned> from_hw_channels;  ///< FSL links with HW->CPU traffic
+  bool opb = false;                        ///< an OPB bus is attached
+  Cycle max_trigger_cycle = 0;   ///< cycle triggers drawn from [1, max]
+  u64 max_trigger_count = 32;    ///< count triggers drawn from [0, max)
+};
+
+/// Draw one random-but-reproducible plan. Throws SimError when the
+/// space enables no site at all or max_trigger_cycle is 0.
+[[nodiscard]] FaultPlan sample_plan(Rng& rng, const PlanSpace& space);
+
+}  // namespace mbcosim::fault

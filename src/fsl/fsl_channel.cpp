@@ -34,8 +34,40 @@ bool FslChannel::try_write(Word data, bool control) {
     }
     return false;
   }
+  bool duplicate = false;
+  if (fault_ != nullptr && fault_->stream != FslFaultControls::Stream::kNone &&
+      !fault_->fired) [[unlikely]] {
+    if (fault_->countdown == 0) {
+      fault_->fired = true;
+      switch (fault_->stream) {
+        case FslFaultControls::Stream::kCorrupt:
+          data ^= fault_->mask;
+          break;
+        case FslFaultControls::Stream::kFlipControl:
+          control = !control;
+          break;
+        case FslFaultControls::Stream::kDrop:
+          // The handshake succeeds but the word never lands in the FIFO
+          // — the master has no way to notice the loss.
+          ++total_writes_;
+          return true;
+        case FslFaultControls::Stream::kDuplicate:
+          duplicate = true;
+          break;
+        case FslFaultControls::Stream::kNone:
+          break;
+      }
+    } else {
+      --fault_->countdown;
+    }
+  }
   fifo_.push_back(FslEntry{data, control});
   ++total_writes_;
+  if (duplicate && fifo_.size() < depth_) {
+    // The duplicated copy occupies a real FIFO slot but was never
+    // written by the master, so it does not count as a write.
+    fifo_.push_back(FslEntry{data, control});
+  }
   max_occupancy_ = std::max(max_occupancy_, fifo_.size());
   if (trace_bus_ != nullptr && trace_bus_->enabled()) {
     emit(obs::EventKind::kFslPush, data, control);
@@ -44,7 +76,9 @@ bool FslChannel::try_write(Word data, bool control) {
 }
 
 std::optional<FslEntry> FslChannel::try_read() {
-  if (fifo_.empty()) return std::nullopt;
+  // Stuck-empty must hide queued words from every reader, not only the
+  // ones polite enough to consult exists() first.
+  if (!exists()) return std::nullopt;
   FslEntry entry = fifo_.front();
   fifo_.pop_front();
   ++total_reads_;
@@ -55,11 +89,20 @@ std::optional<FslEntry> FslChannel::try_read() {
 }
 
 std::optional<FslEntry> FslChannel::peek() const {
-  if (fifo_.empty()) return std::nullopt;
+  if (!exists()) return std::nullopt;
   return fifo_.front();
 }
 
 void FslChannel::clear() { fifo_.clear(); }
+
+bool FslChannel::corrupt_entry(std::size_t index, Word mask,
+                               bool flip_control) {
+  if (index >= fifo_.size()) return false;
+  FslEntry& entry = fifo_[index];
+  entry.data ^= mask;
+  if (flip_control) entry.control = !entry.control;
+  return true;
+}
 
 void FslChannel::reset_stats() {
   total_writes_ = 0;

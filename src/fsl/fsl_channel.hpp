@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -31,6 +32,36 @@ struct FslEntry {
   friend bool operator==(const FslEntry&, const FslEntry&) = default;
 };
 
+/// Armed fault-injection behaviour of one channel (src/fault's view of a
+/// corrupted or failing FSL link). The channel holds these behind a
+/// null-by-default pointer, so the un-faulted hot path pays exactly one
+/// predictable branch per operation — the same contract as the trace
+/// bus — and statistics stay bit-identical when nothing is armed.
+struct FslFaultControls {
+  /// One-shot transformation of a single word passing through the FIFO,
+  /// applied to the `countdown`-th try_write after arming (0 = the next
+  /// one). Models a transient upset of the link while the word is in
+  /// flight.
+  enum class Stream : u8 {
+    kNone,       ///< no stream fault
+    kCorrupt,    ///< XOR the data word with `mask`
+    kDrop,       ///< accept the handshake but lose the word
+    kDuplicate,  ///< enqueue the word twice (second copy only if room)
+    kFlipControl ///< invert the control bit
+  };
+  Stream stream = Stream::kNone;
+  u64 countdown = 0;  ///< writes to let through before the fault fires
+  Word mask = 0;      ///< XOR mask for kCorrupt
+  bool fired = false; ///< set once the one-shot stream fault has hit
+
+  /// Persistent handshake-flag faults (stuck-at upsets in the FIFO
+  /// status logic). Stuck-full refuses every write; stuck-empty hides
+  /// every queued word from the reader. Both typically hang the system
+  /// — which is exactly the failure class they exist to provoke.
+  bool stuck_full = false;
+  bool stuck_empty = false;
+};
+
 class FslChannel {
  public:
   /// Default FIFO depth matches the Xilinx FSL core default of 16 entries.
@@ -44,9 +75,13 @@ class FslChannel {
   [[nodiscard]] std::size_t occupancy() const noexcept { return fifo_.size(); }
 
   /// In#_full flag: true when a write would be refused.
-  [[nodiscard]] bool full() const noexcept { return fifo_.size() >= depth_; }
+  [[nodiscard]] bool full() const noexcept {
+    return fifo_.size() >= depth_ || (fault_ != nullptr && fault_->stuck_full);
+  }
   /// Out#_exists flag: true when a read can occur.
-  [[nodiscard]] bool exists() const noexcept { return !fifo_.empty(); }
+  [[nodiscard]] bool exists() const noexcept {
+    return !fifo_.empty() && (fault_ == nullptr || !fault_->stuck_empty);
+  }
 
   /// Master-side write. Returns false (and drops nothing) when full.
   bool try_write(Word data, bool control);
@@ -76,6 +111,24 @@ class FslChannel {
   /// operation, timestamped with the bus's simulated-time cursor.
   void set_trace_bus(obs::TraceBus* bus) noexcept { trace_bus_ = bus; }
 
+  // -- fault injection (src/fault) -------------------------------------
+  /// Arm fault behaviour on this channel (replaces any previous arming).
+  void arm_fault(const FslFaultControls& controls) {
+    fault_ = std::make_unique<FslFaultControls>(controls);
+  }
+  /// Return the channel to fault-free operation.
+  void clear_fault() noexcept { fault_.reset(); }
+  /// Armed controls, or nullptr when the channel is fault-free.
+  [[nodiscard]] const FslFaultControls* fault() const noexcept {
+    return fault_.get();
+  }
+
+  /// Mutate the queued entry at `index` in place (0 = head): XOR the
+  /// data word with `mask`, optionally flipping the control bit. Models
+  /// an SEU in the FIFO BRAM itself. Returns false when no such entry
+  /// is queued (the fault lands on an empty slot and is masked).
+  bool corrupt_entry(std::size_t index, Word mask, bool flip_control);
+
  private:
   void emit(obs::EventKind kind, Word data, bool control) const;
 
@@ -87,6 +140,7 @@ class FslChannel {
   u64 refused_writes_ = 0;
   std::size_t max_occupancy_ = 0;
   obs::TraceBus* trace_bus_ = nullptr;
+  std::unique_ptr<FslFaultControls> fault_;  ///< null = fault-free
 };
 
 }  // namespace mbcosim::fsl

@@ -44,6 +44,12 @@ class FslHub {
     for (auto& ch : from_hw_) ch.clear();
   }
 
+  /// Return every channel to fault-free operation (src/fault).
+  void clear_faults() noexcept {
+    for (auto& ch : to_hw_) ch.clear_fault();
+    for (auto& ch : from_hw_) ch.clear_fault();
+  }
+
   /// Attach the observability bus to every channel (nullptr to detach).
   void set_trace_bus(obs::TraceBus* bus) noexcept {
     for (auto& ch : to_hw_) ch.set_trace_bus(bus);

@@ -189,6 +189,9 @@ StepResult Processor::step() {
   }
   if (outcome.event == Event::kIllegal) {
     halted_ = true;
+    // A faulting OPB access may have queued wait states; the trap
+    // preempts them (and they must not leak into a post-reset step).
+    pending_wait_states_ = 0;
     stats_.cycles += 1;
     record_step(Event::kIllegal, fetch_pc, raw, in, 1);
     return StepResult{Event::kIllegal, 1};
@@ -411,13 +414,17 @@ Processor::ExecOutcome Processor::execute(const Instruction& in) {
                              : memory_.read_word(addr);
       } else if (opb_ != nullptr && opb_->decodes(addr)) {
         const bus::BusResponse response = opb_->read(addr);
+        pending_wait_states_ = response.wait_states;
+        stats_.opb_accesses += 1;
+        stats_.opb_wait_cycles += response.wait_states;
+        // An OPB error acknowledge or arbiter timeout raises the
+        // MicroBlaze data-bus-error exception; the ISS models it as a
+        // trap after charging the cycles the failed transfer consumed.
+        if (!response.ok) return {Event::kIllegal, false};
         // Sub-word OPB reads extract the addressed lanes of the word.
         value = response.data >> (8u * (addr & 3u));
         if (bytes == 1) value &= 0xFFu;
         if (bytes == 2) value &= 0xFFFFu;
-        pending_wait_states_ = response.wait_states;
-        stats_.opb_accesses += 1;
-        stats_.opb_wait_cycles += response.wait_states;
       } else {
         return {Event::kIllegal, false};
       }
@@ -449,6 +456,8 @@ Processor::ExecOutcome Processor::execute(const Instruction& in) {
         pending_wait_states_ = response.wait_states;
         stats_.opb_accesses += 1;
         stats_.opb_wait_cycles += response.wait_states;
+        // Error acknowledge / timeout → data-bus-error trap (see load).
+        if (!response.ok) return {Event::kIllegal, false};
       } else {
         return {Event::kIllegal, false};
       }

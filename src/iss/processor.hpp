@@ -196,6 +196,7 @@ class Processor {
   [[nodiscard]] Cycle cycle() const noexcept { return stats_.cycles; }
 
   [[nodiscard]] LmbMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const LmbMemory& memory() const noexcept { return memory_; }
   [[nodiscard]] const isa::CpuConfig& config() const noexcept {
     return config_;
   }

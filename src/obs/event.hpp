@@ -29,6 +29,10 @@ enum class EventKind : u8 {
   // Engine events (core::CoSimEngine / SimSystem software-only loop).
   kQuiesceSkip,   ///< `skipped` quiescent hardware cycles fast-forwarded
   kDeadlock,      ///< deadlock heuristic fired after `cycles` blocked
+  // Fault-injection events (src/fault); `label` carries site/mode or the
+  // outcome class, `detail` the human-readable specifics.
+  kFaultInject,   ///< a fault fired into the running system
+  kFaultOutcome,  ///< an experiment classified its faulted run
 };
 
 /// Stable lower-case name of an event kind (used by the JSONL sink and
@@ -46,6 +50,8 @@ enum class EventKind : u8 {
     case EventKind::kOpbWrite: return "opb_write";
     case EventKind::kQuiesceSkip: return "quiesce_skip";
     case EventKind::kDeadlock: return "deadlock";
+    case EventKind::kFaultInject: return "fault_inject";
+    case EventKind::kFaultOutcome: return "fault_outcome";
   }
   return "unknown";
 }
@@ -76,6 +82,11 @@ struct TraceEvent {
 
   // Engine events.
   Cycle skipped = 0;  ///< quiescent cycles fast-forwarded in this hop
+
+  // Fault events. Both pointers reference storage with static lifetime
+  // (enum-name tables) or storage that outlives the sink callback.
+  const char* label = nullptr;   ///< "site/mode" or outcome class name
+  const char* detail = nullptr;  ///< human-readable injection specifics
 };
 
 }  // namespace mbcosim::obs

@@ -36,6 +36,7 @@ void append_string(std::string& line, const char* key, const std::string& s) {
 }  // namespace
 
 void JsonlSink::on_event(const TraceEvent& event) {
+  if (!status_.ok) return;  // stream already failed: stay quietly latched
   std::string line;
   line.reserve(128);
   {
@@ -78,12 +79,35 @@ void JsonlSink::on_event(const TraceEvent& event) {
     case EventKind::kDeadlock:
       append_u64(line, "blocked_cycles", event.cycles);
       break;
+    case EventKind::kFaultInject:
+    case EventKind::kFaultOutcome:
+      append_string(line, "label",
+                    event.label != nullptr ? event.label : "?");
+      if (event.detail != nullptr) {
+        append_string(line, "detail", event.detail);
+      }
+      break;
   }
   line += "}\n";
   out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  if (out_->fail() || out_->bad()) {
+    status_ = Status::failure(
+        "JsonlSink: write failed" +
+        (path_.empty() ? std::string() : " on '" + path_ + "'") +
+        " after " + std::to_string(events_) + " events (disk full?)");
+    return;
+  }
   ++events_;
 }
 
-void JsonlSink::flush() { out_->flush(); }
+void JsonlSink::flush() {
+  if (!status_.ok) return;
+  out_->flush();
+  if (out_->fail() || out_->bad()) {
+    status_ = Status::failure(
+        "JsonlSink: flush failed" +
+        (path_.empty() ? std::string() : " on '" + path_ + "'"));
+  }
+}
 
 }  // namespace mbcosim::obs

@@ -38,6 +38,10 @@ class JsonlSink : public TraceSink {
 
   void on_event(const TraceEvent& event) override;
   void flush() override;
+  /// Latched I/O health: the first write that leaves the stream in
+  /// fail()/bad() state records a structured error and stops further
+  /// writes (the trace is truncated, but loudly, not silently).
+  [[nodiscard]] Status status() const override { return status_; }
 
   [[nodiscard]] u64 events_written() const noexcept { return events_; }
 
@@ -47,6 +51,7 @@ class JsonlSink : public TraceSink {
   std::string path_;
   Disassembler disassemble_;
   u64 events_ = 0;
+  Status status_;
 };
 
 }  // namespace mbcosim::obs

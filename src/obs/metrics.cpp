@@ -80,6 +80,13 @@ void MetricsRegistry::on_event(const TraceEvent& event) {
     case EventKind::kDeadlock:
       counters["engine.deadlocks"] += 1;
       break;
+    case EventKind::kFaultInject:
+      counters["fault.injects"] += 1;
+      break;
+    case EventKind::kFaultOutcome:
+      counters[std::string("fault.outcome.") +
+               (event.label != nullptr ? event.label : "?")] += 1;
+      break;
   }
 }
 

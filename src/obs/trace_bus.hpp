@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "obs/event.hpp"
 
@@ -32,6 +33,10 @@ class TraceSink {
   virtual ~TraceSink() = default;
   virtual void on_event(const TraceEvent& event) = 0;
   virtual void flush() {}
+  /// I/O health of the sink. File-backed sinks latch the first stream
+  /// failure (disk full, closed pipe) here instead of silently
+  /// truncating their output; in-memory sinks stay ok forever.
+  [[nodiscard]] virtual Status status() const { return {}; }
 };
 
 class TraceBus {
@@ -60,6 +65,14 @@ class TraceBus {
   [[nodiscard]] Cycle time() const noexcept { return time_; }
 
   void flush();
+
+  /// First failure reported by any attached sink (ok when none failed).
+  [[nodiscard]] Status status() const {
+    for (const auto& sink : sinks_) {
+      if (Status s = sink->status(); !s.ok) return s;
+    }
+    return {};
+  }
 
  private:
   std::vector<std::unique_ptr<TraceSink>> sinks_;

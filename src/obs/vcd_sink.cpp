@@ -80,6 +80,11 @@ void VcdSink::on_event(const TraceEvent& event) {
     case EventKind::kDeadlock:
       record(signal("engine.deadlock", 1), event.cycle, 1);
       break;
+    case EventKind::kFaultInject:
+      record(signal("fault.injects", 16), event.cycle, ++fault_injects_);
+      break;
+    case EventKind::kFaultOutcome:
+      break;  // classification is per-experiment, not a waveform signal
   }
 }
 
@@ -149,6 +154,12 @@ void VcdSink::flush() {
   }
   changes_.clear();
   out.flush();
+  if (out.fail() || out.bad()) {
+    status_ = Status::failure(
+        "VcdSink: write failed" +
+        (path_.empty() ? std::string() : " on '" + path_ + "'") +
+        " (disk full?)");
+  }
 }
 
 }  // namespace mbcosim::obs

@@ -43,6 +43,8 @@ class VcdSink : public TraceSink {
   /// Write header + buffered value changes. One-shot: later events are
   /// dropped (flush runs when the observed run completes).
   void flush() override;
+  /// I/O health, checked when flush() writes the buffered waveform.
+  [[nodiscard]] Status status() const override { return status_; }
 
   [[nodiscard]] u64 changes_recorded() const noexcept {
     return changes_.size();
@@ -69,7 +71,9 @@ class VcdSink : public TraceSink {
   std::vector<u32> widths_;
   std::vector<Change> changes_;
   u64 quiesce_skipped_total_ = 0;
+  u64 fault_injects_ = 0;
   bool flushed_ = false;
+  Status status_;
 };
 
 }  // namespace mbcosim::obs

@@ -90,18 +90,13 @@ class TcpTransport final : public Transport {
 
   bool send(std::string_view bytes) override {
     if (fd_ < 0) return false;
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        closed_ = true;
-        return false;
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-    return true;
+    const bool ok = write_fully(
+        [this](const char* data, std::size_t size) {
+          return ::send(fd_, data, size, MSG_NOSIGNAL);
+        },
+        bytes.data(), bytes.size());
+    if (!ok) closed_ = true;
+    return ok;
   }
 
   std::string recv(int timeout_ms) override {
@@ -112,9 +107,13 @@ class TcpTransport final : public Transport {
     const int ready = ::poll(&pfd, 1, timeout_ms);
     if (ready <= 0) return {};
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t n = read_retry(
+        [this](char* data, std::size_t size) {
+          return ::recv(fd_, data, size, 0);
+        },
+        chunk, sizeof(chunk));
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) return {};
+      if (n < 0 && errno == EINTR) return {};  // retry budget exhausted
       closed_ = true;  // n == 0: orderly shutdown by the peer
       return {};
     }

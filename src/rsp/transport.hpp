@@ -10,6 +10,8 @@
 //     notice the client's raw `\x03` interrupt byte mid-continue.
 #pragma once
 
+#include <cerrno>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -19,6 +21,54 @@
 #include "common/types.hpp"
 
 namespace mbcosim::rsp {
+
+/// How often a transport retries a POSIX call that made no progress
+/// (EINTR, or a zero-length write) before giving up. Signal storms are
+/// bounded instead of looping forever on a wedged descriptor.
+inline constexpr int kMaxIoRetries = 64;
+
+/// Write `size` bytes through `write_some(ptr, len) -> ssize_t-like`
+/// (negative = error with errno set), retrying EINTR interruptions and
+/// continuing after short writes until everything is out. At most
+/// kMaxIoRetries attempts that make *no progress* are tolerated; a short
+/// write that moves bytes resets the budget. Returns true when all bytes
+/// were written. Templated over the syscall so the retry policy is unit-
+/// testable without a real socket.
+template <typename WriteSome>
+[[nodiscard]] bool write_fully(WriteSome&& write_some, const char* data,
+                               std::size_t size,
+                               int max_retries = kMaxIoRetries) {
+  std::size_t done = 0;
+  int stalls = 0;
+  while (done < size) {
+    const auto n = write_some(data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR && ++stalls <= max_retries) continue;
+      return false;
+    }
+    if (n == 0) {
+      if (++stalls > max_retries) return false;
+      continue;
+    }
+    done += static_cast<std::size_t>(n);
+    stalls = 0;
+  }
+  return true;
+}
+
+/// Read through `read_some(ptr, len) -> ssize_t-like`, retrying EINTR at
+/// most `max_retries` times. Returns the syscall result: > 0 bytes read,
+/// 0 on EOF, negative on error (including an exhausted retry budget).
+template <typename ReadSome>
+[[nodiscard]] auto read_retry(ReadSome&& read_some, char* data,
+                              std::size_t size,
+                              int max_retries = kMaxIoRetries) {
+  for (int attempt = 0;; ++attempt) {
+    const auto n = read_some(data, size);
+    if (n < 0 && errno == EINTR && attempt < max_retries) continue;
+    return n;
+  }
+}
 
 /// A bidirectional byte stream. All methods are single-threaded with
 /// respect to one endpoint; the two endpoints of a loopback pair may

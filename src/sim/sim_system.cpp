@@ -1,10 +1,12 @@
 #include "sim/sim_system.hpp"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
 #include "asm/assembler.hpp"
 #include "common/stopwatch.hpp"
+#include "fault/injector.hpp"
 #include "isa/isa.hpp"
 #include "iss/debugger.hpp"
 #include "iss/memory.hpp"
@@ -34,12 +36,17 @@ struct SimSystem::State {
   iss::Processor cpu;
   std::unique_ptr<sysgen::Model> hardware;  ///< null for software-only
   std::optional<core::CoSimEngine> engine;  ///< engaged iff hardware
+  std::unique_ptr<bus::OpbBus> opb;         ///< null unless Builder::opb
   unsigned fsl_links = 0;
   Cycle deadlock_threshold = 100'000;
   double last_run_wall_seconds = 0.0;
   obs::TraceBus trace_bus;                  ///< stable: lives in the State
   obs::MetricsRegistry* metrics = nullptr;  ///< owned by trace_bus if set
   std::optional<u16> gdb_port;              ///< Builder::gdb_server
+  std::unique_ptr<fault::Injector> injector;  ///< null = fault-free
+  /// Deadlock diagnosis of the software-only loop (the engine keeps its
+  /// own); SimSystem::deadlock_diagnosis() merges the two.
+  std::optional<core::DeadlockDiagnosis> last_deadlock;
 };
 
 SimSystem::SimSystem(std::unique_ptr<State> state) : state_(std::move(state)) {}
@@ -53,6 +60,16 @@ void SimSystem::reset() {
   } else {
     state_->cpu.reset(state_->program.entry());
     state_->hub.clear();
+  }
+  state_->last_deadlock.reset();
+  // Return every component to fault-free operation, then re-arm the
+  // configured plan with fresh one-shot state for the new run.
+  state_->hub.clear_faults();
+  if (state_->opb) state_->opb->clear_fault();
+  if (state_->injector) {
+    state_->injector =
+        std::make_unique<fault::Injector>(state_->injector->plan());
+    state_->injector->arm(&state_->hub, state_->opb.get());
   }
 }
 
@@ -76,6 +93,8 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
           // batch retired instructions first — the streak restarts.
           blocked_streak = batch.cycles > 1 ? 1 : blocked_streak + 1;
           if (blocked_streak >= state_->deadlock_threshold) {
+            state_->last_deadlock =
+                core::diagnose_deadlock(cpu, state_->hub, blocked_streak);
             return core::StopReason::kDeadlock;  // bus disabled: no event
           }
           continue;
@@ -94,11 +113,16 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
         return core::StopReason::kIllegal;
       case iss::Event::kFslStall:
         if (++blocked_streak >= state_->deadlock_threshold) {
+          state_->last_deadlock =
+              core::diagnose_deadlock(cpu, state_->hub, blocked_streak);
           if (state_->trace_bus.enabled()) {
             obs::TraceEvent event;
             event.kind = obs::EventKind::kDeadlock;
             event.cycle = cpu.cycle();
             event.cycles = blocked_streak;
+            event.channel = state_->last_deadlock->channel.empty()
+                                ? nullptr
+                                : state_->last_deadlock->channel.c_str();
             state_->trace_bus.emit(event);
           }
           return core::StopReason::kDeadlock;
@@ -113,11 +137,65 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
                       : core::StopReason::kCycleLimit;
 }
 
+core::StopReason SimSystem::run_segment(Cycle max_cycles) {
+  return state_->engine ? state_->engine->run(max_cycles)
+                        : run_software_only(max_cycles);
+}
+
+core::StopReason SimSystem::run_faulted(Cycle max_cycles) {
+  fault::Injector& injector = *state_->injector;
+  const fault::FaultPlan& plan = injector.plan();
+  if (plan.trigger == fault::TriggerKind::kCycle) {
+    // Run to the trigger cycle, inject, continue. If the software ends
+    // before the trigger the fault never fires (masked by timing).
+    const Cycle target = std::min<Cycle>(plan.trigger_value, max_cycles);
+    const core::StopReason before = run_segment(target);
+    if (before != core::StopReason::kCycleLimit) return before;
+    injector.fire(state_->cpu, &state_->hub, state_->opb.get(),
+                  &state_->trace_bus);
+    return run_segment(max_cycles);
+  }
+  // PC trigger: precise lock-step until the processor is about to
+  // execute the trigger PC. A blocked or runaway program is bounded by
+  // the deadlock threshold / cycle budget, like any other run.
+  iss::Processor& cpu = state_->cpu;
+  Cycle blocked_streak = 0;
+  while (!cpu.halted() && cpu.cycle() < max_cycles) {
+    if (cpu.pc() == static_cast<Addr>(plan.trigger_value)) {
+      injector.fire(cpu, &state_->hub, state_->opb.get(), &state_->trace_bus);
+      return run_segment(max_cycles);
+    }
+    const iss::StepResult result = state_->engine ? state_->engine->debug_step()
+                                                  : cpu.step();
+    switch (result.event) {
+      case iss::Event::kHalted:
+        return core::StopReason::kHalted;
+      case iss::Event::kIllegal:
+        return core::StopReason::kIllegal;
+      case iss::Event::kFslStall:
+        if (++blocked_streak >= state_->deadlock_threshold) {
+          state_->last_deadlock =
+              core::diagnose_deadlock(cpu, state_->hub, blocked_streak);
+          return core::StopReason::kDeadlock;
+        }
+        break;
+      case iss::Event::kRetired:
+        blocked_streak = 0;
+        break;
+    }
+  }
+  return cpu.halted() ? core::StopReason::kHalted
+                      : core::StopReason::kCycleLimit;
+}
+
 core::StopReason SimSystem::run(Cycle max_cycles) {
   Stopwatch watch;
-  const core::StopReason reason = state_->engine
-                                      ? state_->engine->run(max_cycles)
-                                      : run_software_only(max_cycles);
+  const bool pending_point_fault = state_->injector != nullptr &&
+                                   state_->injector->needs_point_trigger() &&
+                                   !state_->injector->armed_or_fired();
+  const core::StopReason reason = pending_point_fault
+                                      ? run_faulted(max_cycles)
+                                      : run_segment(max_cycles);
   state_->last_run_wall_seconds = watch.elapsed_seconds();
   // Make every attached sink durable after each run: the JSONL/VCD files
   // are complete on disk even if the caller never destroys the system.
@@ -189,6 +267,37 @@ core::CoSimEngine* SimSystem::engine() noexcept {
   return state_->engine ? &*state_->engine : nullptr;
 }
 
+fsl::FslHub& SimSystem::fsl_hub() noexcept { return state_->hub; }
+
+bus::OpbBus* SimSystem::opb() noexcept { return state_->opb.get(); }
+
+Status SimSystem::arm_fault(const fault::FaultPlan& plan, bool immediate) {
+  if (Status valid = fault::validate_plan(plan); !valid.ok) return valid;
+  // Replace any previous arming wholesale so re-arming is idempotent.
+  state_->hub.clear_faults();
+  if (state_->opb) state_->opb->clear_fault();
+  state_->injector = std::make_unique<fault::Injector>(plan);
+  state_->injector->arm(&state_->hub, state_->opb.get());
+  if (immediate && state_->injector->needs_point_trigger()) {
+    state_->injector->fire(state_->cpu, &state_->hub, state_->opb.get(),
+                           &state_->trace_bus);
+  }
+  return {};
+}
+
+const fault::Injector* SimSystem::fault_injector() const noexcept {
+  return state_->injector.get();
+}
+
+std::optional<core::DeadlockDiagnosis> SimSystem::deadlock_diagnosis() const {
+  if (state_->engine && state_->engine->deadlock_diagnosis()) {
+    return state_->engine->deadlock_diagnosis();
+  }
+  return state_->last_deadlock;
+}
+
+Status SimSystem::sink_status() const { return state_->trace_bus.status(); }
+
 std::optional<u16> SimSystem::gdb_port() const noexcept {
   return state_->gdb_port;
 }
@@ -227,6 +336,27 @@ Expected<rsp::SessionEnd> SimSystem::serve_gdb(
         return "metrics: not enabled (build with Builder::metrics)";
       }
       return snapshot.to_string();
+    }
+    if (line == "fault") {
+      const fault::Injector* injector = fault_injector();
+      if (injector == nullptr) return "fault: none armed";
+      std::string out = "fault: " + injector->plan().to_string();
+      out += injector->armed_or_fired()
+                 ? (injector->applied() ? "\nstate: " + injector->detail()
+                                        : "\nstate: engaged, not applied")
+                 : "\nstate: waiting for trigger";
+      return out;
+    }
+    if (line.rfind("fault ", 0) == 0) {
+      const Expected<fault::FaultPlan> parsed =
+          fault::parse_plan(std::string(line.substr(6)));
+      if (!parsed) return "fault: " + parsed.error();
+      // From a debugger the system is stopped at the prompt: point
+      // triggers fire right here; count triggers arm and fire later.
+      if (const Status status = arm_fault(parsed.value(), true); !status.ok) {
+        return "fault: " + status.message;
+      }
+      return "fault: " + fault_injector()->detail();
     }
     if (line == "stats") {
       const core::CoSimStats s = stats();
@@ -325,6 +455,16 @@ SimSystem::Builder& SimSystem::Builder::deadlock_threshold(Cycle threshold) {
 SimSystem::Builder& SimSystem::Builder::custom_instruction(
     unsigned slot, iss::CustomInstruction unit) {
   custom_.emplace_back(slot, std::move(unit));
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::opb(std::unique_ptr<bus::OpbBus> bus) {
+  opb_ = std::move(bus);
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::fault(const fault::FaultPlan& plan) {
+  fault_plan_ = plan;
   return *this;
 }
 
@@ -438,12 +578,24 @@ Expected<SimSystem> SimSystem::Builder::build() {
   }
 
   // 4. Assemble the components and wire them up.
+  if (fault_plan_) {
+    if (const Status valid = fault::validate_plan(*fault_plan_); !valid.ok) {
+      return Failure::failure("SimSystem: " + valid.message);
+    }
+  }
   auto state = std::make_unique<State>(std::move(program), cpu_config_,
                                        memory_bytes_, fifo_depth_);
   state->fsl_links = fsl_links;
   state->deadlock_threshold = deadlock_threshold_;
   state->gdb_port = gdb_port_;
   state->cpu.set_predecode(predecode_);
+  if (opb_) {
+    state->opb = std::move(opb_);
+    state->cpu.attach_opb(state->opb.get());
+  }
+  if (fault_plan_) {
+    state->injector = std::make_unique<fault::Injector>(*fault_plan_);
+  }
 
   // 5. Observability sinks. The bus lives inside the heap-allocated
   // State, so the pointers handed to the components survive moves of
@@ -479,6 +631,7 @@ Expected<SimSystem> SimSystem::Builder::build() {
   // SimSystem::trace_bus().
   state->cpu.set_trace_bus(&state->trace_bus);
   state->hub.set_trace_bus(&state->trace_bus);
+  if (state->opb) state->opb->set_trace_bus(&state->trace_bus);
 
   try {
     state->memory.load_program(state->program);

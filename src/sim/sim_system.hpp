@@ -32,17 +32,24 @@
 #include <vector>
 
 #include "asm/program.hpp"
+#include "bus/opb_bus.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/cosim_engine.hpp"
 #include "energy/energy_model.hpp"
 #include "estimate/estimator.hpp"
+#include "fault/fault_plan.hpp"
 #include "fsl/fsl_channel.hpp"
+#include "fsl/fsl_hub.hpp"
 #include "iss/processor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_bus.hpp"
 #include "rsp/server.hpp"
 #include "sysgen/model.hpp"
+
+namespace mbcosim::fault {
+class Injector;
+}  // namespace mbcosim::fault
 
 namespace mbcosim::sim {
 
@@ -142,6 +149,30 @@ class SimSystem {
   [[nodiscard]] const sysgen::Model* hardware() const noexcept;
   /// Co-simulation engine; nullptr for a software-only system.
   [[nodiscard]] core::CoSimEngine* engine() noexcept;
+  /// The processor's FSL channel hub (always present).
+  [[nodiscard]] fsl::FslHub& fsl_hub() noexcept;
+  /// Memory-mapped OPB bus; nullptr unless Builder::opb attached one.
+  [[nodiscard]] bus::OpbBus* opb() noexcept;
+
+  // -- fault injection -------------------------------------------------
+  /// Arm (or replace) a fault plan on the running system. Count-
+  /// triggered faults install into the target component immediately;
+  /// cycle/pc-triggered faults fire at the trigger point of the next
+  /// run() — unless `immediate`, which fires them right now at the
+  /// current stop (the RSP `monitor fault` semantics).
+  [[nodiscard]] Status arm_fault(const fault::FaultPlan& plan,
+                                 bool immediate = false);
+  /// The armed injector, or nullptr when the system runs fault-free.
+  [[nodiscard]] const fault::Injector* fault_injector() const noexcept;
+
+  /// Diagnosis of the most recent StopReason::kDeadlock (engine or
+  /// software-only run); empty until a deadlock has been detected.
+  [[nodiscard]] std::optional<core::DeadlockDiagnosis> deadlock_diagnosis()
+      const;
+
+  /// First I/O failure reported by any attached trace sink (ok when
+  /// none failed). Check after run() when the trace matters.
+  [[nodiscard]] Status sink_status() const;
 
   // -- remote debug ----------------------------------------------------
   /// Serve one GDB Remote Serial Protocol session on 127.0.0.1:`port`
@@ -167,6 +198,12 @@ class SimSystem {
   explicit SimSystem(std::unique_ptr<State> state);
 
   core::StopReason run_software_only(Cycle max_cycles);
+  /// Engine or software-only run, without the wall-clock / flush
+  /// bookkeeping of run() (used for the segments of a faulted run).
+  core::StopReason run_segment(Cycle max_cycles);
+  /// Run-to-trigger, fire the injection, continue — the orchestration
+  /// of a cycle/pc point-triggered fault plan.
+  core::StopReason run_faulted(Cycle max_cycles);
 
   std::unique_ptr<State> state_;
 };
@@ -214,6 +251,16 @@ class SimSystem::Builder {
   /// Install a Nios-style custom instruction in `slot` (0..7).
   Builder& custom_instruction(unsigned slot, iss::CustomInstruction unit);
 
+  /// Attach a memory-mapped OPB bus (with its peripherals already
+  /// mapped); data accesses outside the LMB memory decode on it.
+  Builder& opb(std::unique_ptr<bus::OpbBus> bus);
+
+  /// Arm a fault plan: the fault fires during run() at the plan's
+  /// trigger. build() fails on an inconsistent plan (validate_plan).
+  /// Without this call the system is bit-identical to a fault-free
+  /// build — no hook is armed anywhere.
+  Builder& fault(const fault::FaultPlan& plan);
+
   // -- observability ---------------------------------------------------
   /// Stream every simulation event as one JSON object per line into
   /// `path`. build() fails if the file cannot be opened.
@@ -250,6 +297,8 @@ class SimSystem::Builder {
   Cycle quiescence_ = 0;
   Cycle deadlock_threshold_ = 100'000;
   std::vector<std::pair<unsigned, iss::CustomInstruction>> custom_;
+  std::unique_ptr<bus::OpbBus> opb_;
+  std::optional<fault::FaultPlan> fault_plan_;
   std::optional<std::string> trace_path_;
   std::optional<std::string> vcd_path_;
   bool metrics_ = false;

@@ -1,0 +1,67 @@
+// DeadlockDiagnosis: when the deadlock heuristic fires, the report must
+// say *what* was blocked — instruction direction, channel, PC and FIFO
+// state — not just that the run stopped.
+#include <gtest/gtest.h>
+
+#include "core/cosim_engine.hpp"
+#include "sim/sim_system.hpp"
+
+namespace mbcosim::core {
+namespace {
+
+sim::SimSystem build_or_die(sim::SimSystem::Builder& builder) {
+  auto built = builder.build();
+  if (!built.ok()) throw SimError(built.error());
+  return std::move(built).value();
+}
+
+TEST(DeadlockDiagnosis, BlockingGetOnEmptyChannelIsFullyDescribed) {
+  auto system = build_or_die(sim::SimSystem::Builder()
+                                 .program("blocked: get r4, rfsl0\nhalt\n")
+                                 .deadlock_threshold(100));
+  EXPECT_EQ(system.run(100'000), StopReason::kDeadlock);
+
+  const auto diagnosis = system.deadlock_diagnosis();
+  ASSERT_TRUE(diagnosis.has_value());
+  EXPECT_TRUE(diagnosis->is_get);
+  EXPECT_EQ(diagnosis->channel, "hw_to_mb0");
+  EXPECT_EQ(diagnosis->channel_id, 0u);
+  EXPECT_EQ(diagnosis->pc, system.symbol("blocked"));  // parked on the get
+  EXPECT_EQ(diagnosis->occupancy, 0u);       // blocked because empty
+  EXPECT_GT(diagnosis->depth, 0u);
+  EXPECT_GE(diagnosis->blocked_cycles, 100u);
+
+  const std::string text = diagnosis->to_string();
+  EXPECT_NE(text.find("blocking get"), std::string::npos);
+  EXPECT_NE(text.find("hw_to_mb0"), std::string::npos);
+}
+
+TEST(DeadlockDiagnosis, BlockingPutOnFullChannelReportsOccupancy) {
+  // With no hardware draining mb_to_hw0, the put loop fills the FIFO to
+  // depth and then blocks; the diagnosis must show the full FIFO.
+  auto system = build_or_die(sim::SimSystem::Builder()
+                                 .program("loop:\n"
+                                          "  put r3, rfsl0\n"
+                                          "  bri loop\n"
+                                          "halt\n")
+                                 .deadlock_threshold(100));
+  EXPECT_EQ(system.run(100'000), StopReason::kDeadlock);
+
+  const auto diagnosis = system.deadlock_diagnosis();
+  ASSERT_TRUE(diagnosis.has_value());
+  EXPECT_FALSE(diagnosis->is_get);
+  EXPECT_EQ(diagnosis->channel, "mb_to_hw0");
+  EXPECT_GT(diagnosis->depth, 0u);
+  EXPECT_EQ(diagnosis->occupancy, diagnosis->depth);  // blocked because full
+  EXPECT_NE(diagnosis->to_string().find("blocking put"), std::string::npos);
+}
+
+TEST(DeadlockDiagnosis, AbsentWhenTheRunHalts) {
+  auto system = build_or_die(
+      sim::SimSystem::Builder().program("addik r3, r3, 1\nhalt\n"));
+  EXPECT_EQ(system.run(), StopReason::kHalted);
+  EXPECT_FALSE(system.deadlock_diagnosis().has_value());
+}
+
+}  // namespace
+}  // namespace mbcosim::core

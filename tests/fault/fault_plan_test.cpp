@@ -1,0 +1,162 @@
+// FaultPlan: spec parsing, validation matrix, seed-derived parameters
+// and the determinism of PlanSpace sampling — the contracts a Monte
+// Carlo campaign's reproducibility rests on.
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace mbcosim::fault {
+namespace {
+
+TEST(FaultPlanParse, MemoryBitFlipRoundTrips) {
+  const auto parsed = parse_plan("site=mem,mode=bitflip,cycle=1000,addr=0x120");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const FaultPlan& plan = parsed.value();
+  EXPECT_EQ(plan.site, FaultSite::kMemory);
+  EXPECT_EQ(plan.mode, FaultMode::kBitFlip);
+  EXPECT_EQ(plan.trigger, TriggerKind::kCycle);
+  EXPECT_EQ(plan.trigger_value, 1000u);
+  EXPECT_EQ(plan.address, 0x120u);
+  // to_spec round-trips to an equivalent plan.
+  const auto again = parse_plan(plan.to_spec());
+  ASSERT_TRUE(again.ok()) << again.error();
+  EXPECT_EQ(again.value().site, plan.site);
+  EXPECT_EQ(again.value().mode, plan.mode);
+  EXPECT_EQ(again.value().trigger_value, plan.trigger_value);
+  EXPECT_EQ(again.value().address, plan.address);
+}
+
+TEST(FaultPlanParse, FslAndOpbSpecs) {
+  const auto fsl = parse_plan("site=fsl-to-hw,mode=drop,count=3,chan=2");
+  ASSERT_TRUE(fsl.ok()) << fsl.error();
+  EXPECT_EQ(fsl.value().site, FaultSite::kFslToHw);
+  EXPECT_EQ(fsl.value().mode, FaultMode::kDropWord);
+  EXPECT_EQ(fsl.value().trigger, TriggerKind::kCount);
+  EXPECT_EQ(fsl.value().channel, 2u);
+
+  const auto opb = parse_plan("site=opb,mode=timeout,count=1");
+  ASSERT_TRUE(opb.ok()) << opb.error();
+  EXPECT_EQ(opb.value().site, FaultSite::kOpb);
+  EXPECT_EQ(opb.value().mode, FaultMode::kBusTimeout);
+
+  const auto reg =
+      parse_plan("site=reg,mode=multibitflip,pc=0x48,reg=5,mask=0x11");
+  ASSERT_TRUE(reg.ok()) << reg.error();
+  EXPECT_EQ(reg.value().trigger, TriggerKind::kPc);
+  EXPECT_EQ(reg.value().trigger_value, 0x48u);
+  EXPECT_EQ(reg.value().reg, 5u);
+  EXPECT_EQ(reg.value().effective_mask(), 0x11u);  // explicit mask wins
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse_plan("site=nowhere,mode=bitflip,cycle=1").ok());
+  EXPECT_FALSE(parse_plan("site=mem,mode=wat,cycle=1").ok());
+  EXPECT_FALSE(parse_plan("site=mem,mode=bitflip").ok());  // no trigger
+  EXPECT_FALSE(parse_plan("site=mem,mode=bitflip,cycle=1,count=2").ok());
+  EXPECT_FALSE(parse_plan("site=mem,mode=bitflip,cycle=banana").ok());
+  EXPECT_FALSE(parse_plan("site=mem,bitflip,cycle=1").ok());  // not k=v
+  EXPECT_FALSE(parse_plan("site=mem,mode=bitflip,cycle=1,wat=1").ok());
+  EXPECT_FALSE(parse_plan("site=reg,mode=bitflip,cycle=1,reg=32").ok());
+  EXPECT_FALSE(parse_plan("site=fsl-to-hw,mode=drop,count=1,chan=8").ok());
+}
+
+TEST(FaultPlanValidate, SiteModeTriggerMatrix) {
+  FaultPlan plan;
+  plan.site = FaultSite::kMemory;
+  plan.mode = FaultMode::kDropWord;  // stream mode on a memory site
+  plan.trigger = TriggerKind::kCycle;
+  plan.trigger_value = 10;
+  EXPECT_FALSE(validate_plan(plan).ok);
+
+  plan.mode = FaultMode::kBitFlip;
+  EXPECT_TRUE(validate_plan(plan).ok);
+  plan.trigger = TriggerKind::kCount;  // state flips cannot count
+  EXPECT_FALSE(validate_plan(plan).ok);
+
+  plan.site = FaultSite::kFslFromHw;
+  plan.mode = FaultMode::kStuckFull;
+  plan.trigger = TriggerKind::kCount;  // stuck flags cannot count
+  EXPECT_FALSE(validate_plan(plan).ok);
+  plan.trigger = TriggerKind::kCycle;
+  EXPECT_TRUE(validate_plan(plan).ok);
+
+  plan.mode = FaultMode::kCorruptWord;
+  plan.trigger = TriggerKind::kPc;  // stream faults cannot pc-trigger
+  EXPECT_FALSE(validate_plan(plan).ok);
+
+  plan.site = FaultSite::kOpb;
+  plan.mode = FaultMode::kBitFlip;  // not a bus mode
+  plan.trigger = TriggerKind::kCycle;
+  EXPECT_FALSE(validate_plan(plan).ok);
+  plan.mode = FaultMode::kBusError;
+  EXPECT_TRUE(validate_plan(plan).ok);
+
+  plan.site = FaultSite::kRegister;
+  plan.mode = FaultMode::kBitFlip;
+  plan.reg = 0;  // r0 is hardwired zero
+  EXPECT_FALSE(validate_plan(plan).ok);
+
+  plan.reg = 3;
+  plan.trigger = TriggerKind::kCycle;
+  plan.trigger_value = 0;  // cycle triggers are 1-based
+  EXPECT_FALSE(validate_plan(plan).ok);
+}
+
+TEST(FaultPlanMask, DerivedMasksAreDeterministicAndShaped) {
+  FaultPlan plan;
+  plan.mode = FaultMode::kBitFlip;
+  plan.seed = 42;
+  const Word first = plan.effective_mask();
+  EXPECT_EQ(first, plan.effective_mask());  // pure function of the seed
+  EXPECT_EQ(std::popcount(first), 1);
+
+  plan.mode = FaultMode::kMultiBitFlip;
+  const Word multi = plan.effective_mask();
+  EXPECT_GE(std::popcount(multi), 2);
+  EXPECT_LE(std::popcount(multi), 4);
+
+  plan.seed = 43;
+  EXPECT_NE(plan.effective_mask(), multi);  // different seed, new choice
+}
+
+TEST(PlanSpaceSample, SameSeedSamplesIdenticalPlans) {
+  PlanSpace space;
+  space.mem_base = 0x100;
+  space.mem_bytes = 256;
+  space.registers = 32;
+  space.to_hw_channels = {0, 1};
+  space.from_hw_channels = {0};
+  space.opb = true;
+  space.max_trigger_cycle = 5000;
+
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 200; ++i) {
+    const FaultPlan pa = sample_plan(a, space);
+    const FaultPlan pb = sample_plan(b, space);
+    EXPECT_EQ(pa.to_spec(), pb.to_spec());
+    EXPECT_EQ(pa.seed, pb.seed);
+    // Every sampled plan must be internally consistent.
+    const Status valid = validate_plan(pa);
+    EXPECT_TRUE(valid.ok) << valid.message << " for " << pa.to_spec();
+  }
+}
+
+TEST(PlanSpaceSample, EmptySpaceThrows) {
+  PlanSpace space;  // nothing enabled
+  space.registers = 0;
+  space.max_trigger_cycle = 100;
+  Rng rng(1);
+  EXPECT_THROW((void)sample_plan(rng, space), SimError);
+
+  PlanSpace no_window;
+  no_window.mem_bytes = 64;
+  no_window.max_trigger_cycle = 0;
+  EXPECT_THROW((void)sample_plan(rng, no_window), SimError);
+}
+
+}  // namespace
+}  // namespace mbcosim::fault

@@ -238,7 +238,9 @@ TEST(MetricsRegistry, StallRunsAreHistogrammed) {
   EXPECT_EQ(it->second.max(), 3u);
   EXPECT_EQ(it->second.min(), 1u);
   // The snapshot must not have consumed the in-flight run.
-  const auto again = registry.snapshot().histograms.find("cpu.stall_run");
+  const MetricsSnapshot second = registry.snapshot();
+  const auto again = second.histograms.find("cpu.stall_run");
+  ASSERT_NE(again, second.histograms.end());
   EXPECT_EQ(again->second.count(), 2u);
 }
 

@@ -1,0 +1,158 @@
+// Transport I/O policy: write_fully / read_retry against fake syscalls
+// (EINTR storms, short writes, hard errors — no sockets involved), plus
+// a loopback-pair round trip covering send/recv/closed semantics.
+#include <algorithm>
+#include <cerrno>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rsp/transport.hpp"
+
+namespace mbcosim::rsp {
+namespace {
+
+// -- write_fully policy -------------------------------------------------------
+
+TEST(WriteFully, ShortWritesAreContinuedUntilComplete) {
+  std::string sink;
+  const auto dribble = [&sink](const char* data, std::size_t size) {
+    const std::size_t n = std::min<std::size_t>(3, size);  // 3 bytes at a time
+    sink.append(data, n);
+    return static_cast<long>(n);
+  };
+  const std::string payload = "the quick brown fox";
+  EXPECT_TRUE(write_fully(dribble, payload.data(), payload.size()));
+  EXPECT_EQ(sink, payload);
+}
+
+TEST(WriteFully, EintrIsRetriedWithinTheBudget) {
+  std::string sink;
+  int interrupts = 5;
+  const auto flaky = [&](const char* data, std::size_t size) -> long {
+    if (interrupts > 0) {
+      --interrupts;
+      errno = EINTR;
+      return -1;
+    }
+    sink.append(data, size);
+    return static_cast<long>(size);
+  };
+  EXPECT_TRUE(write_fully(flaky, "abc", 3));
+  EXPECT_EQ(sink, "abc");
+}
+
+TEST(WriteFully, EintrStormBeyondTheBudgetFails) {
+  const auto wedged = [](const char*, std::size_t) -> long {
+    errno = EINTR;
+    return -1;
+  };
+  EXPECT_FALSE(write_fully(wedged, "abc", 3, /*max_retries=*/8));
+}
+
+TEST(WriteFully, ProgressResetsTheRetryBudget) {
+  // Alternate one byte of progress with `budget` interruptions: fails
+  // unless progress resets the stall counter.
+  std::string sink;
+  int since_progress = 0;
+  const auto alternating = [&](const char* data, std::size_t) -> long {
+    if (since_progress < 4) {
+      ++since_progress;
+      errno = EINTR;
+      return -1;
+    }
+    since_progress = 0;
+    sink.append(data, 1);
+    return 1;
+  };
+  EXPECT_TRUE(write_fully(alternating, "abcdefgh", 8, /*max_retries=*/4));
+  EXPECT_EQ(sink, "abcdefgh");
+}
+
+TEST(WriteFully, HardErrorFailsImmediately) {
+  int calls = 0;
+  const auto broken_pipe = [&calls](const char*, std::size_t) -> long {
+    ++calls;
+    errno = EPIPE;
+    return -1;
+  };
+  EXPECT_FALSE(write_fully(broken_pipe, "abc", 3));
+  EXPECT_EQ(calls, 1);  // no retry on a non-EINTR error
+}
+
+TEST(WriteFully, ZeroLengthWritesCountAgainstTheBudget) {
+  const auto stuck = [](const char*, std::size_t) -> long { return 0; };
+  EXPECT_FALSE(write_fully(stuck, "abc", 3, /*max_retries=*/8));
+}
+
+// -- read_retry policy --------------------------------------------------------
+
+TEST(ReadRetry, EintrIsRetriedThenTheReadSucceeds) {
+  int interrupts = 3;
+  const auto flaky = [&](char* data, std::size_t) -> long {
+    if (interrupts > 0) {
+      --interrupts;
+      errno = EINTR;
+      return -1;
+    }
+    data[0] = 'x';
+    return 1;
+  };
+  char buffer[8];
+  EXPECT_EQ(read_retry(flaky, buffer, sizeof buffer), 1);
+  EXPECT_EQ(buffer[0], 'x');
+}
+
+TEST(ReadRetry, BudgetExhaustionSurfacesTheError) {
+  int calls = 0;
+  const auto wedged = [&calls](char*, std::size_t) -> long {
+    ++calls;
+    errno = EINTR;
+    return -1;
+  };
+  char buffer[8];
+  EXPECT_LT(read_retry(wedged, buffer, sizeof buffer, /*max_retries=*/5), 0);
+  EXPECT_EQ(calls, 6);  // first attempt + 5 retries
+  EXPECT_EQ(errno, EINTR);
+}
+
+TEST(ReadRetry, EofAndHardErrorsPassStraightThrough) {
+  const auto eof = [](char*, std::size_t) -> long { return 0; };
+  char buffer[8];
+  EXPECT_EQ(read_retry(eof, buffer, sizeof buffer), 0);
+
+  const auto reset = [](char*, std::size_t) -> long {
+    errno = ECONNRESET;
+    return -1;
+  };
+  EXPECT_LT(read_retry(reset, buffer, sizeof buffer), 0);
+  EXPECT_EQ(errno, ECONNRESET);
+}
+
+// -- loopback pair ------------------------------------------------------------
+
+TEST(Loopback, RoundTripsBytesBothWays) {
+  auto [server, client] = make_loopback();
+  EXPECT_TRUE(client->send("$qSupported#37"));
+  EXPECT_EQ(server->recv(0), "$qSupported#37");
+  EXPECT_EQ(server->recv(0), "");  // drained
+
+  EXPECT_TRUE(server->send("+$OK#9a"));
+  EXPECT_TRUE(server->send("extra"));  // sends coalesce until recv'd
+  EXPECT_EQ(client->recv(0), "+$OK#9aextra");
+}
+
+TEST(Loopback, PeerDestructionClosesTheChannel) {
+  auto [server, client] = make_loopback();
+  EXPECT_FALSE(server->closed());
+  EXPECT_TRUE(client->send("last words"));
+  client.reset();
+  // Queued bytes are still readable; closed() only once drained.
+  EXPECT_FALSE(server->closed());
+  EXPECT_EQ(server->recv(0), "last words");
+  EXPECT_TRUE(server->closed());
+  EXPECT_FALSE(server->send("into the void"));
+}
+
+}  // namespace
+}  // namespace mbcosim::rsp

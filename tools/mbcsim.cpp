@@ -27,9 +27,15 @@
 //                       session on 127.0.0.1:PORT (0 = ephemeral; the
 //                       bound port is printed) and let the client drive
 //                       execution (`gdb` + `target remote :PORT`)
+//   --fault SPEC        inject one fault during the run, described by a
+//                       comma-separated spec, e.g.
+//                       "site=mem,mode=bitflip,cycle=1000,addr=0x120"
+//                       (see fault/fault_plan.hpp for the grammar)
+//   --fault-seed S      seed deriving the fault's open parameters
+//                       (which bit flips) when the spec leaves them unset
 //
 // Exit status: 0 = program halted normally, 2 = illegal instruction,
-// 3 = cycle budget exhausted, 1 = usage / assembly errors.
+// 3 = cycle budget exhausted, 4 = deadlock, 1 = usage / assembly errors.
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +48,8 @@
 
 #include "asm/assembler.hpp"
 #include "asm/objdump.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "iss/memory.hpp"
 #include "iss/processor.hpp"
 #include "obs/jsonl_sink.hpp"
@@ -68,6 +76,8 @@ struct Options {
   Cycle max_cycles = 100'000'000;
   bool predecode = true;
   std::optional<u16> gdb_port;
+  std::string fault_spec;
+  u64 fault_seed = 1;
   isa::CpuConfig cpu;
 };
 
@@ -77,7 +87,8 @@ void usage() {
                "              [--metrics] [--regs] [--mem ADDR COUNT]\n"
                "              [--max-cycles N] [--no-multiplier]\n"
                "              [--no-barrel-shifter] [--divider] [--rtl]\n"
-               "              [--no-predecode] [--gdb PORT] program.s\n");
+               "              [--no-predecode] [--gdb PORT]\n"
+               "              [--fault SPEC] [--fault-seed S] program.s\n");
 }
 
 bool parse_u64(const char* text, u64& out) {
@@ -149,6 +160,20 @@ bool parse_args(int argc, char** argv, Options& options) {
         return false;
       }
       options.gdb_port = static_cast<u16>(port);
+    } else if (arg == "--fault") {
+      const char* value = flag_value(argc, argv, i, arg);
+      if (value == nullptr) return false;
+      options.fault_spec = value;
+    } else if (arg == "--fault-seed") {
+      const char* value = flag_value(argc, argv, i, arg);
+      u64 parsed = 0;
+      if (value == nullptr || !parse_u64(value, parsed)) {
+        if (value != nullptr) {
+          std::fprintf(stderr, "bad --fault-seed value: %s\n", value);
+        }
+        return false;
+      }
+      options.fault_seed = parsed;
     } else if (arg == "--mem") {
       const char* addr_text = flag_value(argc, argv, i, arg);
       const char* count_text =
@@ -266,6 +291,77 @@ int run_on_iss(const Options& options, const assembler::Program& program) {
   return event == iss::Event::kIllegal ? 2 : 3;
 }
 
+/// Report facilities shared by the SimSystem-based run modes: the
+/// structured deadlock diagnosis and any trace-sink I/O failure.
+void report_system_health(sim::SimSystem& system) {
+  if (const auto diagnosis = system.deadlock_diagnosis(); diagnosis) {
+    std::printf("%s\n", diagnosis->to_string().c_str());
+  }
+  if (const Status sinks = system.sink_status(); !sinks.ok) {
+    std::fprintf(stderr, "warning: %s\n", sinks.message.c_str());
+  }
+}
+
+int run_fault(const Options& options, const assembler::Program& program) {
+  const Expected<fault::FaultPlan> parsed =
+      fault::parse_plan(options.fault_spec, options.fault_seed);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.error().c_str());
+    return 1;
+  }
+  std::printf("fault plan: %s\n", parsed.value().to_string().c_str());
+
+  sim::SimSystem::Builder builder;
+  builder.program(program)
+      .cpu_config(options.cpu)
+      .predecode(options.predecode)
+      .fault(parsed.value());
+  if (!options.trace_path.empty()) builder.trace(options.trace_path);
+  if (!options.vcd_path.empty()) builder.vcd(options.vcd_path);
+  if (options.metrics) builder.metrics();
+  Expected<sim::SimSystem> built = builder.build();
+  if (!built) {
+    std::fprintf(stderr, "%s\n", built.error().c_str());
+    return 1;
+  }
+  sim::SimSystem system = std::move(built).value();
+
+  const core::StopReason reason = system.run(options.max_cycles);
+  const core::CoSimStats stats = system.stats();
+  std::printf("stopped: %s after %llu cycles (%.2f usec @ 50 MHz), "
+              "%llu instructions\n",
+              core::stop_reason_name(reason),
+              static_cast<unsigned long long>(stats.cycles),
+              cycles_to_usec(stats.cycles),
+              static_cast<unsigned long long>(stats.instructions));
+  if (const fault::Injector* injector = system.fault_injector();
+      injector != nullptr && injector->armed_or_fired()) {
+    std::printf("fault: %s\n", injector->detail().empty()
+                                   ? "armed (did not fire)"
+                                   : injector->detail().c_str());
+  } else {
+    std::printf("fault: trigger not reached\n");
+  }
+  report_system_health(system);
+  if (options.metrics) {
+    std::printf("%s", system.metrics_snapshot().to_string().c_str());
+  }
+  if (options.dump_regs) {
+    for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
+      std::printf("  r%-2u = 0x%08x%s", r, system.cpu().reg(r),
+                  (r % 4 == 3) ? "\n" : "  ");
+    }
+  }
+  dump_memory(options, system.memory());
+  switch (reason) {
+    case core::StopReason::kHalted: return 0;
+    case core::StopReason::kIllegal: return 2;
+    case core::StopReason::kCycleLimit: return 3;
+    case core::StopReason::kDeadlock: return 4;
+  }
+  return 1;
+}
+
 int run_gdb(const Options& options, const assembler::Program& program) {
   sim::SimSystem::Builder builder;
   builder.program(program)
@@ -299,6 +395,7 @@ int run_gdb(const Options& options, const assembler::Program& program) {
               static_cast<unsigned long long>(stats.cycles),
               cycles_to_usec(stats.cycles),
               static_cast<unsigned long long>(stats.instructions));
+  report_system_health(system);
   if (options.metrics) {
     std::printf("%s", system.metrics_snapshot().to_string().c_str());
   }
@@ -406,6 +503,13 @@ int main(int argc, char** argv) {
   }
   try {
     if (options.gdb_port) return run_gdb(options, program);
+    if (!options.fault_spec.empty()) {
+      if (options.use_rtl) {
+        std::fprintf(stderr, "--fault is not supported with --rtl\n");
+        return 1;
+      }
+      return run_fault(options, program);
+    }
     return options.use_rtl ? run_on_rtl(options, program)
                            : run_on_iss(options, program);
   } catch (const SimError& error) {
