@@ -1,0 +1,17 @@
+# Collector core of the CORDIC farm (examples/machines/cordic_farm.json).
+#
+# Drains the quotient stream the worker forwards on the cross-linked
+# channel 1 and stores it to the `results` array, then halts.
+start:
+  la r28, results
+  li r29, 32              # 8 quotients * 4 bytes
+  addk r10, r0, r0
+store_loop:
+  get r3, rfsl1
+  sw r3, r28, r10
+  addik r10, r10, 4
+  rsub r3, r10, r29
+  bnei r3, store_loop
+  halt
+
+results: .space 32

@@ -1,0 +1,40 @@
+# Feeder core of the CORDIC farm (examples/machines/cordic_farm.json).
+#
+# Streams eight (X, Y) dividend/divisor pairs in Fix32_24 down FSL
+# channel 1, which the machine description cross-links to the worker
+# core's slave channel 1. The feeder then halts; the conservative
+# quantum scheduler keeps running the other cores until the whole
+# machine drains.
+start:
+  la r21, data_x
+  la r22, data_y
+  li r29, 32              # 8 items * 4 bytes
+  addk r10, r0, r0        # byte offset
+item_loop:
+  lw r3, r21, r10
+  put r3, rfsl1           # X (divisor)
+  lw r4, r22, r10
+  put r4, rfsl1           # Y (dividend)
+  addik r10, r10, 4
+  rsub r3, r10, r29
+  bnei r3, item_loop
+  halt
+
+data_x:                   # divisors, Fix32_24
+  .word 0x01000000        # 1.0
+  .word 0x02000000        # 2.0
+  .word 0x01800000        # 1.5
+  .word 0x04000000        # 4.0
+  .word 0x01000000        # 1.0
+  .word 0x03000000        # 3.0
+  .word 0x01400000        # 1.25
+  .word 0x02800000        # 2.5
+data_y:                   # dividends, Fix32_24
+  .word 0x00800000        # 0.5   -> 0.5
+  .word 0x03000000        # 3.0   -> 1.5
+  .word 0x00c00000        # 0.75  -> 0.5
+  .word 0x01000000        # 1.0   -> 0.25
+  .word 0xff800000        # -0.5  -> -0.5
+  .word 0x02000000        # 2.0   -> 0.667
+  .word 0x01000000        # 1.0   -> 0.8
+  .word 0x00a00000        # 0.625 -> 0.25

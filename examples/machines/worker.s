@@ -1,0 +1,36 @@
+# Worker core of the CORDIC farm (examples/machines/cordic_farm.json).
+#
+# Hosts the 16-PE CORDIC division pipeline on FSL channel 0 and acts as
+# the middle stage of the farm: items arrive from the feeder on the
+# cross-linked channel 1, run one pass through the pipeline (16 PEs =
+# 16 iterations, so a single pass suffices), and the quotient words
+# leave on channel 2 toward the collector.
+#
+# Items are processed in sets of four so the pipeline's result FIFO
+# (three words per item, 16 entries deep) can never overflow while a
+# whole set is in flight -- the same sizing rule the single-core driver
+# uses (paper Section IV-A).
+start:
+  li r20, 2               # sets of 4 items
+set_loop:
+  cput r0, rfsl0          # control word: initial shift amount s0 = 0
+  li r5, 4
+send_loop:
+  get r3, rfsl1           # X from the feeder
+  put r3, rfsl0
+  get r3, rfsl1           # Y from the feeder
+  put r3, rfsl0
+  put r0, rfsl0           # Z = 0
+  addik r5, r5, -1
+  bnei r5, send_loop
+  li r5, 4
+recv_loop:
+  get r3, rfsl0           # X out (discarded)
+  get r3, rfsl0           # Y residue (discarded)
+  get r3, rfsl0           # Z out = quotient
+  put r3, rfsl2           # forward to the collector
+  addik r5, r5, -1
+  bnei r5, recv_loop
+  addik r20, r20, -1
+  bnei r20, set_loop
+  halt

@@ -1,0 +1,51 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mbcosim {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned count = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  count = std::max(count, 1u);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this](std::stop_token token) { work(token); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread& worker : workers_) worker.request_stop();
+  wake_.notify_all();
+  // std::jthread joins in workers_'s destructor.
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::work(std::stop_token token) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, token, [this] { return !queue_.empty(); });
+    if (queue_.empty()) return;  // stop requested, nothing left to do
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace mbcosim

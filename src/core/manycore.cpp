@@ -1,0 +1,201 @@
+#include "core/manycore.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/thread_pool.hpp"
+
+namespace mbcosim::core {
+
+namespace {
+
+/// Effectively-infinite per-core deadlock threshold: a core starving on
+/// a cross-link looks exactly like a core starving on slow hardware,
+/// and only the machine-level heuristic may call it a deadlock.
+constexpr Cycle kNeverDeadlock = ~Cycle{0} >> 1;
+
+}  // namespace
+
+std::size_t ManyCoreEngine::add_core(std::string name, iss::Processor& cpu,
+                                     CoSimEngine& engine, fsl::FslHub& hub) {
+  engine.set_deadlock_threshold(kNeverDeadlock);
+  Node node;
+  node.name = std::move(name);
+  node.cpu = &cpu;
+  node.engine = &engine;
+  node.hub = &hub;
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+Status ManyCoreEngine::link(std::size_t from_core, unsigned from_channel,
+                            std::size_t to_core, unsigned to_channel) {
+  if (from_core >= nodes_.size() || to_core >= nodes_.size()) {
+    return Status::failure("ManyCoreEngine::link: core index out of range");
+  }
+  if (from_channel >= fsl::FslHub::kChannels ||
+      to_channel >= fsl::FslHub::kChannels) {
+    return Status::failure("ManyCoreEngine::link: channel id out of range");
+  }
+  CrossLink link;
+  link.from_core = from_core;
+  link.to_core = to_core;
+  link.source = &nodes_[from_core].hub->to_hw(from_channel);
+  link.sink = &nodes_[to_core].hub->from_hw(to_channel);
+  links_.push_back(link);
+  return {};
+}
+
+u64 ManyCoreEngine::transfer_links() {
+  u64 moved = 0;
+  for (const CrossLink& link : links_) {
+    while (link.source->exists() && !link.sink->full()) {
+      const std::optional<fsl::FslEntry> entry = link.source->try_read();
+      if (!entry) break;
+      link.sink->try_write(entry->data, entry->control);
+      ++moved;
+    }
+  }
+  link_words_ += moved;
+  return moved;
+}
+
+std::size_t ManyCoreEngine::run_round(Cycle target, ThreadPool* pool) {
+  // Each job touches only its own node: the core's processor, hardware
+  // model, FIFOs and trace bus are private until the barrier below.
+  auto advance = [this, target](std::size_t index) {
+    Node& node = nodes_[index];
+    node.last = node.engine->run(target);
+    if (node.last == StopReason::kHalted) node.finished = true;
+  };
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].finished) advance(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].finished) pool->submit([advance, i] { advance(i); });
+    }
+    pool->wait_idle();
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].finished && nodes_[i].last == StopReason::kIllegal) {
+      return i;
+    }
+  }
+  return nodes_.size();
+}
+
+MachineStop ManyCoreEngine::run(Cycle max_cycles) {
+  if (nodes_.empty()) return {StopReason::kHalted, 0};
+
+  // Resume from wherever the clocks are (run() composes with
+  // debug_step()); unfinished cores are at most one round apart.
+  Cycle global = 0;
+  std::size_t live = 0;
+  for (const Node& node : nodes_) {
+    if (node.finished) continue;
+    ++live;
+    global = std::max(global, node.cpu->cycle());
+  }
+  if (live == 0) return {StopReason::kHalted, 0};
+
+  unsigned workers = workers_ == 0 ? std::thread::hardware_concurrency()
+                                   : workers_;
+  workers = std::max(workers, 1u);
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, nodes_.size()));
+  // The pool persists across rounds; worker count never affects results
+  // (see the file comment), only host wall-clock.
+  std::optional<ThreadPool> pool;
+  if (workers > 1 && live > 1) pool.emplace(workers);
+
+  Cycle stalled = 0;
+  while (global < max_cycles) {
+    const Cycle target = std::min(global + quantum_, max_cycles);
+    u64 instructions_before = 0;
+    for (const Node& node : nodes_) {
+      instructions_before += node.cpu->stats().instructions;
+    }
+
+    const std::size_t trapped =
+        run_round(target, pool.has_value() ? &*pool : nullptr);
+    if (trapped < nodes_.size()) return {StopReason::kIllegal, trapped};
+
+    const u64 moved = transfer_links();
+    u64 instructions_after = 0;
+    live = 0;
+    for (const Node& node : nodes_) {
+      instructions_after += node.cpu->stats().instructions;
+      if (!node.finished) ++live;
+    }
+    if (live == 0) return {StopReason::kHalted, 0};
+
+    if (moved == 0 && instructions_after == instructions_before) {
+      stalled += target - global;
+      if (stalled >= deadlock_threshold_) {
+        // Blame the first core parked on a decodable FSL access; fall
+        // back to the first live core when none decodes (e.g. a custom
+        // busy-wait) so the diagnosis always names a core.
+        std::size_t fallback = nodes_.size();
+        deadlock_core_ = nodes_.size();
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (nodes_[i].finished) continue;
+          if (fallback == nodes_.size()) fallback = i;
+          DeadlockDiagnosis diagnosis =
+              diagnose_deadlock(*nodes_[i].cpu, *nodes_[i].hub, stalled);
+          if (!diagnosis.channel.empty()) {
+            deadlock_core_ = i;
+            last_deadlock_ = std::move(diagnosis);
+            break;
+          }
+        }
+        if (deadlock_core_ == nodes_.size()) {
+          deadlock_core_ = fallback;
+          last_deadlock_ = diagnose_deadlock(*nodes_[fallback].cpu,
+                                             *nodes_[fallback].hub, stalled);
+        }
+        return {StopReason::kDeadlock, deadlock_core_};
+      }
+    } else {
+      stalled = 0;
+    }
+    global = target;
+  }
+  return {StopReason::kCycleLimit, 0};
+}
+
+iss::StepResult ManyCoreEngine::debug_step(std::size_t index) {
+  Node& node = nodes_[index];
+  const iss::StepResult result = node.engine->debug_step();
+  if (result.event == iss::Event::kHalted) node.finished = true;
+  // A one-instruction round: every other live core catches up to the
+  // stepped core's clock, then the links transfer as usual, so single
+  // stepping from gdb observes the same machine a free run would.
+  const Cycle target = node.cpu->cycle();
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    if (j == index || nodes_[j].finished) continue;
+    nodes_[j].last = nodes_[j].engine->run(target);
+    if (nodes_[j].last == StopReason::kHalted) nodes_[j].finished = true;
+  }
+  transfer_links();
+  return result;
+}
+
+CoSimStats ManyCoreEngine::aggregate_stats() const {
+  CoSimStats total;
+  for (const Node& node : nodes_) {
+    const CoSimStats stats = node.engine->stats();
+    total.cycles = std::max(total.cycles, stats.cycles);
+    total.instructions += stats.instructions;
+    total.fsl_stall_cycles += stats.fsl_stall_cycles;
+    total.hw_cycles_stepped += stats.hw_cycles_stepped;
+    total.hw_cycles_skipped += stats.hw_cycles_skipped;
+    total.bridge.words_to_hw += stats.bridge.words_to_hw;
+    total.bridge.words_from_hw += stats.bridge.words_from_hw;
+    total.bridge.refused_writes += stats.bridge.refused_writes;
+  }
+  return total;
+}
+
+}  // namespace mbcosim::core

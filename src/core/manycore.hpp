@@ -1,0 +1,175 @@
+// ManyCoreEngine: deterministic parallel co-simulation of N soft
+// processors, each with its own hardware model and FSL hub, cross-wired
+// by quantum-synchronized FSL links. This generalizes CoSimEngine from
+// the paper's single MicroBlaze (Figure 3) to a farm of them — the
+// multi-processor variant the paper sketches for larger System
+// Generator designs — while keeping the property that makes the rest of
+// the repo trustworthy: the simulation result is a pure function of the
+// machine description, independent of host thread count or scheduling.
+//
+// Execution model (conservative quantum synchronization):
+//   - Time advances in rounds. In each round every unfinished core runs
+//     alone — its processor, its peripherals, its private FIFOs — up to
+//     the shared target `global_cycle + quantum`, possibly on a worker
+//     thread. Cores share no mutable state during a round.
+//   - At the round barrier the orchestrator thread moves words across
+//     the declared cross-core links in declaration order, bounded by
+//     destination FIFO space. A word written in round R is thus visible
+//     to its reader in round R+1 — the quantum is the link latency.
+//   - A core blocked on an empty (or full) cross-linked FIFO burns
+//     stall cycles to the quantum boundary exactly like a single-core
+//     processor blocked on slow hardware, so cycle accounting never
+//     depends on what the other cores happened to be doing.
+//
+// Determinism: rounds are sequential; within a round each core touches
+// only core-local state; barrier transfers run on one thread in fixed
+// order. Worker count changes which host thread executes a core's
+// quantum — never the order of operations any simulated component
+// observes. The machine determinism test asserts byte-identical stats
+// and traces at 1, 2 and N workers (tests/machine).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/cosim_engine.hpp"
+#include "fsl/fsl_channel.hpp"
+#include "fsl/fsl_hub.hpp"
+#include "iss/processor.hpp"
+
+namespace mbcosim {
+class ThreadPool;  // common/thread_pool.hpp
+}
+
+namespace mbcosim::core {
+
+/// How a machine-level run ended. `core` identifies the culprit for
+/// kIllegal / kDeadlock (index into add_core order); it is 0 and
+/// meaningless for kHalted / kCycleLimit.
+struct MachineStop {
+  StopReason reason = StopReason::kCycleLimit;
+  std::size_t core = 0;
+};
+
+class ManyCoreEngine {
+ public:
+  explicit ManyCoreEngine(Cycle quantum = 64) : quantum_(quantum) {}
+
+  /// Register a core. The processor/engine/hub are owned by the caller
+  /// (sim::SimSystem keeps them in per-core state blocks) and must
+  /// outlive the engine. Cores run in add order; `name` is used in
+  /// diagnostics. The per-core engine's own deadlock heuristic is
+  /// disabled — a core starving on a cross-link is not deadlocked until
+  /// the *whole machine* stops making progress (see set_deadlock_...).
+  std::size_t add_core(std::string name, iss::Processor& cpu,
+                       CoSimEngine& engine, fsl::FslHub& hub);
+
+  /// Cross-wire `from`'s put-channel to `to`'s get-channel. Channel
+  /// validity and conflicts are checked by machine::MachineDesc; this
+  /// rejects only out-of-range core indices / channel ids.
+  Status link(std::size_t from_core, unsigned from_channel,
+              std::size_t to_core, unsigned to_channel);
+
+  /// Worker threads for the per-round core fan-out. 0 = one per host
+  /// hardware thread; 1 = fully serial. Purely a host-performance knob:
+  /// results are identical for every value.
+  void set_workers(unsigned workers) noexcept { workers_ = workers; }
+
+  /// Machine-level deadlock heuristic: after this many consecutive
+  /// simulated cycles in which no core retired an instruction and no
+  /// link moved a word, run() gives up (rounded up to whole quanta).
+  void set_deadlock_threshold(Cycle cycles) noexcept {
+    deadlock_threshold_ = cycles;
+  }
+
+  /// Run the machine until every core halts, any core traps, the
+  /// machine deadlocks, or `max_cycles` is reached (per-core clock).
+  MachineStop run(Cycle max_cycles);
+
+  /// One debugger step of core `index`: step its processor once, bring
+  /// every other live core to cycle parity, then transfer the links —
+  /// a one-instruction-deep round, so interleaving debug_step with
+  /// run() preserves all statistics exactly.
+  iss::StepResult debug_step(std::size_t index);
+
+  [[nodiscard]] std::size_t core_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const std::string& core_name(std::size_t index) const {
+    return nodes_[index].name;
+  }
+  /// Per-core statistics, in add order.
+  [[nodiscard]] CoSimStats core_stats(std::size_t index) const {
+    return nodes_[index].engine->stats();
+  }
+  /// Machine totals: cycle count is the maximum per-core clock (the
+  /// cores share one system clock); the other fields are sums.
+  [[nodiscard]] CoSimStats aggregate_stats() const;
+  /// Words moved across every cross-core link so far.
+  [[nodiscard]] u64 link_words() const noexcept { return link_words_; }
+
+  /// Diagnosis of the most recent machine deadlock (empty otherwise):
+  /// the first blocked core's parked FSL access, channel and FIFO state.
+  [[nodiscard]] const std::optional<DeadlockDiagnosis>& deadlock_diagnosis()
+      const noexcept {
+    return last_deadlock_;
+  }
+  /// Core index the deadlock diagnosis refers to.
+  [[nodiscard]] std::size_t deadlock_core() const noexcept {
+    return deadlock_core_;
+  }
+
+  [[nodiscard]] Cycle quantum() const noexcept { return quantum_; }
+
+  /// Forget run progress — finished flags, link word counter, deadlock
+  /// diagnosis. Call after resetting every core's engine (the caller
+  /// owns them, so the reset loop lives there, in sim::SimSystem).
+  void reset_progress() noexcept {
+    for (Node& node : nodes_) {
+      node.finished = false;
+      node.last = StopReason::kCycleLimit;
+    }
+    link_words_ = 0;
+    last_deadlock_.reset();
+    deadlock_core_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::string name;
+    iss::Processor* cpu = nullptr;
+    CoSimEngine* engine = nullptr;
+    fsl::FslHub* hub = nullptr;
+    bool finished = false;       ///< halted (terminal; ignored in rounds)
+    StopReason last = StopReason::kCycleLimit;
+  };
+
+  struct CrossLink {
+    std::size_t from_core = 0;
+    std::size_t to_core = 0;
+    fsl::FslChannel* source = nullptr;  ///< writer's to_hw FIFO
+    fsl::FslChannel* sink = nullptr;    ///< reader's from_hw FIFO
+  };
+
+  /// Drain every link's source FIFO into its sink FIFO, bounded by
+  /// space; returns the number of words moved. Runs on one thread only.
+  u64 transfer_links();
+  /// Advance every unfinished core to `target`, serially (null pool) or
+  /// fanned out; returns the index of a trapped core, or nodes_.size().
+  std::size_t run_round(Cycle target, ThreadPool* pool);
+
+  std::vector<Node> nodes_;
+  std::vector<CrossLink> links_;
+  Cycle quantum_ = 64;
+  unsigned workers_ = 0;
+  Cycle deadlock_threshold_ = 100'000;
+  u64 link_words_ = 0;
+  std::optional<DeadlockDiagnosis> last_deadlock_;
+  std::size_t deadlock_core_ = 0;
+};
+
+}  // namespace mbcosim::core

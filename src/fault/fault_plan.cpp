@@ -112,6 +112,7 @@ std::string FaultPlan::to_spec() const {
   }
   if (mask != 0) spec += ",mask=" + hex32(mask);
   if (seed != 1) spec += ",seed=" + std::to_string(seed);
+  if (core != 0) spec += ",core=" + std::to_string(core);
   return spec;
 }
 
@@ -145,6 +146,7 @@ std::string FaultPlan::to_string() const {
   if (is_flip_mode(mode) || mode == FaultMode::kCorruptWord) {
     out += ", mask " + hex32(effective_mask());
   }
+  if (core != 0) out += ", core " + std::to_string(core);
   return out;
 }
 
@@ -295,6 +297,11 @@ Expected<FaultPlan> parse_plan(const std::string& spec, u64 seed) {
         return Failure::failure("fault spec: bad seed '" + value + "'");
       }
       plan.seed = number;
+    } else if (key == "core") {
+      if (!parse_u64(number)) {
+        return Failure::failure("fault spec: bad core '" + value + "'");
+      }
+      plan.core = static_cast<unsigned>(number);
     } else {
       return Failure::failure("fault spec: unknown key '" + key + "'");
     }

@@ -69,6 +69,10 @@ struct FaultPlan {
   unsigned reg = 1;      ///< target GPR (kRegister; r0 is hardwired zero)
   unsigned channel = 0;  ///< FSL channel id (kFslToHw / kFslFromHw)
   Word mask = 0;         ///< XOR mask; 0 = derive from `seed`
+  /// Core the fault lands on, by machine-description index. 0 — the
+  /// only core — on single-core systems; sim::SimSystem rejects plans
+  /// addressing a core the machine does not have.
+  unsigned core = 0;
 
   /// The XOR mask this plan actually applies: `mask` when nonzero,
   /// otherwise derived deterministically from `seed` (one bit for

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstddef>
+#include <string>
 
 #include "common/status.hpp"
 #include "fsl/fsl_channel.hpp"
@@ -16,9 +17,14 @@ class FslHub {
  public:
   static constexpr unsigned kChannels = 8;
 
-  explicit FslHub(std::size_t depth = FslChannel::kDefaultDepth)
-      : to_hw_{make_bank("mb_to_hw", depth)},
-        from_hw_{make_bank("hw_to_mb", depth)} {}
+  /// `name_prefix` scopes the channel names ("cpu1." gives
+  /// "cpu1.mb_to_hw0", ...) so the hubs of a multi-core machine stay
+  /// distinguishable in traces and deadlock diagnoses; the default empty
+  /// prefix keeps the historical single-core names.
+  explicit FslHub(std::size_t depth = FslChannel::kDefaultDepth,
+                  const std::string& name_prefix = {})
+      : to_hw_{make_bank(name_prefix + "mb_to_hw", depth)},
+        from_hw_{make_bank(name_prefix + "hw_to_mb", depth)} {}
 
   /// Channel the processor writes with put/cput/nput/ncput.
   [[nodiscard]] FslChannel& to_hw(unsigned id) {
@@ -59,15 +65,12 @@ class FslHub {
  private:
   using Bank = std::array<FslChannel, kChannels>;
 
-  static Bank make_bank(const char* prefix, std::size_t depth) {
-    return Bank{FslChannel(depth, std::string(prefix) + "0"),
-                FslChannel(depth, std::string(prefix) + "1"),
-                FslChannel(depth, std::string(prefix) + "2"),
-                FslChannel(depth, std::string(prefix) + "3"),
-                FslChannel(depth, std::string(prefix) + "4"),
-                FslChannel(depth, std::string(prefix) + "5"),
-                FslChannel(depth, std::string(prefix) + "6"),
-                FslChannel(depth, std::string(prefix) + "7")};
+  static Bank make_bank(const std::string& prefix, std::size_t depth) {
+    return Bank{FslChannel(depth, prefix + "0"), FslChannel(depth, prefix + "1"),
+                FslChannel(depth, prefix + "2"), FslChannel(depth, prefix + "3"),
+                FslChannel(depth, prefix + "4"), FslChannel(depth, prefix + "5"),
+                FslChannel(depth, prefix + "6"),
+                FslChannel(depth, prefix + "7")};
   }
 
   static void check(unsigned id) {

@@ -63,6 +63,14 @@ struct TraceEvent {
   EventKind kind = EventKind::kInstrRetire;
   Cycle cycle = 0;  ///< simulated time the event belongs to
 
+  /// Originating core of the event ("cpu0", "cpu1", ...) on a multi-core
+  /// machine; null on single-core systems, where sink output must stay
+  /// byte-identical to earlier releases. Stamped centrally by the
+  /// emitting core's TraceBus (TraceBus::set_origin), so producers never
+  /// set it themselves. Points at storage owned by the machine
+  /// description and outlives the sink callback.
+  const char* origin = nullptr;
+
   // Instruction events.
   Addr pc = 0;
   Word raw = 0;      ///< fetched instruction word (0 on a fetch fault)

@@ -46,6 +46,12 @@ void JsonlSink::on_event(const TraceEvent& event) {
                   kind_name(event.kind));
     line += buffer;
   }
+  // Multi-core runs scope every record with its originating core; the
+  // field is omitted entirely when the event is un-scoped so single-core
+  // logs stay byte-identical to earlier releases.
+  if (event.origin != nullptr) {
+    append_string(line, "core", event.origin);
+  }
   switch (event.kind) {
     case EventKind::kInstrRetire:
     case EventKind::kInstrStall:

@@ -54,8 +54,23 @@ class TraceBus {
   [[nodiscard]] bool enabled() const noexcept { return !sinks_.empty(); }
 
   void emit(const TraceEvent& event) {
+    if (origin_ != nullptr && event.origin == nullptr) {
+      TraceEvent scoped = event;
+      scoped.origin = origin_;
+      for (const auto& sink : sinks_) sink->on_event(scoped);
+      return;
+    }
     for (const auto& sink : sinks_) sink->on_event(event);
   }
+
+  /// Name of the core every event on this bus originates from ("cpu0",
+  /// "cpu1", ...), stamped into TraceEvent::origin at emit() time so
+  /// multi-core JSONL/VCD output is unambiguous. Null (the default)
+  /// leaves events un-scoped — the single-core byte-identical mode. The
+  /// pointed-to storage must outlive the bus (SimSystem keeps it in the
+  /// per-core state block).
+  void set_origin(const char* origin) noexcept { origin_ = origin; }
+  [[nodiscard]] const char* origin() const noexcept { return origin_; }
 
   /// Simulated-time cursor, advanced by whichever component drives the
   /// clock (the processor per step, the engine per hardware cycle), so
@@ -77,6 +92,7 @@ class TraceBus {
  private:
   std::vector<std::unique_ptr<TraceSink>> sinks_;
   Cycle time_ = 0;
+  const char* origin_ = nullptr;
 };
 
 }  // namespace mbcosim::obs

@@ -43,15 +43,21 @@ void VcdSink::record(u32 signal_index, Cycle time, u64 value) {
 
 void VcdSink::on_event(const TraceEvent& event) {
   if (flushed_) return;
+  // Events from a multi-core machine carry their core name; scope the
+  // derived VCD signals under it ("cpu1.cpu.pc") so the waveforms of
+  // different cores never alias. Un-scoped events keep the historical
+  // flat names, byte-for-byte.
+  const std::string scope =
+      event.origin != nullptr ? std::string(event.origin) + "." : std::string();
   switch (event.kind) {
     case EventKind::kInstrRetire:
     case EventKind::kInstrStall:
     case EventKind::kInstrHalt:
     case EventKind::kInstrIllegal: {
-      record(signal("cpu.pc", 32), event.cycle, event.pc);
-      record(signal("cpu.stall", 1), event.cycle,
+      record(signal(scope + "cpu.pc", 32), event.cycle, event.pc);
+      record(signal(scope + "cpu.stall", 1), event.cycle,
              event.kind == EventKind::kInstrStall ? 1 : 0);
-      record(signal("cpu.halted", 1), event.cycle,
+      record(signal(scope + "cpu.halted", 1), event.cycle,
              event.kind == EventKind::kInstrHalt ||
                      event.kind == EventKind::kInstrIllegal
                  ? 1
@@ -62,7 +68,7 @@ void VcdSink::on_event(const TraceEvent& event) {
     case EventKind::kFslPop:
     case EventKind::kFslRefused: {
       const std::string base =
-          std::string("fsl.") + (event.channel != nullptr ? event.channel : "?");
+          scope + "fsl." + (event.channel != nullptr ? event.channel : "?");
       record(signal(base + ".occ", bits_for(event.depth)), event.cycle,
              event.occupancy);
       record(signal(base + ".full", 1), event.cycle,
@@ -71,17 +77,19 @@ void VcdSink::on_event(const TraceEvent& event) {
     }
     case EventKind::kOpbRead:
     case EventKind::kOpbWrite:
-      record(signal("opb.wait", 8), event.cycle, event.wait_states);
+      record(signal(scope + "opb.wait", 8), event.cycle, event.wait_states);
       break;
     case EventKind::kQuiesceSkip:
       quiesce_skipped_total_ += event.skipped;
-      record(signal("engine.qskip", 32), event.cycle, quiesce_skipped_total_);
+      record(signal(scope + "engine.qskip", 32), event.cycle,
+             quiesce_skipped_total_);
       break;
     case EventKind::kDeadlock:
-      record(signal("engine.deadlock", 1), event.cycle, 1);
+      record(signal(scope + "engine.deadlock", 1), event.cycle, 1);
       break;
     case EventKind::kFaultInject:
-      record(signal("fault.injects", 16), event.cycle, ++fault_injects_);
+      record(signal(scope + "fault.injects", 16), event.cycle,
+             ++fault_injects_);
       break;
     case EventKind::kFaultOutcome:
       break;  // classification is per-experiment, not a waveform signal

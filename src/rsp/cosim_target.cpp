@@ -55,6 +55,7 @@ bool CoSimTarget::write_mem(Addr addr, std::string_view bytes) {
 }
 
 iss::StepResult CoSimTarget::machine_step() {
+  if (step_fn_) return step_fn_();
   if (engine_ != nullptr) return engine_->debug_step();
   return dbg_.cpu().step();
 }

@@ -38,6 +38,15 @@ class CoSimTarget final : public Target {
     stall_threshold_ = threshold;
   }
 
+  /// Override the machine-step primitive. On a multi-core machine the
+  /// debugger focuses one core but every step must advance the whole
+  /// system coherently, so sim::SimSystem installs
+  /// core::ManyCoreEngine::debug_step(core) here; resume/step then use
+  /// it instead of the single-core engine/processor.
+  void set_step_fn(std::function<iss::StepResult()> step) {
+    step_fn_ = std::move(step);
+  }
+
   [[nodiscard]] iss::Debugger& debugger() noexcept { return dbg_; }
 
   // -- Target ----------------------------------------------------------
@@ -62,6 +71,7 @@ class CoSimTarget final : public Target {
   iss::Debugger& dbg_;
   core::CoSimEngine* engine_;
   Cycle stall_threshold_ = 100'000;
+  std::function<iss::StepResult()> step_fn_;
   std::function<std::string(std::string_view)> monitor_extra_;
 };
 

@@ -1,0 +1,38 @@
+#include "sim/peripheral_registry.hpp"
+
+#include <utility>
+
+namespace mbcosim::sim {
+
+PeripheralRegistry& PeripheralRegistry::instance() {
+  static PeripheralRegistry registry;
+  return registry;
+}
+
+Status PeripheralRegistry::add(const std::string& type,
+                               PeripheralFactory factory) {
+  if (type.empty() || !factory) {
+    return Status::failure(
+        "PeripheralRegistry: type name and factory must be non-empty");
+  }
+  if (!factories_.emplace(type, std::move(factory)).second) {
+    return Status::failure("PeripheralRegistry: type '" + type +
+                           "' is already registered");
+  }
+  return {};
+}
+
+const PeripheralFactory* PeripheralRegistry::find(
+    const std::string& type) const {
+  const auto it = factories_.find(type);
+  return it == factories_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PeripheralRegistry::types() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mbcosim::sim

@@ -1,7 +1,9 @@
 #include "sim/sim_system.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <utility>
 
 #include "asm/assembler.hpp"
@@ -14,39 +16,93 @@
 #include "obs/vcd_sink.hpp"
 #include "rsp/cosim_target.hpp"
 #include "rsp/transport.hpp"
+#include "sim/peripheral_registry.hpp"
 
 namespace mbcosim::sim {
 
-// All components live in one heap block so SimSystem stays movable while
-// the internal references (Processor -> LmbMemory/FslHub, CoSimEngine ->
-// Processor/Model/FslHub) stay stable.
-struct SimSystem::State {
-  State(assembler::Program p, const isa::CpuConfig& config, u32 mem_bytes,
-        std::size_t fifo_depth)
-      : program(std::move(p)),
-        cpu_config(config),
-        memory(mem_bytes),
-        hub(fifo_depth),
-        cpu(config, memory, &hub) {}
+namespace {
 
-  assembler::Program program;
-  isa::CpuConfig cpu_config;
-  iss::LmbMemory memory;
-  fsl::FslHub hub;
-  iss::Processor cpu;
-  std::unique_ptr<sysgen::Model> hardware;  ///< null for software-only
-  std::optional<core::CoSimEngine> engine;  ///< engaged iff hardware
-  std::unique_ptr<bus::OpbBus> opb;         ///< null unless Builder::opb
-  unsigned fsl_links = 0;
+/// "trace.jsonl" + "cpu1" -> "trace.cpu1.jsonl"; no extension appends.
+std::string per_core_path(const std::string& path, const std::string& name) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + name;
+  }
+  return path.substr(0, dot) + "." + name + path.substr(dot);
+}
+
+}  // namespace
+
+// One soft processor with everything private to it: program, memory,
+// FIFOs, peripheral model, lock-step engine and observability bus. All
+// per-core state lives in one heap block so SimSystem stays movable
+// while the internal references (Processor -> LmbMemory/FslHub,
+// CoSimEngine -> Processor/Model/FslHub, TraceEvent::origin ->
+// Core::name) stay stable. A single-core machine — which is what every
+// legacy Builder call produces — is exactly one of these, and behaves
+// byte-for-byte like the pre-machine SimSystem.
+struct SimSystem::State {
+  struct Core {
+    Core(std::string core_name, assembler::Program p,
+         const isa::CpuConfig& config, u32 mem_bytes, std::size_t fifo_depth,
+         const std::string& hub_prefix)
+        : name(std::move(core_name)),
+          program(std::move(p)),
+          cpu_config(config),
+          memory(mem_bytes),
+          hub(fifo_depth, hub_prefix),
+          cpu(config, memory, &hub) {}
+
+    std::string name;  ///< stable: TraceBus origin points at it
+    assembler::Program program;
+    isa::CpuConfig cpu_config;
+    iss::LmbMemory memory;
+    fsl::FslHub hub;
+    iss::Processor cpu;
+    std::unique_ptr<sysgen::Model> hardware;  ///< null for software-only
+    std::optional<core::CoSimEngine> engine;  ///< engaged iff hardware
+    std::unique_ptr<bus::OpbBus> opb;         ///< null unless Builder::opb
+    unsigned fsl_links = 0;
+    obs::TraceBus trace_bus;
+    obs::MetricsRegistry* metrics = nullptr;  ///< owned by trace_bus if set
+    /// Deadlock diagnosis of the software-only loop (the engine keeps
+    /// its own); SimSystem::deadlock_diagnosis() merges them.
+    std::optional<core::DeadlockDiagnosis> last_deadlock;
+  };
+
+  /// The estimator view of one core (its slice of the whole design).
+  static estimate::SystemDescription describe(const Core& core) {
+    estimate::SystemDescription description;
+    description.cpu = core.cpu_config;
+    description.fsl_links_used = core.fsl_links;
+    description.peripheral = core.hardware.get();
+    description.program = &core.program;
+    for (unsigned slot = 0; slot < isa::kNumCustomSlots; ++slot) {
+      if (const iss::CustomInstruction* unit =
+              core.cpu.custom_instruction(slot)) {
+        description.custom_instructions.push_back(unit->resources);
+      }
+    }
+    return description;
+  }
+
+  std::vector<std::unique_ptr<Core>> cores;  ///< machine order, never empty
+  machine::MachineDesc desc;                 ///< what this machine is
+  /// Engaged iff cores.size() > 1; a lone core runs through its own
+  /// CoSimEngine exactly as it always has.
+  std::optional<core::ManyCoreEngine> machine_engine;
+  std::size_t stop_core = 0;   ///< culprit of the last terminal stop
+  std::size_t gdb_core = 0;    ///< Builder::gdb_core
+  std::size_t fault_core = 0;  ///< FaultPlan::core of the armed plan
   Cycle deadlock_threshold = 100'000;
   double last_run_wall_seconds = 0.0;
-  obs::TraceBus trace_bus;                  ///< stable: lives in the State
-  obs::MetricsRegistry* metrics = nullptr;  ///< owned by trace_bus if set
-  std::optional<u16> gdb_port;              ///< Builder::gdb_server
+  std::optional<u16> gdb_port;                ///< Builder::gdb_server
   std::unique_ptr<fault::Injector> injector;  ///< null = fault-free
-  /// Deadlock diagnosis of the software-only loop (the engine keeps its
-  /// own); SimSystem::deadlock_diagnosis() merges the two.
-  std::optional<core::DeadlockDiagnosis> last_deadlock;
+
+  [[nodiscard]] Core& c0() noexcept { return *cores.front(); }
+  [[nodiscard]] const Core& c0() const noexcept { return *cores.front(); }
 };
 
 SimSystem::SimSystem(std::unique_ptr<State> state) : state_(std::move(state)) {}
@@ -55,21 +111,26 @@ SimSystem& SimSystem::operator=(SimSystem&&) noexcept = default;
 SimSystem::~SimSystem() = default;
 
 void SimSystem::reset() {
-  if (state_->engine) {
-    state_->engine->reset(state_->program.entry());
-  } else {
-    state_->cpu.reset(state_->program.entry());
-    state_->hub.clear();
+  for (auto& core : state_->cores) {
+    if (core->engine) {
+      core->engine->reset(core->program.entry());
+    } else {
+      core->cpu.reset(core->program.entry());
+      core->hub.clear();
+    }
+    core->last_deadlock.reset();
+    // Return every component to fault-free operation, then re-arm the
+    // configured plan with fresh one-shot state for the new run.
+    core->hub.clear_faults();
+    if (core->opb) core->opb->clear_fault();
   }
-  state_->last_deadlock.reset();
-  // Return every component to fault-free operation, then re-arm the
-  // configured plan with fresh one-shot state for the new run.
-  state_->hub.clear_faults();
-  if (state_->opb) state_->opb->clear_fault();
+  if (state_->machine_engine) state_->machine_engine->reset_progress();
+  state_->stop_core = 0;
   if (state_->injector) {
+    State::Core& target = *state_->cores[state_->fault_core];
     state_->injector =
         std::make_unique<fault::Injector>(state_->injector->plan());
-    state_->injector->arm(&state_->hub, state_->opb.get());
+    state_->injector->arm(&target.hub, target.opb.get());
   }
 }
 
@@ -78,7 +139,8 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
   // peripheral attached nothing can ever unblock a blocking FSL access,
   // so a stall streak of deadlock_threshold cycles is reported as a
   // deadlock instead of burning the whole cycle budget.
-  iss::Processor& cpu = state_->cpu;
+  State::Core& core = state_->c0();
+  iss::Processor& cpu = core.cpu;
   Cycle blocked_streak = 0;
   while (!cpu.halted() && cpu.cycle() < max_cycles) {
     if (cpu.fast_path_available()) {
@@ -93,8 +155,8 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
           // batch retired instructions first — the streak restarts.
           blocked_streak = batch.cycles > 1 ? 1 : blocked_streak + 1;
           if (blocked_streak >= state_->deadlock_threshold) {
-            state_->last_deadlock =
-                core::diagnose_deadlock(cpu, state_->hub, blocked_streak);
+            core.last_deadlock =
+                core::diagnose_deadlock(cpu, core.hub, blocked_streak);
             return core::StopReason::kDeadlock;  // bus disabled: no event
           }
           continue;
@@ -113,17 +175,17 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
         return core::StopReason::kIllegal;
       case iss::Event::kFslStall:
         if (++blocked_streak >= state_->deadlock_threshold) {
-          state_->last_deadlock =
-              core::diagnose_deadlock(cpu, state_->hub, blocked_streak);
-          if (state_->trace_bus.enabled()) {
+          core.last_deadlock =
+              core::diagnose_deadlock(cpu, core.hub, blocked_streak);
+          if (core.trace_bus.enabled()) {
             obs::TraceEvent event;
             event.kind = obs::EventKind::kDeadlock;
             event.cycle = cpu.cycle();
             event.cycles = blocked_streak;
-            event.channel = state_->last_deadlock->channel.empty()
+            event.channel = core.last_deadlock->channel.empty()
                                 ? nullptr
-                                : state_->last_deadlock->channel.c_str();
-            state_->trace_bus.emit(event);
+                                : core.last_deadlock->channel.c_str();
+            core.trace_bus.emit(event);
           }
           return core::StopReason::kDeadlock;
         }
@@ -138,11 +200,13 @@ core::StopReason SimSystem::run_software_only(Cycle max_cycles) {
 }
 
 core::StopReason SimSystem::run_segment(Cycle max_cycles) {
-  return state_->engine ? state_->engine->run(max_cycles)
-                        : run_software_only(max_cycles);
+  State::Core& core = state_->c0();
+  return core.engine ? core.engine->run(max_cycles)
+                     : run_software_only(max_cycles);
 }
 
 core::StopReason SimSystem::run_faulted(Cycle max_cycles) {
+  State::Core& core = state_->c0();
   fault::Injector& injector = *state_->injector;
   const fault::FaultPlan& plan = injector.plan();
   if (plan.trigger == fault::TriggerKind::kCycle) {
@@ -151,22 +215,21 @@ core::StopReason SimSystem::run_faulted(Cycle max_cycles) {
     const Cycle target = std::min<Cycle>(plan.trigger_value, max_cycles);
     const core::StopReason before = run_segment(target);
     if (before != core::StopReason::kCycleLimit) return before;
-    injector.fire(state_->cpu, &state_->hub, state_->opb.get(),
-                  &state_->trace_bus);
+    injector.fire(core.cpu, &core.hub, core.opb.get(), &core.trace_bus);
     return run_segment(max_cycles);
   }
   // PC trigger: precise lock-step until the processor is about to
   // execute the trigger PC. A blocked or runaway program is bounded by
   // the deadlock threshold / cycle budget, like any other run.
-  iss::Processor& cpu = state_->cpu;
+  iss::Processor& cpu = core.cpu;
   Cycle blocked_streak = 0;
   while (!cpu.halted() && cpu.cycle() < max_cycles) {
     if (cpu.pc() == static_cast<Addr>(plan.trigger_value)) {
-      injector.fire(cpu, &state_->hub, state_->opb.get(), &state_->trace_bus);
+      injector.fire(cpu, &core.hub, core.opb.get(), &core.trace_bus);
       return run_segment(max_cycles);
     }
-    const iss::StepResult result = state_->engine ? state_->engine->debug_step()
-                                                  : cpu.step();
+    const iss::StepResult result =
+        core.engine ? core.engine->debug_step() : cpu.step();
     switch (result.event) {
       case iss::Event::kHalted:
         return core::StopReason::kHalted;
@@ -174,8 +237,8 @@ core::StopReason SimSystem::run_faulted(Cycle max_cycles) {
         return core::StopReason::kIllegal;
       case iss::Event::kFslStall:
         if (++blocked_streak >= state_->deadlock_threshold) {
-          state_->last_deadlock =
-              core::diagnose_deadlock(cpu, state_->hub, blocked_streak);
+          core.last_deadlock =
+              core::diagnose_deadlock(cpu, core.hub, blocked_streak);
           return core::StopReason::kDeadlock;
         }
         break;
@@ -188,28 +251,65 @@ core::StopReason SimSystem::run_faulted(Cycle max_cycles) {
                       : core::StopReason::kCycleLimit;
 }
 
+core::StopReason SimSystem::run_machine_faulted(Cycle max_cycles) {
+  // Only cycle triggers reach here: build()/arm_fault reject pc
+  // triggers on multi-core machines (a PC is ambiguous across cores).
+  fault::Injector& injector = *state_->injector;
+  State::Core& target_core = *state_->cores[state_->fault_core];
+  const Cycle target =
+      std::min<Cycle>(injector.plan().trigger_value, max_cycles);
+  core::MachineStop stop = state_->machine_engine->run(target);
+  state_->stop_core = stop.core;
+  if (stop.reason != core::StopReason::kCycleLimit) return stop.reason;
+  injector.fire(target_core.cpu, &target_core.hub, target_core.opb.get(),
+                &target_core.trace_bus);
+  stop = state_->machine_engine->run(max_cycles);
+  state_->stop_core = stop.core;
+  return stop.reason;
+}
+
 core::StopReason SimSystem::run(Cycle max_cycles) {
   Stopwatch watch;
   const bool pending_point_fault = state_->injector != nullptr &&
                                    state_->injector->needs_point_trigger() &&
                                    !state_->injector->armed_or_fired();
-  const core::StopReason reason = pending_point_fault
-                                      ? run_faulted(max_cycles)
-                                      : run_segment(max_cycles);
+  core::StopReason reason;
+  if (state_->machine_engine) {
+    if (pending_point_fault) {
+      reason = run_machine_faulted(max_cycles);
+    } else {
+      const core::MachineStop stop = state_->machine_engine->run(max_cycles);
+      state_->stop_core = stop.core;
+      reason = stop.reason;
+    }
+  } else {
+    reason = pending_point_fault ? run_faulted(max_cycles)
+                                 : run_segment(max_cycles);
+  }
   state_->last_run_wall_seconds = watch.elapsed_seconds();
   // Make every attached sink durable after each run: the JSONL/VCD files
   // are complete on disk even if the caller never destroys the system.
-  state_->trace_bus.flush();
+  for (auto& core : state_->cores) core->trace_bus.flush();
   return reason;
 }
 
 core::CoSimStats SimSystem::stats() const {
-  if (state_->engine) return state_->engine->stats();
+  if (state_->machine_engine) return state_->machine_engine->aggregate_stats();
+  return core_stats(0);
+}
+
+core::CoSimStats SimSystem::core_stats(std::size_t index) const {
+  const State::Core& core = *state_->cores[index];
+  if (core.engine) return core.engine->stats();
   core::CoSimStats stats;
-  stats.cycles = state_->cpu.stats().cycles;
-  stats.instructions = state_->cpu.stats().instructions;
-  stats.fsl_stall_cycles = state_->cpu.stats().fsl_stall_cycles;
+  stats.cycles = core.cpu.stats().cycles;
+  stats.instructions = core.cpu.stats().instructions;
+  stats.fsl_stall_cycles = core.cpu.stats().fsl_stall_cycles;
   return stats;
+}
+
+obs::TraceBus& SimSystem::trace_bus(std::size_t index) {
+  return state_->cores[index]->trace_bus;
 }
 
 double SimSystem::run_wall_seconds() const noexcept {
@@ -217,70 +317,171 @@ double SimSystem::run_wall_seconds() const noexcept {
 }
 
 estimate::ResourceReport SimSystem::resource_report() const {
-  estimate::SystemDescription description;
-  description.cpu = state_->cpu_config;
-  description.fsl_links_used = state_->fsl_links;
-  description.peripheral = state_->hardware.get();
-  description.program = &state_->program;
-  for (unsigned slot = 0; slot < isa::kNumCustomSlots; ++slot) {
-    if (const iss::CustomInstruction* unit =
-            state_->cpu.custom_instruction(slot)) {
-      description.custom_instructions.push_back(unit->resources);
-    }
+  if (!state_->machine_engine) {
+    return estimate::estimate_system(State::describe(state_->c0()));
   }
-  return estimate::estimate_system(description);
+  // Machine estimate: one processor system per core, parts prefixed
+  // with the core name so the report reads like the floorplan.
+  estimate::ResourceReport total;
+  for (const auto& core : state_->cores) {
+    estimate::ResourceReport report =
+        estimate::estimate_system(State::describe(*core));
+    for (estimate::ResourcePart& part : report.parts) {
+      part.name = core->name + "." + part.name;
+      total.parts.push_back(std::move(part));
+    }
+    total.estimated += report.estimated;
+    total.implemented += report.implemented;
+  }
+  return total;
 }
 
 energy::EnergyReport SimSystem::energy_report() const {
-  return energy_report(resource_report().implemented);
+  if (!state_->machine_engine) {
+    return energy_report(resource_report().implemented);
+  }
+  // Machine estimate: each core's dynamic + static share, summed; the
+  // cores tick one shared clock, so the covered cycle count is the max.
+  energy::EnergyReport total;
+  for (const auto& core : state_->cores) {
+    const estimate::ResourceReport report =
+        estimate::estimate_system(State::describe(*core));
+    const energy::EnergyReport slice = energy::estimate_energy(
+        core->cpu.stats(), core->hardware.get(),
+        core->engine ? core->engine->stats().hw_cycles_stepped : 0,
+        report.implemented);
+    total.processor_nj += slice.processor_nj;
+    total.peripheral_nj += slice.peripheral_nj;
+    total.static_nj += slice.static_nj;
+    total.cycles = std::max(total.cycles, slice.cycles);
+  }
+  return total;
 }
 
 energy::EnergyReport SimSystem::energy_report(
     const ResourceVec& implemented) const {
-  return energy::estimate_energy(state_->cpu.stats(), state_->hardware.get(),
+  // A whole-machine resource vector cannot be split back per core;
+  // recompute from scratch instead of misattributing the static share.
+  if (state_->machine_engine) return energy_report();
+  const State::Core& core = state_->c0();
+  return energy::estimate_energy(core.cpu.stats(), core.hardware.get(),
                                  stats().hw_cycles_stepped, implemented);
 }
 
 obs::MetricsSnapshot SimSystem::metrics_snapshot() const {
-  if (state_->metrics == nullptr) return obs::MetricsSnapshot{};
-  return state_->metrics->snapshot();
+  if (!state_->machine_engine) {
+    const State::Core& core = state_->c0();
+    if (core.metrics == nullptr) return obs::MetricsSnapshot{};
+    return core.metrics->snapshot();
+  }
+  // Merge the per-core registries under "corename." key prefixes.
+  obs::MetricsSnapshot merged;
+  for (const auto& core : state_->cores) {
+    if (core->metrics == nullptr) continue;
+    obs::MetricsSnapshot snapshot = core->metrics->snapshot();
+    for (auto& [key, value] : snapshot.counters) {
+      merged.counters[core->name + "." + key] = value;
+    }
+    for (auto& [key, histogram] : snapshot.histograms) {
+      merged.histograms[core->name + "." + key] = std::move(histogram);
+    }
+  }
+  return merged;
 }
 
-obs::TraceBus& SimSystem::trace_bus() noexcept { return state_->trace_bus; }
+obs::TraceBus& SimSystem::trace_bus() noexcept {
+  return state_->c0().trace_bus;
+}
 
-iss::Processor& SimSystem::cpu() noexcept { return state_->cpu; }
-const iss::Processor& SimSystem::cpu() const noexcept { return state_->cpu; }
-iss::LmbMemory& SimSystem::memory() noexcept { return state_->memory; }
+iss::Processor& SimSystem::cpu() noexcept { return state_->c0().cpu; }
+const iss::Processor& SimSystem::cpu() const noexcept {
+  return state_->c0().cpu;
+}
+iss::LmbMemory& SimSystem::memory() noexcept { return state_->c0().memory; }
 const iss::LmbMemory& SimSystem::memory() const noexcept {
-  return state_->memory;
+  return state_->c0().memory;
 }
 const assembler::Program& SimSystem::program() const noexcept {
-  return state_->program;
+  return state_->c0().program;
 }
 sysgen::Model* SimSystem::hardware() noexcept {
-  return state_->hardware.get();
+  return state_->c0().hardware.get();
 }
 const sysgen::Model* SimSystem::hardware() const noexcept {
-  return state_->hardware.get();
+  return state_->c0().hardware.get();
 }
 core::CoSimEngine* SimSystem::engine() noexcept {
-  return state_->engine ? &*state_->engine : nullptr;
+  State::Core& core = state_->c0();
+  return core.engine ? &*core.engine : nullptr;
 }
 
-fsl::FslHub& SimSystem::fsl_hub() noexcept { return state_->hub; }
+fsl::FslHub& SimSystem::fsl_hub() noexcept { return state_->c0().hub; }
 
-bus::OpbBus* SimSystem::opb() noexcept { return state_->opb.get(); }
+bus::OpbBus* SimSystem::opb() noexcept { return state_->c0().opb.get(); }
+
+std::size_t SimSystem::core_count() const noexcept {
+  return state_->cores.size();
+}
+
+const std::string& SimSystem::core_name(std::size_t index) const {
+  return state_->cores[index]->name;
+}
+
+iss::Processor& SimSystem::cpu(std::size_t index) {
+  return state_->cores[index]->cpu;
+}
+
+const assembler::Program& SimSystem::program(std::size_t index) const {
+  return state_->cores[index]->program;
+}
+
+core::ManyCoreEngine* SimSystem::machine_engine() noexcept {
+  return state_->machine_engine ? &*state_->machine_engine : nullptr;
+}
+
+std::size_t SimSystem::stop_core() const noexcept { return state_->stop_core; }
+
+const machine::MachineDesc& SimSystem::machine_desc() const noexcept {
+  return state_->desc;
+}
+
+Addr SimSystem::symbol_on(std::size_t index, const std::string& name) const {
+  return state_->cores[index]->program.symbol(name);
+}
+
+Word SimSystem::word_on(std::size_t index, const std::string& name,
+                        u32 word_index) const {
+  const State::Core& core = *state_->cores[index];
+  return core.memory.read_word(core.program.symbol(name) + 4 * word_index);
+}
 
 Status SimSystem::arm_fault(const fault::FaultPlan& plan, bool immediate) {
   if (Status valid = fault::validate_plan(plan); !valid.ok) return valid;
-  // Replace any previous arming wholesale so re-arming is idempotent.
-  state_->hub.clear_faults();
-  if (state_->opb) state_->opb->clear_fault();
+  if (plan.core >= state_->cores.size()) {
+    return Status::failure(
+        "fault plan targets core " + std::to_string(plan.core) +
+        " but the machine has " + std::to_string(state_->cores.size()) +
+        " core(s)");
+  }
+  if (state_->cores.size() > 1 &&
+      plan.trigger == fault::TriggerKind::kPc) {
+    return Status::failure(
+        "pc-triggered fault plans are not supported on multi-core machines "
+        "(use a cycle trigger)");
+  }
+  // Replace any previous arming wholesale so re-arming is idempotent —
+  // including a previous plan on a different core.
+  for (auto& core : state_->cores) {
+    core->hub.clear_faults();
+    if (core->opb) core->opb->clear_fault();
+  }
+  state_->fault_core = plan.core;
+  State::Core& target = *state_->cores[plan.core];
   state_->injector = std::make_unique<fault::Injector>(plan);
-  state_->injector->arm(&state_->hub, state_->opb.get());
+  state_->injector->arm(&target.hub, target.opb.get());
   if (immediate && state_->injector->needs_point_trigger()) {
-    state_->injector->fire(state_->cpu, &state_->hub, state_->opb.get(),
-                           &state_->trace_bus);
+    state_->injector->fire(target.cpu, &target.hub, target.opb.get(),
+                           &target.trace_bus);
   }
   return {};
 }
@@ -290,13 +491,22 @@ const fault::Injector* SimSystem::fault_injector() const noexcept {
 }
 
 std::optional<core::DeadlockDiagnosis> SimSystem::deadlock_diagnosis() const {
-  if (state_->engine && state_->engine->deadlock_diagnosis()) {
-    return state_->engine->deadlock_diagnosis();
+  if (state_->machine_engine && state_->machine_engine->deadlock_diagnosis()) {
+    return state_->machine_engine->deadlock_diagnosis();
   }
-  return state_->last_deadlock;
+  const State::Core& core = state_->c0();
+  if (core.engine && core.engine->deadlock_diagnosis()) {
+    return core.engine->deadlock_diagnosis();
+  }
+  return core.last_deadlock;
 }
 
-Status SimSystem::sink_status() const { return state_->trace_bus.status(); }
+Status SimSystem::sink_status() const {
+  for (const auto& core : state_->cores) {
+    if (Status status = core->trace_bus.status(); !status.ok) return status;
+  }
+  return {};
+}
 
 std::optional<u16> SimSystem::gdb_port() const noexcept {
   return state_->gdb_port;
@@ -324,9 +534,19 @@ Expected<rsp::SessionEnd> SimSystem::serve_gdb(
     return Failure::failure("SimSystem: gdb server accepted no client");
   }
 
-  iss::Debugger debugger(state_->cpu);
-  rsp::CoSimTarget target(debugger, engine());
+  // The debugger drives one core (Builder::gdb_core, default 0); on a
+  // multi-core machine each of its steps advances the whole machine
+  // through ManyCoreEngine::debug_step so cross-links stay live.
+  State::Core& debugged = *state_->cores[state_->gdb_core];
+  iss::Debugger debugger(debugged.cpu);
+  rsp::CoSimTarget target(debugger,
+                          debugged.engine ? &*debugged.engine : nullptr);
   target.set_stall_threshold(state_->deadlock_threshold);
+  if (state_->machine_engine) {
+    target.set_step_fn([this] {
+      return state_->machine_engine->debug_step(state_->gdb_core);
+    });
+  }
   // System-level monitor verbs layered over the debugger's vocabulary,
   // so `monitor metrics` / `monitor stats` work from a gdb prompt.
   target.set_monitor_extra([this](std::string_view line) -> std::string {
@@ -377,20 +597,35 @@ Expected<rsp::SessionEnd> SimSystem::serve_gdb(
   const rsp::SessionEnd end = server.serve();
   // The client may have run the program to completion: make the trace
   // sinks durable exactly as run() does.
-  state_->trace_bus.flush();
+  for (auto& core : state_->cores) core->trace_bus.flush();
   return end;
 }
 
 Addr SimSystem::symbol(const std::string& name) const {
-  return state_->program.symbol(name);
+  return state_->c0().program.symbol(name);
 }
 
 Word SimSystem::word(const std::string& name, u32 index) const {
-  return state_->memory.read_word(symbol(name) + 4 * index);
+  return state_->c0().memory.read_word(symbol(name) + 4 * index);
 }
 
 // ---------------------------------------------------------------------------
 // Builder
+
+SimSystem::Builder& SimSystem::Builder::machine(machine::MachineDesc desc) {
+  machine_ = std::move(desc);
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::workers(unsigned count) {
+  workers_ = count;
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::gdb_core(std::size_t index) {
+  gdb_core_ = index;
+  return *this;
+}
 
 SimSystem::Builder& SimSystem::Builder::program(std::string_view source) {
   source_ = std::string(source);
@@ -407,16 +642,19 @@ SimSystem::Builder& SimSystem::Builder::program(assembler::Program image) {
 SimSystem::Builder& SimSystem::Builder::cpu_config(
     const isa::CpuConfig& config) {
   cpu_config_ = config;
+  single_core_setter_ = "cpu_config";
   return *this;
 }
 
 SimSystem::Builder& SimSystem::Builder::memory_bytes(u32 bytes) {
   memory_bytes_ = bytes;
+  single_core_setter_ = "memory_bytes";
   return *this;
 }
 
 SimSystem::Builder& SimSystem::Builder::fifo_depth(std::size_t depth) {
   fifo_depth_ = depth;
+  single_core_setter_ = "fifo_depth";
   return *this;
 }
 
@@ -439,11 +677,13 @@ SimSystem::Builder& SimSystem::Builder::bind_fsl(unsigned channel,
 
 SimSystem::Builder& SimSystem::Builder::predecode(bool enabled) {
   predecode_ = enabled;
+  single_core_setter_ = "predecode";
   return *this;
 }
 
 SimSystem::Builder& SimSystem::Builder::quiescence(Cycle drain_cycles) {
   quiescence_ = drain_cycles;
+  single_core_setter_ = "quiescence";
   return *this;
 }
 
@@ -497,178 +737,404 @@ SimSystem::Builder& SimSystem::Builder::gdb_server(u16 port) {
 Expected<SimSystem> SimSystem::Builder::build() {
   using Failure = Expected<SimSystem>;
 
-  // 1. Software.
-  if (!source_ && !image_) {
+  // 0. Settle on the machine description: the one given to machine(),
+  // or one synthesized from the legacy single-core setters (the shim
+  // path every pre-machine caller takes). Mixing the two is ambiguous
+  // and rejected with a setter-specific diagnostic.
+  const bool from_machine = machine_.has_value();
+  if (from_machine) {
+    if (source_ || image_) {
+      return Failure::failure(
+          "SimSystem: machine() and program() are mutually exclusive — core "
+          "programs come from the machine description");
+    }
+    if (model_ || factory_) {
+      return Failure::failure(
+          "SimSystem: machine() and hardware() are mutually exclusive — "
+          "peripherals come from the machine description via the "
+          "PeripheralRegistry");
+    }
+    if (!bindings_.empty()) {
+      return Failure::failure(
+          "SimSystem: machine() and bind_fsl() are mutually exclusive — "
+          "peripheral channels come from the machine description");
+    }
+    if (opb_) {
+      return Failure::failure(
+          "SimSystem: machine() and opb() are mutually exclusive — OPB "
+          "buses are not describable per core yet");
+    }
+    if (!custom_.empty()) {
+      return Failure::failure(
+          "SimSystem: machine() and custom_instruction() are mutually "
+          "exclusive — custom instructions are not describable per core yet");
+    }
+    if (single_core_setter_ != nullptr) {
+      return Failure::failure(std::string("SimSystem: machine() and ") +
+                              single_core_setter_ +
+                              "() are mutually exclusive — per-core options "
+                              "come from the machine description");
+    }
+  } else if (!source_ && !image_) {
     return Failure::failure(
         "SimSystem: no program was given (call Builder::program)");
   }
-  assembler::Program program;
-  if (image_) {
-    program = std::move(*image_);
-  } else {
-    Expected<assembler::Program> assembled = assembler::assemble(*source_);
-    if (!assembled) {
-      return Failure::failure("SimSystem: program does not assemble: " +
-                              assembled.error());
+  machine::MachineDesc desc;
+  if (from_machine) {
+    desc = std::move(*machine_);
+    if (const Status valid = desc.validate(); !valid.ok) {
+      return Failure::failure("SimSystem: " + valid.message);
     }
-    program = std::move(assembled).value();
+  } else {
+    machine::CoreDesc core;
+    core.name = "cpu0";
+    if (source_) core.program = *source_;
+    core.memory_bytes = memory_bytes_;
+    core.has_barrel_shifter = cpu_config_.has_barrel_shifter;
+    core.has_multiplier = cpu_config_.has_multiplier;
+    core.has_divider = cpu_config_.has_divider;
+    core.predecode = predecode_;
+    desc.cores.push_back(std::move(core));
+    desc.fifo_depth = fifo_depth_;
   }
+  const bool multi = desc.cores.size() > 1;
 
-  // 2. Hardware (optional): a ready-made model, or a factory that also
-  // carries its own channel bindings.
+  // 1. Software and per-core skeletons (program, memory, FIFOs, CPU).
+  auto state = std::make_unique<State>();
+  state->deadlock_threshold = deadlock_threshold_;
+  state->gdb_port = gdb_port_;
+  for (const machine::CoreDesc& core_desc : desc.cores) {
+    assembler::Program program;
+    if (!from_machine && image_) {
+      program = std::move(*image_);
+    } else {
+      std::string source;
+      if (!from_machine) {
+        source = *source_;
+      } else if (!core_desc.program.empty()) {
+        source = core_desc.program;
+      } else {
+        std::ifstream in(core_desc.program_file, std::ios::binary);
+        if (!in) {
+          return Failure::failure("SimSystem: [file-io] cannot read program "
+                                  "file '" + core_desc.program_file +
+                                  "' for core '" + core_desc.name + "'");
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        source = text.str();
+      }
+      Expected<assembler::Program> assembled = assembler::assemble(source);
+      if (!assembled) {
+        return Failure::failure(
+            from_machine
+                ? "SimSystem: core '" + core_desc.name +
+                      "': program does not assemble: " + assembled.error()
+                : "SimSystem: program does not assemble: " + assembled.error());
+      }
+      program = std::move(assembled).value();
+    }
+
+    isa::CpuConfig config = cpu_config_;
+    if (from_machine) {
+      config = isa::CpuConfig{};
+      config.has_barrel_shifter = core_desc.has_barrel_shifter;
+      config.has_multiplier = core_desc.has_multiplier;
+      config.has_divider = core_desc.has_divider;
+    }
+    // The FSL channel names (and with them trace/VCD signal names) are
+    // scoped by the core name only on real multi-core machines, so a
+    // single-core system's output stays byte-identical to before.
+    const std::string hub_prefix =
+        multi ? core_desc.name + "." : std::string();
+    auto core = std::make_unique<State::Core>(
+        core_desc.name, std::move(program), config,
+        static_cast<u32>(core_desc.memory_bytes), desc.fifo_depth, hub_prefix);
+    core->cpu.set_predecode(core_desc.predecode);
+    state->cores.push_back(std::move(core));
+  }
+  State::Core& c0 = state->c0();
+
+  // 2. Hardware. Shared attachment logic: validate a bundle's channel
+  // bindings, then stand up the core's lock-step engine around it.
+  const Cycle threshold = deadlock_threshold_;
+  const auto attach = [threshold](State::Core& core, HardwareBundle bundle,
+                                  const std::string& prefix) -> Status {
+    std::set<unsigned> bound;
+    unsigned links = 0;
+    for (const auto& binding : bundle.channels) {
+      if (binding.channel >= fsl::FslHub::kChannels) {
+        return Status::failure(
+            prefix + "FSL channel " + std::to_string(binding.channel) +
+            " is out of range (0.." +
+            std::to_string(fsl::FslHub::kChannels - 1) + ")");
+      }
+      if (!bound.insert(binding.channel).second) {
+        return Status::failure(prefix + "FSL channel " +
+                               std::to_string(binding.channel) +
+                               " is bound twice");
+      }
+      const FslGateways& io = binding.io;
+      if (!io.has_slave() && !io.has_master()) {
+        return Status::failure(prefix + "FSL channel " +
+                               std::to_string(binding.channel) +
+                               " binds no gateways");
+      }
+      if (io.has_slave() && (io.s_data == nullptr || io.s_exists == nullptr ||
+                             io.s_read == nullptr)) {
+        return Status::failure(
+            prefix + "the slave side of FSL channel " +
+            std::to_string(binding.channel) +
+            " needs the s_data, s_exists and s_read gateways");
+      }
+      if (io.has_master() && (io.m_data == nullptr || io.m_write == nullptr)) {
+        return Status::failure(prefix + "the master side of FSL channel " +
+                               std::to_string(binding.channel) +
+                               " needs the m_data and m_write gateways");
+      }
+      links += (io.has_slave() ? 1u : 0u) + (io.has_master() ? 1u : 0u);
+    }
+    core.fsl_links += links;
+    core.hardware = std::move(bundle.model);
+    core.engine.emplace(core.cpu, *core.hardware, core.hub);
+    for (const auto& binding : bundle.channels) {
+      const FslGateways& io = binding.io;
+      if (io.has_slave()) {
+        core::SlaveBinding slave;
+        slave.channel = binding.channel;
+        slave.data = io.s_data;
+        slave.exists = io.s_exists;
+        slave.control = io.s_control;
+        slave.read = io.s_read;
+        core.engine->bridge().bind_slave(slave);
+      }
+      if (io.has_master()) {
+        core::MasterBinding master;
+        master.channel = binding.channel;
+        master.data = io.m_data;
+        master.control = io.m_control;
+        master.write = io.m_write;
+        master.full = io.m_full;
+        core.engine->bridge().bind_master(master);
+      }
+    }
+    core.engine->set_quiescence_window(bundle.quiescence);
+    core.engine->set_deadlock_threshold(threshold);
+    core.engine->set_trace_bus(&core.trace_bus);
+    return {};
+  };
+
   if (model_ && factory_) {
     return Failure::failure(
         "SimSystem: both a hardware model and a hardware factory were "
         "given; they are mutually exclusive");
   }
-  std::unique_ptr<sysgen::Model> model = std::move(model_);
-  if (factory_) {
-    try {
-      HardwareBundle bundle = factory_();
-      model = std::move(bundle.model);
-      for (const auto& binding : bundle.channels) bindings_.push_back(binding);
-    } catch (const std::exception& error) {
-      return Failure::failure(std::string("SimSystem: hardware factory "
-                                          "failed: ") + error.what());
+  if (!from_machine) {
+    // Legacy path: a ready-made model, or a factory that also carries
+    // its own channel bindings, wired onto the (only) core.
+    std::unique_ptr<sysgen::Model> model = std::move(model_);
+    if (factory_) {
+      try {
+        HardwareBundle produced = factory_();
+        model = std::move(produced.model);
+        for (const auto& binding : produced.channels) {
+          bindings_.push_back(binding);
+        }
+      } catch (const std::exception& error) {
+        return Failure::failure(std::string("SimSystem: hardware factory "
+                                            "failed: ") + error.what());
+      }
+      if (model == nullptr) {
+        return Failure::failure(
+            "SimSystem: the hardware factory returned no model");
+      }
     }
-    if (model == nullptr) {
+    if (model == nullptr && !bindings_.empty()) {
       return Failure::failure(
-          "SimSystem: the hardware factory returned no model");
+          "SimSystem: bind_fsl was called but no hardware model was given");
+    }
+    if (model != nullptr) {
+      HardwareBundle bundle;
+      bundle.model = std::move(model);
+      bundle.channels = std::move(bindings_);
+      bundle.quiescence = quiescence_;
+      if (Status status = attach(c0, std::move(bundle), "SimSystem: ");
+          !status.ok) {
+        return Failure::failure(status.message);
+      }
+    }
+  } else {
+    // Machine path: peripherals resolved against the registry. One
+    // hardware model per core — a core's peripherals must be merged
+    // into one model type, exactly like one Builder::hardware() call.
+    std::set<std::size_t> with_peripheral;
+    for (const machine::PeripheralDesc& peripheral : desc.peripherals) {
+      const std::size_t index = desc.core_index(peripheral.core);
+      if (!with_peripheral.insert(index).second) {
+        return Failure::failure("SimSystem: core '" + peripheral.core +
+                                "' has more than one peripheral; a core "
+                                "hosts at most one hardware model");
+      }
+      const PeripheralFactory* factory =
+          PeripheralRegistry::instance().find(peripheral.type);
+      if (factory == nullptr) {
+        std::string known;
+        for (const std::string& type : PeripheralRegistry::instance().types()) {
+          known += known.empty() ? type : ", " + type;
+        }
+        return Failure::failure(
+            "SimSystem: unknown peripheral type '" + peripheral.type +
+            "' on core '" + peripheral.core + "'" +
+            (known.empty() ? std::string(" (no types are registered; call "
+                                         "apps::register_machine_peripherals)")
+                           : " (registered: " + known + ")"));
+      }
+      HardwareBundle bundle;
+      try {
+        bundle = (*factory)(peripheral);
+      } catch (const std::exception& error) {
+        return Failure::failure("SimSystem: peripheral '" + peripheral.type +
+                                "' on core '" + peripheral.core +
+                                "': " + error.what());
+      }
+      if (bundle.model == nullptr) {
+        return Failure::failure("SimSystem: peripheral '" + peripheral.type +
+                                "' on core '" + peripheral.core +
+                                "' produced no model");
+      }
+      const std::string prefix =
+          "SimSystem: core '" + peripheral.core + "': ";
+      if (Status status =
+              attach(*state->cores[index], std::move(bundle), prefix);
+          !status.ok) {
+        return Failure::failure(status.message);
+      }
+    }
+    if (multi) {
+      // Every core of a machine needs a lock-step engine for the
+      // machine engine to drive; peripheral-less cores get an empty
+      // hardware model (zero blocks, zero resources).
+      for (auto& core : state->cores) {
+        if (core->engine) continue;
+        HardwareBundle bundle;
+        bundle.model = std::make_unique<sysgen::Model>(core->name + ".none");
+        if (Status status =
+                attach(*core, std::move(bundle), "SimSystem: ");
+            !status.ok) {
+          return Failure::failure(status.message);
+        }
+      }
     }
   }
 
-  // 3. FSL bindings.
-  if (model == nullptr && !bindings_.empty()) {
-    return Failure::failure(
-        "SimSystem: bind_fsl was called but no hardware model was given");
-  }
-  std::set<unsigned> bound;
-  unsigned fsl_links = 0;
-  for (const auto& binding : bindings_) {
-    if (binding.channel >= fsl::FslHub::kChannels) {
-      return Failure::failure(
-          "SimSystem: FSL channel " + std::to_string(binding.channel) +
-          " is out of range (0.." + std::to_string(fsl::FslHub::kChannels - 1) +
-          ")");
-    }
-    if (!bound.insert(binding.channel).second) {
-      return Failure::failure("SimSystem: FSL channel " +
-                              std::to_string(binding.channel) +
-                              " is bound twice");
-    }
-    const FslGateways& io = binding.io;
-    if (!io.has_slave() && !io.has_master()) {
-      return Failure::failure("SimSystem: FSL channel " +
-                              std::to_string(binding.channel) +
-                              " binds no gateways");
-    }
-    if (io.has_slave() && (io.s_data == nullptr || io.s_exists == nullptr ||
-                           io.s_read == nullptr)) {
-      return Failure::failure(
-          "SimSystem: the slave side of FSL channel " +
-          std::to_string(binding.channel) +
-          " needs the s_data, s_exists and s_read gateways");
-    }
-    if (io.has_master() && (io.m_data == nullptr || io.m_write == nullptr)) {
-      return Failure::failure("SimSystem: the master side of FSL channel " +
-                              std::to_string(binding.channel) +
-                              " needs the m_data and m_write gateways");
-    }
-    fsl_links += (io.has_slave() ? 1u : 0u) + (io.has_master() ? 1u : 0u);
-  }
-
-  // 4. Assemble the components and wire them up.
+  // 3. Fault plan, debug-core and machine-wide option checks.
   if (fault_plan_) {
     if (const Status valid = fault::validate_plan(*fault_plan_); !valid.ok) {
       return Failure::failure("SimSystem: " + valid.message);
     }
-  }
-  auto state = std::make_unique<State>(std::move(program), cpu_config_,
-                                       memory_bytes_, fifo_depth_);
-  state->fsl_links = fsl_links;
-  state->deadlock_threshold = deadlock_threshold_;
-  state->gdb_port = gdb_port_;
-  state->cpu.set_predecode(predecode_);
-  if (opb_) {
-    state->opb = std::move(opb_);
-    state->cpu.attach_opb(state->opb.get());
-  }
-  if (fault_plan_) {
+    if (fault_plan_->core >= desc.cores.size()) {
+      return Failure::failure(
+          "SimSystem: fault plan targets core " +
+          std::to_string(fault_plan_->core) + " but the machine has " +
+          std::to_string(desc.cores.size()) + " core(s)");
+    }
+    if (multi && fault_plan_->trigger == fault::TriggerKind::kPc) {
+      return Failure::failure(
+          "SimSystem: pc-triggered fault plans are not supported on "
+          "multi-core machines (use a cycle trigger)");
+    }
+    state->fault_core = fault_plan_->core;
     state->injector = std::make_unique<fault::Injector>(*fault_plan_);
   }
+  if (gdb_core_ >= desc.cores.size()) {
+    return Failure::failure("SimSystem: gdb_core " +
+                            std::to_string(gdb_core_) +
+                            " is out of range for a machine with " +
+                            std::to_string(desc.cores.size()) + " core(s)");
+  }
+  state->gdb_core = gdb_core_;
+  if (opb_) {
+    c0.opb = std::move(opb_);
+    c0.cpu.attach_opb(c0.opb.get());
+  }
 
-  // 5. Observability sinks. The bus lives inside the heap-allocated
-  // State, so the pointers handed to the components survive moves of
-  // the SimSystem itself.
-  if (trace_path_) {
-    auto sink = std::make_unique<obs::JsonlSink>(*trace_path_);
-    if (!sink->ok()) {
-      return Failure::failure("SimSystem: cannot open trace file '" +
-                              *trace_path_ + "'");
+  // 4. Observability sinks, one set per core. The buses live inside the
+  // heap-allocated core blocks, so the pointers handed to the
+  // components survive moves of the SimSystem itself. On multi-core
+  // machines file sinks split per core ("t.jsonl" -> "t.cpu1.jsonl")
+  // and every event is stamped with its core of origin.
+  for (auto& core : state->cores) {
+    if (trace_path_) {
+      const std::string path =
+          multi ? per_core_path(*trace_path_, core->name) : *trace_path_;
+      auto sink = std::make_unique<obs::JsonlSink>(path);
+      if (!sink->ok()) {
+        return Failure::failure("SimSystem: cannot open trace file '" + path +
+                                "'");
+      }
+      sink->set_disassembler(
+          [](Addr, Word raw) { return isa::disassemble(raw); });
+      core->trace_bus.add_sink(std::move(sink));
     }
-    sink->set_disassembler(
-        [](Addr, Word raw) { return isa::disassemble(raw); });
-    state->trace_bus.add_sink(std::move(sink));
-  }
-  if (vcd_path_) {
-    auto sink = std::make_unique<obs::VcdSink>(*vcd_path_);
-    if (!sink->ok()) {
-      return Failure::failure("SimSystem: cannot open VCD file '" +
-                              *vcd_path_ + "'");
+    if (vcd_path_) {
+      const std::string path =
+          multi ? per_core_path(*vcd_path_, core->name) : *vcd_path_;
+      auto sink = std::make_unique<obs::VcdSink>(path);
+      if (!sink->ok()) {
+        return Failure::failure("SimSystem: cannot open VCD file '" + path +
+                                "'");
+      }
+      core->trace_bus.add_sink(std::move(sink));
     }
-    state->trace_bus.add_sink(std::move(sink));
-  }
-  if (metrics_) {
-    auto registry = std::make_unique<obs::MetricsRegistry>();
-    state->metrics = registry.get();
-    state->trace_bus.add_sink(std::move(registry));
+    if (metrics_) {
+      auto registry = std::make_unique<obs::MetricsRegistry>();
+      core->metrics = registry.get();
+      core->trace_bus.add_sink(std::move(registry));
+    }
+    if (multi) core->trace_bus.set_origin(core->name.c_str());
+    // Always wired (the bus without sinks costs one enabled() load per
+    // would-be event), so sinks can also be attached after build() via
+    // SimSystem::trace_bus().
+    core->cpu.set_trace_bus(&core->trace_bus);
+    core->hub.set_trace_bus(&core->trace_bus);
+    if (core->opb) core->opb->set_trace_bus(&core->trace_bus);
   }
   for (auto& extra : extra_sinks_) {
-    if (extra != nullptr) state->trace_bus.add_sink(std::move(extra));
+    if (extra != nullptr) c0.trace_bus.add_sink(std::move(extra));
   }
-  // Always wired (the bus without sinks costs one enabled() load per
-  // would-be event), so sinks can also be attached after build() via
-  // SimSystem::trace_bus().
-  state->cpu.set_trace_bus(&state->trace_bus);
-  state->hub.set_trace_bus(&state->trace_bus);
-  if (state->opb) state->opb->set_trace_bus(&state->trace_bus);
 
+  // 5. Load programs, custom instructions, and the machine engine.
   try {
-    state->memory.load_program(state->program);
-    for (auto& [slot, unit] : custom_) {
-      state->cpu.register_custom_instruction(slot, std::move(unit));
+    for (auto& core : state->cores) {
+      core->memory.load_program(core->program);
     }
-    if (model != nullptr) {
-      state->hardware = std::move(model);
-      state->engine.emplace(state->cpu, *state->hardware, state->hub);
-      for (const auto& binding : bindings_) {
-        const FslGateways& io = binding.io;
-        if (io.has_slave()) {
-          core::SlaveBinding slave;
-          slave.channel = binding.channel;
-          slave.data = io.s_data;
-          slave.exists = io.s_exists;
-          slave.control = io.s_control;
-          slave.read = io.s_read;
-          state->engine->bridge().bind_slave(slave);
-        }
-        if (io.has_master()) {
-          core::MasterBinding master;
-          master.channel = binding.channel;
-          master.data = io.m_data;
-          master.control = io.m_control;
-          master.write = io.m_write;
-          master.full = io.m_full;
-          state->engine->bridge().bind_master(master);
-        }
-      }
-      state->engine->set_quiescence_window(quiescence_);
-      state->engine->set_deadlock_threshold(deadlock_threshold_);
-      state->engine->set_trace_bus(&state->trace_bus);
+    for (auto& [slot, unit] : custom_) {
+      c0.cpu.register_custom_instruction(slot, std::move(unit));
     }
   } catch (const std::exception& error) {
     return Failure::failure(std::string("SimSystem: ") + error.what());
   }
+  if (multi) {
+    state->machine_engine.emplace(desc.quantum);
+    state->machine_engine->set_workers(workers_);
+    state->machine_engine->set_deadlock_threshold(deadlock_threshold_);
+    for (auto& core : state->cores) {
+      state->machine_engine->add_core(core->name, core->cpu, *core->engine,
+                                      core->hub);
+    }
+    for (const machine::LinkDesc& link : desc.links) {
+      const std::size_t from = desc.core_index(link.from);
+      const std::size_t to = desc.core_index(link.to);
+      state->cores[from]->fsl_links += 1;
+      state->cores[to]->fsl_links += 1;
+      if (Status status = state->machine_engine->link(
+              from, link.from_channel, to, link.to_channel);
+          !status.ok) {
+        return Failure::failure("SimSystem: " + status.message);
+      }
+    }
+  }
+  state->desc = std::move(desc);
 
   SimSystem system(std::move(state));
   system.reset();

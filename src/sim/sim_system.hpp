@@ -1,27 +1,47 @@
 // SimSystem: the single-entry facade over the high-level co-simulation
-// environment. One SimSystem owns everything a simulated design needs —
-// the assembled program, the LMB BRAM, the FSL hub, the cycle-accurate
-// processor, the sysgen hardware model and the lock-step CoSimEngine —
-// and wires them together from a builder description:
+// environment. The unit of construction is a declarative machine
+// description (machine::MachineDesc): one or more soft processors, the
+// peripherals on their FSL channels, and the cross-core FSL links. One
+// SimSystem owns everything the described machine needs — per core the
+// assembled program, the LMB BRAM, the FSL hub, the cycle-accurate
+// processor, the sysgen hardware model and the lock-step CoSimEngine;
+// for multi-core machines also the core::ManyCoreEngine that advances
+// the cores in deterministic parallel quanta:
+//
+//   auto desc = machine::MachineDesc::from_file("machines/farm.json");
+//   auto built = sim::SimSystem::Builder()
+//                    .machine(std::move(desc).value())
+//                    .workers(4)                      // host threads
+//                    .build();                        // Expected<SimSystem>
+//   sim::SimSystem system = std::move(built).value();
+//   system.run();
+//
+// The historical single-core surface is a thin preset over the same
+// machinery and remains fully supported (deprecated in spirit, not in
+// ABI): program()/hardware()/bind_fsl() describe the one core of a
+// machine::MachineDesc::single_core machine, and their outputs — stats,
+// traces, waveforms — are byte-identical to earlier releases:
 //
 //   auto built = sim::SimSystem::Builder()
 //                    .program(source)                 // MB32 assembly
 //                    .hardware(std::move(model))      // or a factory
 //                    .bind_fsl(0, gateways)
-//                    .build();                        // Expected<SimSystem>
-//   sim::SimSystem system = std::move(built).value();
-//   system.run();
+//                    .build();
 //
 // Construction problems (missing program, assembly errors, bad FSL
-// bindings) come back through the Expected error channel instead of
-// throwing from deep inside component constructors, so a design-space
-// sweep can report a broken configuration point and keep going.
+// bindings, invalid machine topologies) come back through the Expected
+// error channel instead of throwing from deep inside component
+// constructors, so a design-space sweep can report a broken
+// configuration point and keep going. Machine-description problems keep
+// their stable "[code]" prefixes (machine::kDescErrorCodes).
 //
-// Thread-safety contract: a SimSystem is a self-contained, single-
-// threaded simulator. Different SimSystem instances share no mutable
-// state, so any number of them may run concurrently on different
-// threads (this is what sim::Sweep does); one instance must never be
-// touched from two threads at once.
+// Thread-safety contract: a SimSystem is self-contained. Different
+// SimSystem instances share no mutable state, so any number of them may
+// run concurrently on different threads (this is what sim::Sweep does);
+// one instance must never be touched from two threads at once. A
+// multi-core run uses worker threads *internally*, but every simulated
+// component is only ever touched by one thread between barriers, and
+// results are byte-identical at every worker count.
 #pragma once
 
 #include <functional>
@@ -36,12 +56,14 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/cosim_engine.hpp"
+#include "core/manycore.hpp"
 #include "energy/energy_model.hpp"
 #include "estimate/estimator.hpp"
 #include "fault/fault_plan.hpp"
 #include "fsl/fsl_channel.hpp"
 #include "fsl/fsl_hub.hpp"
 #include "iss/processor.hpp"
+#include "machine/machine_desc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_bus.hpp"
 #include "rsp/server.hpp"
@@ -89,6 +111,11 @@ struct HardwareBundle {
   };
   std::unique_ptr<sysgen::Model> model;
   std::vector<ChannelBinding> channels;
+  /// Quiescence fast-forward window this peripheral is safe with (an
+  /// upper bound on its pipeline drain time); 0 = never fast-forward.
+  /// Used by the machine-description build path, where no explicit
+  /// Builder::quiescence call exists per core.
+  Cycle quiescence = 0;
 };
 
 using HardwareFactory = std::function<HardwareBundle()>;
@@ -139,6 +166,9 @@ class SimSystem {
   [[nodiscard]] obs::TraceBus& trace_bus() noexcept;
 
   // -- component access ------------------------------------------------
+  // The no-index accessors refer to core 0 — for a single-core machine
+  // (every legacy build) that is the whole system, which keeps all
+  // historical call sites working unchanged.
   [[nodiscard]] iss::Processor& cpu() noexcept;
   [[nodiscard]] const iss::Processor& cpu() const noexcept;
   [[nodiscard]] iss::LmbMemory& memory() noexcept;
@@ -153,6 +183,33 @@ class SimSystem {
   [[nodiscard]] fsl::FslHub& fsl_hub() noexcept;
   /// Memory-mapped OPB bus; nullptr unless Builder::opb attached one.
   [[nodiscard]] bus::OpbBus* opb() noexcept;
+
+  // -- machine (multi-core) access -------------------------------------
+  /// Number of cores in the machine (1 for every legacy build).
+  [[nodiscard]] std::size_t core_count() const noexcept;
+  /// Name of core `index` as declared in the machine description.
+  [[nodiscard]] const std::string& core_name(std::size_t index) const;
+  /// Per-core accessors (index must be < core_count()).
+  [[nodiscard]] iss::Processor& cpu(std::size_t index);
+  [[nodiscard]] const assembler::Program& program(std::size_t index) const;
+  /// Statistics of one core alone (stats() aggregates the machine).
+  [[nodiscard]] core::CoSimStats core_stats(std::size_t index) const;
+  /// Observability bus of core `index` (trace_bus() is core 0's).
+  [[nodiscard]] obs::TraceBus& trace_bus(std::size_t index);
+  /// The machine-level engine; nullptr for single-core systems, which
+  /// run through their lone CoSimEngine exactly as before.
+  [[nodiscard]] core::ManyCoreEngine* machine_engine() noexcept;
+  /// Core a terminal StopReason (kIllegal/kDeadlock) of the last run()
+  /// refers to; 0 for single-core systems.
+  [[nodiscard]] std::size_t stop_core() const noexcept;
+  /// The machine description this system was built from (synthesized
+  /// for legacy single-core builds).
+  [[nodiscard]] const machine::MachineDesc& machine_desc() const noexcept;
+  /// Address of a symbol in core `index`'s program / the `word_index`-th
+  /// word of the array there (throws SimError if undefined).
+  [[nodiscard]] Addr symbol_on(std::size_t index, const std::string& name) const;
+  [[nodiscard]] Word word_on(std::size_t index, const std::string& name,
+                             u32 word_index = 0) const;
 
   // -- fault injection -------------------------------------------------
   /// Arm (or replace) a fault plan on the running system. Count-
@@ -204,6 +261,8 @@ class SimSystem {
   /// Run-to-trigger, fire the injection, continue — the orchestration
   /// of a cycle/pc point-triggered fault plan.
   core::StopReason run_faulted(Cycle max_cycles);
+  /// Same orchestration for the multi-core engine (cycle triggers only).
+  core::StopReason run_machine_faulted(Cycle max_cycles);
 
   std::unique_ptr<State> state_;
 };
@@ -213,6 +272,20 @@ class SimSystem {
 /// through Expected instead of throwing.
 class SimSystem::Builder {
  public:
+  /// Build from a declarative machine description — the primary entry
+  /// point. Core programs, memory sizes, FIFO depth, peripherals (via
+  /// the PeripheralRegistry) and cross-core links all come from the
+  /// description; mixing machine() with the per-core setters below
+  /// (program/hardware/bind_fsl/opb/custom_instruction/cpu_config/
+  /// memory_bytes/fifo_depth/quiescence/predecode) is a build() error.
+  Builder& machine(machine::MachineDesc desc);
+  /// Host worker threads for multi-core rounds (0 = one per hardware
+  /// thread; ignored for single-core machines). Results are identical
+  /// at every worker count.
+  Builder& workers(unsigned count);
+  /// Core serve_gdb() attaches the debugger to (default 0).
+  Builder& gdb_core(std::size_t index);
+
   /// MB32 assembly source, assembled at build() time.
   Builder& program(std::string_view source);
   /// Pre-assembled image (overrides a previously-set source and vice
@@ -285,6 +358,14 @@ class SimSystem::Builder {
   [[nodiscard]] Expected<SimSystem> build();
 
  private:
+  std::optional<machine::MachineDesc> machine_;
+  unsigned workers_ = 0;
+  std::size_t gdb_core_ = 0;
+  /// Name of the first value-typed per-core setter that was called
+  /// (cpu_config/memory_bytes/...), for the machine() contradiction
+  /// diagnostic — these have in-band defaults, so a flag must record
+  /// that the caller touched them.
+  const char* single_core_setter_ = nullptr;
   std::optional<std::string> source_;
   std::optional<assembler::Program> image_;
   isa::CpuConfig cpu_config_{};

@@ -20,17 +20,15 @@
 // read-only data).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/resources.hpp"
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "core/cosim_engine.hpp"
 #include "energy/energy_model.hpp"
@@ -39,34 +37,10 @@
 
 namespace mbcosim::sim {
 
-/// A fixed pool of std::jthread workers draining a FIFO work queue.
-/// Destroying the pool stops the workers after their current job;
-/// jobs still queued are abandoned (call wait_idle() first to drain).
-class ThreadPool {
- public:
-  /// `threads` == 0 selects std::thread::hardware_concurrency().
-  explicit ThreadPool(unsigned threads = 0);
-  ~ThreadPool();
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  void submit(std::function<void()> job);
-  /// Block until the queue is empty and every worker is idle.
-  void wait_idle();
-  [[nodiscard]] unsigned size() const noexcept {
-    return static_cast<unsigned>(workers_.size());
-  }
-
- private:
-  void work(std::stop_token token);
-
-  std::mutex mutex_;
-  std::condition_variable_any wake_;   ///< workers wait here for jobs
-  std::condition_variable idle_;       ///< wait_idle() waits here
-  std::deque<std::function<void()>> queue_;
-  unsigned running_ = 0;
-  std::vector<std::jthread> workers_;  ///< last member: joins first
-};
+/// The worker pool now lives in common/thread_pool.hpp so the manycore
+/// co-simulation engine (core::ManyCoreEngine) can share it; this alias
+/// keeps the historical sim::ThreadPool spelling working.
+using ThreadPool = mbcosim::ThreadPool;
 
 /// One row of the sweep result table.
 struct SweepPointResult {

@@ -1,0 +1,476 @@
+// Multi-core machine tests: the declarative MachineDesc build path, the
+// conservative-quantum parallel engine behind it, and the two promises
+// the redesign makes —
+//
+//   1. determinism: stats and traces are byte-identical no matter how
+//      many host workers advance the cores, and
+//   2. compatibility: a single-core machine behaves exactly like the
+//      legacy Builder shim it replaced.
+//
+// Also the home of the two-core FSL pipeline golden trace. Regenerate
+// with:
+//
+//   MBCOSIM_REGEN_GOLDEN=1 ./tests/mbcosim_tests --gtest_filter='ManyCore.*'
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/cordic/cordic_reference.hpp"
+#include "apps/machine_peripherals.hpp"
+#include "fault/fault_plan.hpp"
+#include "machine/machine_desc.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "sim/sim_system.hpp"
+
+namespace mbcosim::sim {
+namespace {
+
+namespace cordic = mbcosim::apps::cordic;
+
+// ------------------------------------------------- two-core FSL pipeline
+
+constexpr const char* kProducerProgram = R"(
+start:
+  la r21, data
+  li r29, 16              # 4 words
+  addk r10, r0, r0
+loop:
+  lw r3, r21, r10
+  put r3, rfsl2
+  addik r10, r10, 4
+  rsub r3, r10, r29
+  bnei r3, loop
+  halt
+data:
+  .word 0x00000011
+  .word 0x00000022
+  .word 0x00000033
+  .word 0x00000044
+)";
+
+constexpr const char* kConsumerProgram = R"(
+start:
+  la r28, results
+  li r29, 16
+  addk r10, r0, r0
+loop:
+  get r3, rfsl1
+  sw r3, r28, r10
+  addik r10, r10, 4
+  rsub r3, r10, r29
+  bnei r3, loop
+  halt
+results: .space 16
+)";
+
+machine::MachineDesc two_core_pipeline() {
+  machine::MachineDesc desc;
+  machine::CoreDesc producer;
+  producer.name = "producer";
+  producer.program = kProducerProgram;
+  machine::CoreDesc consumer;
+  consumer.name = "consumer";
+  consumer.program = kConsumerProgram;
+  desc.cores = {producer, consumer};
+  desc.links = {{"producer", 2, "consumer", 1}};
+  desc.quantum = 16;  // several rounds, with cross-quantum blocking
+  return desc;
+}
+
+/// Build the two-core pipeline with one string-backed JSONL sink per
+/// core, run it to completion, and return the concatenated traces
+/// (producer first) — the golden-trace payload.
+std::string run_traced_pipeline(std::vector<Word>* results = nullptr) {
+  auto built = SimSystem::Builder().machine(two_core_pipeline()).build();
+  EXPECT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+
+  std::ostringstream producer_trace;
+  std::ostringstream consumer_trace;
+  system.trace_bus(0).add_sink(
+      std::make_unique<obs::JsonlSink>(producer_trace));
+  system.trace_bus(1).add_sink(
+      std::make_unique<obs::JsonlSink>(consumer_trace));
+
+  EXPECT_EQ(system.run(), core::StopReason::kHalted);
+  if (results != nullptr) {
+    for (u32 i = 0; i < 4; ++i) {
+      results->push_back(system.word_on(1, "results", i));
+    }
+  }
+  return producer_trace.str() + consumer_trace.str();
+}
+
+TEST(ManyCore, TwoCorePipelineDeliversWords) {
+  std::vector<Word> results;
+  const std::string trace = run_traced_pipeline(&results);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], 0x11u);
+  EXPECT_EQ(results[1], 0x22u);
+  EXPECT_EQ(results[2], 0x33u);
+  EXPECT_EQ(results[3], 0x44u);
+}
+
+TEST(ManyCore, MachineAccessorsDescribeTheTopology) {
+  auto built = SimSystem::Builder().machine(two_core_pipeline()).build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+
+  EXPECT_EQ(system.core_count(), 2u);
+  EXPECT_EQ(system.core_name(0), "producer");
+  EXPECT_EQ(system.core_name(1), "consumer");
+  ASSERT_NE(system.machine_engine(), nullptr);
+  EXPECT_EQ(system.machine_desc().links.size(), 1u);
+
+  ASSERT_EQ(system.run(), core::StopReason::kHalted);
+  EXPECT_EQ(system.machine_engine()->link_words(), 4u);
+  // Per-core stats split the machine aggregate.
+  const core::CoSimStats total = system.stats();
+  const core::CoSimStats producer = system.core_stats(0);
+  const core::CoSimStats consumer = system.core_stats(1);
+  EXPECT_EQ(total.instructions,
+            producer.instructions + consumer.instructions);
+  EXPECT_GT(consumer.fsl_stall_cycles, 0u);
+}
+
+TEST(ManyCore, TwoCorePipelineMatchesGoldenTrace) {
+  const std::string golden_path =
+      std::string(MBCOSIM_TEST_DATA_DIR) + "/machine_trace_golden.jsonl";
+  const std::string trace = run_traced_pipeline();
+  ASSERT_FALSE(trace.empty());
+
+  if (std::getenv("MBCOSIM_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << trace;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (regenerate with MBCOSIM_REGEN_GOLDEN=1)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+
+  std::istringstream got_stream(trace);
+  std::istringstream want_stream(golden.str());
+  std::string got;
+  std::string want;
+  std::size_t line = 0;
+  while (std::getline(want_stream, want)) {
+    ++line;
+    ASSERT_TRUE(std::getline(got_stream, got))
+        << "trace ends early at line " << line;
+    ASSERT_EQ(got, want) << "first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(got_stream, got))
+      << "trace has extra lines after line " << line;
+}
+
+TEST(ManyCore, RerunsAreByteIdentical) {
+  EXPECT_EQ(run_traced_pipeline(), run_traced_pipeline());
+}
+
+// ------------------------------------------------------ CORDIC mini farm
+
+// Scaled-down cordic_farm.json (examples/machines/): feeder -> worker
+// (4-PE CORDIC pipeline) -> collector, four items in one set, one pass.
+constexpr i32 kFarmX[4] = {0x01000000, 0x02000000, 0x01800000, 0x04000000};
+constexpr i32 kFarmY[4] = {0x00800000, 0x03000000, 0x00c00000, 0x01000000};
+
+constexpr const char* kFarmFeeder = R"(
+start:
+  la r21, data_x
+  la r22, data_y
+  li r29, 16
+  addk r10, r0, r0
+item_loop:
+  lw r3, r21, r10
+  put r3, rfsl1
+  lw r4, r22, r10
+  put r4, rfsl1
+  addik r10, r10, 4
+  rsub r3, r10, r29
+  bnei r3, item_loop
+  halt
+data_x:
+  .word 0x01000000
+  .word 0x02000000
+  .word 0x01800000
+  .word 0x04000000
+data_y:
+  .word 0x00800000
+  .word 0x03000000
+  .word 0x00c00000
+  .word 0x01000000
+)";
+
+constexpr const char* kFarmWorker = R"(
+start:
+  cput r0, rfsl0          # control word: s0 = 0, single pass
+  li r5, 4
+send_loop:
+  get r3, rfsl1
+  put r3, rfsl0
+  get r3, rfsl1
+  put r3, rfsl0
+  put r0, rfsl0           # Z = 0
+  addik r5, r5, -1
+  bnei r5, send_loop
+  li r5, 4
+recv_loop:
+  get r3, rfsl0           # X out (discarded)
+  get r3, rfsl0           # Y residue (discarded)
+  get r3, rfsl0           # Z = quotient
+  put r3, rfsl2
+  addik r5, r5, -1
+  bnei r5, recv_loop
+  halt
+)";
+
+constexpr const char* kFarmCollector = R"(
+start:
+  la r28, results
+  li r29, 16
+  addk r10, r0, r0
+store_loop:
+  get r3, rfsl1
+  sw r3, r28, r10
+  addik r10, r10, 4
+  rsub r3, r10, r29
+  bnei r3, store_loop
+  halt
+results: .space 16
+)";
+
+machine::MachineDesc mini_farm() {
+  machine::MachineDesc desc;
+  machine::CoreDesc feeder;
+  feeder.name = "feeder";
+  feeder.program = kFarmFeeder;
+  machine::CoreDesc worker;
+  worker.name = "worker";
+  worker.program = kFarmWorker;
+  machine::CoreDesc collector;
+  collector.name = "collector";
+  collector.program = kFarmCollector;
+  desc.cores = {feeder, worker, collector};
+  desc.links = {{"feeder", 1, "worker", 1}, {"worker", 2, "collector", 1}};
+  machine::PeripheralDesc pipeline;
+  pipeline.core = "worker";
+  pipeline.type = "cordic";
+  pipeline.channel = 0;
+  pipeline.params["num_pes"] = 4;
+  desc.peripherals = {pipeline};
+  desc.quantum = 16;
+  return desc;
+}
+
+struct FarmRun {
+  std::vector<std::string> traces;  ///< one JSONL stream per core
+  core::CoSimStats stats;
+  u64 link_words = 0;
+  std::vector<Word> results;
+};
+
+FarmRun run_farm(unsigned workers) {
+  apps::register_machine_peripherals();
+  auto built =
+      SimSystem::Builder().machine(mini_farm()).workers(workers).build();
+  EXPECT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+
+  std::vector<std::unique_ptr<std::ostringstream>> streams;
+  for (std::size_t i = 0; i < system.core_count(); ++i) {
+    streams.push_back(std::make_unique<std::ostringstream>());
+    system.trace_bus(i).add_sink(
+        std::make_unique<obs::JsonlSink>(*streams.back()));
+  }
+
+  EXPECT_EQ(system.run(), core::StopReason::kHalted);
+
+  FarmRun run;
+  for (const auto& stream : streams) run.traces.push_back(stream->str());
+  run.stats = system.stats();
+  run.link_words = system.machine_engine()->link_words();
+  for (u32 i = 0; i < 4; ++i) {
+    run.results.push_back(system.word_on(2, "results", i));
+  }
+  return run;
+}
+
+TEST(ManyCore, FarmQuotientsMatchTheBitExactReference) {
+  const FarmRun run = run_farm(1);
+  ASSERT_EQ(run.results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    cordic::CordicState state;
+    state.x = kFarmX[i];
+    state.y = kFarmY[i];
+    const i32 expected = cordic::cordic_iterate(state, 0, 4).z;
+    EXPECT_EQ(static_cast<i32>(run.results[i]), expected) << "item " << i;
+  }
+  // 8 words feeder -> worker, 4 quotients worker -> collector.
+  EXPECT_EQ(run.link_words, 12u);
+}
+
+TEST(ManyCore, ResultsAreIndependentOfWorkerCount) {
+  const FarmRun baseline = run_farm(1);
+  for (const unsigned workers : {2u, 4u}) {
+    const FarmRun run = run_farm(workers);
+    EXPECT_EQ(run.results, baseline.results) << workers << " workers";
+    EXPECT_EQ(run.link_words, baseline.link_words) << workers << " workers";
+    EXPECT_EQ(run.stats.cycles, baseline.stats.cycles)
+        << workers << " workers";
+    EXPECT_EQ(run.stats.instructions, baseline.stats.instructions)
+        << workers << " workers";
+    EXPECT_EQ(run.stats.fsl_stall_cycles, baseline.stats.fsl_stall_cycles)
+        << workers << " workers";
+    ASSERT_EQ(run.traces.size(), baseline.traces.size());
+    for (std::size_t i = 0; i < run.traces.size(); ++i) {
+      EXPECT_EQ(run.traces[i], baseline.traces[i])
+          << workers << " workers, core " << i << " trace diverged";
+    }
+  }
+}
+
+// ----------------------------------------------------- single-core shim
+
+constexpr const char* kShimProgram = R"(
+start:
+  li r3, 10
+  addk r4, r0, r0
+loop:
+  addk r4, r4, r3
+  addik r3, r3, -1
+  bnei r3, loop
+  la r5, result
+  swi r4, r5, 0
+  halt
+result: .space 4
+)";
+
+TEST(ManyCore, SingleCoreMachineMatchesTheLegacyBuilder) {
+  auto legacy = SimSystem::Builder().program(kShimProgram).build();
+  ASSERT_TRUE(legacy.ok()) << legacy.error();
+  auto described = SimSystem::Builder()
+                       .machine(machine::MachineDesc::single_core(kShimProgram))
+                       .build();
+  ASSERT_TRUE(described.ok()) << described.error();
+
+  auto run_traced = [](SimSystem system) {
+    std::ostringstream trace;
+    system.trace_bus().add_sink(std::make_unique<obs::JsonlSink>(trace));
+    EXPECT_EQ(system.run(), core::StopReason::kHalted);
+    EXPECT_EQ(system.word_on(0, "result"), 55u);
+    return std::make_pair(trace.str(), system.stats());
+  };
+  const auto [legacy_trace, legacy_stats] =
+      run_traced(std::move(legacy).value());
+  const auto [machine_trace, machine_stats] =
+      run_traced(std::move(described).value());
+
+  // The shim promise: byte-identical trace (no core origins, same
+  // channel names) and identical statistics.
+  ASSERT_FALSE(legacy_trace.empty());
+  EXPECT_EQ(machine_trace, legacy_trace);
+  EXPECT_EQ(machine_stats.cycles, legacy_stats.cycles);
+  EXPECT_EQ(machine_stats.instructions, legacy_stats.instructions);
+  // A single-core machine needs no machine engine at all.
+  auto rebuilt = SimSystem::Builder()
+                     .machine(machine::MachineDesc::single_core(kShimProgram))
+                     .build();
+  ASSERT_TRUE(rebuilt.ok());
+  SimSystem single = std::move(rebuilt).value();
+  EXPECT_EQ(single.machine_engine(), nullptr);
+}
+
+// ------------------------------------------------- deadlock & build errors
+
+TEST(ManyCore, StarvedConsumerIsAMachineDeadlock) {
+  machine::MachineDesc desc = two_core_pipeline();
+  desc.cores[0].program = "halt\n";  // producer never feeds the link
+  auto built = SimSystem::Builder()
+                   .machine(std::move(desc))
+                   .deadlock_threshold(2000)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+
+  EXPECT_EQ(system.run(), core::StopReason::kDeadlock);
+  EXPECT_EQ(system.stop_core(), 1u);
+  const auto diagnosis = system.deadlock_diagnosis();
+  ASSERT_TRUE(diagnosis.has_value());
+  EXPECT_NE(diagnosis->channel.find("hw_to_mb1"), std::string::npos)
+      << diagnosis->channel;
+}
+
+TEST(ManyCore, BuilderRejectsMachinePlusLegacySetters) {
+  auto with_program = SimSystem::Builder()
+                          .machine(two_core_pipeline())
+                          .program("halt\n")
+                          .build();
+  ASSERT_FALSE(with_program.ok());
+  EXPECT_NE(with_program.error().find("mutually exclusive"),
+            std::string::npos)
+      << with_program.error();
+
+  auto with_memory = SimSystem::Builder()
+                         .machine(two_core_pipeline())
+                         .memory_bytes(4096)
+                         .build();
+  ASSERT_FALSE(with_memory.ok());
+  EXPECT_NE(with_memory.error().find("memory_bytes()"), std::string::npos)
+      << with_memory.error();
+}
+
+TEST(ManyCore, BuilderRejectsOutOfRangeCoreReferences) {
+  auto bad_gdb =
+      SimSystem::Builder().machine(two_core_pipeline()).gdb_core(5).build();
+  ASSERT_FALSE(bad_gdb.ok());
+  EXPECT_NE(bad_gdb.error().find("gdb_core 5 is out of range"),
+            std::string::npos)
+      << bad_gdb.error();
+
+  fault::FaultPlan plan;
+  plan.trigger_value = 10;
+  plan.core = 5;
+  auto bad_fault =
+      SimSystem::Builder().machine(two_core_pipeline()).fault(plan).build();
+  ASSERT_FALSE(bad_fault.ok());
+  EXPECT_NE(bad_fault.error().find("fault plan targets core 5"),
+            std::string::npos)
+      << bad_fault.error();
+
+  fault::FaultPlan pc_plan;
+  pc_plan.trigger = fault::TriggerKind::kPc;
+  auto pc_fault = SimSystem::Builder()
+                      .machine(two_core_pipeline())
+                      .fault(pc_plan)
+                      .build();
+  ASSERT_FALSE(pc_fault.ok());
+  EXPECT_NE(pc_fault.error().find("pc-triggered"), std::string::npos)
+      << pc_fault.error();
+}
+
+TEST(ManyCore, BuilderRejectsUnknownPeripheralTypes) {
+  machine::MachineDesc desc = two_core_pipeline();
+  machine::PeripheralDesc fft;
+  fft.core = "producer";
+  fft.type = "fft";
+  fft.channel = 3;
+  desc.peripherals = {fft};
+  auto built = SimSystem::Builder().machine(std::move(desc)).build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("unknown peripheral type 'fft'"),
+            std::string::npos)
+      << built.error();
+}
+
+}  // namespace
+}  // namespace mbcosim::sim

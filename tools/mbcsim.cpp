@@ -1,7 +1,22 @@
 // mbcsim — command-line front end for the MB32 toolchain and simulators.
 //
 // Usage:
-//   mbcsim [options] program.s
+//   mbcsim [options] --machine machine.json     (declarative machine)
+//   mbcsim [options] --cores N program.s        (replicated-core preset)
+//   mbcsim [options] program.s                  (deprecated single-core shim)
+//
+// Machine options:
+//   --machine FILE      build and run the machine described by FILE
+//                       (MachineDesc JSON: cores, FSL links, peripherals;
+//                       see examples/machines/). Mutually exclusive with
+//                       a program.s argument and the per-core flags —
+//                       those live in the machine file.
+//   --cores N           preset: N identical cores running program.s
+//                       (no cross-links), honoring the per-core flags
+//   --workers N         host threads for the multi-core rounds (0 = one
+//                       per hardware thread). Purely a host-performance
+//                       knob: results are identical at every value.
+//   --gdb-core N        core --gdb attaches the debugger to (default 0)
 //
 // Options:
 //   --disasm            assemble and print the listing, do not run
@@ -30,7 +45,8 @@
 //   --fault SPEC        inject one fault during the run, described by a
 //                       comma-separated spec, e.g.
 //                       "site=mem,mode=bitflip,cycle=1000,addr=0x120"
-//                       (see fault/fault_plan.hpp for the grammar)
+//                       (add "core=N" to target another machine core;
+//                       see fault/fault_plan.hpp for the grammar)
 //   --fault-seed S      seed deriving the fault's open parameters
 //                       (which bit flips) when the spec leaves them unset
 //
@@ -46,12 +62,14 @@
 #include <string>
 #include <vector>
 
+#include "apps/machine_peripherals.hpp"
 #include "asm/assembler.hpp"
 #include "asm/objdump.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "iss/memory.hpp"
 #include "iss/processor.hpp"
+#include "machine/machine_desc.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_bus.hpp"
@@ -66,6 +84,10 @@ namespace {
 
 struct Options {
   std::string source_path;
+  std::string machine_path;
+  std::size_t cores = 0;  ///< 0 = no --cores flag
+  std::optional<unsigned> workers;
+  std::optional<std::size_t> gdb_core;
   bool disasm_only = false;
   bool metrics = false;
   bool dump_regs = false;
@@ -79,16 +101,21 @@ struct Options {
   std::string fault_spec;
   u64 fault_seed = 1;
   isa::CpuConfig cpu;
+  /// First per-core configuration flag seen, for the --machine
+  /// contradiction diagnostic.
+  std::string per_core_flag;
 };
 
 void usage() {
   std::fprintf(stderr,
-               "usage: mbcsim [--disasm] [--trace FILE] [--vcd FILE]\n"
+               "usage: mbcsim [--machine FILE | [--cores N] program.s]\n"
+               "              [--workers N] [--gdb-core N]\n"
+               "              [--disasm] [--trace FILE] [--vcd FILE]\n"
                "              [--metrics] [--regs] [--mem ADDR COUNT]\n"
                "              [--max-cycles N] [--no-multiplier]\n"
                "              [--no-barrel-shifter] [--divider] [--rtl]\n"
                "              [--no-predecode] [--gdb PORT]\n"
-               "              [--fault SPEC] [--fault-seed S] program.s\n");
+               "              [--fault SPEC] [--fault-seed S]\n");
 }
 
 bool parse_u64(const char* text, u64& out) {
@@ -118,6 +145,40 @@ bool parse_args(int argc, char** argv, Options& options) {
     const std::string arg = argv[i];
     if (arg == "--disasm") {
       options.disasm_only = true;
+    } else if (arg == "--machine") {
+      const char* value = flag_value(argc, argv, i, arg);
+      if (value == nullptr) return false;
+      options.machine_path = value;
+    } else if (arg == "--cores") {
+      const char* value = flag_value(argc, argv, i, arg);
+      u64 parsed = 0;
+      if (value == nullptr || !parse_u64(value, parsed) || parsed == 0) {
+        if (value != nullptr) {
+          std::fprintf(stderr, "bad --cores value: %s\n", value);
+        }
+        return false;
+      }
+      options.cores = static_cast<std::size_t>(parsed);
+    } else if (arg == "--workers") {
+      const char* value = flag_value(argc, argv, i, arg);
+      u64 parsed = 0;
+      if (value == nullptr || !parse_u64(value, parsed) || parsed > 1024) {
+        if (value != nullptr) {
+          std::fprintf(stderr, "bad --workers value: %s\n", value);
+        }
+        return false;
+      }
+      options.workers = static_cast<unsigned>(parsed);
+    } else if (arg == "--gdb-core") {
+      const char* value = flag_value(argc, argv, i, arg);
+      u64 parsed = 0;
+      if (value == nullptr || !parse_u64(value, parsed)) {
+        if (value != nullptr) {
+          std::fprintf(stderr, "bad --gdb-core value: %s\n", value);
+        }
+        return false;
+      }
+      options.gdb_core = static_cast<std::size_t>(parsed);
     } else if (arg == "--trace") {
       const char* value = flag_value(argc, argv, i, arg);
       if (value == nullptr) return false;
@@ -130,12 +191,16 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.use_rtl = true;
     } else if (arg == "--no-multiplier") {
       options.cpu.has_multiplier = false;
+      if (options.per_core_flag.empty()) options.per_core_flag = arg;
     } else if (arg == "--no-barrel-shifter") {
       options.cpu.has_barrel_shifter = false;
+      if (options.per_core_flag.empty()) options.per_core_flag = arg;
     } else if (arg == "--divider") {
       options.cpu.has_divider = true;
+      if (options.per_core_flag.empty()) options.per_core_flag = arg;
     } else if (arg == "--no-predecode") {
       options.predecode = false;
+      if (options.per_core_flag.empty()) options.per_core_flag = arg;
     } else if (arg == "--vcd") {
       const char* value = flag_value(argc, argv, i, arg);
       if (value == nullptr) return false;
@@ -200,9 +265,57 @@ bool parse_args(int argc, char** argv, Options& options) {
       return false;
     }
   }
-  if (options.source_path.empty()) {
+  // Mode resolution + contradiction diagnostics: the machine file is
+  // the single source of truth for everything per-core, so mixing it
+  // with the legacy per-core surface is rejected, not merged.
+  const bool machine_mode = !options.machine_path.empty() || options.cores > 0;
+  if (!options.machine_path.empty()) {
+    if (!options.source_path.empty()) {
+      std::fprintf(stderr,
+                   "--machine and a program.s argument are mutually "
+                   "exclusive: core programs come from the machine file\n");
+      return false;
+    }
+    if (options.cores > 0) {
+      std::fprintf(stderr,
+                   "--machine and --cores are mutually exclusive: the "
+                   "machine file fixes the core count\n");
+      return false;
+    }
+    if (!options.per_core_flag.empty()) {
+      std::fprintf(stderr,
+                   "--machine and %s are mutually exclusive: per-core "
+                   "options come from the machine file\n",
+                   options.per_core_flag.c_str());
+      return false;
+    }
+    if (options.disasm_only) {
+      std::fprintf(stderr, "--disasm takes a program.s, not --machine\n");
+      return false;
+    }
+  } else if (options.source_path.empty()) {
     std::fprintf(stderr, "no program file given\n");
     return false;
+  }
+  if (machine_mode && options.use_rtl) {
+    std::fprintf(stderr,
+                 "--rtl supports only the single-core command line "
+                 "(no --machine/--cores)\n");
+    return false;
+  }
+  if (options.workers && !machine_mode) {
+    std::fprintf(stderr, "--workers requires --machine or --cores\n");
+    return false;
+  }
+  if (options.gdb_core) {
+    if (!options.gdb_port) {
+      std::fprintf(stderr, "--gdb-core requires --gdb PORT\n");
+      return false;
+    }
+    if (!machine_mode) {
+      std::fprintf(stderr, "--gdb-core requires --machine or --cores\n");
+      return false;
+    }
   }
   return true;
 }
@@ -409,6 +522,139 @@ int run_gdb(const Options& options, const assembler::Program& program) {
   return 0;
 }
 
+int exit_code(core::StopReason reason) {
+  switch (reason) {
+    case core::StopReason::kHalted: return 0;
+    case core::StopReason::kIllegal: return 2;
+    case core::StopReason::kCycleLimit: return 3;
+    case core::StopReason::kDeadlock: return 4;
+  }
+  return 1;
+}
+
+void dump_machine_regs(sim::SimSystem& system) {
+  for (std::size_t c = 0; c < system.core_count(); ++c) {
+    if (system.core_count() > 1) {
+      std::printf("%s:\n", system.core_name(c).c_str());
+    }
+    for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
+      std::printf("  r%-2u = 0x%08x%s", r, system.cpu(c).reg(r),
+                  (r % 4 == 3) ? "\n" : "  ");
+    }
+  }
+}
+
+/// The --machine / --cores run mode: build the described machine and
+/// run (or debug) it, reporting machine totals plus per-core figures.
+int run_machine(const Options& options, machine::MachineDesc desc) {
+  apps::register_machine_peripherals();
+  std::printf("machine: %zu core(s), %zu link(s), %zu peripheral(s), "
+              "quantum %llu, fifo depth %zu\n",
+              desc.cores.size(), desc.links.size(), desc.peripherals.size(),
+              static_cast<unsigned long long>(desc.quantum), desc.fifo_depth);
+
+  std::optional<fault::FaultPlan> plan;
+  if (!options.fault_spec.empty()) {
+    const Expected<fault::FaultPlan> parsed =
+        fault::parse_plan(options.fault_spec, options.fault_seed);
+    if (!parsed) {
+      std::fprintf(stderr, "%s\n", parsed.error().c_str());
+      return 1;
+    }
+    plan = parsed.value();
+    std::printf("fault plan: %s\n", plan->to_string().c_str());
+  }
+
+  sim::SimSystem::Builder builder;
+  builder.machine(std::move(desc));
+  if (options.workers) builder.workers(*options.workers);
+  if (options.gdb_core) builder.gdb_core(*options.gdb_core);
+  if (plan) builder.fault(*plan);
+  if (!options.trace_path.empty()) builder.trace(options.trace_path);
+  if (!options.vcd_path.empty()) builder.vcd(options.vcd_path);
+  if (options.metrics) builder.metrics();
+  Expected<sim::SimSystem> built = builder.build();
+  if (!built) {
+    std::fprintf(stderr, "%s\n", built.error().c_str());
+    return 1;
+  }
+  sim::SimSystem system = std::move(built).value();
+
+  int code = 0;
+  if (options.gdb_port) {
+    const Expected<rsp::SessionEnd> end =
+        system.serve_gdb(*options.gdb_port, [](u16 port) {
+          std::printf("gdb server listening on 127.0.0.1:%u\n",
+                      static_cast<unsigned>(port));
+          std::fflush(stdout);
+        });
+    if (!end) {
+      std::fprintf(stderr, "%s\n", end.error().c_str());
+      return 1;
+    }
+    std::printf("gdb client %s\n", rsp::to_string(end.value()));
+  } else {
+    const core::StopReason reason = system.run(options.max_cycles);
+    const core::CoSimStats total = system.stats();
+    std::printf("stopped: %s", core::stop_reason_name(reason));
+    if (system.core_count() > 1 &&
+        (reason == core::StopReason::kIllegal ||
+         reason == core::StopReason::kDeadlock)) {
+      std::printf(" (core '%s')",
+                  system.core_name(system.stop_core()).c_str());
+    }
+    std::printf(" after %llu cycles (%.2f usec @ 50 MHz), "
+                "%llu instructions",
+                static_cast<unsigned long long>(total.cycles),
+                cycles_to_usec(total.cycles),
+                static_cast<unsigned long long>(total.instructions));
+    if (const core::ManyCoreEngine* engine = system.machine_engine()) {
+      std::printf(", %llu link words",
+                  static_cast<unsigned long long>(engine->link_words()));
+    }
+    std::printf("\n");
+    code = exit_code(reason);
+  }
+
+  if (system.core_count() > 1) {
+    for (std::size_t c = 0; c < system.core_count(); ++c) {
+      const core::CoSimStats stats = system.core_stats(c);
+      std::printf("  %s: %llu cycles, %llu instructions, "
+                  "%llu fsl-stall cycles\n",
+                  system.core_name(c).c_str(),
+                  static_cast<unsigned long long>(stats.cycles),
+                  static_cast<unsigned long long>(stats.instructions),
+                  static_cast<unsigned long long>(stats.fsl_stall_cycles));
+    }
+  }
+  if (plan) {
+    if (const fault::Injector* injector = system.fault_injector();
+        injector != nullptr && injector->armed_or_fired()) {
+      std::printf("fault: %s\n", injector->detail().empty()
+                                     ? "armed (did not fire)"
+                                     : injector->detail().c_str());
+    } else {
+      std::printf("fault: trigger not reached\n");
+    }
+  }
+  if (const auto diagnosis = system.deadlock_diagnosis(); diagnosis) {
+    if (const core::ManyCoreEngine* engine = system.machine_engine()) {
+      std::printf("core '%s': ",
+                  system.core_name(engine->deadlock_core()).c_str());
+    }
+    std::printf("%s\n", diagnosis->to_string().c_str());
+  }
+  if (const Status sinks = system.sink_status(); !sinks.ok) {
+    std::fprintf(stderr, "warning: %s\n", sinks.message.c_str());
+  }
+  if (options.metrics) {
+    std::printf("%s", system.metrics_snapshot().to_string().c_str());
+  }
+  if (options.dump_regs) dump_machine_regs(system);
+  dump_memory(options, system.memory());
+  return code;
+}
+
 int run_on_rtl(const Options& options, const assembler::Program& program) {
   rtlmodels::RtlSystem rtl(program, options.cpu,
                            rtlmodels::RtlPeripheralConfig{});
@@ -476,6 +722,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!options.machine_path.empty()) {
+    Expected<machine::MachineDesc> desc =
+        machine::MachineDesc::from_file(options.machine_path);
+    if (!desc) {
+      std::fprintf(stderr, "%s\n", desc.error().c_str());
+      return 1;
+    }
+    try {
+      return run_machine(options, std::move(desc).value());
+    } catch (const SimError& error) {
+      std::fprintf(stderr, "simulation error: %s\n", error.what());
+      return 1;
+    }
+  }
+
   std::ifstream file(options.source_path);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", options.source_path.c_str());
@@ -502,6 +763,20 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (options.cores > 0) {
+      machine::CoreDesc core_template;
+      core_template.program = buffer.str();
+      core_template.has_multiplier = options.cpu.has_multiplier;
+      core_template.has_barrel_shifter = options.cpu.has_barrel_shifter;
+      core_template.has_divider = options.cpu.has_divider;
+      core_template.predecode = options.predecode;
+      return run_machine(options, machine::MachineDesc::replicated(
+                                      options.cores,
+                                      std::move(core_template)));
+    }
+    std::fprintf(stderr,
+                 "note: the single-core command line is a deprecated shim; "
+                 "prefer --machine FILE (see examples/machines/)\n");
     if (options.gdb_port) return run_gdb(options, program);
     if (!options.fault_spec.empty()) {
       if (options.use_rtl) {
