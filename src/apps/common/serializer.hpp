@@ -68,6 +68,20 @@ class VectorSerializer : public sysgen::Block {
 
   void reset() override { queue_.clear(); }
 
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_u64(queue_.size());
+    for (const Fix& word : queue_) writer.write_i64(word.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    const u64 backlog = reader.read_u64();
+    if (!reader.ok()) return false;
+    queue_.clear();
+    for (u64 i = 0; i < backlog; ++i) {
+      queue_.push_back(Fix::from_raw(word_format_, reader.read_i64()));
+    }
+    return reader.ok();
+  }
+
   [[nodiscard]] ResourceVec resources() const override {
     // Holding registers for each word plus a small output state machine.
     const auto width_bits = static_cast<u32>(word_format_.word_bits);

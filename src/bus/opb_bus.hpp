@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "obs/trace_bus.hpp"
@@ -26,6 +27,11 @@ class OpbPeripheral {
   virtual void write(Addr offset, Word value) = 0;
   /// Extra wait states this device adds beyond the bus overhead.
   [[nodiscard]] virtual Cycle device_wait_states() const { return 0; }
+
+  /// Checkpoint hooks. Stateless devices inherit the empty defaults;
+  /// stateful ones serialize their registers (see DESIGN.md §11).
+  virtual void save_state(ckpt::Writer&) const {}
+  [[nodiscard]] virtual bool load_state(ckpt::Reader&) { return true; }
 };
 
 /// Result of a bus transaction.
@@ -91,6 +97,45 @@ class OpbBus {
     return fault_.get();
   }
 
+  /// Checkpoint the transaction counter, armed fault controls and every
+  /// mapped device's state (the memory map itself is structural).
+  /// load_state returns false when the snapshot maps a different number
+  /// of devices or a device refuses its slice.
+  void save_state(ckpt::Writer& writer) const {
+    writer.write_u64(transactions_);
+    writer.write_bool(fault_ != nullptr);
+    if (fault_ != nullptr) {
+      writer.write_u8(static_cast<u8>(fault_->mode));
+      writer.write_u64(fault_->countdown);
+      writer.write_bool(fault_->fired);
+    }
+    writer.write_u64(regions_.size());
+    for (const Region& region : regions_) {
+      region.peripheral->save_state(writer);
+    }
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) {
+    transactions_ = reader.read_u64();
+    if (reader.read_bool()) {
+      OpbFaultControls controls;
+      const u8 mode = reader.read_u8();
+      if (mode > static_cast<u8>(OpbFaultControls::Mode::kTimeout)) {
+        return false;
+      }
+      controls.mode = static_cast<OpbFaultControls::Mode>(mode);
+      controls.countdown = reader.read_u64();
+      controls.fired = reader.read_bool();
+      fault_ = std::make_unique<OpbFaultControls>(controls);
+    } else {
+      fault_.reset();
+    }
+    if (reader.read_u64() != regions_.size()) return false;
+    for (Region& region : regions_) {
+      if (!region.peripheral->load_state(reader)) return false;
+    }
+    return reader.ok();
+  }
+
  private:
   void emit(obs::EventKind kind, Addr addr, Cycle wait_states) const;
 
@@ -127,6 +172,15 @@ class OpbScratchpad : public OpbPeripheral {
   void write(Addr offset, Word value) override {
     regs_.at(offset / 4) = value;
   }
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_u64(regs_.size());
+    for (const Word reg : regs_) writer.write_u32(reg);
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    if (reader.read_u64() != regs_.size()) return false;
+    for (Word& reg : regs_) reg = reader.read_u32();
+    return reader.ok();
+  }
 
  private:
   std::vector<Word> regs_;
@@ -143,6 +197,13 @@ class OpbTimer : public OpbPeripheral {
                        : static_cast<Word>(counter_ >> 32);
   }
   void write(Addr, Word) override { counter_ = 0; }
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_u64(counter_);
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    counter_ = reader.read_u64();
+    return reader.ok();
+  }
 
  private:
   Cycle counter_ = 0;

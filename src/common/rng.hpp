@@ -4,6 +4,9 @@
 // reproducible bit-for-bit.
 #pragma once
 
+#include <array>
+#include <cstddef>
+
 #include "common/types.hpp"
 
 namespace mbcosim {
@@ -38,11 +41,15 @@ class Rng {
 
   u32 next_u32() noexcept { return static_cast<u32>(next_u64() >> 32); }
 
-  /// Uniform in [0, bound). bound must be nonzero.
+  /// Uniform in [0, bound). bound must be nonzero. Widening-multiply
+  /// reduction: the high 64 bits of a 128-bit product, so the result
+  /// comes from the generator's high bits (xoshiro's weakest bits are
+  /// the low ones) and the bias stays bounded by bound/2^64.
   u64 next_below(u64 bound) noexcept {
-    // Rejection-free Lemire reduction is overkill here; modulo bias is
-    // negligible for test workloads but we still use the high bits.
-    return next_u64() % bound;
+    const auto product =
+        static_cast<unsigned __int128>(next_u64()) *
+        static_cast<unsigned __int128>(bound);
+    return static_cast<u64>(product >> 64);
   }
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -53,6 +60,14 @@ class Rng {
   /// Uniform double in [0, 1).
   double next_double() noexcept {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Raw xoshiro256** state, for checkpointing mid-stream generators.
+  [[nodiscard]] std::array<u64, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<u64, 4>& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
   }
 
  private:

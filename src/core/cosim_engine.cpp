@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "ckpt/ckpt.hpp"
 #include "isa/isa.hpp"
 
 namespace mbcosim::core {
@@ -157,6 +158,22 @@ StopReason CoSimEngine::run(Cycle max_cycles) {
     }
   }
   return cpu_.halted() ? StopReason::kHalted : StopReason::kCycleLimit;
+}
+
+void CoSimEngine::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(hw_cycles_);
+  writer.write_u64(idle_streak_);
+  writer.write_u64(skipped_cycles_);
+  bridge_.save_state(writer);
+}
+
+bool CoSimEngine::load_state(ckpt::Reader& reader) {
+  hw_cycles_ = reader.read_u64();
+  idle_streak_ = reader.read_u64();
+  skipped_cycles_ = reader.read_u64();
+  if (!bridge_.load_state(reader)) return false;
+  last_deadlock_.reset();
+  return reader.ok();
 }
 
 CoSimStats CoSimEngine::stats() const {

@@ -154,6 +154,14 @@ class CoSimEngine {
   /// timestamps).
   void set_trace_bus(obs::TraceBus* bus) noexcept { trace_bus_ = bus; }
 
+  /// Checkpoint the engine's own counters and the bridge (the CPU,
+  /// hardware model and hub are serialized by the owner — see DESIGN.md
+  /// §11). The deadlock diagnosis is diagnostic output, not state: it is
+  /// cleared on restore. Deadlock/quiescence thresholds are
+  /// configuration and are not captured.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
+
  private:
   iss::Processor& cpu_;
   sysgen::Model& hardware_;

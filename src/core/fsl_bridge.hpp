@@ -73,6 +73,22 @@ class FslBridge {
   [[nodiscard]] const BridgeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] fsl::FslHub& hub() noexcept { return hub_; }
 
+  /// Checkpoint the traffic counters and the quiescence write-tracking
+  /// flag (bindings are structural; the hub is serialized by its owner).
+  void save_state(ckpt::Writer& writer) const {
+    writer.write_u64(stats_.words_to_hw);
+    writer.write_u64(stats_.words_from_hw);
+    writer.write_u64(stats_.refused_writes);
+    writer.write_bool(wrote_last_cycle_);
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) {
+    stats_.words_to_hw = reader.read_u64();
+    stats_.words_from_hw = reader.read_u64();
+    stats_.refused_writes = reader.read_u64();
+    wrote_last_cycle_ = reader.read_bool();
+    return reader.ok();
+  }
+
  private:
   fsl::FslHub& hub_;
   std::vector<SlaveBinding> slaves_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "ckpt/ckpt.hpp"
 #include "common/thread_pool.hpp"
 
 namespace mbcosim::core {
@@ -86,8 +87,17 @@ std::size_t ManyCoreEngine::run_round(Cycle target, ThreadPool* pool) {
   return nodes_.size();
 }
 
+void ManyCoreEngine::note_halt(std::size_t index) {
+  const Cycle cycle = nodes_[index].cpu->cycle();
+  if (last_halted_core_ == MachineStop::kNoCore ||
+      cycle >= last_halt_cycle_) {
+    last_halted_core_ = index;
+    last_halt_cycle_ = cycle;
+  }
+}
+
 MachineStop ManyCoreEngine::run(Cycle max_cycles) {
-  if (nodes_.empty()) return {StopReason::kHalted, 0};
+  if (nodes_.empty()) return {StopReason::kHalted, MachineStop::kNoCore};
 
   // Resume from wherever the clocks are (run() composes with
   // debug_step()); unfinished cores are at most one round apart.
@@ -98,7 +108,7 @@ MachineStop ManyCoreEngine::run(Cycle max_cycles) {
     ++live;
     global = std::max(global, node.cpu->cycle());
   }
-  if (live == 0) return {StopReason::kHalted, 0};
+  if (live == 0) return {StopReason::kHalted, last_halted_core_};
 
   unsigned workers = workers_ == 0 ? std::thread::hardware_concurrency()
                                    : workers_;
@@ -111,15 +121,23 @@ MachineStop ManyCoreEngine::run(Cycle max_cycles) {
   if (workers > 1 && live > 1) pool.emplace(workers);
 
   Cycle stalled = 0;
+  // Halt attribution: run_round flips finished flags on worker threads,
+  // so which cores halted this round is recovered here by diffing the
+  // flags across the barrier — note_halt runs orchestrator-side only.
+  std::vector<char> was_finished(nodes_.size(), 0);
   while (global < max_cycles) {
     const Cycle target = std::min(global + quantum_, max_cycles);
     u64 instructions_before = 0;
-    for (const Node& node : nodes_) {
-      instructions_before += node.cpu->stats().instructions;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      instructions_before += nodes_[i].cpu->stats().instructions;
+      was_finished[i] = nodes_[i].finished ? 1 : 0;
     }
 
     const std::size_t trapped =
         run_round(target, pool.has_value() ? &*pool : nullptr);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (was_finished[i] == 0 && nodes_[i].finished) note_halt(i);
+    }
     if (trapped < nodes_.size()) return {StopReason::kIllegal, trapped};
 
     const u64 moved = transfer_links();
@@ -129,7 +147,7 @@ MachineStop ManyCoreEngine::run(Cycle max_cycles) {
       instructions_after += node.cpu->stats().instructions;
       if (!node.finished) ++live;
     }
-    if (live == 0) return {StopReason::kHalted, 0};
+    if (live == 0) return {StopReason::kHalted, last_halted_core_};
 
     if (moved == 0 && instructions_after == instructions_before) {
       stalled += target - global;
@@ -162,13 +180,20 @@ MachineStop ManyCoreEngine::run(Cycle max_cycles) {
     }
     global = target;
   }
-  return {StopReason::kCycleLimit, 0};
+  return {StopReason::kCycleLimit, MachineStop::kNoCore};
 }
 
 iss::StepResult ManyCoreEngine::debug_step(std::size_t index) {
   Node& node = nodes_[index];
+  // A halted core is terminal: stepping it again must not re-execute
+  // the halt instruction (which would skew its cycle/instruction
+  // counters and could drag other cores forward). Report the halt.
+  if (node.finished) return {iss::Event::kHalted, 0};
   const iss::StepResult result = node.engine->debug_step();
-  if (result.event == iss::Event::kHalted) node.finished = true;
+  if (result.event == iss::Event::kHalted) {
+    node.finished = true;
+    note_halt(index);
+  }
   // A one-instruction round: every other live core catches up to the
   // stepped core's clock, then the links transfer as usual, so single
   // stepping from gdb observes the same machine a free run would.
@@ -176,10 +201,40 @@ iss::StepResult ManyCoreEngine::debug_step(std::size_t index) {
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
     if (j == index || nodes_[j].finished) continue;
     nodes_[j].last = nodes_[j].engine->run(target);
-    if (nodes_[j].last == StopReason::kHalted) nodes_[j].finished = true;
+    if (nodes_[j].last == StopReason::kHalted) {
+      nodes_[j].finished = true;
+      note_halt(j);
+    }
   }
   transfer_links();
   return result;
+}
+
+void ManyCoreEngine::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.write_bool(node.finished);
+    writer.write_u8(static_cast<u8>(node.last));
+  }
+  writer.write_u64(link_words_);
+  writer.write_u64(static_cast<u64>(last_halted_core_));
+  writer.write_u64(last_halt_cycle_);
+}
+
+bool ManyCoreEngine::load_state(ckpt::Reader& reader) {
+  if (reader.read_u64() != nodes_.size()) return false;
+  for (Node& node : nodes_) {
+    node.finished = reader.read_bool();
+    const u8 last = reader.read_u8();
+    if (last > static_cast<u8>(StopReason::kDeadlock)) return false;
+    node.last = static_cast<StopReason>(last);
+  }
+  link_words_ = reader.read_u64();
+  last_halted_core_ = static_cast<std::size_t>(reader.read_u64());
+  last_halt_cycle_ = reader.read_u64();
+  last_deadlock_.reset();
+  deadlock_core_ = 0;
+  return reader.ok();
 }
 
 CoSimStats ManyCoreEngine::aggregate_stats() const {

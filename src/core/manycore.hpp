@@ -45,14 +45,24 @@ namespace mbcosim {
 class ThreadPool;  // common/thread_pool.hpp
 }
 
+namespace mbcosim::ckpt {
+class Writer;
+class Reader;
+}  // namespace mbcosim::ckpt
+
 namespace mbcosim::core {
 
 /// How a machine-level run ended. `core` identifies the culprit for
-/// kIllegal / kDeadlock (index into add_core order); it is 0 and
-/// meaningless for kHalted / kCycleLimit.
+/// kIllegal / kDeadlock, and for kHalted the last core to halt (ties at
+/// the same cycle go to the highest index) — all indices into add_core
+/// order. It is kNoCore for kCycleLimit and for a kHalted stop with no
+/// observable halt (an empty machine).
 struct MachineStop {
+  /// Sentinel: no core is responsible for (or known for) this stop.
+  static constexpr std::size_t kNoCore = static_cast<std::size_t>(-1);
+
   StopReason reason = StopReason::kCycleLimit;
-  std::size_t core = 0;
+  std::size_t core = kNoCore;
 };
 
 class ManyCoreEngine {
@@ -93,7 +103,8 @@ class ManyCoreEngine {
   /// One debugger step of core `index`: step its processor once, bring
   /// every other live core to cycle parity, then transfer the links —
   /// a one-instruction-deep round, so interleaving debug_step with
-  /// run() preserves all statistics exactly.
+  /// run() preserves all statistics exactly. Stepping a core that has
+  /// already halted is a no-op reporting kHalted (zero cycles).
   iss::StepResult debug_step(std::size_t index);
 
   [[nodiscard]] std::size_t core_count() const noexcept {
@@ -125,9 +136,10 @@ class ManyCoreEngine {
 
   [[nodiscard]] Cycle quantum() const noexcept { return quantum_; }
 
-  /// Forget run progress — finished flags, link word counter, deadlock
-  /// diagnosis. Call after resetting every core's engine (the caller
-  /// owns them, so the reset loop lives there, in sim::SimSystem).
+  /// Forget run progress — finished flags, link word counter, halt
+  /// attribution, deadlock diagnosis. Call after resetting every core's
+  /// engine (the caller owns them, so the reset loop lives there, in
+  /// sim::SimSystem).
   void reset_progress() noexcept {
     for (Node& node : nodes_) {
       node.finished = false;
@@ -136,7 +148,17 @@ class ManyCoreEngine {
     link_words_ = 0;
     last_deadlock_.reset();
     deadlock_core_ = 0;
+    last_halted_core_ = MachineStop::kNoCore;
+    last_halt_cycle_ = 0;
   }
+
+  /// Checkpoint the engine's own run progress — per-core finished flags
+  /// and last stop reasons, the link word counter, halt attribution.
+  /// Core components (processors, engines, hubs) are serialized by
+  /// their owner; the deadlock diagnosis is diagnostic output and is
+  /// cleared on restore.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
 
  private:
   struct Node {
@@ -161,6 +183,10 @@ class ManyCoreEngine {
   /// Advance every unfinished core to `target`, serially (null pool) or
   /// fanned out; returns the index of a trapped core, or nodes_.size().
   std::size_t run_round(Cycle target, ThreadPool* pool);
+  /// Record that core `index` halted at its current clock. Runs on the
+  /// orchestrator thread only (callers diff finished flags after the
+  /// round barrier); keeps the latest halt, ties to the highest index.
+  void note_halt(std::size_t index);
 
   std::vector<Node> nodes_;
   std::vector<CrossLink> links_;
@@ -170,6 +196,8 @@ class ManyCoreEngine {
   u64 link_words_ = 0;
   std::optional<DeadlockDiagnosis> last_deadlock_;
   std::size_t deadlock_core_ = 0;
+  std::size_t last_halted_core_ = MachineStop::kNoCore;
+  Cycle last_halt_cycle_ = 0;
 };
 
 }  // namespace mbcosim::core

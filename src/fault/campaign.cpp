@@ -141,14 +141,57 @@ Expected<CampaignReport> run_campaign(const CampaignConfig& config,
     plans.push_back(sample_plan(rng, config.space));
   }
 
+  // Fork-from-checkpoint: every cycle-triggered experiment replays the
+  // identical fault-free prefix up to its trigger. Run that prefix once
+  // — to the earliest trigger any sampled plan uses — snapshot it, and
+  // let those experiments resume from the image. The image never feeds
+  // count-triggered plans (their faults arm at build and count traffic
+  // from cycle 0) and never appears in the report, which stays
+  // byte-identical with forking on or off.
+  std::vector<unsigned char> fork_image;
+  bool have_fork = false;
+  if (config.fork) {
+    Cycle earliest = 0;
+    for (const FaultPlan& plan : plans) {
+      if (plan.trigger != TriggerKind::kCycle) continue;
+      if (earliest == 0 || plan.trigger_value < earliest) {
+        earliest = plan.trigger_value;
+      }
+    }
+    if (earliest > 1 && earliest < config.max_cycles) {
+      if (auto base = factory(nullptr); base.ok()) {
+        sim::SimSystem system = std::move(base).value();
+        Cycle fork_cycle = earliest;
+        if (const core::ManyCoreEngine* engine = system.machine_engine()) {
+          // Machine rounds transfer the cross-links at quantum
+          // barriers. Snapshot on a barrier, so the resumed run's
+          // rounds fall on the same cycles an unforked run's would.
+          fork_cycle = earliest - earliest % engine->quantum();
+        }
+        // The prefix must still be running at the fork point; a base
+        // that halts or faults first makes forking pointless (every
+        // faulted run reaches the same terminal state before firing).
+        if (fork_cycle > 1 &&
+            system.run(fork_cycle) == core::StopReason::kCycleLimit) {
+          fork_image = system.snapshot();
+          have_fork = true;
+        }
+      }
+    }
+  }
+
   report.results.resize(plans.size());
   {
     sim::ThreadPool pool(config.threads);
     const GoldenReference& reference = golden.value();
     for (std::size_t i = 0; i < plans.size(); ++i) {
-      pool.submit([&, i] {
+      const std::vector<unsigned char>* image =
+          have_fork && plans[i].trigger == TriggerKind::kCycle ? &fork_image
+                                                               : nullptr;
+      pool.submit([&, i, image] {
         report.results[i] = run_experiment(factory, extract, plans[i],
-                                           reference, config.max_cycles);
+                                           reference, config.max_cycles,
+                                           image);
       });
     }
     pool.wait_idle();

@@ -31,6 +31,15 @@ struct CampaignConfig {
   u32 experiments = 100;      ///< number of sampled plans / experiments
   unsigned threads = 0;       ///< worker threads; 0 = hardware concurrency
   Cycle max_cycles = Cycle{1} << 24;  ///< per-run budget (hang bound)
+  /// Fork-from-checkpoint acceleration: run the fault-free base once to
+  /// just before the earliest cycle trigger, snapshot it, and start
+  /// every cycle-triggered experiment from that image instead of from
+  /// cycle 0. Cycle-triggered plans are inert until their trigger (the
+  /// injector arms nothing component-level beforehand), so the shared
+  /// prefix is bit-identical to each experiment's own — the report is
+  /// byte-for-byte the same with forking on or off, only faster.
+  /// Count-triggered experiments always run the full path.
+  bool fork = true;
   PlanSpace space;
 };
 

@@ -69,7 +69,8 @@ ExperimentResult run_experiment(const SystemFactory& factory,
                                 const OutputExtractor& extract,
                                 const FaultPlan& plan,
                                 const GoldenReference& golden,
-                                Cycle max_cycles) {
+                                Cycle max_cycles,
+                                const std::vector<unsigned char>* fork_image) {
   ExperimentResult result;
   result.plan = plan;
 
@@ -80,6 +81,16 @@ ExperimentResult run_experiment(const SystemFactory& factory,
     return result;
   }
   sim::SimSystem system = std::move(built).value();
+
+  if (fork_image != nullptr) {
+    // Skip the shared fault-free prefix: resume from the base image.
+    // run() then carries the clocks from the restored point to the
+    // trigger and onward, exactly as a full run would have.
+    if (const Status restored = system.restore_image(*fork_image);
+        !restored.ok) {
+      system.reset();  // fall back to the full run; correct, just slower
+    }
+  }
 
   result.stop = system.run(max_cycles);
   result.cycles = system.cpu().cycle();

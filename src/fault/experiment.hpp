@@ -66,10 +66,17 @@ struct ExperimentResult {
 /// ExperimentResult::error (never thrown) so one broken plan cannot
 /// poison a campaign. The classification is also emitted as a
 /// kFaultOutcome event on the faulted system's trace bus.
-[[nodiscard]] ExperimentResult run_experiment(const SystemFactory& factory,
-                                              const OutputExtractor& extract,
-                                              const FaultPlan& plan,
-                                              const GoldenReference& golden,
-                                              Cycle max_cycles);
+///
+/// `fork_image`, when given, is a SimSystem::snapshot() of the
+/// fault-free base stopped at or before the plan's cycle trigger; the
+/// freshly-built faulted system restores it and resumes from there
+/// instead of re-simulating the shared prefix. Only valid for
+/// cycle-triggered plans (their injector arms no component state before
+/// firing). A restore failure falls back to a full run from reset —
+/// slower, never wrong.
+[[nodiscard]] ExperimentResult run_experiment(
+    const SystemFactory& factory, const OutputExtractor& extract,
+    const FaultPlan& plan, const GoldenReference& golden, Cycle max_cycles,
+    const std::vector<unsigned char>* fork_image = nullptr);
 
 }  // namespace mbcosim::fault

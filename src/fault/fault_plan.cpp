@@ -329,6 +329,11 @@ FaultPlan sample_plan(Rng& rng, const PlanSpace& space) {
   if (space.max_trigger_cycle == 0) {
     throw SimError("PlanSpace: max_trigger_cycle must be nonzero");
   }
+  if (space.min_trigger_cycle == 0 ||
+      space.min_trigger_cycle > space.max_trigger_cycle) {
+    throw SimError(
+        "PlanSpace: min_trigger_cycle must be in [1, max_trigger_cycle]");
+  }
 
   FaultPlan plan;
   plan.seed = rng.next_u64();
@@ -371,7 +376,11 @@ FaultPlan sample_plan(Rng& rng, const PlanSpace& space) {
     plan.trigger_value = rng.next_below(space.max_trigger_count);
   } else {
     plan.trigger = TriggerKind::kCycle;
-    plan.trigger_value = 1 + rng.next_below(space.max_trigger_cycle);
+    // Window draw. For the default min of 1 this is the same stream of
+    // draws (and values) as the historical 1 + next_below(max).
+    plan.trigger_value =
+        space.min_trigger_cycle +
+        rng.next_below(space.max_trigger_cycle - space.min_trigger_cycle + 1);
   }
   return plan;
 }

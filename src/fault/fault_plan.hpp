@@ -112,7 +112,12 @@ struct PlanSpace {
   std::vector<unsigned> to_hw_channels;    ///< FSL links with CPU->HW traffic
   std::vector<unsigned> from_hw_channels;  ///< FSL links with HW->CPU traffic
   bool opb = false;                        ///< an OPB bus is attached
-  Cycle max_trigger_cycle = 0;   ///< cycle triggers drawn from [1, max]
+  /// Cycle triggers are drawn from [min, max]. Raising `min` models a
+  /// vulnerability window late in the workload — and directly lengthens
+  /// the fault-free prefix a forking campaign shares across experiments
+  /// (fault::run_campaign snapshots just before the earliest trigger).
+  Cycle min_trigger_cycle = 1;
+  Cycle max_trigger_cycle = 0;   ///< cycle triggers drawn from [min, max]
   u64 max_trigger_count = 32;    ///< count triggers drawn from [0, max)
 };
 

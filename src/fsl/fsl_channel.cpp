@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "ckpt/ckpt.hpp"
 #include "common/status.hpp"
 
 namespace mbcosim::fsl {
@@ -109,6 +110,59 @@ void FslChannel::reset_stats() {
   total_reads_ = 0;
   refused_writes_ = 0;
   max_occupancy_ = fifo_.size();
+}
+
+void FslChannel::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(fifo_.size());
+  for (const FslEntry& entry : fifo_) {
+    writer.write_u32(entry.data);
+    writer.write_bool(entry.control);
+  }
+  writer.write_u64(total_writes_);
+  writer.write_u64(total_reads_);
+  writer.write_u64(refused_writes_);
+  writer.write_u64(max_occupancy_);
+  writer.write_bool(fault_ != nullptr);
+  if (fault_ != nullptr) {
+    writer.write_u8(static_cast<u8>(fault_->stream));
+    writer.write_u64(fault_->countdown);
+    writer.write_u32(fault_->mask);
+    writer.write_bool(fault_->fired);
+    writer.write_bool(fault_->stuck_full);
+    writer.write_bool(fault_->stuck_empty);
+  }
+}
+
+bool FslChannel::load_state(ckpt::Reader& reader) {
+  const u64 occupancy = reader.read_u64();
+  if (!reader.ok() || occupancy > depth_) return false;
+  fifo_.clear();
+  for (u64 i = 0; i < occupancy; ++i) {
+    const Word data = reader.read_u32();
+    const bool control = reader.read_bool();
+    fifo_.push_back(FslEntry{data, control});
+  }
+  total_writes_ = reader.read_u64();
+  total_reads_ = reader.read_u64();
+  refused_writes_ = reader.read_u64();
+  max_occupancy_ = static_cast<std::size_t>(reader.read_u64());
+  if (reader.read_bool()) {
+    FslFaultControls controls;
+    const u8 stream = reader.read_u8();
+    if (stream > static_cast<u8>(FslFaultControls::Stream::kFlipControl)) {
+      return false;
+    }
+    controls.stream = static_cast<FslFaultControls::Stream>(stream);
+    controls.countdown = reader.read_u64();
+    controls.mask = reader.read_u32();
+    controls.fired = reader.read_bool();
+    controls.stuck_full = reader.read_bool();
+    controls.stuck_empty = reader.read_bool();
+    fault_ = std::make_unique<FslFaultControls>(controls);
+  } else {
+    fault_.reset();
+  }
+  return reader.ok();
 }
 
 }  // namespace mbcosim::fsl

@@ -20,6 +20,11 @@
 #include "common/types.hpp"
 #include "obs/trace_bus.hpp"
 
+namespace mbcosim::ckpt {
+class Writer;
+class Reader;
+}  // namespace mbcosim::ckpt
+
 namespace mbcosim::fsl {
 
 /// One FIFO entry: data word + control bit. The control bit is how the
@@ -128,6 +133,12 @@ class FslChannel {
   /// an SEU in the FIFO BRAM itself. Returns false when no such entry
   /// is queued (the fault lands on an empty slot and is masked).
   bool corrupt_entry(std::size_t index, Word mask, bool flip_control);
+
+  /// Checkpoint the FIFO contents, statistics and any armed fault
+  /// controls (depth and name are structural). load_state returns false
+  /// when the snapshot's occupancy exceeds this channel's depth.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
 
  private:
   void emit(obs::EventKind kind, Word data, bool control) const;

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <string>
 
+#include "ckpt/ckpt.hpp"
 #include "common/status.hpp"
 #include "fsl/fsl_channel.hpp"
 
@@ -60,6 +61,21 @@ class FslHub {
   void set_trace_bus(obs::TraceBus* bus) noexcept {
     for (auto& ch : to_hw_) ch.set_trace_bus(bus);
     for (auto& ch : from_hw_) ch.set_trace_bus(bus);
+  }
+
+  /// Checkpoint all 16 channels (FIFO contents, stats, armed faults).
+  void save_state(ckpt::Writer& writer) const {
+    for (const auto& ch : to_hw_) ch.save_state(writer);
+    for (const auto& ch : from_hw_) ch.save_state(writer);
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) {
+    for (auto& ch : to_hw_) {
+      if (!ch.load_state(reader)) return false;
+    }
+    for (auto& ch : from_hw_) {
+      if (!ch.load_state(reader)) return false;
+    }
+    return true;
   }
 
  private:

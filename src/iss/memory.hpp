@@ -11,6 +11,11 @@
 #include "asm/program.hpp"
 #include "common/types.hpp"
 
+namespace mbcosim::ckpt {
+class Writer;
+class Reader;
+}  // namespace mbcosim::ckpt
+
 namespace mbcosim::iss {
 
 class LmbMemory {
@@ -40,6 +45,11 @@ class LmbMemory {
   void load_program(const assembler::Program& program);
 
   void fill(u8 value);
+
+  /// Checkpoint the full byte image. load_state refuses (returns false)
+  /// when the snapshot was taken from a memory of a different size.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
 
  private:
   void check(Addr addr, u32 bytes) const;

@@ -21,6 +21,11 @@
 #include "iss/memory.hpp"
 #include "obs/trace_bus.hpp"
 
+namespace mbcosim::ckpt {
+class Writer;
+class Reader;
+}  // namespace mbcosim::ckpt
+
 namespace mbcosim::iss {
 
 /// Why a step / run returned.
@@ -194,6 +199,14 @@ class Processor {
 
   [[nodiscard]] const CpuStats& stats() const noexcept { return stats_; }
   [[nodiscard]] Cycle cycle() const noexcept { return stats_.cycles; }
+
+  /// Checkpoint the architectural state and statistics (not the memory,
+  /// which the owner serializes separately; see DESIGN.md §11). Restoring
+  /// invalidates the predecode cache — the cached text belongs to the
+  /// pre-restore memory image. load_state returns false on a shape or
+  /// payload mismatch.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
 
   [[nodiscard]] LmbMemory& memory() noexcept { return memory_; }
   [[nodiscard]] const LmbMemory& memory() const noexcept { return memory_; }

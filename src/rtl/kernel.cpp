@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "ckpt/ckpt.hpp"
+
 namespace mbcosim::rtl {
 
 Net& Simulator::net(std::string name, unsigned width) {
@@ -111,6 +113,43 @@ void Simulator::tick(Net& clk) {
   assign_bit(clk, false);
   settle();
   ++stats_.clock_cycles;
+}
+
+void Simulator::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(nets_.size());
+  for (const auto& n : nets_) {
+    writer.write_u8(n->current_.width);
+    writer.write_u64(n->current_.bits);
+    writer.write_u64(n->current_.xmask);
+    writer.write_u64(n->previous_.bits);
+    writer.write_u64(n->previous_.xmask);
+  }
+  writer.write_bool(started_);
+  writer.write_u64(stats_.events);
+  writer.write_u64(stats_.process_activations);
+  writer.write_u64(stats_.delta_cycles);
+  writer.write_u64(stats_.assignments);
+  writer.write_u64(stats_.clock_cycles);
+}
+
+bool Simulator::load_state(ckpt::Reader& reader) {
+  if (reader.read_u64() != nets_.size()) return false;
+  for (const auto& n : nets_) {
+    if (reader.read_u8() != n->current_.width) return false;
+    n->current_.bits = reader.read_u64();
+    n->current_.xmask = reader.read_u64();
+    n->previous_.width = n->current_.width;
+    n->previous_.bits = reader.read_u64();
+    n->previous_.xmask = reader.read_u64();
+    n->has_pending_ = false;
+  }
+  started_ = reader.read_bool();
+  stats_.events = reader.read_u64();
+  stats_.process_activations = reader.read_u64();
+  stats_.delta_cycles = reader.read_u64();
+  stats_.assignments = reader.read_u64();
+  stats_.clock_cycles = reader.read_u64();
+  return reader.ok();
 }
 
 }  // namespace mbcosim::rtl

@@ -15,6 +15,11 @@
 #include "common/types.hpp"
 #include "rtl/logic.hpp"
 
+namespace mbcosim::ckpt {
+class Writer;
+class Reader;
+}  // namespace mbcosim::ckpt
+
 namespace mbcosim::rtl {
 
 class Simulator;
@@ -112,6 +117,14 @@ class Simulator {
 
   /// Delta-cycle runaway guard (combinational oscillation).
   void set_max_deltas(u64 limit) noexcept { max_deltas_ = limit; }
+
+  /// Checkpoint every net's committed/previous value, the start flag and
+  /// the kernel statistics. Only valid at a settled point (no pending
+  /// assignments, between tick() calls); restoring into an identically
+  /// constructed simulator resumes bit-exactly. load_state returns false
+  /// on a net-count or net-width mismatch.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
 
  private:
   struct Process {

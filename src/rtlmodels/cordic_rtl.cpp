@@ -3,6 +3,7 @@
 #include <string>
 
 #include "apps/cordic/cordic_reference.hpp"
+#include "ckpt/ckpt.hpp"
 #include "common/status.hpp"
 
 namespace mbcosim::rtlmodels {
@@ -145,6 +146,19 @@ void CordicPipelineRtl::on_clock() {
   if (exists) {
     (void)from_cpu_.try_read();
   }
+}
+
+void CordicPipelineRtl::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(out_queue_.size());
+  for (const Word word : out_queue_) writer.write_u32(word);
+}
+
+bool CordicPipelineRtl::load_state(ckpt::Reader& reader) {
+  const u64 backlog = reader.read_u64();
+  if (!reader.ok()) return false;
+  out_queue_.clear();
+  for (u64 i = 0; i < backlog; ++i) out_queue_.push_back(reader.read_u32());
+  return reader.ok();
 }
 
 }  // namespace mbcosim::rtlmodels

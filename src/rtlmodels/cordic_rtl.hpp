@@ -29,6 +29,12 @@ class CordicPipelineRtl {
 
   void reset();
 
+  /// Checkpoint the behavioral state living outside the kernel nets (the
+  /// output serializer queue). The nets themselves are saved/restored by
+  /// rtl::Simulator::save_state on the owning simulator.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
+
  private:
   void on_clock();
 

@@ -1,6 +1,7 @@
 #include "sim/sim_system.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include "rsp/cosim_target.hpp"
 #include "rsp/transport.hpp"
 #include "sim/peripheral_registry.hpp"
+#include "sim/sim_state.hpp"
 
 namespace mbcosim::sim {
 
@@ -34,76 +36,6 @@ std::string per_core_path(const std::string& path, const std::string& name) {
 }
 
 }  // namespace
-
-// One soft processor with everything private to it: program, memory,
-// FIFOs, peripheral model, lock-step engine and observability bus. All
-// per-core state lives in one heap block so SimSystem stays movable
-// while the internal references (Processor -> LmbMemory/FslHub,
-// CoSimEngine -> Processor/Model/FslHub, TraceEvent::origin ->
-// Core::name) stay stable. A single-core machine — which is what every
-// legacy Builder call produces — is exactly one of these, and behaves
-// byte-for-byte like the pre-machine SimSystem.
-struct SimSystem::State {
-  struct Core {
-    Core(std::string core_name, assembler::Program p,
-         const isa::CpuConfig& config, u32 mem_bytes, std::size_t fifo_depth,
-         const std::string& hub_prefix)
-        : name(std::move(core_name)),
-          program(std::move(p)),
-          cpu_config(config),
-          memory(mem_bytes),
-          hub(fifo_depth, hub_prefix),
-          cpu(config, memory, &hub) {}
-
-    std::string name;  ///< stable: TraceBus origin points at it
-    assembler::Program program;
-    isa::CpuConfig cpu_config;
-    iss::LmbMemory memory;
-    fsl::FslHub hub;
-    iss::Processor cpu;
-    std::unique_ptr<sysgen::Model> hardware;  ///< null for software-only
-    std::optional<core::CoSimEngine> engine;  ///< engaged iff hardware
-    std::unique_ptr<bus::OpbBus> opb;         ///< null unless Builder::opb
-    unsigned fsl_links = 0;
-    obs::TraceBus trace_bus;
-    obs::MetricsRegistry* metrics = nullptr;  ///< owned by trace_bus if set
-    /// Deadlock diagnosis of the software-only loop (the engine keeps
-    /// its own); SimSystem::deadlock_diagnosis() merges them.
-    std::optional<core::DeadlockDiagnosis> last_deadlock;
-  };
-
-  /// The estimator view of one core (its slice of the whole design).
-  static estimate::SystemDescription describe(const Core& core) {
-    estimate::SystemDescription description;
-    description.cpu = core.cpu_config;
-    description.fsl_links_used = core.fsl_links;
-    description.peripheral = core.hardware.get();
-    description.program = &core.program;
-    for (unsigned slot = 0; slot < isa::kNumCustomSlots; ++slot) {
-      if (const iss::CustomInstruction* unit =
-              core.cpu.custom_instruction(slot)) {
-        description.custom_instructions.push_back(unit->resources);
-      }
-    }
-    return description;
-  }
-
-  std::vector<std::unique_ptr<Core>> cores;  ///< machine order, never empty
-  machine::MachineDesc desc;                 ///< what this machine is
-  /// Engaged iff cores.size() > 1; a lone core runs through its own
-  /// CoSimEngine exactly as it always has.
-  std::optional<core::ManyCoreEngine> machine_engine;
-  std::size_t stop_core = 0;   ///< culprit of the last terminal stop
-  std::size_t gdb_core = 0;    ///< Builder::gdb_core
-  std::size_t fault_core = 0;  ///< FaultPlan::core of the armed plan
-  Cycle deadlock_threshold = 100'000;
-  double last_run_wall_seconds = 0.0;
-  std::optional<u16> gdb_port;                ///< Builder::gdb_server
-  std::unique_ptr<fault::Injector> injector;  ///< null = fault-free
-
-  [[nodiscard]] Core& c0() noexcept { return *cores.front(); }
-  [[nodiscard]] const Core& c0() const noexcept { return *cores.front(); }
-};
 
 SimSystem::SimSystem(std::unique_ptr<State> state) : state_(std::move(state)) {}
 SimSystem::SimSystem(SimSystem&&) noexcept = default;
@@ -268,23 +200,52 @@ core::StopReason SimSystem::run_machine_faulted(Cycle max_cycles) {
   return stop.reason;
 }
 
+core::StopReason SimSystem::run_unfaulted(Cycle max_cycles) {
+  if (state_->machine_engine) {
+    const core::MachineStop stop = state_->machine_engine->run(max_cycles);
+    state_->stop_core = stop.core;
+    return stop.reason;
+  }
+  return run_segment(max_cycles);
+}
+
+core::StopReason SimSystem::run_checkpointed(Cycle max_cycles) {
+  // Chunk the run at absolute-cycle checkpoint boundaries. Engine run
+  // targets are per-core clocks, so the next boundary climbs from the
+  // current clock; numbering restarts at 0 each run().
+  u64 seq = 0;
+  for (;;) {
+    const Cycle boundary = stats().cycles + state_->checkpoint_interval;
+    const Cycle target = std::min(boundary, max_cycles);
+    const core::StopReason reason = run_unfaulted(target);
+    if (reason != core::StopReason::kCycleLimit || target == max_cycles) {
+      return reason;
+    }
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, "%06llu.ckpt",
+                  static_cast<unsigned long long>(seq++));
+    if (const Status saved =
+            save_checkpoint(state_->checkpoint_prefix + suffix);
+        !saved.ok) {
+      std::fprintf(stderr, "SimSystem: periodic checkpoint failed: %s\n",
+                   saved.message.c_str());
+    }
+  }
+}
+
 core::StopReason SimSystem::run(Cycle max_cycles) {
   Stopwatch watch;
   const bool pending_point_fault = state_->injector != nullptr &&
                                    state_->injector->needs_point_trigger() &&
                                    !state_->injector->armed_or_fired();
   core::StopReason reason;
-  if (state_->machine_engine) {
-    if (pending_point_fault) {
-      reason = run_machine_faulted(max_cycles);
-    } else {
-      const core::MachineStop stop = state_->machine_engine->run(max_cycles);
-      state_->stop_core = stop.core;
-      reason = stop.reason;
-    }
+  if (pending_point_fault) {
+    reason = state_->machine_engine ? run_machine_faulted(max_cycles)
+                                    : run_faulted(max_cycles);
+  } else if (state_->checkpoint_interval != 0) {
+    reason = run_checkpointed(max_cycles);
   } else {
-    reason = pending_point_fault ? run_faulted(max_cycles)
-                                 : run_segment(max_cycles);
+    reason = run_unfaulted(max_cycles);
   }
   state_->last_run_wall_seconds = watch.elapsed_seconds();
   // Make every attached sink durable after each run: the JSONL/VCD files
@@ -578,6 +539,22 @@ Expected<rsp::SessionEnd> SimSystem::serve_gdb(
       }
       return "fault: " + fault_injector()->detail();
     }
+    if (line.rfind("checkpoint ", 0) == 0) {
+      const std::string path(line.substr(11));
+      if (path.empty()) return "checkpoint: missing path";
+      if (const Status saved = save_checkpoint(path); !saved.ok) {
+        return "checkpoint: " + saved.message;
+      }
+      return "checkpoint: saved to " + path;
+    }
+    if (line.rfind("restore ", 0) == 0) {
+      const std::string path(line.substr(8));
+      if (path.empty()) return "restore: missing path";
+      if (const Status restored = restore(path); !restored.ok) {
+        return "restore: " + restored.message;
+      }
+      return "restore: restored from " + path;
+    }
     if (line == "stats") {
       const core::CoSimStats s = stats();
       std::string out;
@@ -803,6 +780,8 @@ Expected<SimSystem> SimSystem::Builder::build() {
   auto state = std::make_unique<State>();
   state->deadlock_threshold = deadlock_threshold_;
   state->gdb_port = gdb_port_;
+  state->checkpoint_interval = checkpoint_interval_;
+  state->checkpoint_prefix = checkpoint_prefix_;
   for (const machine::CoreDesc& core_desc : desc.cores) {
     assembler::Program program;
     if (!from_machine && image_) {

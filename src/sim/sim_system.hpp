@@ -199,8 +199,10 @@ class SimSystem {
   /// The machine-level engine; nullptr for single-core systems, which
   /// run through their lone CoSimEngine exactly as before.
   [[nodiscard]] core::ManyCoreEngine* machine_engine() noexcept;
-  /// Core a terminal StopReason (kIllegal/kDeadlock) of the last run()
-  /// refers to; 0 for single-core systems.
+  /// Core a terminal StopReason of the last run() refers to — the
+  /// culprit for kIllegal/kDeadlock, the last core to halt for kHalted;
+  /// core::MachineStop::kNoCore when no core is attributable. 0 for
+  /// single-core systems.
   [[nodiscard]] std::size_t stop_core() const noexcept;
   /// The machine description this system was built from (synthesized
   /// for legacy single-core builds).
@@ -231,6 +233,25 @@ class SimSystem {
   /// none failed). Check after run() when the trace matters.
   [[nodiscard]] Status sink_status() const;
 
+  // -- checkpoint / restore --------------------------------------------
+  /// Serialize the full simulated machine into a sealed checkpoint image
+  /// (ckpt on-disk format, DESIGN.md §11): every processor, memory, FSL
+  /// FIFO, hardware model, OPB bus, lock-step engine and — multi-core —
+  /// the machine engine's round progress. The image embeds a fingerprint
+  /// of the machine description, so restoring into a differently-shaped
+  /// system is rejected. Valid at any stopped point (between run()s,
+  /// at a debugger stop, mid-machine-quantum after debug_step).
+  [[nodiscard]] std::vector<unsigned char> snapshot() const;
+  /// Restore a snapshot() image into this (identically-built) system.
+  /// Failures come back with the stable "[code]" prefixes of
+  /// ckpt::kCkptErrorCodes and leave the system in need of reset() —
+  /// a partially-applied image is never silently run.
+  [[nodiscard]] Status restore_image(const std::vector<unsigned char>& image);
+  /// snapshot() straight to a file.
+  [[nodiscard]] Status save_checkpoint(const std::string& path) const;
+  /// restore_image() straight from a file.
+  [[nodiscard]] Status restore(const std::string& path);
+
   // -- remote debug ----------------------------------------------------
   /// Serve one GDB Remote Serial Protocol session on 127.0.0.1:`port`
   /// (0 picks an ephemeral port). Blocks until the client detaches,
@@ -255,6 +276,11 @@ class SimSystem {
   explicit SimSystem(std::unique_ptr<State> state);
 
   core::StopReason run_software_only(Cycle max_cycles);
+  /// Fault-free dispatch: machine engine or lone-core segment.
+  core::StopReason run_unfaulted(Cycle max_cycles);
+  /// run_unfaulted chunked at Builder::checkpoint_every boundaries,
+  /// writing "<prefix>NNNNNN.ckpt" at each one.
+  core::StopReason run_checkpointed(Cycle max_cycles);
   /// Engine or software-only run, without the wall-clock / flush
   /// bookkeeping of run() (used for the segments of a faulted run).
   core::StopReason run_segment(Cycle max_cycles);
@@ -353,6 +379,14 @@ class SimSystem::Builder {
   /// only — the socket opens when serve_gdb is called.
   Builder& gdb_server(u16 port);
 
+  /// Write a checkpoint every `interval` simulated cycles during run():
+  /// "<path_prefix>NNNNNN.ckpt", numbered from 0. The run is chunked at
+  /// checkpoint boundaries, which restarts the deadlock-streak counters
+  /// there (see DESIGN.md §11); cycle counts and results are otherwise
+  /// identical. 0 disables periodic checkpoints. Ignored while a fault
+  /// plan drives the run (the campaign engine owns its own snapshots).
+  Builder& checkpoint_every(Cycle interval, std::string path_prefix);
+
   /// Assemble, construct and wire everything; leaves the system reset at
   /// the program entry. All errors come back as Expected failures.
   [[nodiscard]] Expected<SimSystem> build();
@@ -385,6 +419,8 @@ class SimSystem::Builder {
   bool metrics_ = false;
   std::vector<std::unique_ptr<obs::TraceSink>> extra_sinks_;
   std::optional<u16> gdb_port_;
+  Cycle checkpoint_interval_ = 0;
+  std::string checkpoint_prefix_;
 };
 
 }  // namespace mbcosim::sim

@@ -21,6 +21,11 @@
 #include "common/resources.hpp"
 #include "sysgen/signal.hpp"
 
+namespace mbcosim::ckpt {
+class Writer;
+class Reader;
+}  // namespace mbcosim::ckpt
+
 namespace mbcosim::sysgen {
 
 class Model;
@@ -52,6 +57,14 @@ class Block {
   /// abstracts; the per-block figures feed the rapid resource estimator
   /// (paper Section III-C).
   [[nodiscard]] virtual ResourceVec resources() const { return {}; }
+
+  /// Checkpoint hooks (DESIGN.md §11). Blocks whose behaviour depends on
+  /// anything beyond their input signals — register contents, pipeline
+  /// stages, FIFO queues, counters — must serialize that state here;
+  /// purely combinational blocks inherit the empty defaults. Model
+  /// serializes signal values and calls the blocks in creation order.
+  virtual void save_state(ckpt::Writer&) const {}
+  [[nodiscard]] virtual bool load_state(ckpt::Reader&) { return true; }
 
   [[nodiscard]] const std::vector<Signal*>& inputs() const noexcept {
     return inputs_;

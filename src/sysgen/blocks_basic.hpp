@@ -11,6 +11,7 @@
 #include <deque>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
 #include "common/bits.hpp"
 #include "sysgen/block.hpp"
 #include "sysgen/model.hpp"
@@ -70,6 +71,14 @@ class GatewayIn : public Block {
   void propagate() override { out_.drive(pending_); }
   void reset() override { pending_ = Fix::from_raw(format_, 0); }
 
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_i64(pending_.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    pending_ = Fix::from_raw(format_, reader.read_i64());
+    return reader.ok();
+  }
+
   [[nodiscard]] Signal& out() noexcept { return out_; }
 
  private:
@@ -110,6 +119,18 @@ class PipelinedFunction : public Block {
   }
   void reset() override {
     for (auto& stage : pipe_) stage = Fix::from_raw(out_.format(), 0);
+  }
+
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_u32(latency_);
+    for (const Fix& stage : pipe_) writer.write_i64(stage.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    if (reader.read_u32() != latency_) return false;
+    for (Fix& stage : pipe_) {
+      stage = Fix::from_raw(out_.format(), reader.read_i64());
+    }
+    return reader.ok();
   }
 
   [[nodiscard]] Signal& out() noexcept { return out_; }
@@ -529,6 +550,14 @@ class Register : public Block {
   }
   void reset() override { state_ = init_; }
 
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_i64(state_.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    state_ = Fix::from_raw(init_.format(), reader.read_i64());
+    return reader.ok();
+  }
+
   [[nodiscard]] ResourceVec resources() const override {
     return ResourceVec{slices_for_register(init_.format().word_bits), 0, 0};
   }
@@ -566,6 +595,18 @@ class Delay : public Block {
   }
   void reset() override {
     for (auto& stage : line_) stage = Fix::from_raw(out_.format(), 0);
+  }
+
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_u32(cycles_);
+    for (const Fix& stage : line_) writer.write_i64(stage.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    if (reader.read_u32() != cycles_) return false;
+    for (Fix& stage : line_) {
+      stage = Fix::from_raw(out_.format(), reader.read_i64());
+    }
+    return reader.ok();
   }
 
   [[nodiscard]] ResourceVec resources() const override {
@@ -619,6 +660,16 @@ class Counter : public Block {
     value_ = (value_ + 1) % limit_;
   }
   void reset() override { value_ = 0; }
+
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_i64(value_);
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    const i64 value = reader.read_i64();
+    if (value < 0 || value >= limit_) return false;
+    value_ = value;
+    return reader.ok();
+  }
 
   [[nodiscard]] ResourceVec resources() const override {
     return ResourceVec{slices_for_adder(format_.word_bits), 0, 0};

@@ -61,6 +61,14 @@ class Rom : public Block {
   }
   void reset() override { state_ = Fix::from_raw(out_.format(), 0); }
 
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_i64(state_.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    state_ = Fix::from_raw(out_.format(), reader.read_i64());
+    return reader.ok();
+  }
+
   [[nodiscard]] ResourceVec resources() const override {
     return detail::memory_resources(contents_.size(),
                                     out_.format().word_bits);
@@ -109,6 +117,20 @@ class SinglePortRam : public Block {
   void reset() override {
     for (auto& cell : cells_) cell = Fix::from_raw(word_format_, 0);
     state_ = Fix::from_raw(word_format_, 0);
+  }
+
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_u64(cells_.size());
+    for (const Fix& cell : cells_) writer.write_i64(cell.raw());
+    writer.write_i64(state_.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    if (reader.read_u64() != cells_.size()) return false;
+    for (Fix& cell : cells_) {
+      cell = Fix::from_raw(word_format_, reader.read_i64());
+    }
+    state_ = Fix::from_raw(word_format_, reader.read_i64());
+    return reader.ok();
   }
 
   [[nodiscard]] ResourceVec resources() const override {
@@ -164,6 +186,20 @@ class FifoBlock : public Block {
     }
   }
   void reset() override { fifo_.clear(); }
+
+  void save_state(ckpt::Writer& writer) const override {
+    writer.write_u64(fifo_.size());
+    for (const Fix& word : fifo_) writer.write_i64(word.raw());
+  }
+  [[nodiscard]] bool load_state(ckpt::Reader& reader) override {
+    const u64 occupancy = reader.read_u64();
+    if (!reader.ok() || occupancy > depth_) return false;
+    fifo_.clear();
+    for (u64 i = 0; i < occupancy; ++i) {
+      fifo_.push_back(Fix::from_raw(word_format_, reader.read_i64()));
+    }
+    return reader.ok();
+  }
 
   [[nodiscard]] ResourceVec resources() const override {
     ResourceVec r = detail::memory_resources(depth_, word_format_.word_bits);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "ckpt/ckpt.hpp"
+
 namespace mbcosim::sysgen {
 
 // ----- Block base ----------------------------------------------------------
@@ -124,6 +126,25 @@ Block* Model::find_block(const std::string& block_name) const {
       blocks_.begin(), blocks_.end(),
       [&](const auto& block) { return block->name() == block_name; });
   return it == blocks_.end() ? nullptr : it->get();
+}
+
+void Model::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(cycle_);
+  writer.write_u64(signals_.size());
+  for (const Signal& signal : signals_) writer.write_i64(signal.raw());
+  writer.write_u64(blocks_.size());
+  for (const auto& block : blocks_) block->save_state(writer);
+}
+
+bool Model::load_state(ckpt::Reader& reader) {
+  cycle_ = reader.read_u64();
+  if (reader.read_u64() != signals_.size()) return false;
+  for (Signal& signal : signals_) signal.drive_raw(reader.read_i64());
+  if (reader.read_u64() != blocks_.size()) return false;
+  for (const auto& block : blocks_) {
+    if (!block->load_state(reader)) return false;
+  }
+  return reader.ok();
 }
 
 Signal* Model::find_signal(const std::string& signal_name) const {

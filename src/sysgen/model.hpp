@@ -79,6 +79,13 @@ class Model {
     return blocks_;
   }
 
+  /// Checkpoint the model: clock cycle, every signal's raw value and
+  /// every block's internal state, in creation order (block and signal
+  /// counts double as shape checks). load_state returns false when the
+  /// snapshot was taken from a differently-shaped design.
+  void save_state(ckpt::Writer& writer) const;
+  [[nodiscard]] bool load_state(ckpt::Reader& reader);
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Block>> blocks_;

@@ -172,6 +172,30 @@ TEST(Campaign, ReportIsByteIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(parallel.value().to_json(), again.value().to_json());
 }
 
+TEST(Campaign, ForkedReportIsByteIdenticalToUnforked) {
+  // A late trigger window gives every cycle-triggered plan a long shared
+  // fault-free prefix — the case fork-from-checkpoint accelerates. The
+  // acceleration must be invisible in the report.
+  CampaignConfig forked = small_campaign(4);
+  forked.space.min_trigger_cycle = 20;
+  forked.space.max_trigger_cycle = 60;
+  CampaignConfig unforked = forked;
+  unforked.fork = false;
+
+  const auto fast = run_campaign(forked, victim_factory, victim_outputs);
+  ASSERT_TRUE(fast.ok()) << fast.error();
+  const auto slow = run_campaign(unforked, victim_factory, victim_outputs);
+  ASSERT_TRUE(slow.ok()) << slow.error();
+  EXPECT_EQ(fast.value().to_json(), slow.value().to_json());
+
+  // The sampling window is honored: every cycle trigger landed in it.
+  for (const ExperimentResult& row : fast.value().results) {
+    if (row.plan.trigger != TriggerKind::kCycle) continue;
+    EXPECT_GE(row.plan.trigger_value, 20u);
+    EXPECT_LE(row.plan.trigger_value, 60u);
+  }
+}
+
 TEST(Campaign, HistogramsAddUpAndEveryRowIsAccounted) {
   const auto report =
       run_campaign(small_campaign(2), victim_factory, victim_outputs);

@@ -22,6 +22,7 @@
 
 #include "apps/cordic/cordic_reference.hpp"
 #include "apps/machine_peripherals.hpp"
+#include "core/manycore.hpp"
 #include "fault/fault_plan.hpp"
 #include "machine/machine_desc.hpp"
 #include "obs/jsonl_sink.hpp"
@@ -388,6 +389,55 @@ TEST(ManyCore, SingleCoreMachineMatchesTheLegacyBuilder) {
   ASSERT_TRUE(rebuilt.ok());
   SimSystem single = std::move(rebuilt).value();
   EXPECT_EQ(single.machine_engine(), nullptr);
+}
+
+// ------------------------------------- halt attribution & debugger stepping
+
+TEST(ManyCore, HaltIsAttributedToTheLastCoreToStop) {
+  auto built = SimSystem::Builder().machine(two_core_pipeline()).build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+
+  EXPECT_EQ(system.run(), core::StopReason::kHalted);
+  // The producer drains its four words and halts long before the
+  // consumer finishes storing them: the machine's halt belongs to the
+  // consumer, not to core 0 by default (the old behavior this pins).
+  EXPECT_EQ(system.stop_core(), 1u);
+  EXPECT_LT(system.core_stats(0).cycles, system.core_stats(1).cycles);
+}
+
+TEST(ManyCore, CycleLimitStopNamesNoCore) {
+  auto built = SimSystem::Builder().machine(two_core_pipeline()).build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+
+  EXPECT_EQ(system.run(32), core::StopReason::kCycleLimit);
+  EXPECT_EQ(system.stop_core(), core::MachineStop::kNoCore);
+}
+
+TEST(ManyCore, SteppingAHaltedCoreIsANoOp) {
+  auto built = SimSystem::Builder().machine(two_core_pipeline()).build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  core::ManyCoreEngine* engine = system.machine_engine();
+  ASSERT_NE(engine, nullptr);
+
+  ASSERT_EQ(system.run(), core::StopReason::kHalted);
+  const core::CoSimStats before = system.stats();
+  const u64 link_words = engine->link_words();
+
+  // Every core has halted; a debugger single-step of any of them must
+  // report the halt without re-executing it (the regression: the step
+  // used to run the halted processor again and skew its counters).
+  for (std::size_t index = 0; index < engine->core_count(); ++index) {
+    const iss::StepResult step = engine->debug_step(index);
+    EXPECT_EQ(step.event, iss::Event::kHalted) << "core " << index;
+    EXPECT_EQ(step.cycles, 0u) << "core " << index;
+  }
+  const core::CoSimStats after = system.stats();
+  EXPECT_EQ(after.cycles, before.cycles);
+  EXPECT_EQ(after.instructions, before.instructions);
+  EXPECT_EQ(engine->link_words(), link_words);
 }
 
 // ------------------------------------------------- deadlock & build errors

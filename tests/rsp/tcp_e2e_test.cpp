@@ -91,6 +91,17 @@ TEST(RspTcpE2E, AttachBreakResumeWithStatsParity) {
   ASSERT_TRUE(stats_text.has_value());
   EXPECT_NE(stats_text->find("cycles "), std::string::npos);
 
+  // Checkpoint + restore at the breakpoint stop, over the wire. The
+  // restore rewinds to the state we just saved (a no-op here), so the
+  // stats-parity assertion below also covers the round trip.
+  const std::string ckpt_path = ::testing::TempDir() + "rsp_e2e.ckpt";
+  const auto saved = client.monitor("checkpoint " + ckpt_path);
+  ASSERT_TRUE(saved.has_value());
+  EXPECT_NE(saved->find("saved to"), std::string::npos) << *saved;
+  const auto restored = client.monitor("restore " + ckpt_path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_NE(restored->find("restored from"), std::string::npos) << *restored;
+
   // Resume to the program end and detach.
   EXPECT_EQ(client.transact(std::string("z0,") + addr_hex + ",4"), "OK");
   EXPECT_EQ(client.transact("c"), "W00");

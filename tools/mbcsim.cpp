@@ -100,6 +100,8 @@ struct Options {
   std::optional<u16> gdb_port;
   std::string fault_spec;
   u64 fault_seed = 1;
+  std::string save_ckpt_path;  ///< write a snapshot after the run stops
+  std::string load_ckpt_path;  ///< restore a snapshot before running
   isa::CpuConfig cpu;
   /// First per-core configuration flag seen, for the --machine
   /// contradiction diagnostic.
@@ -115,7 +117,8 @@ void usage() {
                "              [--max-cycles N] [--no-multiplier]\n"
                "              [--no-barrel-shifter] [--divider] [--rtl]\n"
                "              [--no-predecode] [--gdb PORT]\n"
-               "              [--fault SPEC] [--fault-seed S]\n");
+               "              [--fault SPEC] [--fault-seed S]\n"
+               "              [--save-ckpt FILE] [--load-ckpt FILE]\n");
 }
 
 bool parse_u64(const char* text, u64& out) {
@@ -239,6 +242,14 @@ bool parse_args(int argc, char** argv, Options& options) {
         return false;
       }
       options.fault_seed = parsed;
+    } else if (arg == "--save-ckpt") {
+      const char* value = flag_value(argc, argv, i, arg);
+      if (value == nullptr) return false;
+      options.save_ckpt_path = value;
+    } else if (arg == "--load-ckpt") {
+      const char* value = flag_value(argc, argv, i, arg);
+      if (value == nullptr) return false;
+      options.load_ckpt_path = value;
     } else if (arg == "--mem") {
       const char* addr_text = flag_value(argc, argv, i, arg);
       const char* count_text =
@@ -295,6 +306,13 @@ bool parse_args(int argc, char** argv, Options& options) {
     }
   } else if (options.source_path.empty()) {
     std::fprintf(stderr, "no program file given\n");
+    return false;
+  }
+  if ((!options.save_ckpt_path.empty() || !options.load_ckpt_path.empty()) &&
+      !machine_mode) {
+    std::fprintf(stderr,
+                 "--save-ckpt/--load-ckpt require --machine or --cores "
+                 "(snapshots cover the full SimSystem)\n");
     return false;
   }
   if (machine_mode && options.use_rtl) {
@@ -580,6 +598,19 @@ int run_machine(const Options& options, machine::MachineDesc desc) {
   }
   sim::SimSystem system = std::move(built).value();
 
+  // Checkpoint chatter goes to stderr, so a restored run's stdout stays
+  // byte-identical to the tail of a free run's (the CI replay diff
+  // depends on that).
+  if (!options.load_ckpt_path.empty()) {
+    if (const Status restored = system.restore(options.load_ckpt_path);
+        !restored.ok) {
+      std::fprintf(stderr, "%s\n", restored.message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "restored checkpoint from %s\n",
+                 options.load_ckpt_path.c_str());
+  }
+
   int code = 0;
   if (options.gdb_port) {
     const Expected<rsp::SessionEnd> end =
@@ -599,7 +630,10 @@ int run_machine(const Options& options, machine::MachineDesc desc) {
     std::printf("stopped: %s", core::stop_reason_name(reason));
     if (system.core_count() > 1 &&
         (reason == core::StopReason::kIllegal ||
-         reason == core::StopReason::kDeadlock)) {
+         reason == core::StopReason::kDeadlock ||
+         reason == core::StopReason::kHalted) &&
+        system.stop_core() < system.core_count()) {
+      // For kHalted this is the last core to halt, not a culprit.
       std::printf(" (core '%s')",
                   system.core_name(system.stop_core()).c_str());
     }
@@ -614,6 +648,15 @@ int run_machine(const Options& options, machine::MachineDesc desc) {
     }
     std::printf("\n");
     code = exit_code(reason);
+    if (!options.save_ckpt_path.empty()) {
+      if (const Status saved = system.save_checkpoint(options.save_ckpt_path);
+          !saved.ok) {
+        std::fprintf(stderr, "%s\n", saved.message.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "saved checkpoint to %s\n",
+                   options.save_ckpt_path.c_str());
+    }
   }
 
   if (system.core_count() > 1) {
