@@ -12,10 +12,10 @@
 //
 // Besides the benchmarks, the binary runs two exit guards:
 //   - trace_overhead: a wired-but-sinkless TraceBus must stay almost free;
-//   - predecode: the predecode cache + batched fast path must deliver a
-//     real wall-clock speedup over --no-predecode execution while keeping
-//     simulated cycle and instruction counts bit-identical (ISS alone and
-//     full co-simulation).
+//   - exec_tier: the three execution tiers (precise, predecode, dbt) must
+//     keep simulated cycle and instruction counts bit-identical (ISS alone
+//     and full co-simulation) while each tier delivers its guarded
+//     wall-clock speedup over the one below it (DESIGN.md §12).
 // Pass `--json FILE` (default BENCH_table2.json, `--json none` to
 // disable) to also write machine-readable rows for perf tracking.
 #include <benchmark/benchmark.h>
@@ -88,9 +88,34 @@ void BM_InstructionSimulatorTracingDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_InstructionSimulatorTracingDisabled);
 
-// The --no-predecode A/B baseline: identical workload and cycle counts,
-// but every step re-decodes its instruction word and pays the per-step
-// dispatch overhead (the pre-PR-3 hot loop).
+// Tier A/B baselines: identical workload and cycle counts under each
+// execution tier. BM_InstructionSimulator above runs the default (dbt:
+// superblock threaded code); these two pin the predecode tier (the
+// PR-3 batched fast path) and the precise tier (decode every step).
+void BM_InstructionSimulatorPredecodeTier(benchmark::State& state) {
+  const CordicWorkload workload = CordicWorkload::standard(50, 24);
+  const auto program = assembler::assemble_or_throw(
+      apps::cordic::pure_software_program(
+          workload.x, workload.y, workload.iterations,
+          apps::cordic::ShiftStrategy::kShiftLoop));
+  isa::CpuConfig config;
+  config.has_barrel_shifter = false;
+  iss::LmbMemory memory;
+  memory.load_program(program);
+  iss::Processor cpu(config, memory, nullptr);
+  cpu.set_exec_tier(iss::ExecTier::kPredecode);
+
+  Cycle total_cycles = 0;
+  for (auto _ : state) {
+    cpu.reset(program.entry());
+    benchmark::DoNotOptimize(cpu.run(1u << 28));
+    total_cycles += cpu.stats().cycles;
+  }
+  state.counters["cycles_per_second"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InstructionSimulatorPredecodeTier);
+
 void BM_InstructionSimulatorNoPredecode(benchmark::State& state) {
   const CordicWorkload workload = CordicWorkload::standard(50, 24);
   const auto program = assembler::assemble_or_throw(
@@ -102,7 +127,7 @@ void BM_InstructionSimulatorNoPredecode(benchmark::State& state) {
   iss::LmbMemory memory;
   memory.load_program(program);
   iss::Processor cpu(config, memory, nullptr);
-  cpu.set_predecode(false);
+  cpu.set_exec_tier(iss::ExecTier::kPrecise);
 
   Cycle total_cycles = 0;
   for (auto _ : state) {
@@ -224,14 +249,18 @@ int check_trace_overhead() {
 }
 
 // ---------------------------------------------------------------------------
-// predecode guard: the predecode cache + batched fast path must (a) leave
-// simulated cycle and instruction counts bit-identical on the pure ISS
-// *and* the full co-simulation, and (b) deliver a real wall-clock speedup
-// on the ISS hot loop. The identity checks are hard failures; the timing
-// floor is looser than the >= 2x acceptance target so it trips on real
-// regressions, not on a busy CI host.
+// exec_tier guard: the three execution tiers must (a) leave every
+// simulated CpuStats/CoSimStats count bit-identical on the pure ISS
+// *and* the full co-simulation (CORDIC + matmul), and (b) each deliver
+// its guarded wall-clock speedup on the ISS hot loop:
+//   predecode over precise: >= 1.3x (PR-3 floor, acceptance target 2x),
+//   dbt over predecode:     >= 2.0x (this tier's acceptance bar).
+// The identity checks are hard failures at any deviation.
 // ---------------------------------------------------------------------------
-int check_predecode(JsonReport& report) {
+constexpr iss::ExecTier kTiers[] = {
+    iss::ExecTier::kPrecise, iss::ExecTier::kPredecode, iss::ExecTier::kDbt};
+
+int check_exec_tiers(JsonReport& report) {
   const CordicWorkload workload = CordicWorkload::standard(50, 24);
   const auto program = assembler::assemble_or_throw(
       apps::cordic::pure_software_program(
@@ -240,11 +269,11 @@ int check_predecode(JsonReport& report) {
   isa::CpuConfig config;
   config.has_barrel_shifter = false;
 
-  const auto run_once = [&](bool predecode, iss::CpuStats* stats) {
+  const auto run_once = [&](iss::ExecTier tier, iss::CpuStats* stats) {
     iss::LmbMemory memory;
     memory.load_program(program);
     iss::Processor cpu(config, memory, nullptr);
-    cpu.set_predecode(predecode);
+    cpu.set_exec_tier(tier);
     cpu.reset(program.entry());
     Stopwatch watch;
     cpu.run(1u << 28);
@@ -254,33 +283,39 @@ int check_predecode(JsonReport& report) {
   };
 
   int failures = 0;
-  const auto check_equal = [&](const char* what, u64 fast, u64 slow) {
-    if (fast != slow) {
+  const auto check_equal = [&](const char* what, iss::ExecTier tier, u64 got,
+                               u64 want) {
+    if (got != want) {
       std::fprintf(stderr,
-                   "predecode guard FAILED: %s differ: %llu (predecode) vs "
-                   "%llu (--no-predecode)\n",
-                   what, static_cast<unsigned long long>(fast),
-                   static_cast<unsigned long long>(slow));
+                   "exec_tier guard FAILED: %s differ: %llu (%s) vs "
+                   "%llu (precise)\n",
+                   what, static_cast<unsigned long long>(got),
+                   iss::to_string(tier), static_cast<unsigned long long>(want));
       ++failures;
     }
   };
 
-  // (a) identity, pure ISS: every CpuStats field the run accumulates.
-  iss::CpuStats fast_stats;
-  iss::CpuStats slow_stats;
-  run_once(true, &fast_stats);
-  run_once(false, &slow_stats);
-  check_equal("ISS cycles", fast_stats.cycles, slow_stats.cycles);
-  check_equal("ISS instructions", fast_stats.instructions,
-              slow_stats.instructions);
-  check_equal("ISS loads", fast_stats.loads, slow_stats.loads);
-  check_equal("ISS stores", fast_stats.stores, slow_stats.stores);
-  check_equal("ISS branches", fast_stats.branches, slow_stats.branches);
-  check_equal("ISS branches_taken", fast_stats.branches_taken,
-              slow_stats.branches_taken);
+  // (a) identity, pure ISS: every CpuStats field the run accumulates,
+  // with the precise tier as the reference.
+  iss::CpuStats tier_stats[3];
+  for (int t = 0; t < 3; ++t) run_once(kTiers[t], &tier_stats[t]);
+  for (int t = 1; t < 3; ++t) {
+    const iss::ExecTier tier = kTiers[t];
+    check_equal("ISS cycles", tier, tier_stats[t].cycles,
+                tier_stats[0].cycles);
+    check_equal("ISS instructions", tier, tier_stats[t].instructions,
+                tier_stats[0].instructions);
+    check_equal("ISS loads", tier, tier_stats[t].loads, tier_stats[0].loads);
+    check_equal("ISS stores", tier, tier_stats[t].stores,
+                tier_stats[0].stores);
+    check_equal("ISS branches", tier, tier_stats[t].branches,
+                tier_stats[0].branches);
+    check_equal("ISS branches_taken", tier, tier_stats[t].branches_taken,
+                tier_stats[0].branches_taken);
+  }
 
   // (a) identity, full co-simulation (FSL quanta + quiescence window).
-  const auto cosim_stats = [&](bool predecode, double* wall) {
+  const auto cosim_stats = [&](iss::ExecTier tier, double* wall) {
     apps::cordic::CordicRunConfig cosim_config;
     cosim_config.num_pes = 4;
     cosim_config.iterations = workload.iterations;
@@ -288,35 +323,42 @@ int check_predecode(JsonReport& report) {
     auto built =
         apps::cordic::make_cordic_system(cosim_config, workload.x, workload.y);
     if (!built.ok()) {
-      std::fprintf(stderr, "predecode guard: cordic system: %s\n",
+      std::fprintf(stderr, "exec_tier guard: cordic system: %s\n",
                    built.error().c_str());
       std::exit(1);
     }
     sim::SimSystem system = std::move(built).value();
-    system.cpu().set_predecode(predecode);
+    system.cpu().set_exec_tier(tier);
     if (system.run() != core::StopReason::kHalted) {
-      std::fprintf(stderr, "predecode guard: cordic cosim did not halt\n");
+      std::fprintf(stderr, "exec_tier guard: cordic cosim did not halt\n");
       std::exit(1);
     }
     if (wall != nullptr) *wall = system.run_wall_seconds();
     return system.stats();
   };
-  double cosim_fast_s = 0;
-  double cosim_slow_s = 0;
-  const core::CoSimStats cosim_fast = cosim_stats(true, &cosim_fast_s);
-  const core::CoSimStats cosim_slow = cosim_stats(false, &cosim_slow_s);
-  check_equal("cosim cycles", cosim_fast.cycles, cosim_slow.cycles);
-  check_equal("cosim instructions", cosim_fast.instructions,
-              cosim_slow.instructions);
-  check_equal("cosim fsl_stall_cycles", cosim_fast.fsl_stall_cycles,
-              cosim_slow.fsl_stall_cycles);
-  check_equal("cosim hw_cycles_stepped", cosim_fast.hw_cycles_stepped,
-              cosim_slow.hw_cycles_stepped);
-  check_equal("cosim hw_cycles_skipped", cosim_fast.hw_cycles_skipped,
-              cosim_slow.hw_cycles_skipped);
+  core::CoSimStats cosim_tier[3];
+  double cosim_seconds[3] = {};
+  for (int t = 0; t < 3; ++t) {
+    cosim_tier[t] = cosim_stats(kTiers[t], &cosim_seconds[t]);
+  }
+  for (int t = 1; t < 3; ++t) {
+    const iss::ExecTier tier = kTiers[t];
+    check_equal("cosim cycles", tier, cosim_tier[t].cycles,
+                cosim_tier[0].cycles);
+    check_equal("cosim instructions", tier, cosim_tier[t].instructions,
+                cosim_tier[0].instructions);
+    check_equal("cosim fsl_stall_cycles", tier, cosim_tier[t].fsl_stall_cycles,
+                cosim_tier[0].fsl_stall_cycles);
+    check_equal("cosim hw_cycles_stepped", tier,
+                cosim_tier[t].hw_cycles_stepped,
+                cosim_tier[0].hw_cycles_stepped);
+    check_equal("cosim hw_cycles_skipped", tier,
+                cosim_tier[t].hw_cycles_skipped,
+                cosim_tier[0].hw_cycles_skipped);
+  }
 
   // (a) identity, matmul app (second workload shape: OPB-free, multiplier).
-  const auto matmul_stats = [&](bool predecode) {
+  const auto matmul_stats = [&](iss::ExecTier tier) {
     apps::matmul::MatmulRunConfig matmul_config;
     matmul_config.matrix_size = 8;
     matmul_config.block_size = 2;
@@ -324,52 +366,68 @@ int check_predecode(JsonReport& report) {
     const auto b = apps::matmul::make_matrix(8, 2);
     auto built = apps::matmul::make_matmul_system(matmul_config, a, b);
     if (!built.ok()) {
-      std::fprintf(stderr, "predecode guard: matmul system: %s\n",
+      std::fprintf(stderr, "exec_tier guard: matmul system: %s\n",
                    built.error().c_str());
       std::exit(1);
     }
     sim::SimSystem system = std::move(built).value();
-    system.cpu().set_predecode(predecode);
+    system.cpu().set_exec_tier(tier);
     if (system.run() != core::StopReason::kHalted) {
-      std::fprintf(stderr, "predecode guard: matmul cosim did not halt\n");
+      std::fprintf(stderr, "exec_tier guard: matmul cosim did not halt\n");
       std::exit(1);
     }
     return system.stats();
   };
-  const core::CoSimStats matmul_fast = matmul_stats(true);
-  const core::CoSimStats matmul_slow = matmul_stats(false);
-  check_equal("matmul cycles", matmul_fast.cycles, matmul_slow.cycles);
-  check_equal("matmul instructions", matmul_fast.instructions,
-              matmul_slow.instructions);
-
-  // (b) wall-clock speedup on the ISS hot loop, min over reps.
-  constexpr int kReps = 5;
-  double fast_s = 1e300;
-  double slow_s = 1e300;
-  for (int rep = 0; rep < kReps; ++rep) {
-    fast_s = std::min(fast_s, run_once(true, nullptr));
-    slow_s = std::min(slow_s, run_once(false, nullptr));
+  core::CoSimStats matmul_tier[3];
+  for (int t = 0; t < 3; ++t) matmul_tier[t] = matmul_stats(kTiers[t]);
+  for (int t = 1; t < 3; ++t) {
+    const iss::ExecTier tier = kTiers[t];
+    check_equal("matmul cycles", tier, matmul_tier[t].cycles,
+                matmul_tier[0].cycles);
+    check_equal("matmul instructions", tier, matmul_tier[t].instructions,
+                matmul_tier[0].instructions);
   }
-  const double speedup = slow_s / fast_s;
-  constexpr double kTargetSpeedup = 2.0;
-  constexpr double kFailSpeedup = 1.3;
+
+  // (b) wall-clock speedups on the ISS hot loop, min over reps.
+  constexpr int kReps = 5;
+  double best[3] = {1e300, 1e300, 1e300};
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int t = 0; t < 3; ++t) {
+      best[t] = std::min(best[t], run_once(kTiers[t], nullptr));
+    }
+  }
+  const double predecode_speedup = best[0] / best[1];
+  const double dbt_speedup = best[1] / best[2];
+  constexpr double kFailPredecodeSpeedup = 1.3;
+  constexpr double kFailDbtSpeedup = 2.0;
   std::printf(
-      "predecode guard: ISS hot loop %.4fs -> %.4fs, speedup %.2fx "
-      "(target >= %.1fx, fail < %.1fx); cycle/instruction counts "
-      "identical on ISS, CORDIC cosim and matmul cosim\n",
-      slow_s, fast_s, speedup, kTargetSpeedup, kFailSpeedup);
-  if (speedup < kFailSpeedup) {
+      "exec_tier guard: ISS hot loop precise %.4fs, predecode %.4fs "
+      "(%.2fx, fail < %.1fx), dbt %.4fs (%.2fx over predecode, fail < "
+      "%.1fx); all simulated counts identical on ISS, CORDIC cosim and "
+      "matmul cosim\n",
+      best[0], best[1], predecode_speedup, kFailPredecodeSpeedup, best[2],
+      dbt_speedup, kFailDbtSpeedup);
+  if (predecode_speedup < kFailPredecodeSpeedup) {
     std::fprintf(stderr,
-                 "predecode guard FAILED: batched fast path is only %.2fx "
-                 "over --no-predecode\n",
-                 speedup);
+                 "exec_tier guard FAILED: predecode tier is only %.2fx "
+                 "over precise\n",
+                 predecode_speedup);
+    ++failures;
+  }
+  if (dbt_speedup < kFailDbtSpeedup) {
+    std::fprintf(stderr,
+                 "exec_tier guard FAILED: dbt tier is only %.2fx over "
+                 "the predecode tier (acceptance bar >= 2x)\n",
+                 dbt_speedup);
     ++failures;
   }
 
-  report.add("iss_cordic_predecode", fast_stats.cycles, fast_s);
-  report.add("iss_cordic_no_predecode", slow_stats.cycles, slow_s);
-  report.add("cosim_cordic_p4_predecode", cosim_fast.cycles, cosim_fast_s);
-  report.add("cosim_cordic_p4_no_predecode", cosim_slow.cycles, cosim_slow_s);
+  for (int t = 0; t < 3; ++t) {
+    const std::string tier_name = iss::to_string(kTiers[t]);
+    report.add("iss_cordic_" + tier_name, tier_stats[t].cycles, best[t]);
+    report.add("cosim_cordic_p4_" + tier_name, cosim_tier[t].cycles,
+               cosim_seconds[t]);
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -402,7 +460,7 @@ int main(int argc, char** argv) {
 
   JsonReport report("table2_simspeed");
   int failures = check_trace_overhead();
-  failures += check_predecode(report);
+  failures += check_exec_tiers(report);
   failures += emit_rtl_row(report);
   if (!report.write(json_path)) ++failures;
   return failures == 0 ? 0 : 1;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,8 +77,14 @@ class Writer {
   void write_i64(i64 value) { write_u64(static_cast<u64>(value)); }
   void write_bool(bool value) { write_u8(value ? 1 : 0); }
   void write_bytes(const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    buf_.insert(buf_.end(), bytes, bytes + size);
+    // resize + memcpy instead of insert(end, first, last): the range
+    // insert's inlined grow path trips a GCC 12 -Wstringop-overflow
+    // false positive under -fsanitize=thread, and this is also the
+    // fastest append for the bulk memory images that dominate here.
+    if (size == 0) return;
+    const std::size_t old_size = buf_.size();
+    buf_.resize(old_size + size);
+    std::memcpy(buf_.data() + old_size, data, size);
   }
   void write_str(std::string_view text) {
     write_u64(text.size());

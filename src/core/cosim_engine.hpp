@@ -99,9 +99,10 @@ class CoSimEngine {
 
   /// Run the co-simulation until the software halts, an error occurs, or
   /// `max_cycles` simulated cycles have elapsed. When the processor's
-  /// batched fast path is available (predecode on, no trace sinks), the
-  /// CPU runs in multi-cycle quanta that stop before every FSL access and
-  /// the hardware catches up in one tick_hardware call per quantum —
+  /// batched fast path is available (predecode or dbt tier, no trace
+  /// sinks), the CPU runs in multi-cycle quanta that stop before every
+  /// FSL access and the hardware catches up in one tick_hardware call
+  /// per quantum —
   /// cycle counts and statistics are identical to one-step alternation
   /// because the two sides only interact through the FIFOs. With trace
   /// sinks attached the engine keeps strict one-step alternation, so

@@ -29,10 +29,29 @@ void Processor::reset(Addr pc) {
 }
 
 void Processor::set_predecode(bool enabled) {
-  predecode_enabled_ = enabled;
-  if (!enabled) {
+  set_exec_tier(enabled ? ExecTier::kDbt : ExecTier::kPrecise);
+}
+
+void Processor::set_exec_tier(ExecTier tier) {
+  if (exec_tier_ == tier) return;
+  exec_tier_ = tier;
+  predecode_enabled_ = tier != ExecTier::kPrecise;
+  if (!predecode_enabled_) {
     predecode_.clear();
     predecode_.shrink_to_fit();
+  }
+  if (tier != ExecTier::kDbt) {
+    // Retire and release every superblock; promotion heat restarts from
+    // zero if the tier is ever re-enabled.
+    ++dbt_gen_;
+    dbt_blocks_.clear();
+    dbt_blocks_.shrink_to_fit();
+    dbt_index_.clear();
+    dbt_index_.shrink_to_fit();
+    dbt_heat_.clear();
+    dbt_heat_.shrink_to_fit();
+    dbt_cover_.clear();
+    dbt_cover_.shrink_to_fit();
   }
 }
 
@@ -58,6 +77,8 @@ Processor::Predecoded& Processor::predecode_fetch(Addr pc) {
       entry.tag = DispatchTag::kFast;
       break;
   }
+  entry.boundary = entry.in.op == Op::kBr || entry.in.op == Op::kBcc ||
+                   entry.in.op == Op::kRtsd;
   entry.gen = predecode_gen_;
   return entry;
 }
@@ -125,6 +146,64 @@ void Processor::add_family(const Instruction& in, bool subtract,
   const u64 sum = u64(a) + u64(opb) + cin;
   write_rd(in.rd, static_cast<Word>(sum));
   if (!keep_carry) set_carry((sum >> 32) != 0);
+}
+
+// The data-side memory paths are shared verbatim between execute() and
+// the superblock tier's stitched load/store handlers: one body, so the
+// execution tiers cannot diverge on LMB/OPB semantics or accounting.
+
+Event Processor::load_data(Addr addr, unsigned bytes, Word& value) {
+  if (memory_.contains(addr & ~Addr{bytes - 1}, bytes)) {
+    value = bytes == 1   ? memory_.read_byte(addr)
+            : bytes == 2 ? memory_.read_half(addr)
+                         : memory_.read_word(addr);
+  } else if (opb_ != nullptr && opb_->decodes(addr)) {
+    const bus::BusResponse response = opb_->read(addr);
+    pending_wait_states_ = response.wait_states;
+    stats_.opb_accesses += 1;
+    stats_.opb_wait_cycles += response.wait_states;
+    // An OPB error acknowledge or arbiter timeout raises the
+    // MicroBlaze data-bus-error exception; the ISS models it as a
+    // trap after charging the cycles the failed transfer consumed.
+    if (!response.ok) return Event::kIllegal;
+    // Sub-word OPB reads extract the addressed lanes of the word.
+    value = response.data >> (8u * (addr & 3u));
+    if (bytes == 1) value &= 0xFFu;
+    if (bytes == 2) value &= 0xFFFFu;
+  } else {
+    return Event::kIllegal;
+  }
+  stats_.loads += 1;
+  return Event::kRetired;
+}
+
+Event Processor::store_data(Addr addr, unsigned bytes, Word value) {
+  if (memory_.contains(addr & ~Addr{bytes - 1}, bytes)) {
+    if (bytes == 1) {
+      memory_.write_byte(addr, static_cast<u8>(value));
+    } else if (bytes == 2) {
+      memory_.write_half(addr, static_cast<u16>(value));
+    } else {
+      memory_.write_word(addr, value);
+    }
+    // Self-modifying code: a store landing on cached text must force a
+    // re-decode at the next fetch of that word (and retire any
+    // superblock covering it — invalidate_predecode does both).
+    if (!predecode_.empty()) invalidate_predecode(addr);
+  } else if (opb_ != nullptr && opb_->decodes(addr)) {
+    // OPB writes are full-word; sub-word stores replicate the value
+    // onto the addressed lanes (byte-enable behaviour).
+    const bus::BusResponse response = opb_->write(addr, value);
+    pending_wait_states_ = response.wait_states;
+    stats_.opb_accesses += 1;
+    stats_.opb_wait_cycles += response.wait_states;
+    // Error acknowledge / timeout → data-bus-error trap (see load).
+    if (!response.ok) return Event::kIllegal;
+  } else {
+    return Event::kIllegal;
+  }
+  stats_.stores += 1;
+  return Event::kRetired;
 }
 
 void Processor::record_step(Event event, Addr pc, Word raw,
@@ -408,28 +487,10 @@ Processor::ExecOutcome Processor::execute(const Instruction& in) {
       const unsigned bytes =
           in.op == Op::kLbu ? 1u : in.op == Op::kLhu ? 2u : 4u;
       Word value = 0;
-      if (memory_.contains(addr & ~Addr{bytes - 1}, bytes)) {
-        value = bytes == 1 ? memory_.read_byte(addr)
-                : bytes == 2 ? memory_.read_half(addr)
-                             : memory_.read_word(addr);
-      } else if (opb_ != nullptr && opb_->decodes(addr)) {
-        const bus::BusResponse response = opb_->read(addr);
-        pending_wait_states_ = response.wait_states;
-        stats_.opb_accesses += 1;
-        stats_.opb_wait_cycles += response.wait_states;
-        // An OPB error acknowledge or arbiter timeout raises the
-        // MicroBlaze data-bus-error exception; the ISS models it as a
-        // trap after charging the cycles the failed transfer consumed.
-        if (!response.ok) return {Event::kIllegal, false};
-        // Sub-word OPB reads extract the addressed lanes of the word.
-        value = response.data >> (8u * (addr & 3u));
-        if (bytes == 1) value &= 0xFFu;
-        if (bytes == 2) value &= 0xFFFFu;
-      } else {
+      if (load_data(addr, bytes, value) == Event::kIllegal) {
         return {Event::kIllegal, false};
       }
       write_rd(in.rd, value);
-      stats_.loads += 1;
       break;
     }
     case Op::kSb:
@@ -437,31 +498,9 @@ Processor::ExecOutcome Processor::execute(const Instruction& in) {
     case Op::kSw: {
       const Addr addr = regs_[in.ra] + operand_b(in);
       const unsigned bytes = in.op == Op::kSb ? 1u : in.op == Op::kSh ? 2u : 4u;
-      const Word value = regs_[in.rd];
-      if (memory_.contains(addr & ~Addr{bytes - 1}, bytes)) {
-        if (bytes == 1) {
-          memory_.write_byte(addr, static_cast<u8>(value));
-        } else if (bytes == 2) {
-          memory_.write_half(addr, static_cast<u16>(value));
-        } else {
-          memory_.write_word(addr, value);
-        }
-        // Self-modifying code: a store landing on cached text must force
-        // a re-decode at the next fetch of that word.
-        if (!predecode_.empty()) invalidate_predecode(addr);
-      } else if (opb_ != nullptr && opb_->decodes(addr)) {
-        // OPB writes are full-word; sub-word stores replicate the value
-        // onto the addressed lanes (byte-enable behaviour).
-        const bus::BusResponse response = opb_->write(addr, value);
-        pending_wait_states_ = response.wait_states;
-        stats_.opb_accesses += 1;
-        stats_.opb_wait_cycles += response.wait_states;
-        // Error acknowledge / timeout → data-bus-error trap (see load).
-        if (!response.ok) return {Event::kIllegal, false};
-      } else {
+      if (store_data(addr, bytes, regs_[in.rd]) == Event::kIllegal) {
         return {Event::kIllegal, false};
       }
-      stats_.stores += 1;
       break;
     }
     case Op::kGet: {
@@ -531,6 +570,11 @@ BatchResult Processor::run_batch(Cycle max_cycles, bool stop_before_fsl) {
   if (!fast_path_available()) return BatchResult{BatchStop::kPrecise, 0};
   const Cycle start_cycles = stats_.cycles;
   const auto consumed = [&] { return stats_.cycles - start_cycles; };
+  const bool dbt = exec_tier_ == ExecTier::kDbt;
+  // Superblocks start where control flow lands: the batch entry point,
+  // branch successors and block exits. Tracking that with one flag
+  // confines promotion-heat counting to genuine block-head words.
+  bool at_head = true;
 
   while (!halted_ && stats_.cycles < max_cycles) {
     if (!memory_.contains(pc_, 4)) {
@@ -548,6 +592,7 @@ BatchResult Processor::run_batch(Cycle max_cycles, bool stop_before_fsl) {
         [[unlikely]] {
       // The precise path — with no hook/bus attached (the fast-path
       // precondition) it is bit-identical, just slower.
+      at_head = true;  // conservatively: heat counting is timing-neutral
       switch (step().event) {
         case Event::kRetired:
           continue;
@@ -559,6 +604,21 @@ BatchResult Processor::run_batch(Cycle max_cycles, bool stop_before_fsl) {
           return BatchResult{BatchStop::kIllegal, consumed()};
       }
       continue;
+    }
+
+    if (dbt && at_head) {
+      // Third tier: whole-superblock dispatch (DESIGN.md §12). Exits
+      // land on block heads, so at_head stays true after kContinue.
+      switch (dbt_enter(max_cycles)) {
+        case DbtRun::kNoBlock:
+          break;  // not (yet) translated: per-instruction fast path
+        case DbtRun::kContinue:
+          continue;
+        case DbtRun::kHalted:
+          return BatchResult{BatchStop::kHalted, consumed()};
+        case DbtRun::kIllegal:
+          return BatchResult{BatchStop::kIllegal, consumed()};
+      }
     }
 
     // Fast path: predecoded plain instruction, no prefix/delay state.
@@ -573,6 +633,7 @@ BatchResult Processor::run_batch(Cycle max_cycles, bool stop_before_fsl) {
       }
       stats_.cycles += cycles;
       stats_.instructions += 1;
+      at_head = entry.boundary;
       continue;
     }
     if (outcome.event == Event::kHalted) {
@@ -584,6 +645,9 @@ BatchResult Processor::run_batch(Cycle max_cycles, bool stop_before_fsl) {
     // Event::kIllegal (disabled unit, bad data address, branch in a
     // delay slot); kFslStall is impossible here (FSL ops are not kFast).
     halted_ = true;
+    // A faulting OPB access may have queued wait states; the trap
+    // preempts them, exactly as in step().
+    pending_wait_states_ = 0;
     stats_.cycles += 1;
     return BatchResult{BatchStop::kIllegal, consumed()};
   }

@@ -18,6 +18,7 @@
 #include "common/types.hpp"
 #include "fsl/fsl_hub.hpp"
 #include "isa/isa.hpp"
+#include "iss/exec_tier.hpp"
 #include "iss/memory.hpp"
 #include "obs/trace_bus.hpp"
 
@@ -74,6 +75,20 @@ struct CpuStats {
   u64 multiplies = 0;
   u64 opb_accesses = 0;
   Cycle opb_wait_cycles = 0;
+};
+
+/// Counters of the superblock (dbt) execution tier. Deliberately *not*
+/// part of CpuStats: CpuStats is bit-identical across execution tiers,
+/// while these describe the translation machinery itself. They are not
+/// checkpointed either — a restore drops every translation (the cached
+/// text belongs to the pre-restore image), and the counters restart
+/// with the regenerated blocks.
+struct DbtStats {
+  u64 blocks_translated = 0;  ///< superblocks stitched (incl. re-translations)
+  u64 block_dispatches = 0;   ///< block entries, incl. block-to-block chaining
+  u64 smc_retirements = 0;    ///< stores into translated text retiring blocks
+  u64 dbt_instructions = 0;   ///< instructions retired inside block dispatch
+                              ///< (fast-path share = this / instructions)
 };
 
 /// Record passed to the optional trace hook after every processor step:
@@ -160,23 +175,46 @@ class Processor {
            (trace_bus_ == nullptr || !trace_bus_->enabled());
   }
 
-  /// Enable/disable the predecode cache (default: enabled). Disabling
-  /// releases the cache storage and restores decode-per-step execution —
-  /// the configuration the `--no-predecode` A/B benchmarks measure.
+  /// Select the execution tier (default: ExecTier::kDbt). Dropping to
+  /// kPredecode retires every superblock; dropping to kPrecise also
+  /// releases the predecode cache and restores decode-per-step
+  /// execution. All three tiers are bit-identical in architectural
+  /// state and CpuStats (DESIGN.md §12).
+  void set_exec_tier(ExecTier tier);
+  [[nodiscard]] ExecTier exec_tier() const noexcept { return exec_tier_; }
+
+  /// Counters of the superblock tier (all zero below ExecTier::kDbt).
+  [[nodiscard]] const DbtStats& dbt_stats() const noexcept {
+    return dbt_stats_;
+  }
+
+  /// Legacy on/off knob, kept for the `--no-predecode` era: `true`
+  /// selects the default tier (kDbt), `false` selects kPrecise.
   void set_predecode(bool enabled);
   [[nodiscard]] bool predecode_enabled() const noexcept {
     return predecode_enabled_;
   }
 
-  /// Drop every predecoded entry. Required after writing instruction
-  /// memory from *outside* the processor while a program is in flight
-  /// (stores executed by the program itself, reset() and the debugger's
-  /// setmem invalidate automatically).
-  void invalidate_predecode() noexcept { ++predecode_gen_; }
+  /// Drop every predecoded entry and retire every translated
+  /// superblock. Required after writing instruction memory from
+  /// *outside* the processor while a program is in flight (stores
+  /// executed by the program itself, reset() and the debugger's setmem
+  /// invalidate automatically).
+  void invalidate_predecode() noexcept {
+    ++predecode_gen_;
+    ++dbt_gen_;  // every superblock stitched from that text dies with it
+  }
   /// Drop the single entry covering `addr` (cheaper targeted form).
+  /// When a translated superblock covers the word, *all* blocks retire
+  /// (generation bump) — the self-modifying-code rule of DESIGN.md §12.
   void invalidate_predecode(Addr addr) noexcept {
     const std::size_t index = addr >> 2;
     if (index < predecode_.size()) predecode_[index].gen = 0;
+    if (index < dbt_cover_.size() && dbt_cover_[index] == dbt_gen_) {
+      ++dbt_gen_;
+      dbt_stats_.smc_retirements += 1;
+      dbt_heat_[index] = 0;  // the rewritten word re-earns its promotion
+    }
   }
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
@@ -254,11 +292,71 @@ class Processor {
     u8 lat_taken = 1;      ///< isa::base_latency(in, true), <= 34
     u8 lat_not_taken = 1;  ///< isa::base_latency(in, false)
     DispatchTag tag = DispatchTag::kSlow;
+    /// Control flow (kBr/kBcc/kRtsd): the next PC starts a basic block,
+    /// so the dbt tier only counts promotion heat after these.
+    bool boundary = false;
+  };
+
+  /// One token-threaded instruction of a translated superblock: the
+  /// handler selector plus every pre-extracted field the dispatch loop
+  /// needs, so executing it touches neither the decoder nor the
+  /// predecode cache. `imm` holds the sign-extended operand-b immediate
+  /// (or, for static branch terminators, the resolved target address).
+  struct DbtOp {
+    Addr pc = 0;       ///< guest address (terminator kTermFall: resume pc)
+    u32 imm = 0;
+    u8 id = 0;         ///< DbtHandler index (processor_dbt.cpp)
+    u8 rd = 0;
+    u8 ra = 0;
+    u8 rb = 0;
+    u8 lat = 1;        ///< base latency (not-taken for the terminator)
+    u8 lat_taken = 1;  ///< taken latency (terminators only)
+    u8 flags = 0;      ///< link/delay/absolute + cond (terminators only)
+  };
+
+  /// A translated basic block: straight-line kFast instructions ending
+  /// at the first control flow, FSL access, IMM/custom instruction or
+  /// text-page boundary. Valid iff `gen == dbt_gen_`; retirement is a
+  /// generation bump, storage is reused on re-translation.
+  struct Superblock {
+    std::vector<DbtOp> ops;  ///< body + exactly one terminator
+    Addr start = 0;
+    u32 words = 0;  ///< instruction words covered (SMC retirement range)
+    u64 gen = 0;
+  };
+
+  /// Why stitched execution returned to the batch loop.
+  enum class DbtRun : u8 {
+    kNoBlock,   ///< nothing translated here (yet); use the per-step path
+    kContinue,  ///< block(s) executed; resume the batch loop at pc_
+    kHalted,
+    kIllegal,
   };
 
   /// Decode the word at `pc` into its cache slot and return the entry.
   /// Pre: predecode enabled, memory_.contains(pc, 4).
   Predecoded& predecode_fetch(Addr pc);
+
+  /// Superblock tier entry point: execute the block at pc_ if one is
+  /// translated, otherwise accumulate promotion heat and translate once
+  /// the threshold is crossed. Pre: kDbt tier, fast path available,
+  /// memory_.contains(pc_, 4), no pending IMM prefix or delay slot.
+  DbtRun dbt_enter(Cycle max_cycles);
+  /// Build the superblock starting at `start`; false when the leading
+  /// instruction cannot be stitched (the head is then blacklisted).
+  bool translate_block(Addr start);
+  /// Token-threaded dispatch over `block` (and, via chaining, any
+  /// already-translated successor blocks). Accounting is bit-identical
+  /// to the equivalent step() sequence.
+  DbtRun exec_block(const Superblock& block, Cycle max_cycles);
+
+  /// Shared data-side memory paths (LMB fast case, OPB wait states and
+  /// error traps, SMC invalidation on stores): both execute() and the
+  /// stitched load/store handlers funnel through these, so the tiers
+  /// cannot diverge on memory semantics. Return kRetired or kIllegal;
+  /// they charge loads/stores/opb_* stats on success.
+  Event load_data(Addr addr, unsigned bytes, Word& value);
+  Event store_data(Addr addr, unsigned bytes, Word value);
 
   ExecOutcome execute(const isa::Instruction& in);
   /// Deliver one step result to the trace hook and the trace bus.
@@ -296,6 +394,17 @@ class Processor {
   std::vector<Predecoded> predecode_;
   u64 predecode_gen_ = 1;  ///< entries with a different gen are invalid
   bool predecode_enabled_ = true;
+
+  ExecTier exec_tier_ = ExecTier::kDbt;
+  /// Superblock storage: slots are stable (blocks are only ever
+  /// overwritten in place on re-translation, never erased), so the
+  /// word-indexed maps below can cache slot numbers across retirements.
+  std::vector<Superblock> dbt_blocks_;
+  std::vector<u32> dbt_index_;  ///< word -> slot + 1 (0 = no block starts here)
+  std::vector<u16> dbt_heat_;   ///< word -> promotion counter / blacklist
+  std::vector<u64> dbt_cover_;  ///< word -> dbt_gen_ when covered by a block
+  u64 dbt_gen_ = 1;             ///< blocks with a different gen are retired
+  DbtStats dbt_stats_;
 
   CpuStats stats_;
   std::function<void(const TraceRecord&)> trace_;

@@ -58,9 +58,12 @@ bool Processor::load_state(ckpt::Reader& reader) {
   stats_.multiplies = reader.read_u64();
   stats_.opb_accesses = reader.read_u64();
   stats_.opb_wait_cycles = reader.read_u64();
-  // The predecode cache mirrors instruction memory, which the owner
-  // restores around this call; every cached entry is stale now.
+  // The predecode cache and every superblock mirror instruction memory,
+  // which the owner restores around this call; all cached decode work is
+  // stale now. The dbt counters restart with the regenerated blocks
+  // (they describe the translation machinery, not the architecture).
   invalidate_predecode();
+  dbt_stats_ = DbtStats{};
   return reader.ok();
 }
 

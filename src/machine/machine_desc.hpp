@@ -23,6 +23,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "iss/exec_tier.hpp"
 
 namespace mbcosim::machine {
 
@@ -46,6 +47,7 @@ inline constexpr const char* kDescErrorCodes[] = {
     "[link-conflict]",   // two links claim the same channel endpoint
     "[channel-conflict]",// peripheral and link (or two peripherals) collide
     "[file-io]",         // machine or program file unreadable
+    "[bad-exec-tier]",   // exec_tier is not precise/predecode/dbt
 };
 
 /// One soft processor: its program plus the ISA/memory options that the
@@ -58,7 +60,10 @@ struct CoreDesc {
   bool has_barrel_shifter = true;
   bool has_multiplier = true;
   bool has_divider = false;
-  bool predecode = true;     ///< enable the predecoded-instruction cache
+  bool predecode = true;     ///< legacy on/off: false forces the precise tier
+  /// Execution tier when `predecode` is true (JSON key "exec_tier":
+  /// "precise" | "predecode" | "dbt"; see iss::ExecTier).
+  iss::ExecTier exec_tier = iss::ExecTier::kDbt;
 };
 
 /// A cross-core FSL wire: writer core's `put` channel `from_channel`

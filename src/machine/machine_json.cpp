@@ -334,7 +334,24 @@ std::string read_core(const JsonObject& object, CoreDesc& core) {
       !err.empty()) {
     return err;
   }
-  return get_bool(object, "predecode", context, core.predecode);
+  if (err = get_bool(object, "predecode", context, core.predecode);
+      !err.empty()) {
+    return err;
+  }
+  std::string tier_name;
+  if (err = get_string(object, "exec_tier", context, false, tier_name);
+      !err.empty()) {
+    return err;
+  }
+  if (!tier_name.empty()) {
+    const auto tier = iss::parse_exec_tier(tier_name);
+    if (!tier) {
+      return "[bad-exec-tier] " + context + ": exec_tier '" + tier_name +
+             "' is not one of precise/predecode/dbt";
+    }
+    core.exec_tier = *tier;
+  }
+  return {};
 }
 
 std::string read_link(const JsonObject& object, LinkDesc& link) {

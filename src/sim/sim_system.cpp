@@ -329,17 +329,53 @@ energy::EnergyReport SimSystem::energy_report(
                                  stats().hw_cycles_stepped, implemented);
 }
 
+iss::DbtStats SimSystem::dbt_stats() const {
+  iss::DbtStats total;
+  for (const auto& core : state_->cores) {
+    const iss::DbtStats& dbt = core->cpu.dbt_stats();
+    total.blocks_translated += dbt.blocks_translated;
+    total.block_dispatches += dbt.block_dispatches;
+    total.smc_retirements += dbt.smc_retirements;
+    total.dbt_instructions += dbt.dbt_instructions;
+  }
+  return total;
+}
+
+namespace {
+
+// Superblock-tier counters ride along in the metrics snapshot once the
+// registry has recorded anything (a pre-run snapshot stays empty).
+// Note an enabled trace bus (any sink, which
+// Builder::metrics attaches) forces the precise fallback, so these are
+// zero under --metrics unless the tier ran before the sink was enabled;
+// `monitor stats` is the live view (DESIGN.md §12).
+void inject_dbt_counters(obs::MetricsSnapshot& snapshot,
+                         const iss::Processor& cpu,
+                         const std::string& prefix) {
+  const iss::DbtStats& dbt = cpu.dbt_stats();
+  snapshot.counters[prefix + "dbt.blocks_translated"] = dbt.blocks_translated;
+  snapshot.counters[prefix + "dbt.block_dispatches"] = dbt.block_dispatches;
+  snapshot.counters[prefix + "dbt.smc_retirements"] = dbt.smc_retirements;
+  snapshot.counters[prefix + "dbt.fast_path_instructions"] =
+      dbt.dbt_instructions;
+}
+
+}  // namespace
+
 obs::MetricsSnapshot SimSystem::metrics_snapshot() const {
   if (!state_->machine_engine) {
     const State::Core& core = state_->c0();
     if (core.metrics == nullptr) return obs::MetricsSnapshot{};
-    return core.metrics->snapshot();
+    obs::MetricsSnapshot snapshot = core.metrics->snapshot();
+    if (!snapshot.empty()) inject_dbt_counters(snapshot, core.cpu, "");
+    return snapshot;
   }
   // Merge the per-core registries under "corename." key prefixes.
   obs::MetricsSnapshot merged;
   for (const auto& core : state_->cores) {
     if (core->metrics == nullptr) continue;
     obs::MetricsSnapshot snapshot = core->metrics->snapshot();
+    if (!snapshot.empty()) inject_dbt_counters(snapshot, core->cpu, "");
     for (auto& [key, value] : snapshot.counters) {
       merged.counters[core->name + "." + key] = value;
     }
@@ -565,6 +601,12 @@ Expected<rsp::SessionEnd> SimSystem::serve_gdb(
       out += "\nhw_cycles_skipped " + std::to_string(s.hw_cycles_skipped);
       out += "\nwords_to_hw " + std::to_string(s.bridge.words_to_hw);
       out += "\nwords_from_hw " + std::to_string(s.bridge.words_from_hw);
+      const iss::DbtStats dbt = dbt_stats();
+      out += "\ndbt_blocks_translated " + std::to_string(dbt.blocks_translated);
+      out += "\ndbt_block_dispatches " + std::to_string(dbt.block_dispatches);
+      out += "\ndbt_smc_retirements " + std::to_string(dbt.smc_retirements);
+      out += "\ndbt_fast_path_instructions " +
+             std::to_string(dbt.dbt_instructions);
       return out;
     }
     return {};
@@ -655,6 +697,13 @@ SimSystem::Builder& SimSystem::Builder::bind_fsl(unsigned channel,
 SimSystem::Builder& SimSystem::Builder::predecode(bool enabled) {
   predecode_ = enabled;
   single_core_setter_ = "predecode";
+  return *this;
+}
+
+SimSystem::Builder& SimSystem::Builder::exec_tier(iss::ExecTier tier) {
+  exec_tier_ = tier;
+  predecode_ = tier != iss::ExecTier::kPrecise;
+  single_core_setter_ = "exec_tier";
   return *this;
 }
 
@@ -771,6 +820,7 @@ Expected<SimSystem> SimSystem::Builder::build() {
     core.has_multiplier = cpu_config_.has_multiplier;
     core.has_divider = cpu_config_.has_divider;
     core.predecode = predecode_;
+    core.exec_tier = exec_tier_;
     desc.cores.push_back(std::move(core));
     desc.fifo_depth = fifo_depth_;
   }
@@ -829,7 +879,10 @@ Expected<SimSystem> SimSystem::Builder::build() {
     auto core = std::make_unique<State::Core>(
         core_desc.name, std::move(program), config,
         static_cast<u32>(core_desc.memory_bytes), desc.fifo_depth, hub_prefix);
-    core->cpu.set_predecode(core_desc.predecode);
+    // The legacy predecode flag dominates: false forces the precise
+    // tier regardless of the declared exec_tier.
+    core->cpu.set_exec_tier(core_desc.predecode ? core_desc.exec_tier
+                                                : iss::ExecTier::kPrecise);
     state->cores.push_back(std::move(core));
   }
   State::Core& c0 = state->c0();

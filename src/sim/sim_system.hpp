@@ -142,6 +142,10 @@ class SimSystem {
   /// software-only system).
   [[nodiscard]] core::CoSimStats stats() const;
 
+  /// Superblock-tier counters summed over every core (all zero below
+  /// iss::ExecTier::kDbt or while the precise fallback is active).
+  [[nodiscard]] iss::DbtStats dbt_stats() const;
+
   /// Host wall-clock seconds spent inside the most recent run() loop —
   /// the quantity Table I's simulation-time comparison uses.
   [[nodiscard]] double run_wall_seconds() const noexcept;
@@ -303,7 +307,8 @@ class SimSystem::Builder {
   /// the PeripheralRegistry) and cross-core links all come from the
   /// description; mixing machine() with the per-core setters below
   /// (program/hardware/bind_fsl/opb/custom_instruction/cpu_config/
-  /// memory_bytes/fifo_depth/quiescence/predecode) is a build() error.
+  /// memory_bytes/fifo_depth/quiescence/predecode/exec_tier) is a
+  /// build() error.
   Builder& machine(machine::MachineDesc desc);
   /// Host worker threads for multi-core rounds (0 = one per hardware
   /// thread; ignored for single-core machines). Results are identical
@@ -339,6 +344,12 @@ class SimSystem::Builder {
   /// execution — the `--no-predecode` A/B baseline; simulated cycle
   /// counts and statistics are identical either way.
   Builder& predecode(bool enabled);
+
+  /// Select the processor execution tier (default iss::ExecTier::kDbt;
+  /// see DESIGN.md §12). Subsumes predecode(): kPrecise ==
+  /// predecode(false). Simulated cycle counts and statistics are
+  /// bit-identical across tiers.
+  Builder& exec_tier(iss::ExecTier tier);
 
   /// Quiescence fast-forward window in cycles (0 = disabled); see
   /// CoSimEngine::set_quiescence_window.
@@ -409,6 +420,7 @@ class SimSystem::Builder {
   HardwareFactory factory_;
   std::vector<HardwareBundle::ChannelBinding> bindings_;
   bool predecode_ = true;
+  iss::ExecTier exec_tier_ = iss::ExecTier::kDbt;
   Cycle quiescence_ = 0;
   Cycle deadlock_threshold_ = 100'000;
   std::vector<std::pair<unsigned, iss::CustomInstruction>> custom_;

@@ -283,6 +283,42 @@ TEST(CkptSystem, SingleCoreRestoreRunMatchesFreeRun) {
   expect_same(finish(saver), want);
 }
 
+// Snapshot taken while a translated superblock is live: the hot loop of
+// kSumProgram is far past the dbt promotion threshold at cycle 500. The
+// restore must drop every translation (the cached text belongs to the
+// pre-restore image), restart the dbt counters, regenerate the blocks
+// lazily and still replay to the bit-exact same end state.
+TEST(CkptSystem, RestoreAcrossHotBlockRegeneratesTranslations) {
+  auto free_built = sim::SimSystem::Builder().program(kSumProgram).build();
+  ASSERT_TRUE(free_built.ok()) << free_built.error();
+  sim::SimSystem free_run = std::move(free_built).value();
+  const FinalState want = finish(free_run);
+
+  auto saver_built = sim::SimSystem::Builder().program(kSumProgram).build();
+  ASSERT_TRUE(saver_built.ok()) << saver_built.error();
+  sim::SimSystem saver = std::move(saver_built).value();
+  ASSERT_EQ(saver.cpu().exec_tier(), iss::ExecTier::kDbt);
+  ASSERT_EQ(saver.run(500), core::StopReason::kCycleLimit);
+  // The loop is hot and running inside a translated superblock.
+  const iss::DbtStats at_save = saver.cpu().dbt_stats();
+  ASSERT_GE(at_save.blocks_translated, 1u);
+  ASSERT_GT(at_save.dbt_instructions, 0u);
+  const std::vector<unsigned char> image = saver.snapshot();
+
+  auto resumed_built = sim::SimSystem::Builder().program(kSumProgram).build();
+  ASSERT_TRUE(resumed_built.ok()) << resumed_built.error();
+  sim::SimSystem resumed = std::move(resumed_built).value();
+  ASSERT_TRUE(resumed.restore_image(image).ok);
+  // Restore retired all translation state: the counters restart.
+  EXPECT_EQ(resumed.cpu().dbt_stats().blocks_translated, 0u);
+  EXPECT_EQ(resumed.cpu().dbt_stats().dbt_instructions, 0u);
+
+  expect_same(finish(resumed), want);
+  // The remaining ~1k cycles re-promoted the loop from scratch.
+  EXPECT_GE(resumed.cpu().dbt_stats().blocks_translated, 1u);
+  EXPECT_GT(resumed.cpu().dbt_stats().dbt_instructions, 0u);
+}
+
 TEST(CkptSystem, SaveCheckpointRestoreFileRoundTrip) {
   const std::string path = tmp_path("ckpt_single_core.ckpt");
   auto a_built = sim::SimSystem::Builder().program(kSumProgram).build();

@@ -80,8 +80,22 @@ TEST(MachineDesc, ParsesMinimalMachineWithDefaults) {
   EXPECT_TRUE(desc.cores[0].has_multiplier);
   EXPECT_FALSE(desc.cores[0].has_divider);
   EXPECT_TRUE(desc.cores[0].predecode);
+  EXPECT_EQ(desc.cores[0].exec_tier, iss::ExecTier::kDbt);
   EXPECT_EQ(desc.fifo_depth, 16u);
   EXPECT_EQ(desc.quantum, Cycle{64});
+}
+
+TEST(MachineDesc, ParsesExecTierPerCore) {
+  const auto result = MachineDesc::from_json(R"({"cores": [
+    {"name": "a", "program": "halt\n", "exec_tier": "precise"},
+    {"name": "b", "program": "halt\n", "exec_tier": "predecode"},
+    {"name": "c", "program": "halt\n", "exec_tier": "dbt"}]})");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const MachineDesc& desc = result.value();
+  ASSERT_EQ(desc.cores.size(), 3u);
+  EXPECT_EQ(desc.cores[0].exec_tier, iss::ExecTier::kPrecise);
+  EXPECT_EQ(desc.cores[1].exec_tier, iss::ExecTier::kPredecode);
+  EXPECT_EQ(desc.cores[2].exec_tier, iss::ExecTier::kDbt);
 }
 
 TEST(MachineDesc, ParsesTopologyAndPeripheralParams) {
@@ -129,6 +143,7 @@ TEST(MachineDesc, RoundTripsThroughJson) {
   worker.memory_bytes = 4096;
   worker.has_divider = true;
   worker.predecode = false;
+  worker.exec_tier = iss::ExecTier::kPredecode;
   desc.cores = {feeder, worker};
   desc.links = {{"feeder", 1, "worker", 1}};
   PeripheralDesc cordic;
@@ -183,6 +198,16 @@ TEST(MachineDescErrors, BadField) {
     "cores": [{"name": "a", "program": "halt\n"}],
     "peripherals": [{"core": "a", "type": "cordic", "num_pes": "eight"}]})",
                      "[bad-field]");
+}
+
+TEST(MachineDescErrors, BadExecTier) {
+  expect_parse_error(
+      R"({"cores": [{"name": "a", "program": "halt\n", "exec_tier": "jit"}]})",
+      "[bad-exec-tier]");
+  // A non-string value is a type error, not a tier-name error.
+  expect_parse_error(
+      R"({"cores": [{"name": "a", "program": "halt\n", "exec_tier": 2}]})",
+      "[bad-field]");
 }
 
 TEST(MachineDescErrors, TopologyValidation) {

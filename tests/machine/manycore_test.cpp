@@ -22,6 +22,7 @@
 
 #include "apps/cordic/cordic_reference.hpp"
 #include "apps/machine_peripherals.hpp"
+#include "apps/matmul/matmul_app.hpp"
 #include "core/manycore.hpp"
 #include "fault/fault_plan.hpp"
 #include "machine/machine_desc.hpp"
@@ -438,6 +439,129 @@ TEST(ManyCore, SteppingAHaltedCoreIsANoOp) {
   EXPECT_EQ(after.cycles, before.cycles);
   EXPECT_EQ(after.instructions, before.instructions);
   EXPECT_EQ(engine->link_words(), link_words);
+}
+
+// ------------------------------------------------ execution-tier identity
+
+// The execution tiers must be invisible to the machine: identical
+// CoSimStats, memory results and link traffic whichever tier every core
+// runs on and however many host workers advance the quantum rounds.
+
+struct TierRun {
+  core::CoSimStats stats;
+  u64 link_words = 0;
+  std::vector<Word> results;
+  iss::DbtStats dbt;
+};
+
+constexpr iss::ExecTier kAllTiers[] = {
+    iss::ExecTier::kPrecise, iss::ExecTier::kPredecode, iss::ExecTier::kDbt};
+
+void expect_tier_run_identical(const TierRun& run, const TierRun& baseline,
+                               iss::ExecTier tier, unsigned workers) {
+  const std::string label = std::string(iss::to_string(tier)) + " tier, " +
+                            std::to_string(workers) + " workers";
+  EXPECT_EQ(run.results, baseline.results) << label;
+  EXPECT_EQ(run.link_words, baseline.link_words) << label;
+  EXPECT_EQ(run.stats.cycles, baseline.stats.cycles) << label;
+  EXPECT_EQ(run.stats.instructions, baseline.stats.instructions) << label;
+  EXPECT_EQ(run.stats.fsl_stall_cycles, baseline.stats.fsl_stall_cycles)
+      << label;
+}
+
+TierRun run_farm_with_tier(unsigned workers, iss::ExecTier tier) {
+  apps::register_machine_peripherals();
+  machine::MachineDesc desc = mini_farm();
+  for (auto& core : desc.cores) core.exec_tier = tier;
+  auto built =
+      SimSystem::Builder().machine(std::move(desc)).workers(workers).build();
+  EXPECT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  EXPECT_EQ(system.run(), core::StopReason::kHalted);
+
+  TierRun run;
+  run.stats = system.stats();
+  run.link_words = system.machine_engine()->link_words();
+  run.dbt = system.dbt_stats();
+  for (u32 i = 0; i < 4; ++i) {
+    run.results.push_back(system.word_on(2, "results", i));
+  }
+  return run;
+}
+
+TEST(ManyCore, FarmTierIdentityAcrossWorkerCounts) {
+  const TierRun baseline = run_farm_with_tier(1, iss::ExecTier::kPrecise);
+  ASSERT_EQ(baseline.results.size(), 4u);
+  for (const iss::ExecTier tier : kAllTiers) {
+    for (const unsigned workers : {1u, 2u, 8u}) {
+      expect_tier_run_identical(run_farm_with_tier(workers, tier), baseline,
+                                tier, workers);
+    }
+  }
+}
+
+// A 2-core matmul machine (each core drives its own block-multiplier
+// peripheral through the paper's streaming schedule) is hot enough to
+// cross the dbt promotion threshold — the tier must actually engage and
+// still be invisible in the statistics at every worker count.
+TierRun run_matmul_machine(unsigned workers, iss::ExecTier tier) {
+  namespace matmul = mbcosim::apps::matmul;
+  apps::register_machine_peripherals();
+  const matmul::Matrix a = matmul::make_matrix(8, 3);
+  const matmul::Matrix b = matmul::make_matrix(8, 7);
+
+  machine::CoreDesc core_template;
+  core_template.name = "pe";
+  core_template.program = matmul::hw_driver_program(a, b, 4);
+  core_template.exec_tier = tier;
+  machine::MachineDesc desc =
+      machine::MachineDesc::replicated(2, core_template);
+  for (const machine::CoreDesc& core : desc.cores) {
+    machine::PeripheralDesc mac;
+    mac.core = core.name;
+    mac.type = "matmul";
+    mac.channel = 0;
+    mac.params["block_size"] = 4;
+    desc.peripherals.push_back(mac);
+  }
+  desc.quantum = 64;
+
+  auto built =
+      SimSystem::Builder().machine(std::move(desc)).workers(workers).build();
+  EXPECT_TRUE(built.ok()) << built.error();
+  SimSystem system = std::move(built).value();
+  EXPECT_EQ(system.run(), core::StopReason::kHalted);
+
+  TierRun run;
+  run.stats = system.stats();
+  run.link_words = system.machine_engine()->link_words();
+  run.dbt = system.dbt_stats();
+  const matmul::Matrix expected = matmul::multiply_reference(a, b);
+  for (std::size_t core = 0; core < 2; ++core) {
+    for (u32 i = 0; i < 8 * 8; ++i) {
+      run.results.push_back(system.word_on(core, "mat_c", i));
+      EXPECT_EQ(static_cast<i32>(run.results.back()),
+                expected.data[i])
+          << "core " << core << " element " << i;
+    }
+  }
+  return run;
+}
+
+TEST(ManyCore, MatmulMachineTierIdentityAcrossWorkerCounts) {
+  const TierRun baseline = run_matmul_machine(1, iss::ExecTier::kPrecise);
+  ASSERT_EQ(baseline.results.size(), 2u * 8 * 8);
+  EXPECT_EQ(baseline.dbt.blocks_translated, 0u);  // precise tier: no dbt
+  for (const iss::ExecTier tier : kAllTiers) {
+    for (const unsigned workers : {1u, 2u, 8u}) {
+      expect_tier_run_identical(run_matmul_machine(workers, tier), baseline,
+                                tier, workers);
+    }
+  }
+  // The driver loops are hot: the dbt tier must actually have engaged.
+  const TierRun dbt = run_matmul_machine(2, iss::ExecTier::kDbt);
+  EXPECT_GE(dbt.dbt.blocks_translated, 2u);  // at least one block per core
+  EXPECT_GT(dbt.dbt.dbt_instructions, 0u);
 }
 
 // ------------------------------------------------- deadlock & build errors

@@ -8,6 +8,7 @@
 // Usage:
 //   fault_campaign [--experiments N] [--seed S] [--threads T]
 //                  [--pes P] [--items N] [--json FILE]
+//                  [--exec-tier {precise,predecode,dbt}]
 //
 // The report is byte-identical for the same (seed, experiments, design)
 // at any --threads value; "--json none" disables file emission.
@@ -18,6 +19,7 @@
 #include "apps/cordic/cordic_app.hpp"
 #include "common/stopwatch.hpp"
 #include "fault/campaign.hpp"
+#include "iss/exec_tier.hpp"
 
 using namespace mbcosim;
 
@@ -29,6 +31,7 @@ struct Options {
   unsigned threads = 0;
   unsigned num_pes = 4;
   unsigned items = 4;
+  iss::ExecTier exec_tier = iss::ExecTier::kDbt;
   std::string json_path = "BENCH_fault_campaign.json";
 };
 
@@ -45,6 +48,17 @@ bool parse_args(int argc, char** argv, Options& options) {
     u64 number = 0;
     if (arg == "--json" && value != nullptr) {
       options.json_path = std::strcmp(value, "none") == 0 ? "" : value;
+      ++i;
+    } else if (arg == "--exec-tier" && value != nullptr) {
+      const auto tier = iss::parse_exec_tier(value);
+      if (!tier) {
+        std::fprintf(stderr,
+                     "bad --exec-tier value: %s (expected precise, "
+                     "predecode or dbt)\n",
+                     value);
+        return false;
+      }
+      options.exec_tier = *tier;
       ++i;
     } else if (value != nullptr && parse_unsigned(value, number)) {
       if (arg == "--experiments") {
@@ -78,7 +92,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: fault_campaign [--experiments N] [--seed S]\n"
                  "                      [--threads T] [--pes P] [--items N]\n"
-                 "                      [--json FILE]\n");
+                 "                      [--json FILE]\n"
+                 "                      [--exec-tier {precise,predecode,dbt}]\n");
     return 1;
   }
 
@@ -91,15 +106,21 @@ int main(int argc, char** argv) {
 
   // Every experiment builds a fresh self-contained system; a non-null
   // plan is armed onto it before the run.
+  const iss::ExecTier exec_tier = options.exec_tier;
   const fault::SystemFactory factory =
-      [&design, &x, &y](const fault::FaultPlan* plan)
+      [&design, &x, &y, exec_tier](const fault::FaultPlan* plan)
       -> Expected<sim::SimSystem> {
     Expected<sim::SimSystem> built =
         apps::cordic::make_cordic_system(design, x, y);
-    if (!built.ok() || plan == nullptr) return built;
+    if (!built.ok()) return built;
     sim::SimSystem system = std::move(built).value();
-    if (const Status status = system.arm_fault(*plan); !status.ok) {
-      return Expected<sim::SimSystem>::failure(status.message);
+    // The tier knob rides through to every sampled system; outcomes are
+    // tier-independent (execution tiers are bit-identical, DESIGN.md §12).
+    system.cpu().set_exec_tier(exec_tier);
+    if (plan != nullptr) {
+      if (const Status status = system.arm_fault(*plan); !status.ok) {
+        return Expected<sim::SimSystem>::failure(status.message);
+      }
     }
     return system;
   };

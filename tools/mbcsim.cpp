@@ -34,8 +34,12 @@
 //   --no-multiplier     processor configuration knobs
 //   --no-barrel-shifter
 //   --divider
-//   --no-predecode      disable the predecode cache + batched fast path
-//                       (A/B baseline; cycle counts are identical)
+//   --exec-tier TIER    processor execution tier: precise (decode every
+//                       step), predecode (cached decode + batched
+//                       dispatch) or dbt (superblock threaded code, the
+//                       default). Cycle counts are identical across
+//                       tiers (DESIGN.md §12)
+//   --no-predecode      deprecated alias for --exec-tier precise
 //   --rtl               run on the low-level RTL system instead of the
 //                       ISS (no peripheral; for timing cross-checks)
 //   --gdb PORT          do not run: serve one GDB Remote Serial Protocol
@@ -96,7 +100,7 @@ struct Options {
   std::string vcd_path;
   std::vector<std::pair<Addr, u32>> memory_dumps;
   Cycle max_cycles = 100'000'000;
-  bool predecode = true;
+  iss::ExecTier exec_tier = iss::ExecTier::kDbt;
   std::optional<u16> gdb_port;
   std::string fault_spec;
   u64 fault_seed = 1;
@@ -116,6 +120,7 @@ void usage() {
                "              [--metrics] [--regs] [--mem ADDR COUNT]\n"
                "              [--max-cycles N] [--no-multiplier]\n"
                "              [--no-barrel-shifter] [--divider] [--rtl]\n"
+               "              [--exec-tier {precise,predecode,dbt}]\n"
                "              [--no-predecode] [--gdb PORT]\n"
                "              [--fault SPEC] [--fault-seed S]\n"
                "              [--save-ckpt FILE] [--load-ckpt FILE]\n");
@@ -201,8 +206,24 @@ bool parse_args(int argc, char** argv, Options& options) {
     } else if (arg == "--divider") {
       options.cpu.has_divider = true;
       if (options.per_core_flag.empty()) options.per_core_flag = arg;
+    } else if (arg == "--exec-tier") {
+      const char* value = flag_value(argc, argv, i, arg);
+      if (value == nullptr) return false;
+      const auto tier = iss::parse_exec_tier(value);
+      if (!tier) {
+        std::fprintf(stderr,
+                     "bad --exec-tier value: %s (expected precise, "
+                     "predecode or dbt)\n",
+                     value);
+        return false;
+      }
+      options.exec_tier = *tier;
+      if (options.per_core_flag.empty()) options.per_core_flag = arg;
     } else if (arg == "--no-predecode") {
-      options.predecode = false;
+      std::fprintf(stderr,
+                   "mbcsim: --no-predecode is deprecated; use "
+                   "--exec-tier precise\n");
+      options.exec_tier = iss::ExecTier::kPrecise;
       if (options.per_core_flag.empty()) options.per_core_flag = arg;
     } else if (arg == "--vcd") {
       const char* value = flag_value(argc, argv, i, arg);
@@ -357,7 +378,7 @@ int run_on_iss(const Options& options, const assembler::Program& program) {
   memory.load_program(program);
   fsl::FslHub hub;
   iss::Processor cpu(options.cpu, memory, &hub);
-  cpu.set_predecode(options.predecode);
+  cpu.set_exec_tier(options.exec_tier);
 
   // Observability: one bus feeding whatever sinks the flags asked for.
   obs::TraceBus bus;
@@ -445,7 +466,7 @@ int run_fault(const Options& options, const assembler::Program& program) {
   sim::SimSystem::Builder builder;
   builder.program(program)
       .cpu_config(options.cpu)
-      .predecode(options.predecode)
+      .exec_tier(options.exec_tier)
       .fault(parsed.value());
   if (!options.trace_path.empty()) builder.trace(options.trace_path);
   if (!options.vcd_path.empty()) builder.vcd(options.vcd_path);
@@ -497,7 +518,7 @@ int run_gdb(const Options& options, const assembler::Program& program) {
   sim::SimSystem::Builder builder;
   builder.program(program)
       .cpu_config(options.cpu)
-      .predecode(options.predecode);
+      .exec_tier(options.exec_tier);
   if (!options.trace_path.empty()) builder.trace(options.trace_path);
   if (!options.vcd_path.empty()) builder.vcd(options.vcd_path);
   if (options.metrics) builder.metrics();
@@ -812,7 +833,8 @@ int main(int argc, char** argv) {
       core_template.has_multiplier = options.cpu.has_multiplier;
       core_template.has_barrel_shifter = options.cpu.has_barrel_shifter;
       core_template.has_divider = options.cpu.has_divider;
-      core_template.predecode = options.predecode;
+      core_template.predecode = options.exec_tier != iss::ExecTier::kPrecise;
+      core_template.exec_tier = options.exec_tier;
       return run_machine(options, machine::MachineDesc::replicated(
                                       options.cores,
                                       std::move(core_template)));
