@@ -1,0 +1,347 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mbcosim::common::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parse the whole document into `out`; empty string on success,
+  /// "[json-syntax] ..." otherwise (same convention as the parse_*
+  /// helpers below).
+  std::string parse(Value& out) {
+    if (std::string err = parse_value(out); !err.empty()) return err;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return {};
+  }
+
+ private:
+  std::string fail(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return "[json-syntax] " + what + " at line " + std::to_string(line) +
+           ", column " + std::to_string(col);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  // Each parse_* returns an empty string on success, an error otherwise.
+  std::string parse_value(Value& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string_value(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return parse_number(out);
+    }
+    if (literal("true")) {
+      out.data = true;
+      return {};
+    }
+    if (literal("false")) {
+      out.data = false;
+      return {};
+    }
+    if (literal("null")) {
+      out.data = nullptr;
+      return {};
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string parse_object(Value& out) {
+    consume('{');
+    Object object;
+    skip_ws();
+    if (consume('}')) {
+      out.data = std::move(object);
+      return {};
+    }
+    while (true) {
+      Value key;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected string key");
+      }
+      if (std::string err = parse_string_value(key); !err.empty()) return err;
+      if (!consume(':')) return fail("expected ':' after key");
+      Value value;
+      if (std::string err = parse_value(value); !err.empty()) return err;
+      object.emplace(std::get<std::string>(std::move(key.data)),
+                     std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in object");
+    }
+    out.data = std::move(object);
+    return {};
+  }
+
+  std::string parse_array(Value& out) {
+    consume('[');
+    Array array;
+    skip_ws();
+    if (consume(']')) {
+      out.data = std::move(array);
+      return {};
+    }
+    while (true) {
+      Value value;
+      if (std::string err = parse_value(value); !err.empty()) return err;
+      array.push_back(std::move(value));
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']' in array");
+    }
+    out.data = std::move(array);
+    return {};
+  }
+
+  std::string parse_string_value(Value& out) {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        out.data = std::move(value);
+        return {};
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': value += '"'; break;
+          case '\\': value += '\\'; break;
+          case '/': value += '/'; break;
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          default:
+            return fail(std::string("unsupported escape '\\") + escape + "'");
+        }
+        continue;
+      }
+      value += c;
+    }
+    return fail("unterminated string");
+  }
+
+  std::string parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                text_[pos_] == 'E')) {
+      return fail("numbers must be integers (no floats)");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("malformed number");
+    try {
+      out.data = std::stoll(token);
+    } catch (const std::exception&) {
+      return fail("number out of range: " + token);
+    }
+    return {};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_into(const Value& value, std::string& out) {
+  struct Visitor {
+    std::string& out;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(long long n) const { out += std::to_string(n); }
+    void operator()(const std::string& s) const {
+      out += '"';
+      out += escape(s);
+      out += '"';
+    }
+    void operator()(const Array& array) const {
+      out += '[';
+      bool first = true;
+      for (const Value& entry : array) {
+        if (!first) out += ',';
+        first = false;
+        dump_into(entry, out);
+      }
+      out += ']';
+    }
+    void operator()(const Object& object) const {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, entry] : object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        dump_into(entry, out);
+      }
+      out += '}';
+    }
+  };
+  std::visit(Visitor{out}, value.data);
+}
+
+std::string where(const std::string& context) {
+  return context.empty() ? std::string() : " in " + context;
+}
+
+}  // namespace
+
+// GCC 12 -Wmaybe-uninitialized misfires on moving the variant's vector
+// alternative into the Expected return slot; the value is always
+// initialized by Parser::parse before the move.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+Expected<Value> parse(const std::string& text) {
+  Parser parser(text);
+  Value root;
+  if (std::string err = parser.parse(root); !err.empty()) {
+    return Expected<Value>::failure(err);
+  }
+  return root;
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump_into(value, out);
+  return out;
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string get_string(const Object& object, const char* key,
+                       const std::string& context, bool required,
+                       std::string& out) {
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    if (!required) return {};
+    return std::string("[missing-field] required key '") + key + "'" +
+           where(context);
+  }
+  if (!it->second.is_string()) {
+    return std::string("[bad-field] '") + key + "' must be a string" +
+           where(context);
+  }
+  out = it->second.string();
+  return {};
+}
+
+std::string get_int(const Object& object, const char* key,
+                    const std::string& context, bool required, long long& out) {
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    if (!required) return {};
+    return std::string("[missing-field] required key '") + key + "'" +
+           where(context);
+  }
+  if (!it->second.is_int()) {
+    return std::string("[bad-field] '") + key + "' must be an integer" +
+           where(context);
+  }
+  out = it->second.integer();
+  return {};
+}
+
+std::string get_bool(const Object& object, const char* key,
+                     const std::string& context, bool& out) {
+  const auto it = object.find(key);
+  if (it == object.end()) return {};
+  if (!it->second.is_bool()) {
+    return std::string("[bad-field] '") + key + "' must be true or false" +
+           where(context);
+  }
+  out = it->second.boolean();
+  return {};
+}
+
+std::string get_unsigned(const Object& object, const char* key,
+                         const std::string& context, bool required,
+                         long long fallback, unsigned& out) {
+  long long value = fallback;
+  if (std::string err = get_int(object, key, context, required, value);
+      !err.empty()) {
+    return err;
+  }
+  if (value < 0) {
+    return std::string("[bad-field] '") + key + "' must be non-negative" +
+           where(context);
+  }
+  out = static_cast<unsigned>(value);
+  return {};
+}
+
+}  // namespace mbcosim::common::json

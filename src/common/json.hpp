@@ -1,0 +1,103 @@
+// Hand-rolled integer-only JSON: the one parser/serializer the whole
+// system shares. It grew up as the machine-description front end
+// (src/machine) and now also carries the simulation server's request/
+// response protocol (src/server) — the grammar both need is tiny:
+// objects, arrays, strings, integers, booleans, null. Numbers are
+// integers only; every quantity either layer exchanges (cycle counts,
+// byte sizes, session ids, channel numbers) is integral, and rejecting
+// floats keeps serialize/parse round-trips exact. No third-party
+// dependency — the container bakes in none.
+//
+// Error channel: parse() never throws. Syntax problems come back as
+// "[json-syntax] <what> at line L, column C". The get_* field helpers
+// return "[missing-field]" / "[bad-field]" diagnostics, the same stable
+// bracketed-code convention as machine::kDescErrorCodes and
+// server::kSrvErrorCodes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mbcosim::common::json {
+
+struct Value;
+using Array = std::vector<Value>;
+/// Key order is irrelevant for every schema built on this (machine
+/// descriptions, server requests), so a sorted map keeps lookup simple
+/// and makes dump() output canonical.
+using Object = std::map<std::string, Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, long long, std::string, Array, Object>
+      data = nullptr;
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(data);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(data);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(data);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(data);
+  }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<long long>(data);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(data);
+  }
+
+  // Unchecked accessors; call the matching is_*() first.
+  [[nodiscard]] const Object& object() const {
+    return std::get<Object>(data);
+  }
+  [[nodiscard]] const Array& array() const { return std::get<Array>(data); }
+  [[nodiscard]] const std::string& string() const {
+    return std::get<std::string>(data);
+  }
+  [[nodiscard]] long long integer() const { return std::get<long long>(data); }
+  [[nodiscard]] bool boolean() const { return std::get<bool>(data); }
+};
+
+/// Parse one complete JSON document (integers only; trailing characters
+/// rejected). Failures are "[json-syntax] ..." with line/column.
+[[nodiscard]] Expected<Value> parse(const std::string& text);
+
+/// Serialize a Value back to compact JSON (no whitespace, object keys
+/// in sorted order). parse(dump(v)) reproduces v exactly.
+[[nodiscard]] std::string dump(const Value& value);
+
+/// Escape `text` for embedding between the quotes of a JSON string
+/// literal (quotes, backslashes, control characters).
+[[nodiscard]] std::string escape(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Field helpers: schema readers over an Object with per-field
+// diagnostics. Each returns an empty string on success (including an
+// absent optional key, which leaves `out` untouched), or a
+// "[missing-field]" / "[bad-field]" message naming the key and, when
+// `context` is non-empty, where it was expected ("core 'feeder'").
+
+[[nodiscard]] std::string get_string(const Object& object, const char* key,
+                                     const std::string& context, bool required,
+                                     std::string& out);
+[[nodiscard]] std::string get_int(const Object& object, const char* key,
+                                  const std::string& context, bool required,
+                                  long long& out);
+[[nodiscard]] std::string get_bool(const Object& object, const char* key,
+                                   const std::string& context, bool& out);
+/// get_int plus a non-negativity check; `fallback` seeds `out` when the
+/// key is absent (and not required).
+[[nodiscard]] std::string get_unsigned(const Object& object, const char* key,
+                                       const std::string& context,
+                                       bool required, long long fallback,
+                                       unsigned& out);
+
+}  // namespace mbcosim::common::json

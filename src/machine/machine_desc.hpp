@@ -25,6 +25,10 @@
 #include "common/types.hpp"
 #include "iss/exec_tier.hpp"
 
+namespace mbcosim::common::json {
+struct Value;
+}  // namespace mbcosim::common::json
+
 namespace mbcosim::machine {
 
 /// Stable bracketed codes prefixed to every description error message.
@@ -114,6 +118,13 @@ struct MachineDesc {
   /// description or a "[code] message" error.
   [[nodiscard]] static Expected<MachineDesc> from_json(const std::string& text);
   [[nodiscard]] static Expected<MachineDesc> from_file(const std::string& path);
+  /// Build from an already-parsed common::json document (the simulation
+  /// server passes the "machine" subtree of a request body straight
+  /// through). No path rewriting happens here: `program_file` entries
+  /// resolve against the *consumer's* working directory, so inline
+  /// `program` text is the portable choice for over-the-wire machines.
+  [[nodiscard]] static Expected<MachineDesc> from_value(
+      const common::json::Value& root);
 
   /// Serialize back to JSON. from_json(to_json()) round-trips exactly.
   [[nodiscard]] std::string to_json() const;

@@ -1,305 +1,31 @@
-// JSON front-end for MachineDesc. The grammar the format needs is tiny
-// — objects, arrays, strings, integers, booleans — so a dependency-free
-// recursive-descent parser is used rather than pulling in a JSON
-// library (the container bakes in no third-party packages). Numbers are
-// integers only: every quantity in a machine description (cycle counts,
-// byte sizes, channel ids) is integral, and rejecting floats keeps
-// to_json() round-trips exact.
-#include <cctype>
+// JSON front-end for MachineDesc, built on the shared integer-only
+// parser in common/json (one grammar for machine files and the
+// simulation server's protocol). This file owns only the schema
+// mapping: common::json::Value -> MachineDesc with per-field
+// diagnostics under the stable kDescErrorCodes convention.
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
-#include <variant>
-#include <vector>
 
+#include "common/json.hpp"
 #include "machine/machine_desc.hpp"
 
 namespace mbcosim::machine {
 
 namespace {
 
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-/// Insertion order is irrelevant for the machine schema, so a sorted
-/// map keeps lookup simple.
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, long long, std::string, JsonArray,
-               JsonObject>
-      data = nullptr;
-
-  [[nodiscard]] bool is_object() const {
-    return std::holds_alternative<JsonObject>(data);
-  }
-  [[nodiscard]] bool is_array() const {
-    return std::holds_alternative<JsonArray>(data);
-  }
-  [[nodiscard]] bool is_string() const {
-    return std::holds_alternative<std::string>(data);
-  }
-  [[nodiscard]] bool is_int() const {
-    return std::holds_alternative<long long>(data);
-  }
-  [[nodiscard]] bool is_bool() const {
-    return std::holds_alternative<bool>(data);
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  /// Parse the whole document into `out`; empty string on success,
-  /// "[json-syntax] ..." otherwise (same convention as the parse_*
-  /// helpers below).
-  std::string parse(JsonValue& out) {
-    if (std::string err = parse_value(out); !err.empty()) return err;
-    skip_ws();
-    if (pos_ != text_.size()) return fail("trailing characters after document");
-    return {};
-  }
-
- private:
-  std::string fail(const std::string& what) const {
-    std::size_t line = 1;
-    std::size_t col = 1;
-    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
-      if (text_[i] == '\n') {
-        ++line;
-        col = 1;
-      } else {
-        ++col;
-      }
-    }
-    return "[json-syntax] " + what + " at line " + std::to_string(line) +
-           ", column " + std::to_string(col);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(const char* word) {
-    const std::size_t len = std::char_traits<char>::length(word);
-    if (text_.compare(pos_, len, word) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  // Each parse_* returns an empty string on success, an error otherwise.
-  std::string parse_value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return parse_object(out);
-    if (c == '[') return parse_array(out);
-    if (c == '"') return parse_string_value(out);
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      return parse_number(out);
-    }
-    if (literal("true")) {
-      out.data = true;
-      return {};
-    }
-    if (literal("false")) {
-      out.data = false;
-      return {};
-    }
-    if (literal("null")) {
-      out.data = nullptr;
-      return {};
-    }
-    return fail(std::string("unexpected character '") + c + "'");
-  }
-
-  std::string parse_object(JsonValue& out) {
-    consume('{');
-    JsonObject object;
-    skip_ws();
-    if (consume('}')) {
-      out.data = std::move(object);
-      return {};
-    }
-    while (true) {
-      JsonValue key;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        return fail("expected string key");
-      }
-      if (std::string err = parse_string_value(key); !err.empty()) return err;
-      if (!consume(':')) return fail("expected ':' after key");
-      JsonValue value;
-      if (std::string err = parse_value(value); !err.empty()) return err;
-      object.emplace(std::get<std::string>(std::move(key.data)),
-                     std::move(value));
-      if (consume(',')) continue;
-      if (consume('}')) break;
-      return fail("expected ',' or '}' in object");
-    }
-    out.data = std::move(object);
-    return {};
-  }
-
-  std::string parse_array(JsonValue& out) {
-    consume('[');
-    JsonArray array;
-    skip_ws();
-    if (consume(']')) {
-      out.data = std::move(array);
-      return {};
-    }
-    while (true) {
-      JsonValue value;
-      if (std::string err = parse_value(value); !err.empty()) return err;
-      array.push_back(std::move(value));
-      if (consume(',')) continue;
-      if (consume(']')) break;
-      return fail("expected ',' or ']' in array");
-    }
-    out.data = std::move(array);
-    return {};
-  }
-
-  std::string parse_string_value(JsonValue& out) {
-    ++pos_;  // opening quote
-    std::string value;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') {
-        out.data = std::move(value);
-        return {};
-      }
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char escape = text_[pos_++];
-        switch (escape) {
-          case '"': value += '"'; break;
-          case '\\': value += '\\'; break;
-          case '/': value += '/'; break;
-          case 'n': value += '\n'; break;
-          case 't': value += '\t'; break;
-          case 'r': value += '\r'; break;
-          default:
-            return fail(std::string("unsupported escape '\\") + escape + "'");
-        }
-        continue;
-      }
-      value += c;
-    }
-    return fail("unterminated string");
-  }
-
-  std::string parse_number(JsonValue& out) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-    if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
-                                text_[pos_] == 'E')) {
-      return fail("machine descriptions use integer numbers only");
-    }
-    const std::string token = text_.substr(start, pos_ - start);
-    if (token.empty() || token == "-") return fail("malformed number");
-    try {
-      out.data = std::stoll(token);
-    } catch (const std::exception&) {
-      return fail("number out of range: " + token);
-    }
-    return {};
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Schema mapping: JsonValue -> MachineDesc with per-field diagnostics.
+using common::json::get_bool;
+using common::json::get_int;
+using common::json::get_string;
+using common::json::get_unsigned;
+using common::json::Value;
 
 std::string where(const std::string& context) {
   return context.empty() ? std::string() : " in " + context;
 }
 
-std::string get_string(const JsonObject& object, const char* key,
-                       const std::string& context, bool required,
-                       std::string& out) {
-  const auto it = object.find(key);
-  if (it == object.end()) {
-    if (!required) return {};
-    return std::string("[missing-field] required key '") + key + "'" +
-           where(context);
-  }
-  if (!it->second.is_string()) {
-    return std::string("[bad-field] '") + key + "' must be a string" +
-           where(context);
-  }
-  out = std::get<std::string>(it->second.data);
-  return {};
-}
-
-std::string get_int(const JsonObject& object, const char* key,
-                    const std::string& context, bool required, long long& out) {
-  const auto it = object.find(key);
-  if (it == object.end()) {
-    if (!required) return {};
-    return std::string("[missing-field] required key '") + key + "'" +
-           where(context);
-  }
-  if (!it->second.is_int()) {
-    return std::string("[bad-field] '") + key + "' must be an integer" +
-           where(context);
-  }
-  out = std::get<long long>(it->second.data);
-  return {};
-}
-
-std::string get_bool(const JsonObject& object, const char* key,
-                     const std::string& context, bool& out) {
-  const auto it = object.find(key);
-  if (it == object.end()) return {};
-  if (!it->second.is_bool()) {
-    return std::string("[bad-field] '") + key + "' must be true or false" +
-           where(context);
-  }
-  out = std::get<bool>(it->second.data);
-  return {};
-}
-
-std::string get_unsigned(const JsonObject& object, const char* key,
-                         const std::string& context, bool required,
-                         long long fallback, unsigned& out) {
-  long long value = fallback;
-  if (std::string err = get_int(object, key, context, required, value);
-      !err.empty()) {
-    return err;
-  }
-  if (value < 0) {
-    return std::string("[bad-field] '") + key + "' must be non-negative" +
-           where(context);
-  }
-  out = static_cast<unsigned>(value);
-  return {};
-}
-
-std::string read_core(const JsonObject& object, CoreDesc& core) {
+std::string read_core(const common::json::Object& object, CoreDesc& core) {
   std::string err = get_string(object, "name", "core", true, core.name);
   if (!err.empty()) return err;
   const std::string context = "core '" + core.name + "'";
@@ -354,7 +80,7 @@ std::string read_core(const JsonObject& object, CoreDesc& core) {
   return {};
 }
 
-std::string read_link(const JsonObject& object, LinkDesc& link) {
+std::string read_link(const common::json::Object& object, LinkDesc& link) {
   std::string err = get_string(object, "from", "link", true, link.from);
   if (!err.empty()) return err;
   if (err = get_string(object, "to", "link", true, link.to); !err.empty()) {
@@ -369,7 +95,8 @@ std::string read_link(const JsonObject& object, LinkDesc& link) {
   return get_unsigned(object, "to_channel", context, true, 0, link.to_channel);
 }
 
-std::string read_peripheral(const JsonObject& object, PeripheralDesc& p) {
+std::string read_peripheral(const common::json::Object& object,
+                            PeripheralDesc& p) {
   std::string err = get_string(object, "core", "peripheral", true, p.core);
   if (!err.empty()) return err;
   if (err = get_string(object, "type", "peripheral", true, p.type);
@@ -389,18 +116,18 @@ std::string read_peripheral(const JsonObject& object, PeripheralDesc& p) {
       return "[bad-field] parameter '" + key + "' must be an integer" +
              where(context);
     }
-    p.params[key] = std::get<long long>(value.data);
+    p.params[key] = value.integer();
   }
   return {};
 }
 
-Expected<MachineDesc> build_desc(const JsonValue& root) {
+Expected<MachineDesc> build_desc(const Value& root) {
   using Result = Expected<MachineDesc>;
   if (!root.is_object()) {
     return Result::failure(
         "[bad-field] machine description must be a JSON object");
   }
-  const auto& top = std::get<JsonObject>(root.data);
+  const auto& top = root.object();
 
   MachineDesc desc;
   long long quantum = static_cast<long long>(desc.quantum);
@@ -431,13 +158,12 @@ Expected<MachineDesc> build_desc(const JsonValue& root) {
   if (!cores_it->second.is_array()) {
     return Result::failure("[bad-field] 'cores' must be an array");
   }
-  for (const JsonValue& entry : std::get<JsonArray>(cores_it->second.data)) {
+  for (const Value& entry : cores_it->second.array()) {
     if (!entry.is_object()) {
       return Result::failure("[bad-field] each core must be an object");
     }
     CoreDesc core;
-    if (std::string err = read_core(std::get<JsonObject>(entry.data), core);
-        !err.empty()) {
+    if (std::string err = read_core(entry.object(), core); !err.empty()) {
       return Result::failure(err);
     }
     desc.cores.push_back(std::move(core));
@@ -447,13 +173,12 @@ Expected<MachineDesc> build_desc(const JsonValue& root) {
     if (!it->second.is_array()) {
       return Result::failure("[bad-field] 'links' must be an array");
     }
-    for (const JsonValue& entry : std::get<JsonArray>(it->second.data)) {
+    for (const Value& entry : it->second.array()) {
       if (!entry.is_object()) {
         return Result::failure("[bad-field] each link must be an object");
       }
       LinkDesc link;
-      if (std::string err = read_link(std::get<JsonObject>(entry.data), link);
-          !err.empty()) {
+      if (std::string err = read_link(entry.object(), link); !err.empty()) {
         return Result::failure(err);
       }
       desc.links.push_back(std::move(link));
@@ -464,14 +189,12 @@ Expected<MachineDesc> build_desc(const JsonValue& root) {
     if (!it->second.is_array()) {
       return Result::failure("[bad-field] 'peripherals' must be an array");
     }
-    for (const JsonValue& entry : std::get<JsonArray>(it->second.data)) {
+    for (const Value& entry : it->second.array()) {
       if (!entry.is_object()) {
         return Result::failure("[bad-field] each peripheral must be an object");
       }
       PeripheralDesc p;
-      if (std::string err =
-              read_peripheral(std::get<JsonObject>(entry.data), p);
-          !err.empty()) {
+      if (std::string err = read_peripheral(entry.object(), p); !err.empty()) {
         return Result::failure(err);
       }
       desc.peripherals.push_back(std::move(p));
@@ -486,13 +209,16 @@ Expected<MachineDesc> build_desc(const JsonValue& root) {
 
 }  // namespace
 
-Expected<MachineDesc> MachineDesc::from_json(const std::string& text) {
-  Parser parser(text);
-  JsonValue root;
-  if (std::string err = parser.parse(root); !err.empty()) {
-    return Expected<MachineDesc>::failure(err);
-  }
+Expected<MachineDesc> MachineDesc::from_value(const common::json::Value& root) {
   return build_desc(root);
+}
+
+Expected<MachineDesc> MachineDesc::from_json(const std::string& text) {
+  Expected<Value> root = common::json::parse(text);
+  if (!root) {
+    return Expected<MachineDesc>::failure(root.error());
+  }
+  return build_desc(root.value());
 }
 
 Expected<MachineDesc> MachineDesc::from_file(const std::string& path) {

@@ -14,11 +14,23 @@ bool starts_with(std::string_view text, std::string_view prefix) {
 }  // namespace
 
 SessionEnd RspServer::serve() {
-  while (pump()) drain_transport(options_.poll_ms);
+  while (pump()) {
+    reject_pending_clients();
+    drain_transport(options_.poll_ms);
+  }
   return *end_;
 }
 
+void RspServer::reject_pending_clients() {
+  if (busy_listener_ == nullptr) return;
+  while (std::unique_ptr<Transport> intruder = busy_listener_->accept(0)) {
+    intruder->send(
+        frame_packet("E.srv-busy: debug port already has a client"));
+  }
+}
+
 bool RspServer::pump() {
+  if (!end_ && cancelled()) end_ = SessionEnd::kDisconnected;
   drain_transport(0);
   while (!end_ && !queue_.empty()) {
     const DecoderEvent event = std::move(queue_.front());
@@ -110,9 +122,11 @@ std::string RspServer::run_target(bool step, std::optional<Addr> addr) {
       if (stop.kind != StopInfo::Kind::kBudget) break;
       remaining -= std::min(quantum, remaining);
       if (remaining == 0) break;  // give up; reported as an interrupt stop
-      // Between quanta: poll the wire for gdb's Ctrl-C.
+      // Between quanta: poll the wire for gdb's Ctrl-C, turn away any
+      // newly arrived clients, and honour external cancellation.
+      reject_pending_clients();
       drain_transport(0);
-      if (take_interrupt()) {
+      if (take_interrupt() || cancelled()) {
         stop.kind = StopInfo::Kind::kBudget;  // maps to SIGINT below
         break;
       }

@@ -17,6 +17,7 @@
 // reply so clients can probe features.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <optional>
 #include <string>
@@ -63,6 +64,18 @@ class RspServer {
   RspServer(Transport& transport, Target& target)
       : RspServer(transport, target, Options{}) {}
 
+  /// While a session is live, poll-accept further clients on this
+  /// listener and turn each away with a framed "E.srv-busy: ..." error
+  /// before closing — one debugger per target, but the loser learns why.
+  /// The listener must outlive the server. Null (default) disables.
+  void set_busy_listener(TcpListener* listener) { busy_listener_ = listener; }
+
+  /// External cancellation: when `*cancel` becomes true the session ends
+  /// (kDisconnected) at the next pump, and a running continue stops at
+  /// the next resume-quantum boundary. The flag must outlive the server.
+  /// The simulation server uses this to kill a debug-attached session.
+  void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
   /// Blocking session loop: handle packets until detach, kill or
   /// disconnect.
   SessionEnd serve();
@@ -77,6 +90,10 @@ class RspServer {
 
  private:
   void drain_transport(int timeout_ms);
+  void reject_pending_clients();
+  [[nodiscard]] bool cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
   /// Remove and report a queued interrupt event (polled mid-resume).
   bool take_interrupt();
   void handle_event(const DecoderEvent& event);
@@ -90,6 +107,8 @@ class RspServer {
   Transport& transport_;
   Target& target_;
   Options options_;
+  TcpListener* busy_listener_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
   PacketDecoder decoder_;
   std::deque<DecoderEvent> queue_;
   std::string last_reply_frame_;       ///< retransmitted on NAK

@@ -148,7 +148,7 @@ TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Expected<TcpListener> TcpListener::listen(u16 port) {
+Expected<TcpListener> TcpListener::listen(u16 port, int backlog) {
   using Failure = Expected<TcpListener>;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -167,7 +167,7 @@ Expected<TcpListener> TcpListener::listen(u16 port) {
     return Failure::failure("TcpListener: bind port " + std::to_string(port) +
                             ": " + message);
   }
-  if (::listen(fd, 1) < 0) {
+  if (::listen(fd, backlog) < 0) {
     const std::string message = std::strerror(errno);
     ::close(fd);
     return Failure::failure("TcpListener: listen: " + message);

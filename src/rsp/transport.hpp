@@ -107,8 +107,11 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
   ~TcpListener();
 
-  /// Bind and listen on 127.0.0.1:port (0 = ephemeral).
-  [[nodiscard]] static Expected<TcpListener> listen(u16 port);
+  /// Bind and listen on 127.0.0.1:port (0 = ephemeral). The backlog
+  /// admits extra pending connections so a busy server can accept and
+  /// *reject* a second client with a structured error instead of leaving
+  /// its connect() hanging (RspServer::set_busy_listener).
+  [[nodiscard]] static Expected<TcpListener> listen(u16 port, int backlog = 4);
 
   [[nodiscard]] u16 port() const noexcept { return port_; }
 

@@ -1,0 +1,257 @@
+#include "server/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+namespace mbcosim::server {
+
+namespace {
+
+/// recv() slice used while assembling a request. Short enough that the
+/// overall timeout is respected to ~this granularity, long enough not
+/// to spin. Loopback transports return instantly regardless; the
+/// elapsed accounting still advances so a truncated loopback request
+/// fails fast instead of looping forever.
+constexpr int kRecvSliceMs = 50;
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+/// Parse the header section (everything before the blank line) into the
+/// request; empty string on success.
+std::string parse_head(const std::string& head, HttpRequest& out) {
+  std::size_t pos = 0;
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return "[srv-bad-request] malformed request line";
+  }
+  out.method = request_line.substr(0, sp1);
+  out.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = out.target.find('?');
+  out.path = query == std::string::npos ? out.target
+                                        : out.target.substr(0, query);
+  if (out.method.empty() || out.path.empty() || out.path.front() != '/') {
+    return "[srv-bad-request] malformed request line";
+  }
+  pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return "[srv-bad-request] malformed header line";
+    }
+    out.headers[lower(trim(line.substr(0, colon)))] =
+        trim(line.substr(colon + 1));
+  }
+  return {};
+}
+
+}  // namespace
+
+Expected<HttpRequest> read_request(rsp::Transport& transport, int timeout_ms) {
+  using Failure = Expected<HttpRequest>;
+  std::string buffer;
+  std::size_t head_end = std::string::npos;
+  int elapsed = 0;
+  // Phase 1: accumulate until the blank line ending the header section.
+  while (true) {
+    head_end = buffer.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buffer.size() > kMaxHeaderBytes) {
+      return Failure::failure("[srv-bad-request] header section too large");
+    }
+    if (transport.closed()) {
+      if (buffer.empty()) return Failure::failure("[closed]");
+      return Failure::failure("[srv-bad-request] truncated request");
+    }
+    if (elapsed >= timeout_ms) {
+      if (buffer.empty()) return Failure::failure("[closed]");
+      return Failure::failure("[srv-bad-request] timed out reading request");
+    }
+    buffer += transport.recv(kRecvSliceMs);
+    elapsed += kRecvSliceMs;
+  }
+
+  HttpRequest request;
+  if (std::string err = parse_head(buffer.substr(0, head_end + 2), request);
+      !err.empty()) {
+    return Failure::failure(err);
+  }
+
+  std::size_t content_length = 0;
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    try {
+      content_length = std::stoull(it->second);
+    } catch (const std::exception&) {
+      return Failure::failure("[srv-bad-request] bad Content-Length");
+    }
+  }
+  if (content_length > kMaxBodyBytes) {
+    return Failure::failure("[srv-bad-request] body too large");
+  }
+
+  // Phase 2: the body. Bytes beyond the header section already read
+  // count toward it.
+  request.body = buffer.substr(head_end + 4);
+  while (request.body.size() < content_length) {
+    if (transport.closed()) {
+      return Failure::failure("[srv-bad-request] truncated request body");
+    }
+    if (elapsed >= timeout_ms) {
+      return Failure::failure("[srv-bad-request] timed out reading body");
+    }
+    request.body += transport.recv(kRecvSliceMs);
+    elapsed += kRecvSliceMs;
+  }
+  request.body.resize(content_length);
+  return request;
+}
+
+const char* HttpResponseWriter::status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 503: return "Service Unavailable";
+    case 500:
+    default: return "Internal Server Error";
+  }
+}
+
+bool HttpResponseWriter::respond(int status, std::string_view content_type,
+                                 std::string_view body) {
+  responded_ = true;
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     status_text(status) + "\r\nContent-Type: " +
+                     std::string(content_type) + "\r\nContent-Length: " +
+                     std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  head += body;
+  return transport_.send(head);
+}
+
+bool HttpResponseWriter::begin_chunked(int status,
+                                       std::string_view content_type) {
+  responded_ = true;
+  const std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                           status_text(status) + "\r\nContent-Type: " +
+                           std::string(content_type) +
+                           "\r\nTransfer-Encoding: chunked\r\nConnection: "
+                           "close\r\n\r\n";
+  return transport_.send(head);
+}
+
+bool HttpResponseWriter::chunk(std::string_view data) {
+  if (data.empty()) return true;  // a zero-size chunk would end the stream
+  char size[32];
+  std::snprintf(size, sizeof size, "%zx\r\n", data.size());
+  std::string frame = size;
+  frame += data;
+  frame += "\r\n";
+  return transport_.send(frame);
+}
+
+bool HttpResponseWriter::finish_chunked() {
+  return transport_.send("0\r\n\r\n");
+}
+
+bool HttpResponseWriter::client_alive() {
+  // One request per connection: nothing legitimate arrives after the
+  // request, so draining is safe and lets closed() observe EOF.
+  (void)transport_.recv(0);
+  return !transport_.closed();
+}
+
+Expected<std::unique_ptr<HttpServer>> HttpServer::start(u16 port,
+                                                        Handler handler) {
+  using Failure = Expected<std::unique_ptr<HttpServer>>;
+  Expected<rsp::TcpListener> bound = rsp::TcpListener::listen(port, 16);
+  if (!bound) {
+    return Failure::failure("HttpServer: " + bound.error());
+  }
+  // Constructor is private; no make_unique.
+  std::unique_ptr<HttpServer> server(
+      new HttpServer(std::move(bound).value(), std::move(handler)));
+  return server;
+}
+
+HttpServer::HttpServer(rsp::TcpListener listener, Handler handler)
+    : listener_(std::move(listener)),
+      handler_(std::move(handler)),
+      port_(listener_.port()) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::unique_ptr<rsp::Transport> client = listener_.accept(100);
+    if (client == nullptr) continue;
+    // Connection threads accumulate until stop() joins them — fine for
+    // the bounded session counts this server admits; a daemon expecting
+    // millions of connections would reap finished threads here.
+    std::shared_ptr<rsp::Transport> shared = std::move(client);
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.emplace_back([this, shared] {
+      Expected<HttpRequest> request = read_request(*shared, 10'000);
+      HttpResponseWriter writer(*shared);
+      if (!request) {
+        if (request.error() != "[closed]") {
+          writer.respond(400, "application/json",
+                         "{\"error\":\"" + request.error() + "\"}");
+        }
+        return;
+      }
+      handler_(request.value(), writer);
+    });
+  }
+}
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;  // a second caller must not re-join the threads
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) {
+    if (connection.joinable()) connection.join();
+  }
+}
+
+}  // namespace mbcosim::server

@@ -1,0 +1,350 @@
+#include "server/service.hpp"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace mbcosim::server {
+
+namespace {
+
+bool starts_with(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+void respond_error(HttpResponseWriter& writer, const std::string& message) {
+  writer.respond(status_for_error(message), "application/json",
+                 "{\"error\":\"" + common::json::escape(message) + "\"}");
+}
+
+void respond_json(HttpResponseWriter& writer, int status,
+                  const std::string& body) {
+  writer.respond(status, "application/json", body);
+}
+
+/// "/sessions/<id>[/verb]" -> id + verb ("" when absent); false when
+/// the path is not of that shape.
+bool parse_session_path(const std::string& path, u64& id, std::string& verb) {
+  const std::string prefix = "/sessions/";
+  if (!starts_with(path, prefix.c_str())) return false;
+  std::size_t pos = prefix.size();
+  std::size_t end = path.find('/', pos);
+  const std::string digits =
+      path.substr(pos, end == std::string::npos ? std::string::npos
+                                                : end - pos);
+  if (digits.empty()) return false;
+  u64 value = 0;
+  for (const char c : digits) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+    value = value * 10 + static_cast<u64>(c - '0');
+  }
+  id = value;
+  verb = end == std::string::npos ? std::string() : path.substr(end + 1);
+  return true;
+}
+
+/// Parse an optional JSON object body; an empty body is an empty
+/// object. Failure message has a stable code already.
+Expected<common::json::Object> parse_body_object(const std::string& body) {
+  using Failure = Expected<common::json::Object>;
+  if (body.empty()) return common::json::Object{};
+  Expected<common::json::Value> parsed = common::json::parse(body);
+  if (!parsed) return Failure::failure(parsed.error());
+  if (!parsed.value().is_object()) {
+    return Failure::failure("[srv-bad-request] request body must be a JSON "
+                            "object");
+  }
+  return parsed.value().object();
+}
+
+}  // namespace
+
+int status_for_error(const std::string& message) {
+  if (starts_with(message, "[srv-unknown-session]")) return 404;
+  if (starts_with(message, "[srv-busy]")) return 503;
+  if (starts_with(message, "[srv-running]") ||
+      starts_with(message, "[srv-not-running]") ||
+      starts_with(message, "[srv-never-ran]")) {
+    return 409;
+  }
+  if (starts_with(message, "[srv-debug]") ||
+      starts_with(message, "[srv-io]")) {
+    return 500;
+  }
+  // Everything else bracketed is a client-input problem: srv-bad-request,
+  // srv-bad-machine, srv-ckpt and the json/machine description codes.
+  if (!message.empty() && message.front() == '[') return 400;
+  return 500;
+}
+
+void Service::handle(const HttpRequest& request, HttpResponseWriter& writer) {
+  const std::string& path = request.path;
+  if (request.method == "GET" && path == "/healthz") {
+    writer.respond(200, "text/plain", "ok\n");
+    return;
+  }
+  if (path == "/sessions") {
+    if (request.method == "POST") {
+      handle_create(request, writer);
+      return;
+    }
+    if (request.method == "GET") {
+      std::string body = "{\"sessions\":[";
+      bool first = true;
+      for (const std::shared_ptr<Session>& session : manager_.list()) {
+        if (!first) body += ",";
+        first = false;
+        body += session->info_json();
+      }
+      body += "]}";
+      respond_json(writer, 200, body);
+      return;
+    }
+  }
+  if (request.method == "POST" && path == "/shutdown") {
+    respond_json(writer, 200, "{\"shutdown\":true}");
+    if (options_.on_shutdown) options_.on_shutdown();
+    return;
+  }
+  u64 id = 0;
+  std::string verb;
+  if (parse_session_path(path, id, verb)) {
+    handle_session(id, verb, request, writer);
+    return;
+  }
+  respond_error(writer, "[srv-bad-request] no such endpoint: " +
+                            request.method + " " + path);
+}
+
+void Service::handle_create(const HttpRequest& request,
+                            HttpResponseWriter& writer) {
+  using common::json::get_bool;
+  using common::json::get_int;
+  Expected<common::json::Object> parsed = parse_body_object(request.body);
+  if (!parsed) {
+    respond_error(writer, parsed.error());
+    return;
+  }
+  const common::json::Object& top = parsed.value();
+
+  // The machine: inline object or a server-side file path.
+  Expected<machine::MachineDesc> desc = Expected<machine::MachineDesc>::failure(
+      "[srv-bad-request] request needs \"machine\" (object) or "
+      "\"machine_file\" (string)");
+  const auto machine_it = top.find("machine");
+  const auto file_it = top.find("machine_file");
+  if (machine_it != top.end() && file_it != top.end()) {
+    respond_error(writer,
+                  "[srv-bad-request] \"machine\" and \"machine_file\" are "
+                  "mutually exclusive");
+    return;
+  }
+  if (machine_it != top.end()) {
+    desc = machine::MachineDesc::from_value(machine_it->second);
+  } else if (file_it != top.end()) {
+    if (!file_it->second.is_string()) {
+      respond_error(writer,
+                    "[srv-bad-request] \"machine_file\" must be a string");
+      return;
+    }
+    desc = machine::MachineDesc::from_file(file_it->second.string());
+  }
+  if (!desc) {
+    respond_error(writer, desc.error());
+    return;
+  }
+
+  SessionConfig config;
+  config.desc = std::move(desc).value();
+  config.control_quantum = options_.control_quantum;
+  long long workers = 0;
+  long long control_quantum = 0;
+  long long stream_queue = 0;
+  std::string err;
+  if ((err = get_int(top, "workers", "session", false, workers),
+       !err.empty()) ||
+      (err = get_bool(top, "metrics", "session", config.metrics),
+       !err.empty()) ||
+      (err = get_bool(top, "trace", "session", config.trace), !err.empty()) ||
+      (err = get_int(top, "control_quantum", "session", false,
+                     control_quantum),
+       !err.empty()) ||
+      (err = get_int(top, "stream_queue", "session", false, stream_queue),
+       !err.empty())) {
+    respond_error(writer, err);
+    return;
+  }
+  if (workers < 0 || control_quantum < 0 || stream_queue < 0) {
+    respond_error(writer,
+                  "[srv-bad-request] workers, control_quantum and "
+                  "stream_queue must be non-negative");
+    return;
+  }
+  config.workers = static_cast<unsigned>(workers);
+  if (control_quantum > 0) {
+    config.control_quantum = static_cast<Cycle>(control_quantum);
+  }
+  if (stream_queue > 0) {
+    config.stream_queue = static_cast<std::size_t>(stream_queue);
+  }
+
+  Expected<std::shared_ptr<Session>> session = manager_.create(std::move(config));
+  if (!session) {
+    respond_error(writer, session.error());
+    return;
+  }
+  respond_json(writer, 201, session.value()->info_json());
+}
+
+void Service::handle_session(u64 id, const std::string& verb,
+                             const HttpRequest& request,
+                             HttpResponseWriter& writer) {
+  // DELETE removes from the pool, so it does not go through find().
+  if (verb.empty() && request.method == "DELETE") {
+    if (std::string err = manager_.kill(id); !err.empty()) {
+      respond_error(writer, err);
+      return;
+    }
+    respond_json(writer, 200,
+                 "{\"id\":" + std::to_string(id) + ",\"state\":\"killed\"}");
+    return;
+  }
+  Expected<std::shared_ptr<Session>> found = manager_.find(id);
+  if (!found) {
+    respond_error(writer, found.error());
+    return;
+  }
+  Session& session = *found.value();
+
+  if (verb.empty() && request.method == "GET") {
+    respond_json(writer, 200, session.info_json());
+    return;
+  }
+  if (verb == "run" && request.method == "POST") {
+    Expected<common::json::Object> body = parse_body_object(request.body);
+    if (!body) {
+      respond_error(writer, body.error());
+      return;
+    }
+    long long max_cycles = 0;
+    if (std::string err = common::json::get_int(body.value(), "max_cycles",
+                                                "run", false, max_cycles);
+        !err.empty()) {
+      respond_error(writer, err);
+      return;
+    }
+    const Cycle target = max_cycles > 0 ? static_cast<Cycle>(max_cycles)
+                                        : Cycle{1} << 36;
+    if (std::string err = session.run_async(target); !err.empty()) {
+      respond_error(writer, err);
+      return;
+    }
+    respond_json(writer, 200, session.info_json());
+    return;
+  }
+  if (verb == "pause" && request.method == "POST") {
+    if (std::string err = session.pause(); !err.empty()) {
+      respond_error(writer, err);
+      return;
+    }
+    respond_json(writer, 200, session.info_json());
+    return;
+  }
+  if (verb == "stats" && request.method == "GET") {
+    Expected<std::string> text = session.stats_page();
+    if (!text) {
+      respond_error(writer, text.error());
+      return;
+    }
+    writer.respond(200, "text/plain", text.value());
+    return;
+  }
+  if (verb == "metrics" && request.method == "GET") {
+    Expected<std::string> text = session.metrics_page();
+    if (!text) {
+      respond_error(writer, text.error());
+      return;
+    }
+    writer.respond(200, "text/plain", text.value());
+    return;
+  }
+  if (verb == "checkpoint" && request.method == "GET") {
+    Expected<std::vector<unsigned char>> image = session.checkpoint();
+    if (!image) {
+      respond_error(writer, image.error());
+      return;
+    }
+    const std::string body(image.value().begin(), image.value().end());
+    writer.respond(200, "application/octet-stream", body);
+    return;
+  }
+  if (verb == "restore" && request.method == "POST") {
+    const std::vector<unsigned char> image(request.body.begin(),
+                                           request.body.end());
+    if (std::string err = session.restore_image(image); !err.empty()) {
+      respond_error(writer, err);
+      return;
+    }
+    respond_json(writer, 200, session.info_json());
+    return;
+  }
+  if (verb == "debug" && request.method == "POST") {
+    Expected<common::json::Object> body = parse_body_object(request.body);
+    if (!body) {
+      respond_error(writer, body.error());
+      return;
+    }
+    long long port = 0;
+    if (std::string err = common::json::get_int(body.value(), "port", "debug",
+                                                false, port);
+        !err.empty()) {
+      respond_error(writer, err);
+      return;
+    }
+    if (port < 0 || port > 65535) {
+      respond_error(writer, "[srv-bad-request] port must be 0..65535");
+      return;
+    }
+    Expected<u16> bound = session.start_debug(static_cast<u16>(port));
+    if (!bound) {
+      respond_error(writer, bound.error());
+      return;
+    }
+    respond_json(writer, 200,
+                 "{\"id\":" + std::to_string(id) +
+                     ",\"port\":" + std::to_string(bound.value()) + "}");
+    return;
+  }
+  if (verb == "stream" && request.method == "GET") {
+    stream_session(session, writer);
+    return;
+  }
+  respond_error(writer, "[srv-bad-request] no such endpoint: " +
+                            request.method + " " + request.path);
+}
+
+void Service::stream_session(Session& session, HttpResponseWriter& writer) {
+  const std::shared_ptr<StreamSubscription> subscription = session.subscribe();
+  if (!writer.begin_chunked(200, "application/jsonl")) return;
+  int idle_polls = 0;
+  while (true) {
+    const std::optional<std::string> line = subscription->next(250);
+    if (line) {
+      idle_polls = 0;
+      if (!writer.chunk(*line + "\n")) return;  // client gone
+      continue;
+    }
+    if (subscription->finished()) break;
+    // Nothing said for a second: probe whether the client is still
+    // there, so an abandoned stream of an idle session ends.
+    if (++idle_polls >= 4) {
+      idle_polls = 0;
+      if (!writer.client_alive()) return;
+    }
+  }
+  writer.finish_chunked();
+}
+
+}  // namespace mbcosim::server

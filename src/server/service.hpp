@@ -1,0 +1,63 @@
+// The HTTP surface of the simulation server — the protocol glue
+// between http.{hpp,cpp} and the session pool. One instance serves
+// every connection thread; all state lives in the SessionManager.
+//
+//   GET    /healthz              liveness probe
+//   POST   /sessions             create (machine JSON in the body)
+//   GET    /sessions             list summaries
+//   GET    /sessions/N           one summary
+//   POST   /sessions/N/run       {"max_cycles":T} absolute target
+//   POST   /sessions/N/pause     stop at next control quantum
+//   GET    /sessions/N/stats     stats_text() (text/plain)
+//   GET    /sessions/N/metrics   metrics snapshot (text/plain)
+//   GET    /sessions/N/checkpoint  checkpoint image (octet-stream)
+//   POST   /sessions/N/restore   checkpoint image in the body
+//   POST   /sessions/N/debug     {"port":P} -> {"port":bound}
+//   GET    /sessions/N/stream    chunked JSONL telemetry
+//   DELETE /sessions/N           kill
+//   POST   /shutdown             stop the daemon
+//
+// Error responses are {"error":"[srv-*] ..."} with the HTTP status
+// derived from the bracketed code (see errors.hpp).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "server/http.hpp"
+#include "server/session_manager.hpp"
+
+namespace mbcosim::server {
+
+class Service {
+ public:
+  struct Options {
+    SessionManager::Limits limits;
+    /// Default control quantum for sessions that do not set one.
+    Cycle control_quantum = 100'000;
+    /// Invoked on POST /shutdown (after the response is sent).
+    std::function<void()> on_shutdown;
+  };
+
+  explicit Service(Options options)
+      : options_(std::move(options)), manager_(options_.limits) {}
+
+  /// HttpServer::Handler entry point.
+  void handle(const HttpRequest& request, HttpResponseWriter& writer);
+
+  [[nodiscard]] SessionManager& manager() noexcept { return manager_; }
+
+ private:
+  void handle_create(const HttpRequest& request, HttpResponseWriter& writer);
+  void handle_session(u64 id, const std::string& verb,
+                      const HttpRequest& request, HttpResponseWriter& writer);
+  void stream_session(Session& session, HttpResponseWriter& writer);
+
+  Options options_;
+  SessionManager manager_;
+};
+
+/// HTTP status for a "[code] ..." error message (errors.hpp mapping).
+[[nodiscard]] int status_for_error(const std::string& message);
+
+}  // namespace mbcosim::server

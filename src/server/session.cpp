@@ -1,0 +1,289 @@
+#include "server/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.hpp"
+#include "isa/isa.hpp"
+
+namespace mbcosim::server {
+
+namespace {
+
+std::string busy_message(SessionState state) {
+  return std::string("[srv-running] session is ") + to_string(state) +
+         "; operation requires an idle session";
+}
+
+}  // namespace
+
+std::string stats_text(const sim::SimSystem& system) {
+  const core::CoSimStats s = system.stats();
+  std::string out;
+  out += "cycles " + std::to_string(s.cycles);
+  out += "\ninstructions " + std::to_string(s.instructions);
+  out += "\nfsl_stall_cycles " + std::to_string(s.fsl_stall_cycles);
+  out += "\nhw_cycles_stepped " + std::to_string(s.hw_cycles_stepped);
+  out += "\nhw_cycles_skipped " + std::to_string(s.hw_cycles_skipped);
+  out += "\nwords_to_hw " + std::to_string(s.bridge.words_to_hw);
+  out += "\nwords_from_hw " + std::to_string(s.bridge.words_from_hw);
+  const iss::DbtStats dbt = system.dbt_stats();
+  out += "\ndbt_blocks_translated " + std::to_string(dbt.blocks_translated);
+  out += "\ndbt_block_dispatches " + std::to_string(dbt.block_dispatches);
+  out += "\ndbt_smc_retirements " + std::to_string(dbt.smc_retirements);
+  out += "\ndbt_fast_path_instructions " + std::to_string(dbt.dbt_instructions);
+  if (system.core_count() > 1) {
+    for (std::size_t i = 0; i < system.core_count(); ++i) {
+      const core::CoSimStats cs = system.core_stats(i);
+      const std::string& name = system.core_name(i);
+      out += "\ncore." + name + ".cycles " + std::to_string(cs.cycles);
+      out += "\ncore." + name + ".instructions " +
+             std::to_string(cs.instructions);
+      out += "\ncore." + name + ".fsl_stall_cycles " +
+             std::to_string(cs.fsl_stall_cycles);
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+Expected<std::shared_ptr<Session>> Session::create(u64 id,
+                                                   SessionConfig config) {
+  using Failure = Expected<std::shared_ptr<Session>>;
+  sim::SimSystem::Builder builder;
+  builder.machine(config.desc).workers(config.workers);
+  if (config.metrics) builder.metrics();
+  Expected<sim::SimSystem> built = builder.build();
+  if (!built) {
+    return Failure::failure("[srv-bad-machine] " + built.error());
+  }
+  std::shared_ptr<Session> session(new Session(id, std::move(config)));
+  session->system_.emplace(std::move(built).value());
+  sim::SimSystem& system = *session->system_;
+  if (session->config_.trace) {
+    // Same rendering as a batch --trace file: streamed event lines are
+    // byte-identical to the golden-trace output.
+    for (std::size_t i = 0; i < system.core_count(); ++i) {
+      system.trace_bus(i).add_sink(std::make_unique<StreamSink>(
+          session->hub_,
+          [](Addr, Word raw) { return isa::disassemble(raw); }));
+    }
+  }
+  if (system.core_count() > 1) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned engine_workers =
+        session->config_.workers != 0
+            ? session->config_.workers
+            : std::min<unsigned>(
+                  hw, static_cast<unsigned>(system.core_count()));
+    session->cost_ = 1 + engine_workers;
+  }
+  return session;
+}
+
+Session::~Session() {
+  // The manager guarantees kill() ran; this only reaps the thread.
+  if (worker_.joinable()) worker_.join();
+}
+
+SessionState Session::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void Session::publish_state(const char* state, Cycle cycles,
+                            const std::string& stop) {
+  using common::json::Value;
+  common::json::Object record;
+  record["stream"] = Value{std::string("state")};
+  record["state"] = Value{std::string(state)};
+  record["cycles"] = Value{static_cast<long long>(cycles)};
+  if (!stop.empty()) record["stop"] = Value{stop};
+  hub_.publish(common::json::dump(Value{std::move(record)}));
+}
+
+std::string Session::run_async(Cycle max_cycles) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kIdle) return busy_message(state_);
+  reap_worker();
+  has_run_ = true;
+  pause_requested_.store(false, std::memory_order_relaxed);
+  state_ = SessionState::kRunning;
+  publish_state("running", cached_cycles_, {});
+  worker_ = std::thread([this, max_cycles] { worker_run(max_cycles); });
+  return {};
+}
+
+void Session::worker_run(Cycle max_cycles) {
+  // Exclusive owner of system_ until the state flips back to idle.
+  core::StopReason reason = core::StopReason::kCycleLimit;
+  while (true) {
+    const Cycle current = system_->stats().cycles;
+    if (current >= max_cycles) break;
+    const Cycle target =
+        std::min(current + config_.control_quantum, max_cycles);
+    reason = system_->run(target);
+    if (config_.metrics) {
+      using common::json::Value;
+      common::json::Object record;
+      record["stream"] = Value{std::string("metrics")};
+      record["cycle"] =
+          Value{static_cast<long long>(system_->stats().cycles)};
+      common::json::Object counters;
+      for (const auto& [key, value] : system_->metrics_snapshot().counters) {
+        counters[key] = Value{static_cast<long long>(value)};
+      }
+      record["counters"] = Value{std::move(counters)};
+      hub_.publish(common::json::dump(Value{std::move(record)}));
+    }
+    if (reason != core::StopReason::kCycleLimit) break;  // terminal stop
+    if (pause_requested_.load(std::memory_order_relaxed) ||
+        kill_requested_.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const Cycle cycles = system_->stats().cycles;
+  const std::string stop = core::stop_reason_name(reason);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cached_cycles_ = cycles;
+    cached_stop_ = stop;
+    state_ = SessionState::kIdle;
+    publish_state("idle", cycles, stop);
+  }
+  cv_.notify_all();
+}
+
+std::string Session::pause() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (state_ == SessionState::kDebug) {
+    return "[srv-running] a debug client drives this session; detach it "
+           "instead of pausing";
+  }
+  if (state_ != SessionState::kRunning) {
+    return "[srv-not-running] no run in progress";
+  }
+  pause_requested_.store(true, std::memory_order_relaxed);
+  cv_.wait(lock, [this] { return state_ != SessionState::kRunning; });
+  pause_requested_.store(false, std::memory_order_relaxed);
+  return {};
+}
+
+std::string Session::kill() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == SessionState::kKilled) return {};
+    kill_requested_.store(true, std::memory_order_relaxed);
+  }
+  // Join outside the mutex: the worker takes it to flip back to idle.
+  if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = SessionState::kKilled;
+    publish_state("killed", cached_cycles_, cached_stop_);
+  }
+  hub_.close();
+  return {};
+}
+
+Expected<std::vector<unsigned char>> Session::checkpoint() {
+  using Failure = Expected<std::vector<unsigned char>>;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kIdle) return Failure::failure(busy_message(state_));
+  if (!has_run_) {
+    return Failure::failure(
+        "[srv-never-ran] checkpoint requires a session that has run (or "
+        "been restored)");
+  }
+  return system_->snapshot();
+}
+
+std::string Session::restore_image(const std::vector<unsigned char>& image) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kIdle) return busy_message(state_);
+  if (const Status restored = system_->restore_image(image); !restored.ok) {
+    return "[srv-ckpt] " + restored.message;
+  }
+  has_run_ = true;
+  cached_cycles_ = system_->stats().cycles;
+  cached_stop_ = "restored";
+  publish_state("restored", cached_cycles_, {});
+  return {};
+}
+
+Expected<u16> Session::start_debug(u16 port) {
+  using Failure = Expected<u16>;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kIdle) return Failure::failure(busy_message(state_));
+  Expected<rsp::TcpListener> bound = rsp::TcpListener::listen(port);
+  if (!bound) return Failure::failure("[srv-debug] " + bound.error());
+  rsp::TcpListener listener = std::move(bound).value();
+  const u16 actual = listener.port();
+  reap_worker();
+  has_run_ = true;  // the client may run the program
+  state_ = SessionState::kDebug;
+  publish_state("debug", cached_cycles_, {});
+  worker_ = std::thread(
+      [this, moved = std::move(listener)]() mutable {
+        worker_debug(std::move(moved));
+      });
+  return actual;
+}
+
+void Session::worker_debug(rsp::TcpListener listener) {
+  std::unique_ptr<rsp::Transport> client;
+  while (!kill_requested_.load(std::memory_order_relaxed)) {
+    client = listener.accept(100);
+    if (client != nullptr) break;
+  }
+  std::string end = "cancelled";
+  if (client != nullptr) {
+    sim::SimSystem::GdbServeHooks hooks;
+    hooks.busy_listener = &listener;
+    hooks.cancel = &kill_requested_;
+    const Expected<rsp::SessionEnd> served =
+        system_->serve_gdb_on(*client, hooks);
+    end = served ? rsp::to_string(served.value()) : served.error();
+  }
+  const Cycle cycles = system_->stats().cycles;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cached_cycles_ = cycles;
+    cached_stop_ = "debug-" + end;
+    state_ = SessionState::kIdle;
+    publish_state("idle", cycles, cached_stop_);
+  }
+  cv_.notify_all();
+}
+
+void Session::reap_worker() {
+  if (worker_.joinable()) worker_.join();
+}
+
+std::string Session::info_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"cores\":" + std::to_string(config_.desc.cores.size()) +
+                    ",\"cycles\":" + std::to_string(cached_cycles_) +
+                    ",\"id\":" + std::to_string(id_) + ",\"state\":\"" +
+                    to_string(state_) + "\",\"stop\":\"" +
+                    common::json::escape(cached_stop_) + "\"}";
+  return out;
+}
+
+Expected<std::string> Session::stats_page() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kIdle) {
+    return Expected<std::string>::failure(busy_message(state_));
+  }
+  return stats_text(*system_);
+}
+
+Expected<std::string> Session::metrics_page() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kIdle) {
+    return Expected<std::string>::failure(busy_message(state_));
+  }
+  return system_->metrics_snapshot().to_string();
+}
+
+}  // namespace mbcosim::server

@@ -1,0 +1,155 @@
+// One hosted co-simulation: a sim::SimSystem plus the worker thread
+// that drives it and the telemetry hub that observes it. Sessions obey
+// a small state machine (DESIGN.md §13):
+//
+//   idle --run_async--> running --(stop|pause|kill)--> idle
+//   idle --start_debug--> debug --(detach|kill)------> idle
+//   any  --kill--> killed (terminal)
+//
+// Threading contract: SimSystem is never touched from two threads at
+// once. While state is `running` or `debug` the worker thread owns the
+// system exclusively; HTTP threads may only touch it under `mutex_`
+// with state `idle`. The worker publishes its results and flips the
+// state back to idle under the same mutex, so the handover is a proper
+// happens-before edge.
+//
+// Determinism: control points (pause, kill, metrics records) land on
+// control-quantum boundaries of run(), which has the same semantics as
+// batch checkpoint_every chunking — simulated results are identical to
+// an unchunked run (the deadlock blocked-streak counters restart per
+// chunk, same caveat as DESIGN.md §11). Telemetry is sink-only, so
+// subscribing, lagging or disconnecting clients cannot perturb results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "machine/machine_desc.hpp"
+#include "server/stream_hub.hpp"
+#include "sim/sim_system.hpp"
+
+namespace mbcosim::server {
+
+struct SessionConfig {
+  machine::MachineDesc desc;
+  unsigned workers = 0;   ///< engine worker threads (multi-core machines)
+  bool metrics = true;    ///< aggregate counters/histograms
+  bool trace = false;     ///< stream every trace event (precise fallback)
+  /// Cycles per run() chunk between control points — how often pause
+  /// and kill are honoured and metrics records are streamed.
+  Cycle control_quantum = 100'000;
+  /// Per-subscriber telemetry queue bound (lines) before drop-oldest.
+  std::size_t stream_queue = 4096;
+};
+
+enum class SessionState : u8 { kIdle, kRunning, kDebug, kKilled };
+
+[[nodiscard]] constexpr const char* to_string(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::kIdle: return "idle";
+    case SessionState::kRunning: return "running";
+    case SessionState::kDebug: return "debug";
+    case SessionState::kKilled: return "killed";
+  }
+  return "?";
+}
+
+/// The `monitor stats` text of a system, plus per-core breakdown lines
+/// ("core.<name>.cycles N" ...) on multi-core machines. Shared by the
+/// GET /sessions/N/stats endpoint and batch-equivalence tests, so the
+/// two render identically by construction.
+[[nodiscard]] std::string stats_text(const sim::SimSystem& system);
+
+class Session {
+ public:
+  /// Build the simulated system and wrap it in an idle session. Build
+  /// failures come back as "[srv-bad-machine] <builder error>".
+  [[nodiscard]] static Expected<std::shared_ptr<Session>> create(
+      u64 id, SessionConfig config);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  /// The manager kills a session before dropping it; the destructor
+  /// only has to reap the (finished) worker thread.
+  ~Session();
+
+  [[nodiscard]] u64 id() const noexcept { return id_; }
+  [[nodiscard]] SessionState state() const;
+  /// Admission weight: 1 control thread + engine workers (multi-core).
+  [[nodiscard]] unsigned cost() const noexcept { return cost_; }
+
+  // -- operations. String-returning ops yield "" on success or a
+  // -- "[srv-*]" message; see errors.hpp.
+
+  /// Start (or resume) running toward the absolute cycle target
+  /// `max_cycles` on the worker thread; returns immediately.
+  [[nodiscard]] std::string run_async(Cycle max_cycles);
+  /// Stop a running session at the next control-quantum boundary and
+  /// wait until it is idle.
+  [[nodiscard]] std::string pause();
+  /// Terminal: interrupt any run or debug session, join the worker,
+  /// close the telemetry stream. Idempotent.
+  [[nodiscard]] std::string kill();
+  /// Snapshot the (idle, has-run) session into a checkpoint image.
+  [[nodiscard]] Expected<std::vector<unsigned char>> checkpoint();
+  /// Restore a checkpoint image into the (idle) session.
+  [[nodiscard]] std::string restore_image(
+      const std::vector<unsigned char>& image);
+  /// Open an RSP debug port (0 = ephemeral) and serve one client on the
+  /// worker thread; returns the bound port. While a client is attached
+  /// the session is in `debug` and extra RSP clients get "E.srv-busy".
+  [[nodiscard]] Expected<u16> start_debug(u16 port);
+
+  /// Subscribe to the session's telemetry stream.
+  [[nodiscard]] std::shared_ptr<StreamSubscription> subscribe() {
+    return hub_.subscribe();
+  }
+
+  // -- observation (idle sessions only where noted) --
+
+  /// One-object JSON summary: id, state, cores, cycles, last stop.
+  [[nodiscard]] std::string info_json() const;
+  /// stats_text() of the system; "[srv-running]" unless idle.
+  [[nodiscard]] Expected<std::string> stats_page();
+  /// metrics_snapshot().to_string(); "[srv-running]" unless idle.
+  [[nodiscard]] Expected<std::string> metrics_page();
+
+ private:
+  Session(u64 id, SessionConfig config)
+      : id_(id), config_(std::move(config)), hub_(config_.stream_queue) {}
+
+  /// Chunked run loop (worker thread).
+  void worker_run(Cycle max_cycles);
+  /// Accept-and-serve RSP loop (worker thread).
+  void worker_debug(rsp::TcpListener listener);
+  /// Reap a finished worker thread; call with mutex_ held, state idle.
+  void reap_worker();
+  void publish_state(const char* state, Cycle cycles,
+                     const std::string& stop);
+
+  const u64 id_;
+  SessionConfig config_;
+  StreamHub hub_;
+  unsigned cost_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<sim::SimSystem> system_;
+  SessionState state_ = SessionState::kIdle;
+  std::thread worker_;
+  std::atomic<bool> pause_requested_{false};
+  std::atomic<bool> kill_requested_{false};
+  bool has_run_ = false;
+  Cycle cached_cycles_ = 0;       ///< last published cycle count
+  std::string cached_stop_;       ///< last stop reason ("" before any run)
+};
+
+}  // namespace mbcosim::server

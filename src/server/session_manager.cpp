@@ -1,0 +1,91 @@
+#include "server/session_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mbcosim::server {
+
+Expected<std::shared_ptr<Session>> SessionManager::create(
+    SessionConfig config) {
+  using Failure = Expected<std::shared_ptr<Session>>;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= limits_.max_sessions) {
+    return Failure::failure(
+        "[srv-busy] session limit reached (" +
+        std::to_string(limits_.max_sessions) + " live sessions)");
+  }
+  // Weigh the request before paying for the build.
+  const std::size_t cores = config.desc.cores.size();
+  unsigned cost = 1;
+  if (cores > 1) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    cost += config.workers != 0
+                ? config.workers
+                : std::min<unsigned>(hw, static_cast<unsigned>(cores));
+  }
+  if (used_budget_ + cost > limits_.worker_budget) {
+    return Failure::failure(
+        "[srv-busy] worker budget exhausted (" + std::to_string(used_budget_) +
+        " of " + std::to_string(limits_.worker_budget) + " in use, need " +
+        std::to_string(cost) + ")");
+  }
+  Expected<std::shared_ptr<Session>> built =
+      Session::create(next_id_, std::move(config));
+  if (!built) return built;
+  std::shared_ptr<Session> session = std::move(built).value();
+  ++next_id_;
+  used_budget_ += session->cost();
+  sessions_[session->id()] = session;
+  return session;
+}
+
+Expected<std::shared_ptr<Session>> SessionManager::find(u64 id) {
+  using Failure = Expected<std::shared_ptr<Session>>;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Failure::failure("[srv-unknown-session] no session " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+std::string SessionManager::kill(u64 id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return "[srv-unknown-session] no session " + std::to_string(id);
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+    used_budget_ -= std::min(used_budget_, session->cost());
+  }
+  // Outside the lock: the kill joins the worker thread, which may take
+  // a control quantum to notice.
+  return session->kill();
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::list() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+void SessionManager::kill_all() {
+  std::vector<std::shared_ptr<Session>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, session] : sessions_) doomed.push_back(std::move(session));
+    sessions_.clear();
+    used_budget_ = 0;
+  }
+  for (const std::shared_ptr<Session>& session : doomed) {
+    (void)session->kill();
+  }
+}
+
+}  // namespace mbcosim::server

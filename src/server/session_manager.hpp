@@ -1,0 +1,70 @@
+// The session pool: monotonic ids, admission control, lifetime. The
+// manager owns every live Session via shared_ptr (HTTP threads hold a
+// second reference for the duration of one request, so a concurrent
+// DELETE cannot pull a session out from under them).
+//
+// Admission control is a worker budget, not a session count alone: a
+// 3-core machine with 3 engine workers weighs 4, a single-core session
+// weighs 1. A create that would overflow either limit is rejected with
+// a structured "[srv-busy]" error — the client can retry, nothing
+// queues.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "server/session.hpp"
+
+namespace mbcosim::server {
+
+class SessionManager {
+ public:
+  struct Limits {
+    std::size_t max_sessions = 8;
+    /// Total admission weight (Session::cost) across live sessions;
+    /// 0 = derive from hardware_concurrency.
+    unsigned worker_budget = 0;
+  };
+
+  explicit SessionManager(Limits limits) : limits_(limits) {
+    if (limits_.worker_budget == 0) {
+      limits_.worker_budget =
+          std::max(4u, 2 * std::thread::hardware_concurrency());
+    }
+  }
+
+  /// Admit and build a new session. "[srv-busy]" when over budget,
+  /// "[srv-bad-machine]" when the build fails.
+  [[nodiscard]] Expected<std::shared_ptr<Session>> create(
+      SessionConfig config);
+
+  /// "[srv-unknown-session]" when absent (never created, or killed).
+  [[nodiscard]] Expected<std::shared_ptr<Session>> find(u64 id);
+
+  /// Remove and kill. Removal under the manager lock serializes kills:
+  /// the second DELETE of an id reports "[srv-unknown-session]".
+  [[nodiscard]] std::string kill(u64 id);
+
+  /// Live sessions, id order.
+  [[nodiscard]] std::vector<std::shared_ptr<Session>> list();
+
+  /// Kill every session (daemon shutdown).
+  void kill_all();
+
+  [[nodiscard]] const Limits& limits() const noexcept { return limits_; }
+
+ private:
+  Limits limits_;
+  std::mutex mutex_;
+  std::map<u64, std::shared_ptr<Session>> sessions_;
+  u64 next_id_ = 1;
+  unsigned used_budget_ = 0;
+};
+
+}  // namespace mbcosim::server

@@ -1,0 +1,90 @@
+#include "server/stream_hub.hpp"
+
+#include <chrono>
+
+namespace mbcosim::server {
+
+std::optional<std::string> StreamSubscription::next(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [this] {
+    return dropped_pending_ > 0 || !queue_.empty() || closed_;
+  });
+  if (dropped_pending_ > 0) {
+    // Report the gap before the line that follows it.
+    const std::string record = "{\"stream\":\"dropped\",\"count\":" +
+                               std::to_string(dropped_pending_) +
+                               ",\"total\":" + std::to_string(dropped_total_) +
+                               "}";
+    dropped_pending_ = 0;
+    return record;
+  }
+  if (!queue_.empty()) {
+    std::string line = std::move(queue_.front());
+    queue_.pop_front();
+    return line;
+  }
+  return std::nullopt;  // timeout, or closed-and-drained (see finished())
+}
+
+bool StreamSubscription::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && queue_.empty() && dropped_pending_ == 0;
+}
+
+u64 StreamSubscription::dropped_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_total_;
+}
+
+std::shared_ptr<StreamSubscription> StreamHub::subscribe() {
+  auto subscription = std::make_shared<StreamSubscription>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscription->limit_ = limit_;
+  subscription->closed_ = closed_;
+  if (!closed_) subscribers_.push_back(subscription);
+  return subscription;
+}
+
+void StreamHub::publish(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    std::shared_ptr<StreamSubscription> sub = subscribers_[i].lock();
+    if (sub == nullptr) continue;  // client went away; prune below
+    if (live != i) subscribers_[live] = std::move(subscribers_[i]);
+    ++live;
+    std::lock_guard<std::mutex> sub_lock(sub->mutex_);
+    if (sub->queue_.size() >= sub->limit_) {
+      sub->queue_.pop_front();  // drop-oldest: never block the simulation
+      ++sub->dropped_pending_;
+      ++sub->dropped_total_;
+    }
+    sub->queue_.push_back(line);
+    sub->cv_.notify_all();
+  }
+  subscribers_.resize(live);
+}
+
+void StreamHub::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  for (auto& weak : subscribers_) {
+    if (std::shared_ptr<StreamSubscription> sub = weak.lock()) {
+      std::lock_guard<std::mutex> sub_lock(sub->mutex_);
+      sub->closed_ = true;
+      sub->cv_.notify_all();
+    }
+  }
+  subscribers_.clear();
+}
+
+void StreamSink::on_event(const obs::TraceEvent& event) {
+  jsonl_.on_event(event);
+  std::string text = buffer_.str();
+  if (text.empty()) return;
+  buffer_.str({});
+  if (text.back() == '\n') text.pop_back();
+  hub_.publish(text);
+}
+
+}  // namespace mbcosim::server

@@ -1,0 +1,107 @@
+// Streaming telemetry fan-out for one simulation session. The worker
+// thread publishes JSONL lines (trace events, metrics snapshots, state
+// transitions) into a StreamHub; any number of HTTP stream connections
+// subscribe and drain at their own pace.
+//
+// Backpressure policy: every subscriber queue is bounded. A subscriber
+// that cannot keep up loses the *oldest* queued lines — the simulation
+// never blocks and the hub never grows without bound — and the loss is
+// accounted, not silent: before the next line, the subscriber receives
+// a {"stream":"dropped","count":N,"total":M} record. Telemetry is an
+// observation channel; dropping it cannot change simulation results
+// (determinism is sink-only, DESIGN.md §13).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/trace_bus.hpp"
+
+namespace mbcosim::server {
+
+/// One subscriber's bounded view of the stream. Handed out as a
+/// shared_ptr; the hub keeps only a weak_ptr, so dropping the
+/// subscription is how a client unsubscribes.
+class StreamSubscription {
+ public:
+  /// Next line (without trailing newline), waiting at most `timeout_ms`.
+  /// nullopt on timeout or once the stream is finished. When lines were
+  /// dropped since the last call, the first result is the synthetic
+  /// {"stream":"dropped",...} accounting record.
+  [[nodiscard]] std::optional<std::string> next(int timeout_ms);
+
+  /// True once the hub closed and every queued line (and drop record)
+  /// has been consumed.
+  [[nodiscard]] bool finished() const;
+
+  /// Total lines this subscriber has lost to backpressure.
+  [[nodiscard]] u64 dropped_total() const;
+
+ private:
+  friend class StreamHub;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  std::size_t limit_ = 0;
+  u64 dropped_pending_ = 0;  ///< drops not yet reported in-stream
+  u64 dropped_total_ = 0;
+  bool closed_ = false;
+};
+
+class StreamHub {
+ public:
+  /// `max_queue_lines` bounds every subscriber's queue (the per-client
+  /// memory ceiling).
+  explicit StreamHub(std::size_t max_queue_lines)
+      : limit_(max_queue_lines == 0 ? 1 : max_queue_lines) {}
+
+  /// New subscriber; sees only lines published after this call. A
+  /// subscription obtained after close() is born finished.
+  [[nodiscard]] std::shared_ptr<StreamSubscription> subscribe();
+
+  /// Fan one line out to every live subscriber (drop-oldest on full
+  /// queues). Expired subscribers are pruned as a side effect.
+  void publish(const std::string& line);
+
+  /// End the stream: subscribers finish once they drain what is queued.
+  void close();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::weak_ptr<StreamSubscription>> subscribers_;
+  std::size_t limit_;
+  bool closed_ = false;
+};
+
+/// TraceSink that renders events exactly as obs::JsonlSink writes them
+/// to a --trace file — byte-identical lines, so a streamed trace can be
+/// diffed against a batch golden trace — and publishes each line to the
+/// hub. Attached per core bus; like any sink, it forces the precise
+/// execution fallback while attached (stats are tier-invariant).
+class StreamSink : public obs::TraceSink {
+ public:
+  StreamSink(StreamHub& hub, obs::JsonlSink::Disassembler disassemble)
+      : hub_(hub), jsonl_(buffer_) {
+    jsonl_.set_disassembler(std::move(disassemble));
+  }
+
+  void on_event(const obs::TraceEvent& event) override;
+  void flush() override {}
+  [[nodiscard]] Status status() const override { return jsonl_.status(); }
+
+ private:
+  StreamHub& hub_;
+  std::ostringstream buffer_;  // must precede jsonl_, which wraps it
+  obs::JsonlSink jsonl_;
+};
+
+}  // namespace mbcosim::server

@@ -344,7 +344,10 @@ iss::DbtStats SimSystem::dbt_stats() const {
 namespace {
 
 // Superblock-tier counters ride along in the metrics snapshot once the
-// registry has recorded anything (a pre-run snapshot stays empty).
+// core has executed anything (a pre-run snapshot stays empty). They are
+// emitted even when the core never reached the dbt tier — as zeros — so
+// the counter-key schema is identical across exec tiers and streamed
+// snapshots diff cleanly tier-against-tier.
 // Note an enabled trace bus (any sink, which
 // Builder::metrics attaches) forces the precise fallback, so these are
 // zero under --metrics unless the tier ran before the sink was enabled;
@@ -367,7 +370,9 @@ obs::MetricsSnapshot SimSystem::metrics_snapshot() const {
     const State::Core& core = state_->c0();
     if (core.metrics == nullptr) return obs::MetricsSnapshot{};
     obs::MetricsSnapshot snapshot = core.metrics->snapshot();
-    if (!snapshot.empty()) inject_dbt_counters(snapshot, core.cpu, "");
+    if (!snapshot.empty() || core.cpu.cycle() != 0) {
+      inject_dbt_counters(snapshot, core.cpu, "");
+    }
     return snapshot;
   }
   // Merge the per-core registries under "corename." key prefixes.
@@ -375,7 +380,9 @@ obs::MetricsSnapshot SimSystem::metrics_snapshot() const {
   for (const auto& core : state_->cores) {
     if (core->metrics == nullptr) continue;
     obs::MetricsSnapshot snapshot = core->metrics->snapshot();
-    if (!snapshot.empty()) inject_dbt_counters(snapshot, core->cpu, "");
+    if (!snapshot.empty() || core->cpu.cycle() != 0) {
+      inject_dbt_counters(snapshot, core->cpu, "");
+    }
     for (auto& [key, value] : snapshot.counters) {
       merged.counters[core->name + "." + key] = value;
     }
@@ -530,7 +537,13 @@ Expected<rsp::SessionEnd> SimSystem::serve_gdb(
   if (transport == nullptr) {
     return Failure::failure("SimSystem: gdb server accepted no client");
   }
+  GdbServeHooks hooks;
+  hooks.busy_listener = &listener;  // late arrivals get "E.srv-busy"
+  return serve_gdb_on(*transport, hooks);
+}
 
+Expected<rsp::SessionEnd> SimSystem::serve_gdb_on(rsp::Transport& transport,
+                                                  const GdbServeHooks& hooks) {
   // The debugger drives one core (Builder::gdb_core, default 0); on a
   // multi-core machine each of its steps advances the whole machine
   // through ManyCoreEngine::debug_step so cross-links stay live.
@@ -612,7 +625,9 @@ Expected<rsp::SessionEnd> SimSystem::serve_gdb(
     return {};
   });
 
-  rsp::RspServer server(*transport, target);
+  rsp::RspServer server(transport, target);
+  server.set_busy_listener(hooks.busy_listener);
+  server.set_cancel(hooks.cancel);
   const rsp::SessionEnd end = server.serve();
   // The client may have run the program to completion: make the trace
   // sinks durable exactly as run() does.

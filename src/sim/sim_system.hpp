@@ -44,6 +44,7 @@
 // results are byte-identical at every worker count.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -267,6 +268,26 @@ class SimSystem {
       u16 port, std::function<void(u16)> on_listen = {});
   /// Same, on the port configured with Builder::gdb_server.
   [[nodiscard]] Expected<rsp::SessionEnd> serve_gdb();
+
+  /// Embedding hooks for serve_gdb_on: a listener whose late-arriving
+  /// clients get a framed "E.srv-busy" rejection while the session is
+  /// live, and an external cancellation flag that ends the session at
+  /// the next packet/resume-quantum boundary. Both optional, both must
+  /// outlive the call.
+  struct GdbServeHooks {
+    rsp::TcpListener* busy_listener = nullptr;
+    const std::atomic<bool>* cancel = nullptr;
+  };
+  /// Serve one RSP session on an already-connected transport — the
+  /// accept-free core of serve_gdb(), for embeddings that own the
+  /// listener themselves (the simulation server's per-session debug
+  /// ports, loopback tests). Blocks until the session ends.
+  [[nodiscard]] Expected<rsp::SessionEnd> serve_gdb_on(
+      rsp::Transport& transport, const GdbServeHooks& hooks);
+  [[nodiscard]] Expected<rsp::SessionEnd> serve_gdb_on(
+      rsp::Transport& transport) {
+    return serve_gdb_on(transport, GdbServeHooks{});
+  }
   /// Port configured with Builder::gdb_server, if any.
   [[nodiscard]] std::optional<u16> gdb_port() const noexcept;
 

@@ -1,0 +1,113 @@
+// The shared integer-only JSON layer: parse/dump round trips, syntax
+// diagnostics with line/column, string escaping, and the get_* field
+// helpers both the machine front end and the simulation server build
+// their schemas on.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+
+namespace mbcosim::common::json {
+namespace {
+
+TEST(Json, ParsesEveryValueKind) {
+  const auto root = parse(
+      R"({"array":[1,2,3],"flag":true,"none":null,"num":-42,"text":"hi"})");
+  ASSERT_TRUE(root.ok()) << root.error();
+  ASSERT_TRUE(root.value().is_object());
+  const Object& top = root.value().object();
+  EXPECT_TRUE(top.at("array").is_array());
+  EXPECT_EQ(top.at("array").array().size(), 3u);
+  EXPECT_EQ(top.at("array").array()[2].integer(), 3);
+  EXPECT_TRUE(top.at("flag").boolean());
+  EXPECT_TRUE(top.at("none").is_null());
+  EXPECT_EQ(top.at("num").integer(), -42);
+  EXPECT_EQ(top.at("text").string(), "hi");
+}
+
+TEST(Json, DumpParseRoundTripIsExact) {
+  const std::string text =
+      R"({"a":[{"x":1},{"y":[true,false,null]}],"b":"q\"uo\\te","c":-7})";
+  const auto parsed = parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(dump(parsed.value()), text);  // keys already sorted, compact
+  const auto reparsed = parse(dump(parsed.value()));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(dump(reparsed.value()), text);
+}
+
+TEST(Json, DumpSortsObjectKeys) {
+  const auto parsed = parse(R"({"zz":1,"aa":2,"mm":3})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(dump(parsed.value()), R"({"aa":2,"mm":3,"zz":1})");
+}
+
+TEST(Json, RejectsFloatsWithPosition) {
+  const auto bad = parse("{\n  \"x\": 1.5\n}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().rfind("[json-syntax]", 0), 0u) << bad.error();
+  EXPECT_NE(bad.error().find("line 2"), std::string::npos) << bad.error();
+}
+
+TEST(Json, RejectsTrailingGarbageAndBadSyntax) {
+  EXPECT_FALSE(parse("{} {}").ok());
+  EXPECT_FALSE(parse("{\"a\":}").ok());
+  EXPECT_FALSE(parse("[1,]").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("").ok());
+  for (const char* bad : {"{} {}", "nope", "[1,]"}) {
+    const auto result = parse(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().rfind("[json-syntax]", 0), 0u) << result.error();
+  }
+}
+
+TEST(Json, EscapeCoversControlCharacters) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(escape("x\n\t\r"), "x\\n\\t\\r");
+  EXPECT_EQ(escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, FieldHelpersReportStableCodes) {
+  const auto parsed = parse(R"({"n":5,"neg":-1,"s":"v","yes":true})");
+  ASSERT_TRUE(parsed.ok());
+  const Object& top = parsed.value().object();
+
+  std::string text;
+  EXPECT_EQ(get_string(top, "s", "ctx", true, text), "");
+  EXPECT_EQ(text, "v");
+  EXPECT_EQ(get_string(top, "missing", "ctx", true, text)
+                .rfind("[missing-field]", 0),
+            0u);
+  EXPECT_EQ(get_string(top, "missing", "ctx", false, text), "");
+  EXPECT_EQ(get_string(top, "n", "ctx", true, text).rfind("[bad-field]", 0),
+            0u);
+
+  long long number = 0;
+  EXPECT_EQ(get_int(top, "n", "ctx", true, number), "");
+  EXPECT_EQ(number, 5);
+  EXPECT_EQ(get_int(top, "s", "ctx", true, number).rfind("[bad-field]", 0),
+            0u);
+
+  bool flag = false;
+  EXPECT_EQ(get_bool(top, "yes", "ctx", flag), "");
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(get_bool(top, "n", "ctx", flag).rfind("[bad-field]", 0), 0u);
+
+  unsigned channel = 9;
+  EXPECT_EQ(get_unsigned(top, "n", "ctx", true, 0, channel), "");
+  EXPECT_EQ(channel, 5u);
+  EXPECT_EQ(
+      get_unsigned(top, "neg", "ctx", true, 0, channel).rfind("[bad-field]", 0),
+      0u);
+  EXPECT_EQ(get_unsigned(top, "missing", "ctx", false, 7, channel), "");
+  EXPECT_EQ(channel, 7u);
+  const std::string in_context = get_int(top, "missing", "widget 'w'", true,
+                                         number);
+  EXPECT_NE(in_context.find("in widget 'w'"), std::string::npos) << in_context;
+}
+
+}  // namespace
+}  // namespace mbcosim::common::json

@@ -123,6 +123,46 @@ TEST(RspTcpE2E, AttachBreakResumeWithStatsParity) {
   EXPECT_EQ(a.bridge.words_from_hw, b.bridge.words_from_hw);
 }
 
+TEST(RspTcpE2E, SecondClientGetsStructuredBusyError) {
+  auto built = sim::SimSystem::Builder()
+                   .program("loop: bri loop2\nloop2: bri loop\n")
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  sim::SimSystem system = std::move(built).value();
+
+  std::promise<u16> port_promise;
+  std::future<u16> port_future = port_promise.get_future();
+  std::thread server_thread([&] {
+    auto end = system.serve_gdb(
+        0, [&](u16 port) { port_promise.set_value(port); });
+    ASSERT_TRUE(end.ok()) << end.error();
+    EXPECT_EQ(end.value(), SessionEnd::kKilled);
+  });
+
+  const u16 port = port_future.get();
+  std::unique_ptr<Transport> first = tcp_connect("127.0.0.1", port);
+  ASSERT_NE(first, nullptr);
+  RspTestClient client(*first, /*pump=*/{}, kClientTimeoutMs);
+  EXPECT_EQ(client.transact("?"), "S05");  // the session is established
+
+  // A second debugger connects while the first holds the session: it
+  // must be turned away with a framed structured error, not left
+  // hanging and not given the target.
+  std::unique_ptr<Transport> second = tcp_connect("127.0.0.1", port);
+  ASSERT_NE(second, nullptr);
+  std::string rejection;
+  for (int i = 0; i < kClientTimeoutMs / 50 && !second->closed(); ++i) {
+    rejection += second->recv(50);
+    if (rejection.find('#') != std::string::npos) break;  // full frame
+  }
+  EXPECT_NE(rejection.find("$E.srv-busy"), std::string::npos) << rejection;
+
+  // The first client is unaffected and can end the session normally.
+  EXPECT_EQ(client.transact("?"), "S05");
+  client.send_packet("k");
+  server_thread.join();
+}
+
 TEST(RspTcpE2E, InterruptOverTcp) {
   // A program that never halts: the raw \x03 byte must break it out.
   auto built = sim::SimSystem::Builder()

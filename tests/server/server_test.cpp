@@ -1,0 +1,342 @@
+// Socket-free tests of the simulation-server subsystem: session
+// lifecycle error paths (every failure a stable "[srv-*]" code),
+// admission control, batch-equivalence of the hosted run, the streaming
+// hub's bounded-queue backpressure accounting, HTTP request parsing
+// over deterministic loopback transports, and the tier-invariant dbt
+// counter schema in metrics snapshots.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine_desc.hpp"
+#include "obs/metrics.hpp"
+#include "rsp/transport.hpp"
+#include "server/http.hpp"
+#include "server/service.hpp"
+#include "server/session.hpp"
+#include "server/session_manager.hpp"
+#include "server/stream_hub.hpp"
+#include "sim/sim_system.hpp"
+
+namespace mbcosim::server {
+namespace {
+
+constexpr const char* kHaltProgram = R"(
+start:
+  addik r3, r0, 7
+  halt
+)";
+
+SessionConfig halting_config() {
+  SessionConfig config;
+  config.desc = machine::MachineDesc::single_core(kHaltProgram);
+  config.control_quantum = 16;
+  return config;
+}
+
+[[nodiscard]] bool wait_until_idle(Session& session) {
+  for (int i = 0; i < 5000; ++i) {
+    if (session.state() == SessionState::kIdle) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+// ------------------------------------------------ session lifecycle
+
+TEST(ServerSession, LifecycleErrorPathsUseStableCodes) {
+  SessionManager::Limits limits;
+  limits.max_sessions = 4;
+  limits.worker_budget = 8;
+  SessionManager manager(limits);
+
+  // Unknown id: never created.
+  auto missing = manager.find(42);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().rfind("[srv-unknown-session]", 0), 0u)
+      << missing.error();
+
+  auto created = manager.create(halting_config());
+  ASSERT_TRUE(created.ok()) << created.error();
+  std::shared_ptr<Session> session = created.value();
+  const u64 id = session->id();
+
+  // Checkpoint before the session ever ran.
+  auto early = session->checkpoint();
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.error().rfind("[srv-never-ran]", 0), 0u) << early.error();
+
+  // Pause with no run in progress.
+  EXPECT_EQ(session->pause().rfind("[srv-not-running]", 0), 0u);
+
+  // A real run; afterwards checkpoint succeeds.
+  EXPECT_EQ(session->run_async(Cycle{1} << 30), "");
+  ASSERT_TRUE(wait_until_idle(*session));
+  auto image = session->checkpoint();
+  ASSERT_TRUE(image.ok()) << image.error();
+  EXPECT_FALSE(image.value().empty());
+
+  // Kill through the manager; a second kill of the same id is unknown.
+  EXPECT_EQ(manager.kill(id), "");
+  EXPECT_EQ(manager.kill(id).rfind("[srv-unknown-session]", 0), 0u);
+  EXPECT_EQ(manager.find(id).error().rfind("[srv-unknown-session]", 0), 0u);
+
+  // Run-after-kill on a handle a client still holds.
+  const std::string after_kill = session->run_async(Cycle{1} << 30);
+  EXPECT_EQ(after_kill.rfind("[srv-running]", 0), 0u) << after_kill;
+  EXPECT_NE(after_kill.find("killed"), std::string::npos) << after_kill;
+  // Session::kill itself is idempotent (the structured error above is
+  // the *manager's* double-DELETE answer).
+  EXPECT_EQ(session->kill(), "");
+}
+
+TEST(ServerSession, AdmissionControlRejectsWithSrvBusy) {
+  {
+    SessionManager::Limits limits;
+    limits.max_sessions = 1;
+    limits.worker_budget = 8;
+    SessionManager manager(limits);
+    auto first = manager.create(halting_config());
+    ASSERT_TRUE(first.ok()) << first.error();
+    auto second = manager.create(halting_config());
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.error().rfind("[srv-busy]", 0), 0u) << second.error();
+    EXPECT_NE(second.error().find("session limit"), std::string::npos);
+    // Killing the only session frees its slot.
+    EXPECT_EQ(manager.kill(first.value()->id()), "");
+    EXPECT_TRUE(manager.create(halting_config()).ok());
+  }
+  {
+    SessionManager::Limits limits;
+    limits.max_sessions = 8;
+    limits.worker_budget = 1;  // one single-core session fills it
+    SessionManager manager(limits);
+    ASSERT_TRUE(manager.create(halting_config()).ok());
+    auto rejected = manager.create(halting_config());
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.error().rfind("[srv-busy]", 0), 0u)
+        << rejected.error();
+    EXPECT_NE(rejected.error().find("worker budget"), std::string::npos);
+  }
+}
+
+TEST(ServerSession, BadMachineIsAStructuredError) {
+  SessionConfig config;
+  config.desc = machine::MachineDesc::single_core("not an opcode at all\n");
+  SessionManager manager({});
+  auto built = manager.create(std::move(config));
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().rfind("[srv-bad-machine]", 0), 0u) << built.error();
+}
+
+// ------------------------------------------- batch equivalence (stats)
+
+TEST(ServerSession, HostedRunMatchesBatchStatsAndMetrics) {
+  SessionConfig config = halting_config();
+  config.metrics = true;
+  SessionManager manager({});
+  auto created = manager.create(config);
+  ASSERT_TRUE(created.ok()) << created.error();
+  std::shared_ptr<Session> session = created.value();
+  ASSERT_EQ(session->run_async(Cycle{1} << 30), "");
+  ASSERT_TRUE(wait_until_idle(*session));
+
+  auto batch_built = sim::SimSystem::Builder()
+                         .machine(config.desc)
+                         .metrics()
+                         .build();
+  ASSERT_TRUE(batch_built.ok()) << batch_built.error();
+  sim::SimSystem batch = std::move(batch_built).value();
+  ASSERT_EQ(batch.run(), core::StopReason::kHalted);
+
+  auto stats = session->stats_page();
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_EQ(stats.value(), stats_text(batch));
+  auto metrics = session->metrics_page();
+  ASSERT_TRUE(metrics.ok()) << metrics.error();
+  EXPECT_EQ(metrics.value(), batch.metrics_snapshot().to_string());
+}
+
+// --------------------------------------------------- dbt counter schema
+
+TEST(ServerSession, DbtCountersAppearAsZerosBelowDbtTier) {
+  // A precise-tier core never translates a block, but its metrics
+  // snapshot still carries the dbt.* keys (as zeros) so snapshots diff
+  // cleanly tier-against-tier.
+  machine::MachineDesc desc = machine::MachineDesc::single_core(kHaltProgram);
+  desc.cores[0].exec_tier = iss::ExecTier::kPrecise;
+  auto built = sim::SimSystem::Builder().machine(desc).metrics().build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  sim::SimSystem system = std::move(built).value();
+  EXPECT_TRUE(system.metrics_snapshot().empty());  // pre-run: still empty
+  ASSERT_EQ(system.run(), core::StopReason::kHalted);
+
+  const obs::MetricsSnapshot snapshot = system.metrics_snapshot();
+  for (const char* key :
+       {"dbt.blocks_translated", "dbt.block_dispatches",
+        "dbt.smc_retirements", "dbt.fast_path_instructions"}) {
+    const auto it = snapshot.counters.find(key);
+    ASSERT_NE(it, snapshot.counters.end()) << key;
+    EXPECT_EQ(it->second, 0u) << key;
+  }
+
+  // Same machine at the dbt tier: identical counter-key schema.
+  machine::MachineDesc dbt_desc =
+      machine::MachineDesc::single_core(kHaltProgram);
+  dbt_desc.cores[0].exec_tier = iss::ExecTier::kDbt;
+  auto dbt_built =
+      sim::SimSystem::Builder().machine(dbt_desc).metrics().build();
+  ASSERT_TRUE(dbt_built.ok()) << dbt_built.error();
+  sim::SimSystem dbt_system = std::move(dbt_built).value();
+  ASSERT_EQ(dbt_system.run(), core::StopReason::kHalted);
+  const obs::MetricsSnapshot dbt_snapshot = dbt_system.metrics_snapshot();
+  ASSERT_EQ(snapshot.counters.size(), dbt_snapshot.counters.size());
+  auto lhs = snapshot.counters.begin();
+  auto rhs = dbt_snapshot.counters.begin();
+  for (; lhs != snapshot.counters.end(); ++lhs, ++rhs) {
+    EXPECT_EQ(lhs->first, rhs->first);
+  }
+}
+
+// ----------------------------------------------------- streaming hub
+
+TEST(ServerStreamHub, DropOldestIsBoundedAndAccounted) {
+  StreamHub hub(4);
+  auto subscription = hub.subscribe();
+  for (int i = 0; i < 10; ++i) hub.publish("line" + std::to_string(i));
+
+  // The gap is reported first, then the surviving (newest) lines.
+  auto first = subscription->next(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "{\"stream\":\"dropped\",\"count\":6,\"total\":6}");
+  for (int i = 6; i < 10; ++i) {
+    auto line = subscription->next(0);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, "line" + std::to_string(i));
+  }
+  EXPECT_FALSE(subscription->next(0).has_value());  // drained
+  EXPECT_EQ(subscription->dropped_total(), 6u);
+  EXPECT_FALSE(subscription->finished());  // stream still open
+
+  hub.publish("tail");
+  hub.close();
+  auto tail = subscription->next(0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, "tail");
+  EXPECT_TRUE(subscription->finished());
+
+  // Subscribing after close yields a born-finished stream.
+  EXPECT_TRUE(hub.subscribe()->finished());
+}
+
+TEST(ServerStreamHub, SubscribersSeeOnlyLinesAfterSubscription) {
+  StreamHub hub(16);
+  hub.publish("before");
+  auto late = hub.subscribe();
+  hub.publish("after");
+  auto line = late->next(0);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "after");
+  EXPECT_FALSE(late->next(0).has_value());
+  EXPECT_EQ(late->dropped_total(), 0u);
+}
+
+TEST(ServerSession, RunStreamsStateAndMetricsRecords) {
+  SessionManager manager({});
+  auto created = manager.create(halting_config());
+  ASSERT_TRUE(created.ok()) << created.error();
+  std::shared_ptr<Session> session = created.value();
+  auto subscription = session->subscribe();
+  ASSERT_EQ(session->run_async(Cycle{1} << 30), "");
+  ASSERT_TRUE(wait_until_idle(*session));
+  EXPECT_EQ(manager.kill(session->id()), "");
+
+  std::vector<std::string> lines;
+  while (auto line = subscription->next(0)) lines.push_back(*line);
+  EXPECT_TRUE(subscription->finished());
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines.front().find("\"state\":\"running\""), std::string::npos)
+      << lines.front();
+  bool saw_metrics = false;
+  bool saw_halted = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"stream\":\"metrics\"") != std::string::npos) {
+      saw_metrics = true;
+    }
+    if (line.find("\"stop\":\"halted\"") != std::string::npos) {
+      saw_halted = true;
+    }
+  }
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_TRUE(saw_halted);
+  EXPECT_NE(lines.back().find("\"state\":\"killed\""), std::string::npos)
+      << lines.back();
+}
+
+// -------------------------------------------------------- HTTP layer
+
+TEST(ServerHttp, ReadRequestParsesMethodTargetHeadersBody) {
+  auto [server_side, client_side] = rsp::make_loopback();
+  ASSERT_TRUE(client_side->send("POST /sessions/7/run?x=1 HTTP/1.1\r\n"
+                                "Host: localhost\r\n"
+                                "Content-Length: 17\r\n"
+                                "\r\n"
+                                "{\"max_cycles\":64}"));
+  auto request = read_request(*server_side, 1000);
+  ASSERT_TRUE(request.ok()) << request.error();
+  EXPECT_EQ(request.value().method, "POST");
+  EXPECT_EQ(request.value().target, "/sessions/7/run?x=1");
+  EXPECT_EQ(request.value().path, "/sessions/7/run");
+  EXPECT_EQ(request.value().headers.at("host"), "localhost");
+  EXPECT_EQ(request.value().body, "{\"max_cycles\":64}");
+}
+
+TEST(ServerHttp, ReadRequestRejectsGarbageAndTruncation) {
+  {
+    auto [server_side, client_side] = rsp::make_loopback();
+    ASSERT_TRUE(client_side->send("this is not http\r\n\r\n"));
+    auto request = read_request(*server_side, 200);
+    ASSERT_FALSE(request.ok());
+    EXPECT_EQ(request.error().rfind("[srv-bad-request]", 0), 0u)
+        << request.error();
+  }
+  {
+    // Declared body never arrives: the read times out structurally.
+    auto [server_side, client_side] = rsp::make_loopback();
+    ASSERT_TRUE(client_side->send("POST /x HTTP/1.1\r\n"
+                                  "Content-Length: 100\r\n\r\nshort"));
+    client_side.reset();  // peer goes away mid-body
+    auto request = read_request(*server_side, 200);
+    ASSERT_FALSE(request.ok());
+    EXPECT_EQ(request.error().rfind("[srv-bad-request]", 0), 0u)
+        << request.error();
+  }
+  {
+    // A connection that closes without a byte is dropped silently.
+    auto [server_side, client_side] = rsp::make_loopback();
+    client_side.reset();
+    auto request = read_request(*server_side, 200);
+    ASSERT_FALSE(request.ok());
+    EXPECT_EQ(request.error(), "[closed]");
+  }
+}
+
+TEST(ServerService, ErrorCodesMapToHttpStatuses) {
+  EXPECT_EQ(status_for_error("[srv-unknown-session] no session 9"), 404);
+  EXPECT_EQ(status_for_error("[srv-busy] worker budget exhausted"), 503);
+  EXPECT_EQ(status_for_error("[srv-running] session is running"), 409);
+  EXPECT_EQ(status_for_error("[srv-not-running] no run in progress"), 409);
+  EXPECT_EQ(status_for_error("[srv-never-ran] checkpoint requires"), 409);
+  EXPECT_EQ(status_for_error("[srv-bad-request] truncated"), 400);
+  EXPECT_EQ(status_for_error("[srv-bad-machine] [no-cores] empty"), 400);
+  EXPECT_EQ(status_for_error("[srv-debug] listen failed"), 500);
+  EXPECT_EQ(status_for_error("unprefixed"), 500);
+}
+
+}  // namespace
+}  // namespace mbcosim::server

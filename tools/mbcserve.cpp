@@ -1,0 +1,121 @@
+// mbcserve — simulation-as-a-service daemon. Hosts a pool of
+// co-simulation sessions behind the minimal HTTP+JSON protocol of
+// src/server (DESIGN.md §13): create a session from a machine
+// description, run it asynchronously, stream its telemetry, checkpoint
+// it over the wire, attach gdb to its debug port, kill it. Everything
+// mbcsim computes in batch is reachable here with identical results.
+//
+//   mbcserve --port 8080
+//   curl -s localhost:8080/sessions -d '{"machine_file":"m.json"}'
+//
+// Shutdown: SIGINT/SIGTERM or POST /shutdown; live sessions are killed
+// and the listener drained before exit.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "apps/machine_peripherals.hpp"
+#include "common/types.hpp"
+#include "server/http.hpp"
+#include "server/service.hpp"
+
+namespace {
+
+using namespace mbcosim;
+
+std::atomic<bool> g_shutdown{false};
+
+void handle_signal(int) { g_shutdown.store(true); }
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mbcserve [--port P] [--max-sessions N] [--worker-budget N]\n"
+      "                [--control-quantum CYCLES]\n"
+      "\n"
+      "  --port P             listen on 127.0.0.1:P (default 0 = ephemeral)\n"
+      "  --max-sessions N     concurrent session limit (default 8)\n"
+      "  --worker-budget N    total worker-thread budget (default 2x cores)\n"
+      "  --control-quantum C  cycles between session control points\n"
+      "                       (default 100000)\n");
+}
+
+bool parse_u64(const char* text, u64& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 0);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u64 port = 0;
+  server::Service::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    u64 value = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (!has_value || !parse_u64(argv[i + 1], value)) {
+      std::fprintf(stderr, "option %s requires a numeric argument\n",
+                   arg.c_str());
+      return 2;
+    }
+    ++i;
+    if (arg == "--port" && value <= 65535) {
+      port = value;
+    } else if (arg == "--max-sessions" && value > 0) {
+      options.limits.max_sessions = static_cast<std::size_t>(value);
+    } else if (arg == "--worker-budget" && value > 0) {
+      options.limits.worker_budget = static_cast<unsigned>(value);
+    } else if (arg == "--control-quantum" && value > 0) {
+      options.control_quantum = static_cast<Cycle>(value);
+    } else {
+      std::fprintf(stderr, "unknown option or bad value: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  apps::register_machine_peripherals();
+  options.on_shutdown = [] { g_shutdown.store(true); };
+  server::Service service(std::move(options));
+
+  Expected<std::unique_ptr<server::HttpServer>> started =
+      server::HttpServer::start(
+          static_cast<u16>(port),
+          [&service](const server::HttpRequest& request,
+                     server::HttpResponseWriter& writer) {
+            service.handle(request, writer);
+          });
+  if (!started) {
+    std::fprintf(stderr, "mbcserve: %s\n", started.error().c_str());
+    return 3;
+  }
+  std::unique_ptr<server::HttpServer> http = std::move(started).value();
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("mbcserve listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(http->port()));
+  std::fflush(stdout);
+
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("mbcserve shutting down\n");
+  std::fflush(stdout);
+  service.manager().kill_all();  // ends every telemetry stream
+  http->stop();
+  return 0;
+}
