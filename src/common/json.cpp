@@ -106,8 +106,13 @@ class Parser {
       if (!consume(':')) return fail("expected ':' after key");
       Value value;
       if (std::string err = parse_value(value); !err.empty()) return err;
-      object.emplace(std::get<std::string>(std::move(key.data)),
-                     std::move(value));
+      std::string name = std::get<std::string>(std::move(key.data));
+      // Strict, like the integer-only numbers: a duplicate key is a
+      // client mistake, not something to resolve silently either way.
+      if (object.find(name) != object.end()) {
+        return fail("duplicate key \"" + name + "\" in object");
+      }
+      object.emplace(std::move(name), std::move(value));
       if (consume(',')) continue;
       if (consume('}')) break;
       return fail("expected ',' or '}' in object");

@@ -5,15 +5,20 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/json.hpp"
+
 namespace mbcosim::server {
 
 namespace {
 
-/// recv() slice used while assembling a request. Short enough that the
-/// overall timeout is respected to ~this granularity, long enough not
-/// to spin. Loopback transports return instantly regardless; the
-/// elapsed accounting still advances so a truncated loopback request
-/// fails fast instead of looping forever.
+/// recv() slice used while assembling a request. Only slices that
+/// return no data are charged against the timeout, so the budget bounds
+/// *idle* time: a client streaming a large body is never timed out
+/// mid-transfer no matter how many 4KB recv() calls it takes, while a
+/// stalled request fails after ~timeout_ms of silence. Loopback
+/// transports return instantly regardless; empty loopback reads still
+/// charge a slice, so a truncated loopback request fails fast instead
+/// of looping forever.
 constexpr int kRecvSliceMs = 50;
 
 std::string lower(std::string text) {
@@ -98,8 +103,9 @@ Expected<HttpRequest> read_request(rsp::Transport& transport, int timeout_ms) {
       if (buffer.empty()) return Failure::failure("[closed]");
       return Failure::failure("[srv-bad-request] timed out reading request");
     }
-    buffer += transport.recv(kRecvSliceMs);
-    elapsed += kRecvSliceMs;
+    const std::string chunk = transport.recv(kRecvSliceMs);
+    if (chunk.empty()) elapsed += kRecvSliceMs;
+    buffer += chunk;
   }
 
   HttpRequest request;
@@ -131,8 +137,9 @@ Expected<HttpRequest> read_request(rsp::Transport& transport, int timeout_ms) {
     if (elapsed >= timeout_ms) {
       return Failure::failure("[srv-bad-request] timed out reading body");
     }
-    request.body += transport.recv(kRecvSliceMs);
-    elapsed += kRecvSliceMs;
+    const std::string chunk = transport.recv(kRecvSliceMs);
+    if (chunk.empty()) elapsed += kRecvSliceMs;
+    request.body += chunk;
   }
   request.body.resize(content_length);
   return request;
@@ -229,8 +236,9 @@ void HttpServer::accept_loop() {
       HttpResponseWriter writer(*shared);
       if (!request) {
         if (request.error() != "[closed]") {
-          writer.respond(400, "application/json",
-                         "{\"error\":\"" + request.error() + "\"}");
+          writer.respond(
+              400, "application/json",
+              "{\"error\":\"" + common::json::escape(request.error()) + "\"}");
         }
         return;
       }

@@ -104,7 +104,7 @@ void Session::publish_state(const char* state, Cycle cycles,
 
 std::string Session::run_async(Cycle max_cycles) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != SessionState::kIdle) return busy_message(state_);
+  if (std::string gate = gate_idle(); !gate.empty()) return gate;
   reap_worker();
   has_run_ = true;
   pause_requested_.store(false, std::memory_order_relaxed);
@@ -170,13 +170,21 @@ std::string Session::pause() {
 }
 
 std::string Session::kill() {
+  std::thread worker;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (state_ == SessionState::kKilled) return {};
+    // Idempotent, including against a concurrent kill: the caller that
+    // set killing_ owns the teardown; everyone else returns at once.
+    if (state_ == SessionState::kKilled || killing_) return {};
+    killing_ = true;
     kill_requested_.store(true, std::memory_order_relaxed);
+    // Take the handle while holding the mutex: run_async/start_debug
+    // move-assign worker_ under it, and killing_ keeps them from
+    // spawning a replacement while we join outside the lock.
+    std::swap(worker, worker_);
   }
   // Join outside the mutex: the worker takes it to flip back to idle.
-  if (worker_.joinable()) worker_.join();
+  if (worker.joinable()) worker.join();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     state_ = SessionState::kKilled;
@@ -189,7 +197,9 @@ std::string Session::kill() {
 Expected<std::vector<unsigned char>> Session::checkpoint() {
   using Failure = Expected<std::vector<unsigned char>>;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != SessionState::kIdle) return Failure::failure(busy_message(state_));
+  if (std::string gate = gate_idle(); !gate.empty()) {
+    return Failure::failure(std::move(gate));
+  }
   if (!has_run_) {
     return Failure::failure(
         "[srv-never-ran] checkpoint requires a session that has run (or "
@@ -200,7 +210,7 @@ Expected<std::vector<unsigned char>> Session::checkpoint() {
 
 std::string Session::restore_image(const std::vector<unsigned char>& image) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != SessionState::kIdle) return busy_message(state_);
+  if (std::string gate = gate_idle(); !gate.empty()) return gate;
   if (const Status restored = system_->restore_image(image); !restored.ok) {
     return "[srv-ckpt] " + restored.message;
   }
@@ -214,7 +224,9 @@ std::string Session::restore_image(const std::vector<unsigned char>& image) {
 Expected<u16> Session::start_debug(u16 port) {
   using Failure = Expected<u16>;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != SessionState::kIdle) return Failure::failure(busy_message(state_));
+  if (std::string gate = gate_idle(); !gate.empty()) {
+    return Failure::failure(std::move(gate));
+  }
   Expected<rsp::TcpListener> bound = rsp::TcpListener::listen(port);
   if (!bound) return Failure::failure("[srv-debug] " + bound.error());
   rsp::TcpListener listener = std::move(bound).value();
@@ -260,6 +272,14 @@ void Session::reap_worker() {
   if (worker_.joinable()) worker_.join();
 }
 
+std::string Session::gate_idle() const {
+  // A session being torn down reports itself as killed even while the
+  // worker join is still in flight, so no new worker can slip in.
+  if (killing_) return busy_message(SessionState::kKilled);
+  if (state_ != SessionState::kIdle) return busy_message(state_);
+  return {};
+}
+
 std::string Session::info_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"cores\":" + std::to_string(config_.desc.cores.size()) +
@@ -272,16 +292,16 @@ std::string Session::info_json() const {
 
 Expected<std::string> Session::stats_page() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != SessionState::kIdle) {
-    return Expected<std::string>::failure(busy_message(state_));
+  if (std::string gate = gate_idle(); !gate.empty()) {
+    return Expected<std::string>::failure(std::move(gate));
   }
   return stats_text(*system_);
 }
 
 Expected<std::string> Session::metrics_page() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != SessionState::kIdle) {
-    return Expected<std::string>::failure(busy_message(state_));
+  if (std::string gate = gate_idle(); !gate.empty()) {
+    return Expected<std::string>::failure(std::move(gate));
   }
   return system_->metrics_snapshot().to_string();
 }

@@ -132,6 +132,10 @@ class Session {
   void worker_debug(rsp::TcpListener listener);
   /// Reap a finished worker thread; call with mutex_ held, state idle.
   void reap_worker();
+  /// Mutex held: "" when the session is idle and not being torn down,
+  /// otherwise the structured busy error for its effective state. Gates
+  /// every operation that would touch system_ or spawn a worker.
+  [[nodiscard]] std::string gate_idle() const;
   void publish_state(const char* state, Cycle cycles,
                      const std::string& stop);
 
@@ -147,6 +151,11 @@ class Session {
   std::thread worker_;
   std::atomic<bool> pause_requested_{false};
   std::atomic<bool> kill_requested_{false};
+  /// Set (under mutex_) by the first kill() before it releases the lock
+  /// to join the worker. Guards the window between that release and the
+  /// final state_ = kKilled: run_async/start_debug must not spawn a new
+  /// worker there, and only the flag-setting kill() owns the handle.
+  bool killing_ = false;
   bool has_run_ = false;
   Cycle cached_cycles_ = 0;       ///< last published cycle count
   std::string cached_stop_;       ///< last stop reason ("" before any run)

@@ -63,6 +63,18 @@ TEST(Json, RejectsTrailingGarbageAndBadSyntax) {
   }
 }
 
+TEST(Json, RejectsDuplicateObjectKeys) {
+  // Silently keeping either occurrence would mask client mistakes in
+  // machine descriptions and server requests; the parser refuses.
+  const auto bad = parse(R"({"a":1,"a":2})");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().rfind("[json-syntax]", 0), 0u) << bad.error();
+  EXPECT_NE(bad.error().find("duplicate key \"a\""), std::string::npos)
+      << bad.error();
+  // Same key on different nesting levels is fine.
+  EXPECT_TRUE(parse(R"({"a":{"a":1}})").ok());
+}
+
 TEST(Json, EscapeCoversControlCharacters) {
   EXPECT_EQ(escape("plain"), "plain");
   EXPECT_EQ(escape("a\"b\\c"), "a\\\"b\\\\c");

@@ -95,6 +95,28 @@ TEST(ServerSession, LifecycleErrorPathsUseStableCodes) {
   EXPECT_EQ(session->kill(), "");
 }
 
+TEST(ServerSession, KillWhileRunningIsTerminalAndRejectsNewRuns) {
+  // Kill races a worker mid-run: it must take the worker handle under
+  // the session mutex, join it, and leave the session terminally killed
+  // — a run_async slipping in during the teardown window must not spawn
+  // a fresh worker that would flip the state back to idle.
+  SessionConfig config;
+  config.desc = machine::MachineDesc::single_core(
+      "loop: bri loop2\nloop2: bri loop\n");
+  config.control_quantum = 16;
+  SessionManager manager({});
+  auto created = manager.create(std::move(config));
+  ASSERT_TRUE(created.ok()) << created.error();
+  std::shared_ptr<Session> session = created.value();
+  ASSERT_EQ(session->run_async(Cycle{1} << 40), "");
+  EXPECT_EQ(session->kill(), "");
+  EXPECT_EQ(session->state(), SessionState::kKilled);
+  const std::string rerun = session->run_async(Cycle{1} << 40);
+  EXPECT_EQ(rerun.rfind("[srv-running]", 0), 0u) << rerun;
+  EXPECT_NE(rerun.find("killed"), std::string::npos) << rerun;
+  EXPECT_EQ(session->kill(), "");  // idempotent
+}
+
 TEST(ServerSession, AdmissionControlRejectsWithSrvBusy) {
   {
     SessionManager::Limits limits;
@@ -279,6 +301,59 @@ TEST(ServerSession, RunStreamsStateAndMetricsRecords) {
 }
 
 // -------------------------------------------------------- HTTP layer
+
+/// Serves a pre-baked byte stream at most `limit` bytes per recv() call
+/// and then stays open and silent — the shape of a real TCP socket
+/// delivering a large body: many small reads, each returning promptly
+/// with data, with no EOF afterwards.
+class TrickleTransport final : public rsp::Transport {
+ public:
+  TrickleTransport(std::string bytes, std::size_t limit)
+      : bytes_(std::move(bytes)), limit_(limit) {}
+
+  bool send(std::string_view) override { return true; }
+
+  std::string recv(int /*timeout_ms*/) override {
+    const std::string out = bytes_.substr(pos_, limit_);
+    pos_ = std::min(bytes_.size(), pos_ + limit_);
+    return out;
+  }
+
+  [[nodiscard]] bool closed() const override { return false; }
+
+ private:
+  std::string bytes_;
+  std::size_t limit_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ServerHttp, ReadRequestSurvivesLargeBodyInSmallRecvSlices) {
+  // Regression: the read deadline must bound *idle* time, not the
+  // number of recv() calls — a 64KB body arriving 100 bytes at a time
+  // takes ~650 reads, far more than timeout_ms/slice if every read
+  // were charged against the budget.
+  const std::string body(64 * 1024, 'x');
+  const std::string request_text =
+      "POST /sessions/1/restore HTTP/1.1\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  TrickleTransport transport(request_text, 100);
+  auto request = read_request(transport, 1000);
+  ASSERT_TRUE(request.ok()) << request.error();
+  EXPECT_EQ(request.value().body, body);
+}
+
+TEST(ServerHttp, ReadRequestTimesOutOnSilentOpenPeer) {
+  // The header promises a body that never arrives while the peer stays
+  // connected: the idle budget runs out with a structured timeout.
+  TrickleTransport transport("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n",
+                             4096);
+  auto request = read_request(transport, 200);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.error().rfind("[srv-bad-request]", 0), 0u)
+      << request.error();
+  EXPECT_NE(request.error().find("timed out reading body"), std::string::npos)
+      << request.error();
+}
 
 TEST(ServerHttp, ReadRequestParsesMethodTargetHeadersBody) {
   auto [server_side, client_side] = rsp::make_loopback();
