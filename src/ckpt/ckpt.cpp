@@ -116,4 +116,10 @@ Expected<std::vector<unsigned char>> read_file(const std::string& path) {
   return image;
 }
 
+Expected<std::vector<unsigned char>> read_sealed(const std::string& path) {
+  Expected<std::vector<unsigned char>> image = read_file(path);
+  if (!image) return image;
+  return unseal(image.value());
+}
+
 }  // namespace mbcosim::ckpt

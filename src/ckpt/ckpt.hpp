@@ -189,4 +189,11 @@ class Reader {
 [[nodiscard]] Expected<std::vector<unsigned char>> read_file(
     const std::string& path);
 
+/// read_file + unseal in one step: load a sealed image file and return
+/// its verified payload. The read side of the journal's skip-corrupt-
+/// tail path — every way a file can be damaged (missing, zero-length,
+/// truncated, bit-flipped) comes back as a structured [ckpt-*] error.
+[[nodiscard]] Expected<std::vector<unsigned char>> read_sealed(
+    const std::string& path);
+
 }  // namespace mbcosim::ckpt

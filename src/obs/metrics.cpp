@@ -97,6 +97,57 @@ void MetricsRegistry::flush() {
   }
 }
 
+void Histogram::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(count_);
+  writer.write_u64(sum_);
+  writer.write_u64(min_);
+  writer.write_u64(max_);
+  writer.write_u64(buckets_.size());
+  for (const u64 bucket : buckets_) writer.write_u64(bucket);
+}
+
+void Histogram::load_state(ckpt::Reader& reader) {
+  count_ = reader.read_u64();
+  sum_ = reader.read_u64();
+  min_ = reader.read_u64();
+  max_ = reader.read_u64();
+  const u64 buckets = reader.read_u64();
+  buckets_.clear();
+  if (!reader.ok() || buckets > reader.remaining()) return;  // underrun
+  buckets_.reserve(static_cast<std::size_t>(buckets));
+  for (u64 i = 0; i < buckets; ++i) buckets_.push_back(reader.read_u64());
+}
+
+void MetricsRegistry::save_state(ckpt::Writer& writer) const {
+  writer.write_u64(data_.counters.size());
+  for (const auto& [name, value] : data_.counters) {
+    writer.write_str(name);
+    writer.write_u64(value);
+  }
+  writer.write_u64(data_.histograms.size());
+  for (const auto& [name, histogram] : data_.histograms) {
+    writer.write_str(name);
+    histogram.save_state(writer);
+  }
+  writer.write_u64(stall_run_);
+}
+
+void MetricsRegistry::load_state(ckpt::Reader& reader) {
+  data_ = MetricsSnapshot{};
+  stall_run_ = 0;
+  const u64 counters = reader.read_u64();
+  for (u64 i = 0; i < counters && reader.ok(); ++i) {
+    std::string name = reader.read_str();
+    data_.counters[std::move(name)] = reader.read_u64();
+  }
+  const u64 histograms = reader.read_u64();
+  for (u64 i = 0; i < histograms && reader.ok(); ++i) {
+    std::string name = reader.read_str();
+    data_.histograms[std::move(name)].load_state(reader);
+  }
+  stall_run_ = reader.read_u64();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snapshot = data_;
   // Account the in-flight stall run without mutating the registry.

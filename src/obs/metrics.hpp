@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
 #include "obs/trace_bus.hpp"
 
 namespace mbcosim::obs {
@@ -38,6 +39,12 @@ class Histogram {
   }
 
   friend bool operator==(const Histogram&, const Histogram&) = default;
+
+  /// Exact state round-trip for session journals: a restored histogram
+  /// is field-for-field identical (including the untouched-min sentinel),
+  /// so recovered metrics render byte-identically.
+  void save_state(ckpt::Writer& writer) const;
+  void load_state(ckpt::Reader& reader);
 
  private:
   std::vector<u64> buckets_;
@@ -70,6 +77,12 @@ class MetricsRegistry : public TraceSink {
   void flush() override;
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Exact registry state (counters, histograms, in-flight stall run)
+  /// for full-system checkpoints — a restored registry continues
+  /// aggregating exactly where the saved one stopped.
+  void save_state(ckpt::Writer& writer) const;
+  void load_state(ckpt::Reader& reader);
 
  private:
   MetricsSnapshot data_;

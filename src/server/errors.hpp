@@ -18,6 +18,12 @@ inline constexpr const char* kSrvErrorCodes[] = {
     "[srv-ckpt]",             // checkpoint/restore image rejected (wraps ckpt::*)
     "[srv-debug]",            // debug port could not be opened
     "[srv-io]",               // transport I/O failed mid-response
+    "[srv-journal-io]",       // state dir / journal file unreadable or unwritable
+    "[srv-journal-version]",  // state dir written by an incompatible format
+    "[srv-journal-corrupt]",  // journal entry unparseable (skipped at recovery)
+    "[srv-deadline]",         // watchdog: wall-clock or cycle deadline exceeded
+    "[srv-deadlock]",         // machine deadlock diagnosis (terminal stop state)
+    "[srv-draining]",         // daemon is draining; no new work admitted
 };
 
 }  // namespace mbcosim::server

@@ -84,8 +84,15 @@ std::string parse_head(const std::string& head, HttpRequest& out) {
 }  // namespace
 
 Expected<HttpRequest> read_request(rsp::Transport& transport, int timeout_ms) {
+  std::string carry;
+  return read_request(transport, timeout_ms, carry);
+}
+
+Expected<HttpRequest> read_request(rsp::Transport& transport, int timeout_ms,
+                                   std::string& carry) {
   using Failure = Expected<HttpRequest>;
-  std::string buffer;
+  std::string buffer = std::move(carry);
+  carry.clear();
   std::size_t head_end = std::string::npos;
   int elapsed = 0;
   // Phase 1: accumulate until the blank line ending the header section.
@@ -141,6 +148,9 @@ Expected<HttpRequest> read_request(rsp::Transport& transport, int timeout_ms) {
     if (chunk.empty()) elapsed += kRecvSliceMs;
     request.body += chunk;
   }
+  // Bytes past the body belong to the next pipelined request on a
+  // keep-alive connection; hand them back instead of dropping them.
+  carry = request.body.substr(content_length);
   request.body.resize(content_length);
   return request;
 }
@@ -164,8 +174,8 @@ bool HttpResponseWriter::respond(int status, std::string_view content_type,
   std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
                      status_text(status) + "\r\nContent-Type: " +
                      std::string(content_type) + "\r\nContent-Length: " +
-                     std::to_string(body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
+                     std::to_string(body.size()) + "\r\nConnection: " +
+                     (keep_alive_ ? "keep-alive" : "close") + "\r\n\r\n";
   head += body;
   return transport_.send(head);
 }
@@ -173,6 +183,8 @@ bool HttpResponseWriter::respond(int status, std::string_view content_type,
 bool HttpResponseWriter::begin_chunked(int status,
                                        std::string_view content_type) {
   responded_ = true;
+  chunked_ = true;
+  keep_alive_ = false;  // a stream occupies its connection until EOF
   const std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
                            status_text(status) + "\r\nContent-Type: " +
                            std::string(content_type) +
@@ -196,10 +208,53 @@ bool HttpResponseWriter::finish_chunked() {
 }
 
 bool HttpResponseWriter::client_alive() {
-  // One request per connection: nothing legitimate arrives after the
-  // request, so draining is safe and lets closed() observe EOF.
+  // Only chunked streams probe, and a chunked response pins its
+  // connection (keep-alive is forced off): nothing legitimate arrives
+  // after the request, so draining is safe and lets closed() observe
+  // EOF.
   (void)transport_.recv(0);
   return !transport_.closed();
+}
+
+void serve_connection(
+    rsp::Transport& transport,
+    const std::function<void(const HttpRequest&, HttpResponseWriter&)>&
+        handler,
+    const std::atomic<bool>* stopping) {
+  std::string carry;  // pipelined bytes past one request's body
+  for (int served = 1; served <= kMaxRequestsPerConnection; ++served) {
+    Expected<HttpRequest> request =
+        read_request(transport, kRequestTimeoutMs, carry);
+    HttpResponseWriter writer(transport);
+    if (!request) {
+      // "[closed]" covers both a connection that never spoke and a
+      // keep-alive client that hung up (or idled out) between requests.
+      if (request.error() != "[closed]") {
+        writer.respond(
+            400, "application/json",
+            "{\"error\":\"" + common::json::escape(request.error()) + "\"}");
+      }
+      return;
+    }
+    bool keep = false;
+    if (const auto it = request.value().headers.find("connection");
+        it != request.value().headers.end()) {
+      std::string value = it->second;
+      std::transform(value.begin(), value.end(), value.begin(),
+                     [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                     });
+      keep = value == "keep-alive";
+    }
+    if (served == kMaxRequestsPerConnection ||
+        (stopping != nullptr &&
+         stopping->load(std::memory_order_relaxed))) {
+      keep = false;
+    }
+    writer.set_keep_alive(keep);
+    handler(request.value(), writer);
+    if (writer.chunked() || !writer.keep_alive()) return;
+  }
 }
 
 Expected<std::unique_ptr<HttpServer>> HttpServer::start(u16 port,
@@ -232,17 +287,7 @@ void HttpServer::accept_loop() {
     std::shared_ptr<rsp::Transport> shared = std::move(client);
     std::lock_guard<std::mutex> lock(mutex_);
     connections_.emplace_back([this, shared] {
-      Expected<HttpRequest> request = read_request(*shared, 10'000);
-      HttpResponseWriter writer(*shared);
-      if (!request) {
-        if (request.error() != "[closed]") {
-          writer.respond(
-              400, "application/json",
-              "{\"error\":\"" + common::json::escape(request.error()) + "\"}");
-        }
-        return;
-      }
-      handler_(request.value(), writer);
+      serve_connection(*shared, handler_, &stopping_);
     });
   }
 }

@@ -1,10 +1,12 @@
 // Minimal HTTP/1.1 layer for the simulation server — just enough of the
-// protocol for curl and scripted clients: one request per connection
-// ("Connection: close"), Content-Length bodies in, fixed or chunked
-// bodies out. It rides on rsp::Transport, so the same parsing code is
-// unit-tested over deterministic loopback pairs and serves live TCP
-// clients unchanged. No third-party dependency, same as the rest of the
-// tree.
+// protocol for curl and scripted clients: Content-Length bodies in,
+// fixed or chunked bodies out, opt-in keep-alive (a client that sends
+// "Connection: keep-alive" may issue up to kMaxRequestsPerConnection
+// requests on one connection; everyone else gets one request and
+// "Connection: close"). It rides on rsp::Transport, so the same parsing
+// code is unit-tested over deterministic loopback pairs and serves live
+// TCP clients unchanged. No third-party dependency, same as the rest of
+// the tree.
 #pragma once
 
 #include <atomic>
@@ -28,6 +30,15 @@ namespace mbcosim::server {
 inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 inline constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
 
+/// Bound on requests served over one keep-alive connection; the last
+/// response carries "Connection: close" so well-behaved clients
+/// reconnect instead of stalling.
+inline constexpr int kMaxRequestsPerConnection = 64;
+
+/// How long a connection may sit idle between requests (and how long a
+/// single request may stall mid-transfer) before it is dropped.
+inline constexpr int kRequestTimeoutMs = 10'000;
+
 struct HttpRequest {
   std::string method;  ///< "GET", "POST", "DELETE", ...
   std::string target;  ///< raw request target ("/sessions/3/run")
@@ -45,6 +56,15 @@ struct HttpRequest {
 [[nodiscard]] Expected<HttpRequest> read_request(rsp::Transport& transport,
                                                  int timeout_ms);
 
+/// Keep-alive variant: `carry` holds bytes received past the previous
+/// request's body (a pipelined next request); they are consumed before
+/// the transport is read, and any surplus past this request's body is
+/// stored back. The "went away before sending anything" [closed] case
+/// includes an empty carry.
+[[nodiscard]] Expected<HttpRequest> read_request(rsp::Transport& transport,
+                                                 int timeout_ms,
+                                                 std::string& carry);
+
 /// Writes one response — either respond() for a fixed body or
 /// begin_chunked()/chunk()/finish_chunked() for a stream. Every method
 /// returns false once the client is gone; callers just stop writing.
@@ -59,6 +79,13 @@ class HttpResponseWriter {
   bool chunk(std::string_view data);
   bool finish_chunked();
 
+  /// Whether respond() advertises "Connection: keep-alive". Chunked
+  /// streams always close — their length is only delimited by EOF from
+  /// the client's point of view once the stream is abandoned.
+  void set_keep_alive(bool keep_alive) noexcept { keep_alive_ = keep_alive; }
+  [[nodiscard]] bool keep_alive() const noexcept { return keep_alive_; }
+  [[nodiscard]] bool chunked() const noexcept { return chunked_; }
+
   /// Poll the connection: false once the peer has disconnected. Lets a
   /// long-lived stream with nothing to say notice an abandoned client.
   [[nodiscard]] bool client_alive();
@@ -70,12 +97,27 @@ class HttpResponseWriter {
  private:
   rsp::Transport& transport_;
   bool responded_ = false;
+  bool keep_alive_ = false;
+  bool chunked_ = false;
 };
+
+/// One connection's request loop: read requests, run the handler,
+/// honour opt-in keep-alive ("Connection: keep-alive" request header)
+/// up to kMaxRequestsPerConnection requests, close on anything else —
+/// "Connection: close", malformed requests, chunked responses, idle
+/// timeout, server shutdown. Factored out of HttpServer so loopback
+/// tests drive it without sockets.
+void serve_connection(
+    rsp::Transport& transport,
+    const std::function<void(const HttpRequest&, HttpResponseWriter&)>&
+        handler,
+    const std::atomic<bool>* stopping = nullptr);
 
 /// Accepts connections on 127.0.0.1:port and runs the handler on one
 /// thread per connection (a telemetry stream may occupy its connection
 /// for the whole life of a session, so connections must not serialize).
-/// Each connection carries exactly one request.
+/// Each connection runs serve_connection(): one request unless the
+/// client opts into keep-alive.
 class HttpServer {
  public:
   using Handler = std::function<void(const HttpRequest&, HttpResponseWriter&)>;

@@ -63,20 +63,43 @@ Expected<common::json::Object> parse_body_object(const std::string& body) {
 
 int status_for_error(const std::string& message) {
   if (starts_with(message, "[srv-unknown-session]")) return 404;
-  if (starts_with(message, "[srv-busy]")) return 503;
+  if (starts_with(message, "[srv-busy]") ||
+      starts_with(message, "[srv-draining]")) {
+    return 503;
+  }
   if (starts_with(message, "[srv-running]") ||
       starts_with(message, "[srv-not-running]") ||
       starts_with(message, "[srv-never-ran]")) {
     return 409;
   }
   if (starts_with(message, "[srv-debug]") ||
-      starts_with(message, "[srv-io]")) {
+      starts_with(message, "[srv-io]") ||
+      starts_with(message, "[srv-journal-")) {
     return 500;
   }
   // Everything else bracketed is a client-input problem: srv-bad-request,
   // srv-bad-machine, srv-ckpt and the json/machine description codes.
   if (!message.empty() && message.front() == '[') return 400;
   return 500;
+}
+
+Status Service::init(SessionManager::RecoveryReport* report) {
+  if (options_.state_dir.empty()) return {};
+  Expected<std::unique_ptr<JournalStore>> opened =
+      JournalStore::open(options_.state_dir);
+  if (!opened) return Status::failure(opened.error());
+  store_ = std::move(opened).value();
+  manager_.attach_journal(store_.get());
+  if (options_.recover) {
+    SessionManager::RecoveryReport recovered = manager_.recover();
+    if (report != nullptr) *report = std::move(recovered);
+  }
+  return {};
+}
+
+void Service::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  manager_.drain(options_.drain_timeout_ms);
 }
 
 void Service::handle(const HttpRequest& request, HttpResponseWriter& writer) {
@@ -120,8 +143,11 @@ void Service::handle(const HttpRequest& request, HttpResponseWriter& writer) {
 
 void Service::handle_create(const HttpRequest& request,
                             HttpResponseWriter& writer) {
-  using common::json::get_bool;
-  using common::json::get_int;
+  if (draining_.load(std::memory_order_relaxed)) {
+    respond_error(writer,
+                  "[srv-draining] daemon is draining; no new sessions");
+    return;
+  }
   Expected<common::json::Object> parsed = parse_body_object(request.body);
   if (!parsed) {
     respond_error(writer, parsed.error());
@@ -156,41 +182,15 @@ void Service::handle_create(const HttpRequest& request,
     return;
   }
 
-  SessionConfig config;
-  config.desc = std::move(desc).value();
-  config.control_quantum = options_.control_quantum;
-  long long workers = 0;
-  long long control_quantum = 0;
-  long long stream_queue = 0;
-  std::string err;
-  if ((err = get_int(top, "workers", "session", false, workers),
-       !err.empty()) ||
-      (err = get_bool(top, "metrics", "session", config.metrics),
-       !err.empty()) ||
-      (err = get_bool(top, "trace", "session", config.trace), !err.empty()) ||
-      (err = get_int(top, "control_quantum", "session", false,
-                     control_quantum),
-       !err.empty()) ||
-      (err = get_int(top, "stream_queue", "session", false, stream_queue),
-       !err.empty())) {
-    respond_error(writer, err);
+  Expected<SessionConfig> config = session_config_from_json(
+      top, std::move(desc).value(), options_.control_quantum);
+  if (!config) {
+    respond_error(writer, config.error());
     return;
-  }
-  if (workers < 0 || control_quantum < 0 || stream_queue < 0) {
-    respond_error(writer,
-                  "[srv-bad-request] workers, control_quantum and "
-                  "stream_queue must be non-negative");
-    return;
-  }
-  config.workers = static_cast<unsigned>(workers);
-  if (control_quantum > 0) {
-    config.control_quantum = static_cast<Cycle>(control_quantum);
-  }
-  if (stream_queue > 0) {
-    config.stream_queue = static_cast<std::size_t>(stream_queue);
   }
 
-  Expected<std::shared_ptr<Session>> session = manager_.create(std::move(config));
+  Expected<std::shared_ptr<Session>> session =
+      manager_.create(std::move(config).value());
   if (!session) {
     respond_error(writer, session.error());
     return;

@@ -21,10 +21,13 @@
 // derived from the bracketed code (see errors.hpp).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "server/http.hpp"
+#include "server/journal.hpp"
 #include "server/session_manager.hpp"
 
 namespace mbcosim::server {
@@ -37,10 +40,27 @@ class Service {
     Cycle control_quantum = 100'000;
     /// Invoked on POST /shutdown (after the response is sent).
     std::function<void()> on_shutdown;
+    /// Durable session journals live here; "" = no durability.
+    std::string state_dir;
+    /// With state_dir: rebuild journaled sessions in init().
+    bool recover = false;
+    /// Bound on how long drain() waits for each running session to stop
+    /// at a quantum boundary.
+    u64 drain_timeout_ms = 5'000;
   };
 
   explicit Service(Options options)
       : options_(std::move(options)), manager_(options_.limits) {}
+
+  /// Open the state dir (when configured), attach it to the session
+  /// pool and run recovery (when asked). Call once, before serving;
+  /// failures carry "[srv-journal-*]" codes.
+  [[nodiscard]] Status init(SessionManager::RecoveryReport* report = nullptr);
+
+  /// Graceful shutdown: stop admitting (creates get "[srv-draining]"),
+  /// checkpoint and kill every session. Journal dirs survive for
+  /// --recover.
+  void drain();
 
   /// HttpServer::Handler entry point.
   void handle(const HttpRequest& request, HttpResponseWriter& writer);
@@ -55,6 +75,8 @@ class Service {
 
   Options options_;
   SessionManager manager_;
+  std::unique_ptr<JournalStore> store_;
+  std::atomic<bool> draining_{false};
 };
 
 /// HTTP status for a "[code] ..." error message (errors.hpp mapping).

@@ -1,10 +1,13 @@
 #include "server/session.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/json.hpp"
 #include "isa/isa.hpp"
+#include "obs/jsonl_sink.hpp"
 
 namespace mbcosim::server {
 
@@ -15,7 +18,87 @@ std::string busy_message(SessionState state) {
          "; operation requires an idle session";
 }
 
+/// Record a lifecycle event; journal write failures are loud (stderr)
+/// but never fail the operation they ride along with.
+void journal_event(SessionJournal* journal, u64 id, const char* event,
+                   Cycle cycles, const std::string& stop = {}) {
+  if (journal == nullptr) return;
+  if (Status recorded = journal->record_event(event, cycles, stop);
+      !recorded.ok) {
+    std::fprintf(stderr, "session %llu: %s\n",
+                 static_cast<unsigned long long>(id),
+                 recorded.message.c_str());
+  }
+}
+
 }  // namespace
+
+std::string session_config_to_json(const SessionConfig& config) {
+  std::string out = "{\"ckpt_every\":" + std::to_string(config.ckpt_every) +
+                    ",\"control_quantum\":" +
+                    std::to_string(config.control_quantum) +
+                    ",\"deadline_ms\":" + std::to_string(config.deadline_ms) +
+                    ",\"machine\":" + config.desc.to_json() +
+                    ",\"max_cycles\":" + std::to_string(config.max_cycles) +
+                    ",\"metrics\":" + (config.metrics ? "true" : "false") +
+                    ",\"stream_queue\":" + std::to_string(config.stream_queue) +
+                    ",\"trace\":" + (config.trace ? "true" : "false") +
+                    ",\"workers\":" + std::to_string(config.workers) + "}";
+  return out;
+}
+
+Expected<SessionConfig> session_config_from_json(
+    const common::json::Object& body, machine::MachineDesc desc,
+    Cycle default_control_quantum) {
+  using common::json::get_bool;
+  using common::json::get_int;
+  using Failure = Expected<SessionConfig>;
+  SessionConfig config;
+  config.desc = std::move(desc);
+  config.control_quantum = default_control_quantum;
+  long long workers = 0;
+  long long control_quantum = 0;
+  long long stream_queue = 0;
+  long long deadline_ms = 0;
+  long long max_cycles = 0;
+  long long ckpt_every = static_cast<long long>(config.ckpt_every);
+  std::string err;
+  if ((err = get_int(body, "workers", "session", false, workers),
+       !err.empty()) ||
+      (err = get_bool(body, "metrics", "session", config.metrics),
+       !err.empty()) ||
+      (err = get_bool(body, "trace", "session", config.trace), !err.empty()) ||
+      (err = get_int(body, "control_quantum", "session", false,
+                     control_quantum),
+       !err.empty()) ||
+      (err = get_int(body, "stream_queue", "session", false, stream_queue),
+       !err.empty()) ||
+      (err = get_int(body, "deadline_ms", "session", false, deadline_ms),
+       !err.empty()) ||
+      (err = get_int(body, "max_cycles", "session", false, max_cycles),
+       !err.empty()) ||
+      (err = get_int(body, "ckpt_every", "session", false, ckpt_every),
+       !err.empty())) {
+    return Failure::failure(err);
+  }
+  if (workers < 0 || control_quantum < 0 || stream_queue < 0 ||
+      deadline_ms < 0 || max_cycles < 0 || ckpt_every < 0) {
+    return Failure::failure(
+        "[srv-bad-request] workers, control_quantum, stream_queue, "
+        "deadline_ms, max_cycles and ckpt_every must be non-negative");
+  }
+  config.workers = static_cast<unsigned>(workers);
+  if (control_quantum > 0) {
+    config.control_quantum = static_cast<Cycle>(control_quantum);
+  }
+  if (stream_queue > 0) {
+    config.stream_queue = static_cast<std::size_t>(stream_queue);
+  }
+  config.deadline_ms = static_cast<u64>(deadline_ms);
+  config.max_cycles = static_cast<Cycle>(max_cycles);
+  config.ckpt_every = static_cast<Cycle>(ckpt_every);
+  return config;
+}
 
 std::string stats_text(const sim::SimSystem& system) {
   const core::CoSimStats s = system.stats();
@@ -47,8 +130,8 @@ std::string stats_text(const sim::SimSystem& system) {
   return out;
 }
 
-Expected<std::shared_ptr<Session>> Session::create(u64 id,
-                                                   SessionConfig config) {
+Expected<std::shared_ptr<Session>> Session::create(
+    u64 id, SessionConfig config, std::unique_ptr<SessionJournal> journal) {
   using Failure = Expected<std::shared_ptr<Session>>;
   sim::SimSystem::Builder builder;
   builder.machine(config.desc).workers(config.workers);
@@ -58,6 +141,7 @@ Expected<std::shared_ptr<Session>> Session::create(u64 id,
     return Failure::failure("[srv-bad-machine] " + built.error());
   }
   std::shared_ptr<Session> session(new Session(id, std::move(config)));
+  session->journal_ = std::move(journal);
   session->system_.emplace(std::move(built).value());
   sim::SimSystem& system = *session->system_;
   if (session->config_.trace) {
@@ -67,6 +151,26 @@ Expected<std::shared_ptr<Session>> Session::create(u64 id,
       system.trace_bus(i).add_sink(std::make_unique<StreamSink>(
           session->hub_,
           [](Addr, Word raw) { return isa::disassemble(raw); }));
+    }
+    if (session->journal_ != nullptr) {
+      // Journaled sessions additionally persist the trace per core,
+      // appending across daemon restarts (recovery truncates back to
+      // the restored checkpoint first, so the file stays byte-identical
+      // to an uninterrupted batch --trace run).
+      for (std::size_t i = 0; i < system.core_count(); ++i) {
+        const std::string path = session->journal_->trace_path(i);
+        auto stream = std::make_unique<std::ofstream>(
+            path, std::ios::binary | std::ios::app);
+        if (!stream->good()) {
+          return Failure::failure("[srv-journal-io] cannot open trace file '" +
+                                  path + "'");
+        }
+        auto sink = std::make_unique<obs::JsonlSink>(*stream);
+        sink->set_disassembler(
+            [](Addr, Word raw) { return isa::disassemble(raw); });
+        system.trace_bus(i).add_sink(std::move(sink));
+        session->trace_files_.push_back(std::move(stream));
+      }
     }
   }
   if (system.core_count() > 1) {
@@ -78,6 +182,7 @@ Expected<std::shared_ptr<Session>> Session::create(u64 id,
                   hw, static_cast<unsigned>(system.core_count()));
     session->cost_ = 1 + engine_workers;
   }
+  journal_event(session->journal_.get(), id, "created", 0);
   return session;
 }
 
@@ -108,7 +213,14 @@ std::string Session::run_async(Cycle max_cycles) {
   reap_worker();
   has_run_ = true;
   pause_requested_.store(false, std::memory_order_relaxed);
+  deadline_exceeded_.store(false, std::memory_order_relaxed);
+  run_deadline_.reset();
+  if (config_.deadline_ms != 0) {
+    run_deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(config_.deadline_ms);
+  }
   state_ = SessionState::kRunning;
+  journal_event(journal_.get(), id_, "running", cached_cycles_);
   publish_state("running", cached_cycles_, {});
   worker_ = std::thread([this, max_cycles] { worker_run(max_cycles); });
   return {};
@@ -117,11 +229,31 @@ std::string Session::run_async(Cycle max_cycles) {
 void Session::worker_run(Cycle max_cycles) {
   // Exclusive owner of system_ until the state flips back to idle.
   core::StopReason reason = core::StopReason::kCycleLimit;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deadline = run_deadline_;
+  }
+  std::string expired;  // non-empty: [srv-deadline] terminal teardown
   while (true) {
     const Cycle current = system_->stats().cycles;
     if (current >= max_cycles) break;
-    const Cycle target =
-        std::min(current + config_.control_quantum, max_cycles);
+    // Supervision, on the quantum boundary: the lifetime cycle budget
+    // and the wall-clock deadline (checked here and flagged by the
+    // manager's watchdog, which covers long quanta).
+    if (config_.max_cycles != 0 && current >= config_.max_cycles) {
+      expired = "[srv-deadline] cycle budget exhausted (max_cycles=" +
+                std::to_string(config_.max_cycles) + ")";
+      break;
+    }
+    if (deadline_exceeded_.load(std::memory_order_relaxed) ||
+        (deadline && std::chrono::steady_clock::now() >= *deadline)) {
+      expired = "[srv-deadline] wall-clock deadline exceeded (deadline_ms=" +
+                std::to_string(config_.deadline_ms) + ")";
+      break;
+    }
+    Cycle target = std::min(current + config_.control_quantum, max_cycles);
+    if (config_.max_cycles != 0) target = std::min(target, config_.max_cycles);
     reason = system_->run(target);
     if (config_.metrics) {
       using common::json::Value;
@@ -136,14 +268,43 @@ void Session::worker_run(Cycle max_cycles) {
       record["counters"] = Value{std::move(counters)};
       hub_.publish(common::json::dump(Value{std::move(record)}));
     }
+    if (journal_ != nullptr && config_.ckpt_every != 0 &&
+        system_->stats().cycles - last_journal_cycle_ >= config_.ckpt_every) {
+      journal_checkpoint();
+    }
     if (reason != core::StopReason::kCycleLimit) break;  // terminal stop
     if (pause_requested_.load(std::memory_order_relaxed) ||
         kill_requested_.load(std::memory_order_relaxed)) {
       break;
     }
   }
+  if (!expired.empty()) {
+    expire_with(expired);
+    return;
+  }
   const Cycle cycles = system_->stats().cycles;
-  const std::string stop = core::stop_reason_name(reason);
+  std::string stop = core::stop_reason_name(reason);
+  if (reason == core::StopReason::kDeadlock) {
+    // Structured deadlock state instead of the generic reason name: the
+    // diagnosis (channel, direction, PC, occupancy) plus the starved
+    // core, dispatchable on the stable [srv-deadlock] code.
+    stop = "[srv-deadlock] ";
+    const std::optional<core::DeadlockDiagnosis> diagnosis =
+        system_->deadlock_diagnosis();
+    stop += diagnosis ? diagnosis->to_string()
+                      : std::string("deadlock detected (no diagnosis)");
+    if (const std::size_t culprit = system_->stop_core();
+        culprit < system_->core_count()) {
+      stop += " [core " + system_->core_name(culprit) + "]";
+    }
+  }
+  // Every run exit is durable: the journal always holds the stopped
+  // state, so a crash between runs recovers to exactly this point.
+  if (journal_ != nullptr &&
+      (!journal_has_checkpoint_ || cycles != last_journal_cycle_)) {
+    journal_checkpoint();
+  }
+  journal_event(journal_.get(), id_, "idle", cycles, stop);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     cached_cycles_ = cycles;
@@ -152,6 +313,103 @@ void Session::worker_run(Cycle max_cycles) {
     publish_state("idle", cycles, stop);
   }
   cv_.notify_all();
+}
+
+void Session::journal_checkpoint() {
+  JournalCheckpoint record;
+  record.cycle = system_->stats().cycles;
+  for (const std::unique_ptr<std::ofstream>& stream : trace_files_) {
+    stream->flush();
+    stream->seekp(0, std::ios::end);  // append mode: make tellp the size
+    const std::streamoff offset = stream->tellp();
+    record.trace_offsets.push_back(
+        offset > 0 ? static_cast<u64>(offset) : 0);
+  }
+  record.metrics = system_->metrics_state();
+  record.image = system_->snapshot();
+  if (Status written = journal_->write_checkpoint(record); !written.ok) {
+    std::fprintf(stderr, "session %llu: %s\n",
+                 static_cast<unsigned long long>(id_),
+                 written.message.c_str());
+    return;
+  }
+  last_journal_cycle_ = record.cycle;
+  journal_has_checkpoint_ = true;
+}
+
+void Session::expire_with(const std::string& stop) {
+  const Cycle cycles = system_->stats().cycles;
+  journal_event(journal_.get(), id_, "deadline", cycles, stop);
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cached_cycles_ = cycles;
+    cached_stop_ = stop;
+    if (!killing_) {
+      // Terminal self-kill: the session stays in the pool as killed so
+      // clients can read the [srv-deadline] stop, but its admission
+      // budget is released (on_expire_) for follow-up sessions.
+      owner = true;
+      state_ = SessionState::kKilled;
+      publish_state("killed", cycles, stop);
+    } else {
+      // A concurrent kill() is joining this thread and owns the
+      // terminal transition; hand over as a normal idle exit.
+      state_ = SessionState::kIdle;
+    }
+  }
+  cv_.notify_all();
+  if (owner) {
+    hub_.close();
+    if (on_expire_) on_expire_(id_);
+  }
+}
+
+std::string Session::adopt_recovery(const JournalCheckpoint& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status restored = system_->restore_image(record.image); !restored.ok) {
+    return "[srv-ckpt] " + restored.message;
+  }
+  if (!record.metrics.empty()) {
+    if (Status restored = system_->restore_metrics_state(record.metrics);
+        !restored.ok) {
+      return "[srv-ckpt] " + restored.message;
+    }
+  }
+  has_run_ = true;
+  cached_cycles_ = system_->stats().cycles;
+  cached_stop_ = "recovered";
+  recovered_from_ = record.cycle;
+  last_journal_cycle_ = record.cycle;
+  journal_has_checkpoint_ = true;
+  publish_state("recovered", cached_cycles_, {});
+  return {};
+}
+
+void Session::poll_supervision(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == SessionState::kRunning && run_deadline_ &&
+      now >= *run_deadline_) {
+    deadline_exceeded_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Session::drain(std::chrono::steady_clock::time_point deadline) {
+  hub_.publish("{\"stream\":\"draining\"}");
+  Cycle cycles = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (state_ == SessionState::kRunning) {
+      pause_requested_.store(true, std::memory_order_relaxed);
+      cv_.wait_until(lock, deadline,
+                     [this] { return state_ != SessionState::kRunning; });
+    }
+    cycles = cached_cycles_;
+  }
+  // The worker checkpointed on its way out; just mark the drain. The
+  // journal dir survives (unlike DELETE), so --recover resumes here.
+  journal_event(journal_.get(), id_, "drained", cycles);
+  (void)kill();
 }
 
 std::string Session::pause() {
@@ -217,6 +475,7 @@ std::string Session::restore_image(const std::vector<unsigned char>& image) {
   has_run_ = true;
   cached_cycles_ = system_->stats().cycles;
   cached_stop_ = "restored";
+  journal_event(journal_.get(), id_, "restored", cached_cycles_);
   publish_state("restored", cached_cycles_, {});
   return {};
 }
@@ -284,9 +543,12 @@ std::string Session::info_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"cores\":" + std::to_string(config_.desc.cores.size()) +
                     ",\"cycles\":" + std::to_string(cached_cycles_) +
-                    ",\"id\":" + std::to_string(id_) + ",\"state\":\"" +
-                    to_string(state_) + "\",\"stop\":\"" +
-                    common::json::escape(cached_stop_) + "\"}";
+                    ",\"id\":" + std::to_string(id_);
+  if (recovered_from_) {
+    out += ",\"recovered_from_cycle\":" + std::to_string(*recovered_from_);
+  }
+  out += ",\"state\":\"" + std::string(to_string(state_)) + "\",\"stop\":\"" +
+         common::json::escape(cached_stop_) + "\"}";
   return out;
 }
 

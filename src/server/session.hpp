@@ -22,7 +22,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -30,9 +33,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "machine/machine_desc.hpp"
+#include "server/journal.hpp"
 #include "server/stream_hub.hpp"
 #include "sim/sim_system.hpp"
 
@@ -48,7 +53,30 @@ struct SessionConfig {
   Cycle control_quantum = 100'000;
   /// Per-subscriber telemetry queue bound (lines) before drop-oldest.
   std::size_t stream_queue = 4096;
+  /// Wall-clock budget of one run, in milliseconds; 0 = none. Enforced
+  /// at control-quantum boundaries: an overrunning session is killed
+  /// with a "[srv-deadline]" terminal state and its budget released.
+  u64 deadline_ms = 0;
+  /// Lifetime simulated-cycle budget; 0 = none. Same enforcement.
+  Cycle max_cycles = 0;
+  /// Journal checkpoint interval in cycles (journaled sessions only);
+  /// 0 = checkpoint only when a run stops. The worker also checkpoints
+  /// on every run exit, so the journal always holds the stopped state.
+  Cycle ckpt_every = 1'000'000;
 };
+
+/// Canonical JSON form of a create request (sorted keys, machine
+/// description inlined) — what the journal records, and what recovery
+/// replays through session_config_from_json below. Round-trip exact.
+[[nodiscard]] std::string session_config_to_json(const SessionConfig& config);
+
+/// Parse the session fields of a create-request object around an
+/// already-resolved machine description. Shared by the HTTP create
+/// endpoint and journal recovery, so both accept exactly one dialect.
+/// Failure messages carry stable "[srv-bad-request]"/json codes.
+[[nodiscard]] Expected<SessionConfig> session_config_from_json(
+    const common::json::Object& body, machine::MachineDesc desc,
+    Cycle default_control_quantum);
 
 enum class SessionState : u8 { kIdle, kRunning, kDebug, kKilled };
 
@@ -71,9 +99,13 @@ enum class SessionState : u8 { kIdle, kRunning, kDebug, kKilled };
 class Session {
  public:
   /// Build the simulated system and wrap it in an idle session. Build
-  /// failures come back as "[srv-bad-machine] <builder error>".
+  /// failures come back as "[srv-bad-machine] <builder error>". With a
+  /// journal the session is durable: lifecycle events and periodic
+  /// checkpoints are persisted, and traced sessions write per-core
+  /// journal trace files (byte-identical to a batch --trace run).
   [[nodiscard]] static Expected<std::shared_ptr<Session>> create(
-      u64 id, SessionConfig config);
+      u64 id, SessionConfig config,
+      std::unique_ptr<SessionJournal> journal = nullptr);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -108,6 +140,27 @@ class Session {
   /// the session is in `debug` and extra RSP clients get "E.srv-busy".
   [[nodiscard]] Expected<u16> start_debug(u16 port);
 
+  /// Restore the newest valid journal checkpoint into a freshly built
+  /// session (recovery path; call before any run). "" on success.
+  [[nodiscard]] std::string adopt_recovery(const JournalCheckpoint& record);
+
+  /// Called (off this session's mutex) when the watchdog/deadline path
+  /// kills the session from its own worker thread, so the manager can
+  /// release its admission budget while keeping it visible in the pool.
+  void set_on_expire(std::function<void(u64)> on_expire) {
+    on_expire_ = std::move(on_expire);
+  }
+
+  /// Watchdog hook: flag a running session whose wall-clock deadline
+  /// has passed; the worker kills it at the next quantum boundary.
+  void poll_supervision(std::chrono::steady_clock::time_point now);
+
+  /// Graceful-drain step: publish a terminal {"stream":"draining"}
+  /// record, stop any run at the next quantum boundary (waiting no
+  /// longer than `deadline` for it), journal the drain and kill the
+  /// session. The worker's exit checkpoint makes the stop durable.
+  void drain(std::chrono::steady_clock::time_point deadline);
+
   /// Subscribe to the session's telemetry stream.
   [[nodiscard]] std::shared_ptr<StreamSubscription> subscribe() {
     return hub_.subscribe();
@@ -130,6 +183,13 @@ class Session {
   void worker_run(Cycle max_cycles);
   /// Accept-and-serve RSP loop (worker thread).
   void worker_debug(rsp::TcpListener listener);
+  /// Worker thread, owning system_: persist a checkpoint record (cycle,
+  /// trace offsets, metrics state, machine image) to the journal.
+  void journal_checkpoint();
+  /// Worker thread: terminal [srv-deadline] teardown — the session
+  /// kills itself, releases its budget via on_expire_ and stays in the
+  /// pool as killed so clients can read the structured stop state.
+  void expire_with(const std::string& stop);
   /// Reap a finished worker thread; call with mutex_ held, state idle.
   void reap_worker();
   /// Mutex held: "" when the session is idle and not being torn down,
@@ -143,14 +203,25 @@ class Session {
   SessionConfig config_;
   StreamHub hub_;
   unsigned cost_ = 1;
+  std::unique_ptr<SessionJournal> journal_;
+  std::function<void(u64)> on_expire_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  /// Journaled per-core trace streams; declared before system_ so the
+  /// JsonlSinks inside its trace buses are destroyed first.
+  std::vector<std::unique_ptr<std::ofstream>> trace_files_;
   std::optional<sim::SimSystem> system_;
   SessionState state_ = SessionState::kIdle;
   std::thread worker_;
   std::atomic<bool> pause_requested_{false};
   std::atomic<bool> kill_requested_{false};
+  /// Watchdog verdict: wall-clock deadline passed while running. The
+  /// worker turns it into a [srv-deadline] kill at the next boundary.
+  std::atomic<bool> deadline_exceeded_{false};
+  /// Deadline of the run in flight (mutex_): set by run_async when
+  /// config_.deadline_ms != 0.
+  std::optional<std::chrono::steady_clock::time_point> run_deadline_;
   /// Set (under mutex_) by the first kill() before it releases the lock
   /// to join the worker. Guards the window between that release and the
   /// final state_ = kKilled: run_async/start_debug must not spawn a new
@@ -159,6 +230,10 @@ class Session {
   bool has_run_ = false;
   Cycle cached_cycles_ = 0;       ///< last published cycle count
   std::string cached_stop_;       ///< last stop reason ("" before any run)
+  std::optional<Cycle> recovered_from_;  ///< journal recovery provenance
+  /// Worker-thread only: cycle of the last journaled checkpoint.
+  Cycle last_journal_cycle_ = 0;
+  bool journal_has_checkpoint_ = false;
 };
 
 }  // namespace mbcosim::server

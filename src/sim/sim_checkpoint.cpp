@@ -124,6 +124,42 @@ Status SimSystem::save_checkpoint(const std::string& path) const {
   return ckpt::write_file(path, snapshot());
 }
 
+std::vector<unsigned char> SimSystem::metrics_state() const {
+  ckpt::Writer writer;
+  writer.write_u32(static_cast<u32>(state_->cores.size()));
+  for (const auto& core : state_->cores) {
+    writer.write_bool(core->metrics != nullptr);
+    if (core->metrics != nullptr) core->metrics->save_state(writer);
+  }
+  return writer.take();
+}
+
+Status SimSystem::restore_metrics_state(
+    const std::vector<unsigned char>& state) {
+  ckpt::Reader reader(state);
+  const u32 cores = reader.read_u32();
+  if (cores != state_->cores.size()) {
+    return Status::failure(
+        std::string(ckpt::kCkptErrorCodes[5]) + " metrics state covers " +
+        std::to_string(cores) + " core(s), this system has " +
+        std::to_string(state_->cores.size()));
+  }
+  for (const auto& core : state_->cores) {
+    const bool present = reader.read_bool();
+    if (present != (core->metrics != nullptr)) {
+      return Status::failure(
+          std::string(ckpt::kCkptErrorCodes[5]) +
+          " metrics state does not match this system's metrics wiring");
+    }
+    if (present) core->metrics->load_state(reader);
+  }
+  if (!reader.ok()) {
+    return Status::failure(std::string(ckpt::kCkptErrorCodes[3]) +
+                           " metrics state ends early");
+  }
+  return {};
+}
+
 Status SimSystem::restore(const std::string& path) {
   Expected<std::vector<unsigned char>> image = ckpt::read_file(path);
   if (!image) return Status::failure(image.error());

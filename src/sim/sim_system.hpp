@@ -256,6 +256,17 @@ class SimSystem {
   [[nodiscard]] Status save_checkpoint(const std::string& path) const;
   /// restore_image() straight from a file.
   [[nodiscard]] Status restore(const std::string& path);
+  /// Exact state of every per-core MetricsRegistry (empty blob when the
+  /// system was built without Builder::metrics). A snapshot() image
+  /// deliberately excludes observability state; session journals carry
+  /// this blob next to the image so a recovered session's metrics page
+  /// stays byte-identical to an uninterrupted run.
+  [[nodiscard]] std::vector<unsigned char> metrics_state() const;
+  /// Restore a metrics_state() blob; [ckpt-shape] when the blob was
+  /// taken from a differently-shaped system, [ckpt-truncated] when it
+  /// ends early.
+  [[nodiscard]] Status restore_metrics_state(
+      const std::vector<unsigned char>& state);
 
   // -- remote debug ----------------------------------------------------
   /// Serve one GDB Remote Serial Protocol session on 127.0.0.1:`port`

@@ -128,6 +128,57 @@ TEST(CkptImage, FileRoundTripAndIoErrors) {
               0);
 }
 
+// On-disk damage through read_sealed (read_file + unseal): every shape
+// of a torn or tampered checkpoint file must come back as a structured
+// [ckpt-*] error — never UB, never an exception. This is the exact path
+// journal recovery takes when deciding whether to skip a record.
+TEST(CkptImage, ReadSealedRejectsDamagedFilesStructurally) {
+  const std::vector<unsigned char> image = sample_image();
+  const std::string path = tmp_path("ckpt_damaged.ckpt");
+
+  // Intact file: round-trips through the one-step reader.
+  ASSERT_TRUE(ckpt::write_file(path, image).ok);
+  const auto payload = ckpt::read_sealed(path);
+  ASSERT_TRUE(payload.ok()) << payload.error();
+  ckpt::Reader reader(payload.value());
+  EXPECT_EQ(reader.read_str(), "payload under test");
+
+  // Zero-length file (crash before any byte landed).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    expect_code(ckpt::read_sealed(path).error(), 3);
+  }
+
+  // Truncated mid-payload (crash mid-write without the tmp+rename
+  // discipline): shorter than the header promises.
+  {
+    std::vector<unsigned char> torn(image.begin(), image.end() - 5);
+    ASSERT_TRUE(ckpt::write_file(path, torn).ok);
+    expect_code(ckpt::read_sealed(path).error(), 3);
+  }
+
+  // Truncated inside the header itself.
+  {
+    std::vector<unsigned char> stub(image.begin(),
+                                    image.begin() + ckpt::kHeaderBytes / 2);
+    ASSERT_TRUE(ckpt::write_file(path, stub).ok);
+    expect_code(ckpt::read_sealed(path).error(), 3);
+  }
+
+  // A single flipped payload bit: the FNV-1a seal catches it.
+  {
+    std::vector<unsigned char> flipped = image;
+    flipped[ckpt::kHeaderBytes] ^= 0x20;
+    ASSERT_TRUE(ckpt::write_file(path, flipped).ok);
+    expect_code(ckpt::read_sealed(path).error(), 4);
+  }
+
+  // Missing file.
+  expect_code(ckpt::read_sealed(tmp_path("never_written.ckpt")).error(), 0);
+}
+
 TEST(CkptImage, RejectsForeignBytesAsNotACheckpoint) {
   std::vector<unsigned char> image = sample_image();
   image[0] ^= 0xff;  // not "MBCK" any more

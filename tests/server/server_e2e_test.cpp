@@ -12,6 +12,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
@@ -475,6 +476,155 @@ TEST_F(ServerE2E, DebugPortAttachDetachOverHttp) {
   const HttpReply killed =
       http(port_, "DELETE", "/sessions/" + std::to_string(id));
   EXPECT_EQ(killed.status, 200) << killed.body;
+}
+
+// ------------------------------------------ keep-alive & crash recovery
+
+/// Read exactly one fixed-length reply from a connection that stays
+/// open afterwards (keep-alive), leaving pipelined surplus in `raw`.
+HttpReply recv_reply(rsp::Transport& wire, std::string& raw) {
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    const std::size_t head_end = raw.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      const HttpReply head = parse_reply(raw.substr(0, head_end + 4));
+      const auto it = head.headers.find("content-length");
+      const std::size_t length =
+          it == head.headers.end()
+              ? 0
+              : std::strtoul(it->second.c_str(), nullptr, 10);
+      if (raw.size() >= head_end + 4 + length) {
+        HttpReply reply = head;
+        reply.body = raw.substr(head_end + 4, length);
+        raw.erase(0, head_end + 4 + length);
+        return reply;
+      }
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (wire.closed() ||
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count() > kDeadlineMs) {
+      return {};
+    }
+    raw += wire.recv(50);
+  }
+}
+
+TEST_F(ServerE2E, KeepAliveConnectionServesSequentialRequests) {
+  std::unique_ptr<rsp::Transport> wire = rsp::tcp_connect("127.0.0.1", port_);
+  ASSERT_NE(wire, nullptr);
+  std::string raw;
+
+  // Two request/response round trips on one connection.
+  ASSERT_TRUE(wire->send("GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                         "Connection: keep-alive\r\n\r\n"));
+  HttpReply first = recv_reply(*wire, raw);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.body, "ok\n");
+  EXPECT_EQ(first.headers["connection"], "keep-alive");
+
+  ASSERT_TRUE(wire->send("GET /sessions HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                         "Connection: keep-alive\r\n\r\n"));
+  HttpReply second = recv_reply(*wire, raw);
+  EXPECT_EQ(second.status, 200);
+  EXPECT_EQ(second.body, "{\"sessions\":[]}");
+  EXPECT_EQ(second.headers["connection"], "keep-alive");
+
+  // A request without the opt-in header ends the connection.
+  ASSERT_TRUE(wire->send("GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n"));
+  HttpReply last = recv_reply(*wire, raw);
+  EXPECT_EQ(last.status, 200);
+  EXPECT_EQ(last.headers["connection"], "close");
+  drain(*wire, 5000);
+  EXPECT_TRUE(wire->closed());
+}
+
+TEST(ServerE2EDurability, RecoveryAcrossServiceRestartMatchesBatch) {
+  apps::register_machine_peripherals();
+  const std::string state_dir =
+      ::testing::TempDir() + "srv_e2e_recovery";
+  std::filesystem::remove_all(state_dir);
+  const std::string create_body = machine_body(kCountProgram, "predecode");
+  u64 id = 0;
+
+  {  // Daemon #1: create, run to cycle 192, "crash" (no drain, no kill).
+    Service::Options options;
+    options.state_dir = state_dir;
+    auto service = std::make_unique<Service>(std::move(options));
+    ASSERT_TRUE(service->init().ok);
+    auto started = HttpServer::start(
+        0, [&service](const HttpRequest& request, HttpResponseWriter& writer) {
+          service->handle(request, writer);
+        });
+    ASSERT_TRUE(started.ok()) << started.error();
+    const u16 port = started.value()->port();
+    const HttpReply created = http(port, "POST", "/sessions", create_body);
+    ASSERT_EQ(created.status, 201) << created.body;
+    id = static_cast<u64>(json_int(created.body, "id"));
+    const HttpReply run = http(
+        port, "POST", "/sessions/" + std::to_string(id) + "/run",
+        "{\"max_cycles\":192}");
+    ASSERT_EQ(run.status, 200) << run.body;
+    ASSERT_TRUE(wait_for_state(port, id, "idle"));
+    started.value()->stop();
+    // Scope exit destroys the Service without drain() — from the
+    // journal's point of view this is indistinguishable from kill -9.
+  }
+
+  {  // Daemon #2: --recover rebuilds the session from its journal.
+    Service::Options options;
+    options.state_dir = state_dir;
+    options.recover = true;
+    auto service = std::make_unique<Service>(std::move(options));
+    SessionManager::RecoveryReport report;
+    ASSERT_TRUE(service->init(&report).ok);
+    ASSERT_EQ(report.recovered, 1u);
+    auto started = HttpServer::start(
+        0, [&service](const HttpRequest& request, HttpResponseWriter& writer) {
+          service->handle(request, writer);
+        });
+    ASSERT_TRUE(started.ok()) << started.error();
+    const u16 port = started.value()->port();
+
+    const HttpReply info =
+        http(port, "GET", "/sessions/" + std::to_string(id));
+    ASSERT_EQ(info.status, 200) << info.body;
+    EXPECT_EQ(json_string(info.body, "state"), "idle");
+    // Recovered exactly at the pre-crash stop point (the run target,
+    // modulo an instruction straddling the boundary).
+    EXPECT_EQ(json_int(info.body, "recovered_from_cycle"),
+              json_int(info.body, "cycles"));
+    EXPECT_GE(json_int(info.body, "recovered_from_cycle"), 192);
+
+    // Finish the run; the result is byte-identical to an uninterrupted
+    // batch run of the same machine.
+    const HttpReply run = http(
+        port, "POST", "/sessions/" + std::to_string(id) + "/run", "{}");
+    ASSERT_EQ(run.status, 200) << run.body;
+    ASSERT_TRUE(wait_for_state(port, id, "idle"));
+
+    machine::MachineDesc desc =
+        machine::MachineDesc::single_core(kCountProgram);
+    desc.cores[0].exec_tier = iss::ExecTier::kPredecode;
+    sim::SimSystem batch = batch_system(desc);
+    ASSERT_EQ(batch.run(), core::StopReason::kHalted);
+    const HttpReply stats = http(
+        port, "GET", "/sessions/" + std::to_string(id) + "/stats");
+    EXPECT_EQ(stats.body, stats_text(batch));
+    const HttpReply metrics = http(
+        port, "GET", "/sessions/" + std::to_string(id) + "/metrics");
+    EXPECT_EQ(metrics.body, batch.metrics_snapshot().to_string());
+
+    // Graceful shutdown path: once draining, creates are refused with
+    // the stable 503 code.
+    service->drain();
+    const HttpReply refused = http(port, "POST", "/sessions", create_body);
+    EXPECT_EQ(refused.status, 503) << refused.body;
+    EXPECT_NE(refused.body.find("[srv-draining]"), std::string::npos)
+        << refused.body;
+    started.value()->stop();
+  }
+  std::filesystem::remove_all(state_dir);
 }
 
 }  // namespace

@@ -8,8 +8,10 @@
 //   mbcserve --port 8080
 //   curl -s localhost:8080/sessions -d '{"machine_file":"m.json"}'
 //
-// Shutdown: SIGINT/SIGTERM or POST /shutdown; live sessions are killed
-// and the listener drained before exit.
+// Shutdown: SIGINT/SIGTERM or POST /shutdown; with --state-dir the
+// daemon drains gracefully (stops admitting, checkpoints running
+// sessions, leaves journals on disk for --recover), otherwise live
+// sessions are killed and the listener drained before exit.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -36,13 +38,20 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: mbcserve [--port P] [--max-sessions N] [--worker-budget N]\n"
-      "                [--control-quantum CYCLES]\n"
+      "                [--control-quantum CYCLES] [--state-dir DIR]\n"
+      "                [--recover] [--drain-timeout-ms MS]\n"
       "\n"
       "  --port P             listen on 127.0.0.1:P (default 0 = ephemeral)\n"
       "  --max-sessions N     concurrent session limit (default 8)\n"
       "  --worker-budget N    total worker-thread budget (default 2x cores)\n"
       "  --control-quantum C  cycles between session control points\n"
-      "                       (default 100000)\n");
+      "                       (default 100000)\n"
+      "  --state-dir DIR      durable session journals under DIR; shutdown\n"
+      "                       becomes a graceful drain\n"
+      "  --recover            rebuild journaled sessions from --state-dir\n"
+      "                       at startup\n"
+      "  --drain-timeout-ms M bound on the per-session drain wait\n"
+      "                       (default 5000)\n");
 }
 
 bool parse_u64(const char* text, u64& out) {
@@ -64,6 +73,18 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     }
+    if (arg == "--recover") {
+      options.recover = true;
+      continue;
+    }
+    if (arg == "--state-dir") {
+      if (!has_value) {
+        std::fprintf(stderr, "option --state-dir requires a path argument\n");
+        return 2;
+      }
+      options.state_dir = argv[++i];
+      continue;
+    }
     if (!has_value || !parse_u64(argv[i + 1], value)) {
       std::fprintf(stderr, "option %s requires a numeric argument\n",
                    arg.c_str());
@@ -78,6 +99,8 @@ int main(int argc, char** argv) {
       options.limits.worker_budget = static_cast<unsigned>(value);
     } else if (arg == "--control-quantum" && value > 0) {
       options.control_quantum = static_cast<Cycle>(value);
+    } else if (arg == "--drain-timeout-ms") {
+      options.drain_timeout_ms = value;
     } else {
       std::fprintf(stderr, "unknown option or bad value: %s\n", arg.c_str());
       usage();
@@ -86,8 +109,21 @@ int main(int argc, char** argv) {
   }
 
   apps::register_machine_peripherals();
+  const bool durable = !options.state_dir.empty();
   options.on_shutdown = [] { g_shutdown.store(true); };
   server::Service service(std::move(options));
+
+  server::SessionManager::RecoveryReport report;
+  if (Status opened = service.init(&report); !opened.ok) {
+    std::fprintf(stderr, "mbcserve: %s\n", opened.message.c_str());
+    return 3;
+  }
+  for (const std::string& line : report.log) {
+    std::fprintf(stderr, "mbcserve: recover: %s\n", line.c_str());
+  }
+  if (report.recovered > 0) {
+    std::printf("mbcserve recovered %zu session(s)\n", report.recovered);
+  }
 
   Expected<std::unique_ptr<server::HttpServer>> started =
       server::HttpServer::start(
@@ -113,9 +149,17 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  std::printf("mbcserve shutting down\n");
-  std::fflush(stdout);
-  service.manager().kill_all();  // ends every telemetry stream
+  if (durable) {
+    std::printf("mbcserve draining\n");
+    std::fflush(stdout);
+    // Checkpoints every running session and leaves its journal on disk
+    // for a later --recover; streams end with {"stream":"draining"}.
+    service.drain();
+  } else {
+    std::printf("mbcserve shutting down\n");
+    std::fflush(stdout);
+    service.manager().kill_all();  // ends every telemetry stream
+  }
   http->stop();
   return 0;
 }
